@@ -1,0 +1,107 @@
+package gpgpu_test
+
+// One testing.B benchmark per table/figure of the paper's evaluation.
+// Each bench regenerates its figure's measurements through the experiment
+// harness and reports the headline quantity as a custom metric, so
+// `go test -bench=. -benchmem` reproduces the whole evaluation. The
+// wall-clock time Go reports is simulation cost; the paper's quantities
+// are the reported custom metrics (virtual-time ratios).
+
+import (
+	"testing"
+
+	"gles2gpgpu/internal/bench"
+	"gles2gpgpu/internal/core"
+)
+
+// benchOpts trades a little ratio fidelity for bench runtime; run
+// cmd/glesbench for the full paper-sized reproduction.
+func benchOpts() bench.Opts {
+	return bench.Opts{PaperSize: 512, CalibSize: 32, Warm: 4, Iters: 20}
+}
+
+func fig5Opts() bench.Opts {
+	o := benchOpts()
+	o.PaperSize = 1024 // the reuse trade-off is size-sensitive
+	return o
+}
+
+// BenchmarkFig3Vsync regenerates Figure 3 (the vsync/swap/fp24 ladder) and
+// reports the headline combined speedup (paper: >16x).
+func BenchmarkFig3Vsync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig3(bench.Devices(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Headline, "headline-speedup")
+		b.ReportMetric(r.Speedup["VCore sum"][1], "vcore-sum-interval0-x")
+		b.ReportMetric(r.Speedup["SGX sum"][2], "sgx-sum-noswap-x")
+	}
+}
+
+// BenchmarkVBOHints regenerates the §V-B VBO text result.
+func BenchmarkVBOHints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.FigVBO(bench.Devices(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Speedup["VCore"][1], "vcore-static-vbo-x")
+	}
+}
+
+// BenchmarkFig4aRenderTarget regenerates Figure 4a (framebuffer vs texture
+// rendering).
+func BenchmarkFig4aRenderTarget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig4a(bench.Devices(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.TexOverFB["SGX"]["sum"], "sgx-sum-tex-over-fb")
+		b.ReportMetric(r.TexOverFB["VCore"]["sgemm"], "vcore-sgemm-tex-over-fb")
+	}
+}
+
+// BenchmarkFig4bBlocking regenerates Figure 4b (sgemm block-size sweep).
+func BenchmarkFig4bBlocking(b *testing.B) {
+	o := benchOpts()
+	o.Iters = 10
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig4b(bench.Devices(), o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fb := r.Times["SGX"]["framebuffer"]
+		tex := r.Times["SGX"]["texture"]
+		b.ReportMetric(float64(fb[0])/float64(tex[0]), "sgx-b1-fb-over-tex")
+		last := len(fb) - 1
+		b.ReportMetric(float64(fb[last])/float64(tex[last]), "sgx-b16-fb-over-tex")
+	}
+}
+
+// BenchmarkFig5aReuseTexture regenerates Figure 5a (texture reuse, texture
+// rendering).
+func BenchmarkFig5aReuseTexture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig5(bench.Devices(), core.TargetTexture, fig5Opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Speedup["VCore"]["sum"], "vcore-sum-reuse-x")
+		b.ReportMetric(r.Speedup["SGX"]["sum"], "sgx-sum-reuse-x")
+	}
+}
+
+// BenchmarkFig5bReuseFB regenerates Figure 5b (texture reuse, framebuffer
+// rendering).
+func BenchmarkFig5bReuseFB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig5(bench.Devices(), core.TargetFramebuffer, fig5Opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Speedup["SGX"]["sgemm"], "sgx-sgemm-reuse-x")
+	}
+}

@@ -1,0 +1,91 @@
+// Command glesbench reproduces the paper's evaluation: every figure of
+// "Optimisation Opportunities and Evaluation for GPGPU Applications on
+// Low-End Mobile GPUs" (DATE 2017), printed as tables with the paper's
+// reference numbers in the notes.
+//
+// Usage:
+//
+//	glesbench               # all figures
+//	glesbench -fig 3        # one figure: 3, vbo, 4a, 4b, 5a, 5b
+//	glesbench -size 1024    # matrix dimension of the timing runs
+//	glesbench -iters 100    # repetitions per configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gles2gpgpu/internal/bench"
+	"gles2gpgpu/internal/core"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to reproduce: 3, vbo, 4a, 4b, 5a, 5b or all")
+	size := flag.Int("size", 1024, "matrix dimension for timing runs (paper: 1024)")
+	calib := flag.Int("calib", 64, "matrix dimension for the functional validation run")
+	iters := flag.Int("iters", 100, "measured benchmark-body repetitions")
+	flag.Parse()
+
+	o := bench.Opts{PaperSize: *size, CalibSize: *calib, Iters: *iters}
+	devs := bench.Devices()
+	run := func(name string, f func() (interface{ Table() *bench.Table }, error)) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		r, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "glesbench: figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if err := r.Table().Write(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	run("3", func() (interface{ Table() *bench.Table }, error) {
+		r, err := bench.Fig3(devs, o)
+		if err == nil {
+			defer fmt.Printf("Headline: best sum speedup over the ES2-best-practices baseline: %.1fx (paper: >16x)\n\n", r.Headline)
+		}
+		return r, err
+	})
+	run("vbo", func() (interface{ Table() *bench.Table }, error) { return bench.FigVBO(devs, o) })
+	run("4a", func() (interface{ Table() *bench.Table }, error) { return bench.Fig4a(devs, o) })
+	run("4b", func() (interface{ Table() *bench.Table }, error) { return bench.Fig4b(devs, o) })
+	run("5a", func() (interface{ Table() *bench.Table }, error) {
+		return bench.Fig5(devs, core.TargetTexture, o)
+	})
+	run("5b", func() (interface{ Table() *bench.Table }, error) {
+		return bench.Fig5(devs, core.TargetFramebuffer, o)
+	})
+	if *fig == "all" || *fig == "journey" {
+		for _, dev := range devs {
+			for _, spec := range []bench.Spec{{Workload: bench.WSum}, {Workload: bench.WSgemm, Block: 16}} {
+				r, err := bench.Incremental(dev, spec, o)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "glesbench: journey: %v\n", err)
+					os.Exit(1)
+				}
+				if err := r.Table().Write(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+	if *fig == "all" || *fig == "ablation" {
+		for _, dev := range devs {
+			r, err := bench.Ablation(dev, o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "glesbench: ablation: %v\n", err)
+				os.Exit(1)
+			}
+			if err := r.Table().Write(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

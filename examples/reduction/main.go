@@ -1,0 +1,66 @@
+// Reduction: computing a global statistic (the sum / mean of a large
+// matrix) on a GPU that has no compute primitives — the classic GPGPU
+// pyramid pattern: log2(N) fragment passes over shrinking grids, each
+// averaging 2×2 blocks, until a single texel remains.
+//
+// The example also shows the engine's pipeline report, the tool for
+// understanding where the virtual time went.
+//
+//	go run ./examples/reduction
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	gpgpu "gles2gpgpu"
+)
+
+func main() {
+	const n = 256
+
+	cfg := gpgpu.Config{
+		Device: gpgpu.VideoCoreIV(),
+		Width:  n, Height: n,
+		Swap:   gpgpu.SwapNone,
+		Target: gpgpu.TargetTexture,
+		UseVBO: true,
+	}
+	engine, err := gpgpu.NewEngine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	m := gpgpu.NewMatrix(n, n)
+	var want float64
+	for i := range m.Data {
+		m.Data[i] = rng.Float64() * 0.999
+		want += m.Data[i]
+	}
+
+	red, err := gpgpu.NewReduce(engine, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := red.RunOnce(); err != nil {
+		log.Fatal(err)
+	}
+	total, err := red.Total()
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine.Finish()
+
+	fmt.Printf("sum of %dx%d = %d elements on %s\n", n, n, n*n, cfg.Device.Name)
+	fmt.Printf("pyramid levels:   %d (N -> N/2 -> ... -> 1)\n", red.Levels())
+	fmt.Printf("GPU total:        %.4f\n", total)
+	fmt.Printf("CPU total:        %.4f\n", want)
+	fmt.Printf("relative error:   %.2e\n", math.Abs(total-want)/want)
+	fmt.Printf("mean:             %.6f\n", total/float64(n*n))
+	fmt.Println()
+	fmt.Println("pipeline report:")
+	fmt.Println(engine.Report())
+}

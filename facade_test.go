@@ -1,0 +1,176 @@
+package gpgpu_test
+
+// Tests of the public facade: everything a downstream user touches must be
+// reachable through the root package alone.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	gpgpu "gles2gpgpu"
+)
+
+func fillRand(m *gpgpu.Matrix, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.Data {
+		m.Data[i] = rng.Float64() * 0.999
+	}
+}
+
+func newTestEngine(t *testing.T, n int, mut func(*gpgpu.Config)) *gpgpu.Engine {
+	t.Helper()
+	cfg := gpgpu.Config{
+		Device: gpgpu.GenericDevice(),
+		Width:  n, Height: n,
+		Swap:   gpgpu.SwapNone,
+		Target: gpgpu.TargetTexture,
+		UseVBO: true,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	e, err := gpgpu.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestFacadeSum(t *testing.T) {
+	const n = 32
+	e := newTestEngine(t, n, nil)
+	a := gpgpu.NewMatrix(n, n)
+	b := gpgpu.NewMatrix(n, n)
+	fillRand(a, 1)
+	fillRand(b, 2)
+	r, err := gpgpu.NewSum(e, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Data {
+		if math.Abs(c.Data[i]-(a.Data[i]+b.Data[i])) > 1e-5 {
+			t.Fatalf("element %d: %g vs %g", i, c.Data[i], a.Data[i]+b.Data[i])
+		}
+	}
+	if e.Now() <= 0 {
+		t.Error("virtual time did not advance")
+	}
+}
+
+func TestFacadeSgemmWithFP24(t *testing.T) {
+	const n = 16
+	e := newTestEngine(t, n, func(c *gpgpu.Config) {
+		c.Kernel = gpgpu.FP24KernelOptions
+	})
+	a := gpgpu.NewMatrix(n, n)
+	b := gpgpu.NewMatrix(n, n)
+	fillRand(a, 3)
+	fillRand(b, 4)
+	r, err := gpgpu.NewSgemm(e, a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for k := 0; k < n; k++ {
+				want += a.At(i, k) * b.At(k, j)
+			}
+			if math.Abs(c.At(i, j)-want) > 5e-3 {
+				t.Fatalf("C[%d][%d] = %g, want %g", i, j, c.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestFacadeDeviceProfiles(t *testing.T) {
+	for _, p := range []*gpgpu.DeviceProfile{gpgpu.VideoCoreIV(), gpgpu.PowerVRSGX545(), gpgpu.GenericDevice()} {
+		if p.Name == "" || p.GPUClockHz <= 0 || p.TileW <= 0 {
+			t.Errorf("profile %+v incomplete", p.Name)
+		}
+		if !p.Deferred {
+			t.Errorf("%s: paper devices are tile-based *deferred* renderers", p.Name)
+		}
+	}
+	// The two paper devices differ in the documented ways.
+	vc, sgx := gpgpu.VideoCoreIV(), gpgpu.PowerVRSGX545()
+	if vc.TileW <= sgx.TileW {
+		t.Error("VideoCore tiles (64x64) should exceed SGX tiles (16x16)")
+	}
+	if vc.DefaultSwapInterval != 1 || sgx.DefaultSwapInterval != 0 {
+		t.Error("default swap intervals wrong")
+	}
+	if !vc.CopyStreamsOnOverwrite || sgx.CopyStreamsOnOverwrite {
+		t.Error("DMA streaming capability wrong")
+	}
+}
+
+func TestFacadeRangeAndDepth(t *testing.T) {
+	r := gpgpu.Range{Lo: -1, Hi: 3}
+	if got := r.FromUnit(r.ToUnit(2.5)); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("range roundtrip %g", got)
+	}
+	if gpgpu.Depth24.Quantum() <= gpgpu.Depth32.Quantum() {
+		t.Error("depth quanta ordering wrong")
+	}
+	if gpgpu.UnitRange.Width() != 1 {
+		t.Error("unit range width")
+	}
+}
+
+func TestFacadeTimeFlowsPerDevice(t *testing.T) {
+	// The same workload takes different virtual time on different
+	// devices (the whole point of the model).
+	times := map[string]gpgpu.Time{}
+	for _, p := range []*gpgpu.DeviceProfile{gpgpu.VideoCoreIV(), gpgpu.PowerVRSGX545()} {
+		cfg := gpgpu.Config{Device: p, Width: 32, Height: 32, Swap: gpgpu.SwapNone, Target: gpgpu.TargetTexture, UseVBO: true}
+		e, err := gpgpu.NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := gpgpu.NewMatrix(32, 32)
+		b := gpgpu.NewMatrix(32, 32)
+		fillRand(a, 1)
+		fillRand(b, 2)
+		r, err := gpgpu.NewSum(e, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if err := r.RunOnce(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.Finish()
+		times[p.Name] = e.Now()
+	}
+	if len(times) != 2 {
+		t.Fatal("expected two device timings")
+	}
+	var a, b gpgpu.Time
+	for _, v := range times {
+		if a == 0 {
+			a = v
+		} else {
+			b = v
+		}
+	}
+	if a == b {
+		t.Error("devices produced identical virtual times")
+	}
+}

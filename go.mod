@@ -1,0 +1,3 @@
+module gles2gpgpu
+
+go 1.22

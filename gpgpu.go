@@ -1,0 +1,137 @@
+// Package gpgpu is the public API of gles2gpgpu: general-purpose
+// computations on OpenGL ES 2.0-class mobile GPUs, as described in
+// Trompouki & Kosmidis, "Optimisation Opportunities and Evaluation for
+// GPGPU Applications on Low-End Mobile GPUs" (DATE 2017), running on the
+// repository's simulated GLES2 stack and tile-based deferred-rendering GPU
+// timing model.
+//
+// Quick start:
+//
+//	cfg := gpgpu.Config{
+//		Device: gpgpu.VideoCoreIV(),
+//		Width:  256, Height: 256,
+//		Swap:   gpgpu.SwapNone,
+//		Target: gpgpu.TargetTexture,
+//		UseVBO: true,
+//	}
+//	e, _ := gpgpu.NewEngine(cfg)
+//	r, _ := gpgpu.NewSum(e, a, b) // a, b: *gpgpu.Matrix
+//	_ = r.RunOnce()
+//	c, _ := r.Result()
+//
+// Every implementation choice the paper evaluates is a Config field; see
+// Config, SwapMode, RenderTarget and KernelOptions. Virtual execution time
+// accumulates on Engine.Now().
+package gpgpu
+
+import (
+	"gles2gpgpu/internal/codec"
+	"gles2gpgpu/internal/core"
+	"gles2gpgpu/internal/device"
+	"gles2gpgpu/internal/kernels"
+	"gles2gpgpu/internal/timing"
+)
+
+// Core framework types (the paper's contribution).
+type (
+	// Config selects the implementation variant of the framework.
+	Config = core.Config
+	// Engine owns one simulated EGL/GLES2 stack.
+	Engine = core.Engine
+	// Kernel is a compiled GPGPU kernel.
+	Kernel = core.Kernel
+	// Tensor is a GPU-resident encoded matrix.
+	Tensor = core.Tensor
+	// Runner is a benchmark workload.
+	Runner = core.Runner
+	// SumRunner runs c = a + b.
+	SumRunner = core.SumRunner
+	// SgemmRunner runs the multi-pass blocked C = A·B.
+	SgemmRunner = core.SgemmRunner
+	// SaxpyRunner runs y' = alpha·x + y.
+	SaxpyRunner = core.SaxpyRunner
+	// JacobiRunner iterates Jacobi relaxation.
+	JacobiRunner = core.JacobiRunner
+	// ReduceRunner sums all elements via a 2×2 pyramid reduction.
+	ReduceRunner = core.ReduceRunner
+	// TransposeRunner computes matrix transposition.
+	TransposeRunner = core.TransposeRunner
+	// Report summarises pipeline activity and utilisation.
+	Report = core.Report
+	// Conv3x3Runner applies a 3×3 convolution.
+	Conv3x3Runner = core.Conv3x3Runner
+	// SwapMode selects eglSwapBuffers behaviour.
+	SwapMode = core.SwapMode
+	// RenderTarget selects framebuffer or texture rendering.
+	RenderTarget = core.RenderTarget
+)
+
+// Data encoding types (the DATE 2016 float↔RGBA8 scheme).
+type (
+	// Matrix is a host-side matrix with an encoding range.
+	Matrix = codec.Matrix
+	// Range is the affine user↔encoded-domain map.
+	Range = codec.Range
+	// Depth selects fp32 or fp24 encoding.
+	Depth = codec.Depth
+	// KernelOptions selects kernel-code variants (fp24, mul24).
+	KernelOptions = kernels.Options
+)
+
+// Device and timing types.
+type (
+	// DeviceProfile describes a simulated platform.
+	DeviceProfile = device.Profile
+	// Time is virtual time in picoseconds.
+	Time = timing.Time
+)
+
+// Configuration constants.
+const (
+	SwapVsync         = core.SwapVsync
+	SwapNoVsync       = core.SwapNoVsync
+	SwapNone          = core.SwapNone
+	TargetFramebuffer = core.TargetFramebuffer
+	TargetTexture     = core.TargetTexture
+	Depth32           = codec.Depth32
+	Depth24           = codec.Depth24
+)
+
+// Constructors.
+var (
+	// NewEngine builds the simulated stack for a configuration.
+	NewEngine = core.NewEngine
+	// NewMatrix allocates a zero matrix with the unit range.
+	NewMatrix = codec.NewMatrix
+	// NewSum prepares the streaming-addition workload.
+	NewSum = core.NewSum
+	// NewSgemm prepares the multi-pass blocked matrix multiply.
+	NewSgemm = core.NewSgemm
+	// NewSaxpy prepares y' = alpha·x + y.
+	NewSaxpy = core.NewSaxpy
+	// NewJacobi prepares the Jacobi relaxation solver.
+	NewJacobi = core.NewJacobi
+	// NewReduce prepares the pyramid sum reduction.
+	NewReduce = core.NewReduce
+	// NewTranspose prepares out = inᵀ.
+	NewTranspose = core.NewTranspose
+	// NewConv3x3 prepares a 3×3 convolution.
+	NewConv3x3 = core.NewConv3x3
+
+	// VideoCoreIV is the Raspberry Pi device profile.
+	VideoCoreIV = device.VideoCoreIV
+	// PowerVRSGX545 is the PowerVR SGX 545 device profile.
+	PowerVRSGX545 = device.PowerVRSGX545
+	// GenericDevice is a fast permissive profile for experimentation.
+	GenericDevice = device.Generic
+
+	// UnitRange is the identity encoding range [0,1).
+	UnitRange = codec.Unit
+
+	// DefaultKernelOptions is 32-bit encoding with full-precision
+	// arithmetic.
+	DefaultKernelOptions = kernels.DefaultOptions
+	// FP24KernelOptions is the paper's optimised kernel code: 24-bit
+	// encoding, mul24 arithmetic, 3-byte I/O.
+	FP24KernelOptions = kernels.FP24Options
+)

@@ -1,0 +1,163 @@
+package codec
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, d := range []Depth{Depth32, Depth24} {
+		var buf [4]byte
+		for _, v := range []float64{0, 0.5, 0.25, 1.0 / 3, 0.9999, 1 - d.Quantum()} {
+			d.Encode(v, buf[:])
+			got := d.Decode(buf[:])
+			if math.Abs(got-v) > d.Quantum() {
+				t.Errorf("%s: roundtrip %g -> %g (err %g > quantum %g)", d, v, got, math.Abs(got-v), d.Quantum())
+			}
+		}
+	}
+}
+
+func TestEncodeClamps(t *testing.T) {
+	var buf [4]byte
+	Depth32.Encode(-0.5, buf[:])
+	if Depth32.Decode(buf[:]) != 0 {
+		t.Error("negative value not clamped to 0")
+	}
+	Depth32.Encode(2.0, buf[:])
+	if got := Depth32.Decode(buf[:]); got >= 1 {
+		t.Errorf("overflow encoded as %g, want < 1", got)
+	}
+}
+
+func TestDepth24IgnoresAlpha(t *testing.T) {
+	var buf [4]byte
+	Depth24.Encode(0.7, buf[:])
+	if buf[3] != 255 {
+		t.Errorf("alpha = %d, want opaque padding", buf[3])
+	}
+	// Decoding must not read the alpha.
+	buf[3] = 0
+	a := Depth24.Decode(buf[:])
+	buf[3] = 77
+	if b := Depth24.Decode(buf[:]); a != b {
+		t.Error("Depth24 decode reads the alpha channel")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		v := float64(raw) / float64(math.MaxUint32+int64(1)) // [0,1)
+		var buf [4]byte
+		for _, d := range []Depth{Depth32, Depth24} {
+			d.Encode(v, buf[:])
+			if math.Abs(d.Decode(buf[:])-v) > d.Quantum() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeMonotoneProperty(t *testing.T) {
+	// Encoding preserves order (monotone), which linear kernels rely on.
+	f := func(a, b uint32) bool {
+		x := float64(a) / float64(math.MaxUint32+int64(1))
+		y := float64(b) / float64(math.MaxUint32+int64(1))
+		if x > y {
+			x, y = y, x
+		}
+		var bx, by [4]byte
+		Depth32.Encode(x, bx[:])
+		Depth32.Encode(y, by[:])
+		return Depth32.Decode(bx[:]) <= Depth32.Decode(by[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeMapping(t *testing.T) {
+	r := Range{-10, 30}
+	for _, v := range []float64{-10, 0, 15, 29.9} {
+		u := r.ToUnit(v)
+		if u < 0 || u >= 1.0001 {
+			t.Errorf("ToUnit(%g) = %g out of [0,1)", v, u)
+		}
+		if got := r.FromUnit(u); math.Abs(got-v) > 1e-12 {
+			t.Errorf("range roundtrip %g -> %g", v, got)
+		}
+	}
+	if r.Width() != 40 {
+		t.Errorf("Width = %g", r.Width())
+	}
+	if (Range{5, 5}).ToUnit(7) != 0 {
+		t.Error("degenerate range not handled")
+	}
+}
+
+func TestMatrixEncodeDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := NewMatrix(8, 16)
+	m.Range = Range{0, 4}
+	for i := range m.Data {
+		m.Data[i] = rng.Float64() * 4
+	}
+	tex := m.EncodeTexture(Depth32)
+	if len(tex) != 8*16*4 {
+		t.Fatalf("texture %d bytes", len(tex))
+	}
+	out := NewMatrix(8, 16)
+	out.Range = m.Range
+	if err := out.DecodeTexture(Depth32, tex); err != nil {
+		t.Fatal(err)
+	}
+	maxErr := out.MaxAbsError(Depth32)
+	for i := range m.Data {
+		if math.Abs(out.Data[i]-m.Data[i]) > maxErr+1e-12 {
+			t.Fatalf("element %d: %g vs %g (bound %g)", i, out.Data[i], m.Data[i], maxErr)
+		}
+	}
+	if err := out.DecodeTexture(Depth32, tex[:10]); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrix(3, 4)
+	m.Set(2, 3, 7.5)
+	if m.At(2, 3) != 7.5 {
+		t.Error("At/Set broken")
+	}
+}
+
+func TestGLSLSnippets(t *testing.T) {
+	for _, d := range []Depth{Depth32, Depth24} {
+		r := ReconstrGLSL(d)
+		e := EncodeGLSL(d)
+		if !strings.Contains(r, "dot(") {
+			t.Errorf("%s reconstr does not use the dot builtin", d)
+		}
+		if !strings.Contains(e, "clamp(") || !strings.Contains(e, "floor(") {
+			t.Errorf("%s encoder missing clamp/floor", d)
+		}
+		if d == Depth24 && strings.Contains(e, "float a =") {
+			t.Error("fp24 encoder emits a fourth channel")
+		}
+	}
+}
+
+func TestQuantum(t *testing.T) {
+	if Depth32.Quantum() != math.Pow(2, -32) {
+		t.Error("Depth32 quantum")
+	}
+	if Depth24.Quantum() != math.Pow(2, -24) {
+		t.Error("Depth24 quantum")
+	}
+}

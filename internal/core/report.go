@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"gles2gpgpu/internal/gpu"
+	"gles2gpgpu/internal/timing"
+)
+
+// Report summarises what the simulated pipeline did and where the time
+// went — the first thing to look at when an optimisation does not pay off.
+type Report struct {
+	Elapsed timing.Time
+	// FPBusy and CopyBusy are the busy times of the fragment engine and
+	// the copy engine.
+	FPBusy, CopyBusy timing.Time
+	// FPUtilisation is FPBusy/Elapsed.
+	FPUtilisation float64
+	Stats         gpu.Stats
+	// GPU memory bookkeeping.
+	LiveAllocations int
+	LiveBytes       int
+	PeakBytes       int
+	TotalAllocs     int64
+}
+
+// Report captures the engine's counters since construction.
+func (e *Engine) Report() Report {
+	m := e.Machine()
+	r := Report{
+		Elapsed:         m.Now(),
+		FPBusy:          m.FPBusy(),
+		CopyBusy:        m.CopyBusy(),
+		Stats:           m.Stats,
+		LiveAllocations: e.gl.Allocator().LiveCount(),
+		LiveBytes:       e.gl.Allocator().LiveBytes(),
+		PeakBytes:       e.gl.Allocator().PeakLiveBytes,
+		TotalAllocs:     e.gl.Allocator().TotalAllocs,
+	}
+	if r.Elapsed > 0 {
+		r.FPUtilisation = float64(r.FPBusy) / float64(r.Elapsed)
+	}
+	return r
+}
+
+// String renders the report as a compact multi-line summary.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "elapsed %v, fragment engine busy %v (%.0f%%), copy engine busy %v\n",
+		r.Elapsed, r.FPBusy, r.FPUtilisation*100, r.CopyBusy)
+	fmt.Fprintf(&sb, "draws %d (bubbles %d, war stalls %d), copies %d (%.1f MB), uploads %d (%.1f MB)\n",
+		r.Stats.Draws, r.Stats.Bubbles, r.Stats.WARStalls,
+		r.Stats.CopyOps, float64(r.Stats.CopyBytes)/1e6,
+		r.Stats.UploadOps, float64(r.Stats.UploadBytes)/1e6)
+	fmt.Fprintf(&sb, "tiles loaded %d / stored %d, fragments shaded %d\n",
+		r.Stats.TileLoads, r.Stats.TileStores, r.Stats.FragmentsShaded)
+	fmt.Fprintf(&sb, "gpu memory: %d live allocations (%.1f MB live, %.1f MB peak, %d total allocs)",
+		r.LiveAllocations, float64(r.LiveBytes)/1e6, float64(r.PeakBytes)/1e6, r.TotalAllocs)
+	return sb.String()
+}

@@ -1,0 +1,499 @@
+package core
+
+import (
+	"fmt"
+
+	"gles2gpgpu/internal/codec"
+	"gles2gpgpu/internal/kernels"
+)
+
+// Runner is one benchmark workload: RunOnce executes the benchmark body
+// (the unit the paper repeats 10 000 times) and Result reads the output
+// back.
+type Runner interface {
+	RunOnce() error
+	Result() (*codec.Matrix, error)
+}
+
+// SumRunner is the paper's streaming matrix-addition benchmark.
+type SumRunner struct {
+	e      *Engine
+	k      *Kernel
+	a, b   *codec.Matrix
+	tA, tB *Tensor
+	out    [2]*Tensor
+	cur    int
+	first  bool
+}
+
+// NewSum prepares the sum workload: c = a + b. The inputs must share one
+// encoding range.
+func NewSum(e *Engine, a, b *codec.Matrix) (*SumRunner, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, fmt.Errorf("core: sum shapes %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if a.Rows != e.cfg.Height || a.Cols != e.cfg.Width {
+		return nil, fmt.Errorf("core: sum shape %dx%d does not match engine grid %dx%d", a.Rows, a.Cols, e.cfg.Height, e.cfg.Width)
+	}
+	if a.Range != b.Range {
+		return nil, fmt.Errorf("core: sum inputs must share a range")
+	}
+	src := kernels.Sum(e.cfg.Kernel)
+	if e.cfg.ArtificialDependency {
+		src = kernels.SumDep(e.cfg.Kernel)
+	}
+	k, err := e.BuildKernel(src)
+	if err != nil {
+		return nil, err
+	}
+	r := &SumRunner{e: e, k: k, a: a, b: b, first: true}
+	r.tA = e.NewTensor(a.Rows, a.Cols, a.Range)
+	r.tB = e.NewTensor(b.Rows, b.Cols, b.Range)
+	outRange := codec.Range{Lo: a.Range.Lo + b.Range.Lo, Hi: a.Range.Hi + b.Range.Hi}
+	for i := range r.out {
+		r.out[i] = e.NewTensor(a.Rows, a.Cols, outRange)
+	}
+	if err := r.tA.Upload(a, false); err != nil {
+		return nil, err
+	}
+	if err := r.tB.Upload(b, false); err != nil {
+		return nil, err
+	}
+	// The dependency variant samples the previous output, which must
+	// exist from the very first pass.
+	if e.cfg.ArtificialDependency && e.cfg.Target == TargetTexture {
+		for i := range r.out {
+			if err := r.out[i].AllocateStorage(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
+
+// RunOnce executes one benchmark-body iteration.
+func (r *SumRunner) RunOnce() error {
+	e := r.e
+	if e.cfg.StreamInputs && !r.first {
+		if err := r.tA.Upload(r.a, e.cfg.ReuseInputTextures); err != nil {
+			return err
+		}
+		if err := r.tB.Upload(r.b, e.cfg.ReuseInputTextures); err != nil {
+			return err
+		}
+	}
+	r.first = false
+	r.k.BindInput("text0", 0, r.tA)
+	r.k.BindInput("text1", 1, r.tB)
+	out := r.out[r.cur]
+	if e.cfg.ArtificialDependency {
+		prev := r.out[1-r.cur]
+		if !prev.allocated {
+			if err := prev.AllocateStorage(); err != nil {
+				return err
+			}
+		}
+		r.k.BindInput("text2", 2, prev)
+		r.cur = 1 - r.cur
+	}
+	if err := r.k.Dispatch(out); err != nil {
+		return err
+	}
+	return e.EndIteration()
+}
+
+// Kernel returns the compiled kernel (for stat priming).
+func (r *SumRunner) Kernel() *Kernel { return r.k }
+
+// Result reads back the last output.
+func (r *SumRunner) Result() (*codec.Matrix, error) {
+	idx := r.cur
+	if r.e.cfg.ArtificialDependency {
+		idx = 1 - r.cur // cur was advanced past the last write
+	}
+	return r.out[idx].Read()
+}
+
+// SgemmRunner is the paper's multi-pass blocked matrix-multiply benchmark
+// (§III/§IV, Fig. 2): RunOnce performs one full C = A·B, i.e. M/block
+// kernel passes with double-buffered intermediate textures.
+type SgemmRunner struct {
+	e        *Engine
+	k        *Kernel
+	a, b     *codec.Matrix
+	tA, tB   *Tensor
+	interm   [2]*Tensor
+	zero     *Tensor
+	n, block int
+	passes   int
+	last     int // interm index holding the final result
+	first    bool
+}
+
+// NewSgemm prepares C = A·B on n×n unit-range matrices with the given
+// block size. Block sizes whose unrolled kernels exceed the device's
+// implementation limits fail here with the compiler's diagnostic — the
+// paper's >16 "crashes and shader compilation failures".
+func NewSgemm(e *Engine, a, b *codec.Matrix, block int) (*SgemmRunner, error) {
+	n := a.Rows
+	if a.Cols != n || b.Rows != n || b.Cols != n {
+		return nil, fmt.Errorf("core: sgemm requires square same-size matrices")
+	}
+	if n != e.cfg.Width || n != e.cfg.Height {
+		return nil, fmt.Errorf("core: sgemm size %d does not match engine grid %dx%d", n, e.cfg.Width, e.cfg.Height)
+	}
+	if a.Range != codec.Unit || b.Range != codec.Unit {
+		return nil, fmt.Errorf("core: sgemm inputs must use the unit range")
+	}
+	src, err := kernels.SgemmPass(n, block, e.cfg.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	k, err := e.BuildKernel(src)
+	if err != nil {
+		return nil, err
+	}
+	r := &SgemmRunner{e: e, k: k, a: a, b: b, n: n, block: block, passes: n / block, first: true}
+	r.tA = e.NewTensor(n, n, codec.Unit)
+	r.tB = e.NewTensor(n, n, codec.Unit)
+	outRange := codec.Range{Lo: 0, Hi: float64(n)}
+	for i := range r.interm {
+		r.interm[i] = e.NewTensor(n, n, outRange)
+	}
+	r.zero = e.NewTensor(n, n, outRange)
+	if err := r.tA.Upload(a, false); err != nil {
+		return nil, err
+	}
+	if err := r.tB.Upload(b, false); err != nil {
+		return nil, err
+	}
+	// The zero accumulator feeding the first pass.
+	zm := codec.NewMatrix(n, n)
+	zm.Range = outRange
+	if err := r.zero.Upload(zm, false); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Passes returns the number of kernel launches per multiplication.
+func (r *SgemmRunner) Passes() int { return r.passes }
+
+// Kernel returns the compiled kernel (for stat priming).
+func (r *SgemmRunner) Kernel() *Kernel { return r.k }
+
+// RunOnce performs one complete multiplication (all passes).
+func (r *SgemmRunner) RunOnce() error {
+	e := r.e
+	if e.cfg.StreamInputs && !r.first {
+		if err := r.tA.Upload(r.a, e.cfg.ReuseInputTextures); err != nil {
+			return err
+		}
+		if err := r.tB.Upload(r.b, e.cfg.ReuseInputTextures); err != nil {
+			return err
+		}
+	}
+	r.first = false
+	cur := 0
+	for p := 0; p < r.passes; p++ {
+		in := r.interm[cur]
+		if p == 0 {
+			in = r.zero
+		}
+		out := r.interm[1-cur]
+		r.k.SetFloat("blk_n", float32(p*r.block)/float32(r.n))
+		r.k.BindInput("text0", 0, r.tA)
+		r.k.BindInput("text1", 1, r.tB)
+		r.k.BindInput("text2", 2, in)
+		if err := r.k.Dispatch(out); err != nil {
+			return err
+		}
+		if err := e.EndIteration(); err != nil {
+			return err
+		}
+		cur = 1 - cur
+	}
+	r.last = cur // index written by the final pass (after the flip)
+	return nil
+}
+
+// Result reads back C.
+func (r *SgemmRunner) Result() (*codec.Matrix, error) {
+	return r.interm[r.last].Read()
+}
+
+// SaxpyRunner computes y' = alpha·x + y.
+type SaxpyRunner struct {
+	e      *Engine
+	k      *Kernel
+	x, y   *codec.Matrix
+	tX, tY *Tensor
+	out    *Tensor
+	alpha  float32
+	first  bool
+}
+
+// NewSaxpy prepares the saxpy workload (alpha ∈ [0,1], unit-range inputs).
+func NewSaxpy(e *Engine, alpha float32, x, y *codec.Matrix) (*SaxpyRunner, error) {
+	if x.Rows != y.Rows || x.Cols != y.Cols {
+		return nil, fmt.Errorf("core: saxpy shape mismatch")
+	}
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("core: saxpy alpha %g outside [0,1] (encoded domain)", alpha)
+	}
+	k, err := e.BuildKernel(kernels.Saxpy(e.cfg.Kernel))
+	if err != nil {
+		return nil, err
+	}
+	r := &SaxpyRunner{e: e, k: k, x: x, y: y, alpha: alpha, first: true}
+	r.tX = e.NewTensor(x.Rows, x.Cols, x.Range)
+	r.tY = e.NewTensor(y.Rows, y.Cols, y.Range)
+	outRange := codec.Range{Lo: x.Range.Lo + y.Range.Lo, Hi: x.Range.Hi + y.Range.Hi}
+	r.out = e.NewTensor(x.Rows, x.Cols, outRange)
+	if err := r.tX.Upload(x, false); err != nil {
+		return nil, err
+	}
+	if err := r.tY.Upload(y, false); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// RunOnce executes one iteration.
+func (r *SaxpyRunner) RunOnce() error {
+	e := r.e
+	if e.cfg.StreamInputs && !r.first {
+		if err := r.tX.Upload(r.x, e.cfg.ReuseInputTextures); err != nil {
+			return err
+		}
+		if err := r.tY.Upload(r.y, e.cfg.ReuseInputTextures); err != nil {
+			return err
+		}
+	}
+	r.first = false
+	r.k.SetFloat("alpha", r.alpha)
+	r.k.BindInput("text0", 0, r.tX)
+	r.k.BindInput("text1", 1, r.tY)
+	if err := r.k.Dispatch(r.out); err != nil {
+		return err
+	}
+	return e.EndIteration()
+}
+
+// Result reads back y'.
+func (r *SaxpyRunner) Result() (*codec.Matrix, error) { return r.out.Read() }
+
+// JacobiRunner iterates the Jacobi relaxation kernel with double-buffered
+// grids (a multi-pass numerical solver, one of the application domains the
+// paper motivates).
+type JacobiRunner struct {
+	e    *Engine
+	k    *Kernel
+	grid [2]*Tensor
+	cur  int
+}
+
+// NewJacobi prepares the solver with the given initial grid.
+func NewJacobi(e *Engine, initial *codec.Matrix) (*JacobiRunner, error) {
+	k, err := e.BuildKernel(kernels.Jacobi(initial.Cols, initial.Rows, e.cfg.Kernel))
+	if err != nil {
+		return nil, err
+	}
+	r := &JacobiRunner{e: e, k: k}
+	for i := range r.grid {
+		r.grid[i] = e.NewTensor(initial.Rows, initial.Cols, initial.Range)
+	}
+	if err := r.grid[0].Upload(initial, false); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// RunOnce performs one relaxation step.
+func (r *JacobiRunner) RunOnce() error {
+	in := r.grid[r.cur]
+	out := r.grid[1-r.cur]
+	r.k.BindInput("text0", 0, in)
+	if err := r.k.Dispatch(out); err != nil {
+		return err
+	}
+	r.cur = 1 - r.cur
+	return r.e.EndIteration()
+}
+
+// Result reads the current grid.
+func (r *JacobiRunner) Result() (*codec.Matrix, error) { return r.grid[r.cur].Read() }
+
+// TransposeRunner computes the matrix transpose — a pure data-movement
+// kernel whose cost is entirely texture traffic.
+type TransposeRunner struct {
+	e     *Engine
+	k     *Kernel
+	in    *codec.Matrix
+	tIn   *Tensor
+	out   *Tensor
+	first bool
+}
+
+// NewTranspose prepares out = inᵀ for a square matrix.
+func NewTranspose(e *Engine, m *codec.Matrix) (*TransposeRunner, error) {
+	if m.Rows != m.Cols || m.Rows != e.cfg.Width || m.Rows != e.cfg.Height {
+		return nil, fmt.Errorf("core: transpose requires a square matrix matching the engine grid")
+	}
+	k, err := e.BuildKernel(kernels.Transpose(e.cfg.Kernel))
+	if err != nil {
+		return nil, err
+	}
+	r := &TransposeRunner{e: e, k: k, in: m, first: true}
+	r.tIn = e.NewTensor(m.Rows, m.Cols, m.Range)
+	r.out = e.NewTensor(m.Rows, m.Cols, m.Range)
+	if err := r.tIn.Upload(m, false); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// RunOnce performs the transpose.
+func (r *TransposeRunner) RunOnce() error {
+	if r.e.cfg.StreamInputs && !r.first {
+		if err := r.tIn.Upload(r.in, r.e.cfg.ReuseInputTextures); err != nil {
+			return err
+		}
+	}
+	r.first = false
+	r.k.BindInput("text0", 0, r.tIn)
+	if err := r.k.Dispatch(r.out); err != nil {
+		return err
+	}
+	return r.e.EndIteration()
+}
+
+// Result reads the transposed matrix.
+func (r *TransposeRunner) Result() (*codec.Matrix, error) { return r.out.Read() }
+
+// ReduceRunner computes the sum of all matrix elements with a 2×2 pyramid
+// reduction — log2(N) passes over shrinking grids, the standard GPGPU
+// reduction shape on APIs without compute primitives. It exercises
+// per-pass viewport resizing.
+type ReduceRunner struct {
+	e      *Engine
+	levels []*Kernel
+	grids  []*Tensor // grids[0] = input (N), grids[i] = N/2^i
+	input  *codec.Matrix
+	first  bool
+	n      int
+}
+
+// NewReduce prepares the reduction of an n×n unit-range matrix (n a power
+// of two, matching the engine grid).
+func NewReduce(e *Engine, m *codec.Matrix) (*ReduceRunner, error) {
+	n := m.Rows
+	if m.Cols != n || n != e.cfg.Width || n != e.cfg.Height {
+		return nil, fmt.Errorf("core: reduce requires a square matrix matching the engine grid")
+	}
+	if n&(n-1) != 0 || n < 2 {
+		return nil, fmt.Errorf("core: reduce requires a power-of-two size >= 2, got %d", n)
+	}
+	r := &ReduceRunner{e: e, input: m, first: true, n: n}
+	r.grids = append(r.grids, e.NewTensor(n, n, m.Range))
+	if err := r.grids[0].Upload(m, false); err != nil {
+		return nil, err
+	}
+	for w := n; w > 1; w /= 2 {
+		src, err := kernels.Reduce2x2(w, e.cfg.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		k, err := e.BuildKernel(src)
+		if err != nil {
+			return nil, err
+		}
+		r.levels = append(r.levels, k)
+		r.grids = append(r.grids, e.NewTensor(w/2, w/2, m.Range))
+	}
+	return r, nil
+}
+
+// Levels returns the number of reduction passes.
+func (r *ReduceRunner) Levels() int { return len(r.levels) }
+
+// RunOnce performs the full reduction (all pyramid levels).
+func (r *ReduceRunner) RunOnce() error {
+	e := r.e
+	if e.cfg.StreamInputs && !r.first {
+		if err := r.grids[0].Upload(r.input, e.cfg.ReuseInputTextures); err != nil {
+			return err
+		}
+	}
+	r.first = false
+	for i, k := range r.levels {
+		k.BindInput("text0", 0, r.grids[i])
+		if err := k.Dispatch(r.grids[i+1]); err != nil {
+			return err
+		}
+		if err := e.EndIteration(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result returns the 1×1 matrix holding the mean of all elements.
+func (r *ReduceRunner) Result() (*codec.Matrix, error) {
+	return r.grids[len(r.grids)-1].Read()
+}
+
+// Total returns the sum of all elements (mean × N²).
+func (r *ReduceRunner) Total() (float64, error) {
+	m, err := r.Result()
+	if err != nil {
+		return 0, err
+	}
+	return m.At(0, 0) * float64(r.n) * float64(r.n), nil
+}
+
+// Conv3x3Runner applies a 3×3 convolution (computer-vision workload).
+type Conv3x3Runner struct {
+	e     *Engine
+	k     *Kernel
+	tIn   *Tensor
+	out   *Tensor
+	img   *codec.Matrix
+	wts   [9]float32
+	first bool
+}
+
+// NewConv3x3 prepares the filter; weights should be normalised so outputs
+// stay in the unit range.
+func NewConv3x3(e *Engine, img *codec.Matrix, weights [9]float32) (*Conv3x3Runner, error) {
+	k, err := e.BuildKernel(kernels.Conv3x3(img.Cols, img.Rows, e.cfg.Kernel))
+	if err != nil {
+		return nil, err
+	}
+	r := &Conv3x3Runner{e: e, k: k, img: img, wts: weights, first: true}
+	r.tIn = e.NewTensor(img.Rows, img.Cols, img.Range)
+	r.out = e.NewTensor(img.Rows, img.Cols, img.Range)
+	if err := r.tIn.Upload(img, false); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// RunOnce applies the filter once.
+func (r *Conv3x3Runner) RunOnce() error {
+	if r.e.cfg.StreamInputs && !r.first {
+		if err := r.tIn.Upload(r.img, r.e.cfg.ReuseInputTextures); err != nil {
+			return err
+		}
+	}
+	r.first = false
+	r.k.SetFloats("k", r.wts[:])
+	r.k.BindInput("text0", 0, r.tIn)
+	if err := r.k.Dispatch(r.out); err != nil {
+		return err
+	}
+	return r.e.EndIteration()
+}
+
+// Result reads the filtered image.
+func (r *Conv3x3Runner) Result() (*codec.Matrix, error) { return r.out.Read() }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"gles2gpgpu/internal/codec"
+	"gles2gpgpu/internal/gles"
+)
+
+// Tensor is a matrix resident in GPU memory as an RGBA8-encoded texture.
+type Tensor struct {
+	e          *Engine
+	tex        uint32
+	Rows, Cols int
+	Range      codec.Range
+	allocated  bool
+}
+
+// NewTensor creates an empty tensor (texture storage is allocated lazily on
+// the first Upload, AllocateStorage or framebuffer copy).
+func (e *Engine) NewTensor(rows, cols int, rng codec.Range) *Tensor {
+	t := &Tensor{e: e, tex: e.gl.GenTexture(), Rows: rows, Cols: cols, Range: rng}
+	gl := e.gl
+	gl.BindTexture(gles.TEXTURE_2D, t.tex)
+	gl.TexParameteri(gles.TEXTURE_2D, gles.TEXTURE_MIN_FILTER, gles.NEAREST)
+	gl.TexParameteri(gles.TEXTURE_2D, gles.TEXTURE_MAG_FILTER, gles.NEAREST)
+	gl.TexParameteri(gles.TEXTURE_2D, gles.TEXTURE_WRAP_S, gles.CLAMP_TO_EDGE)
+	gl.TexParameteri(gles.TEXTURE_2D, gles.TEXTURE_WRAP_T, gles.CLAMP_TO_EDGE)
+	return t
+}
+
+// Texture returns the GL texture name.
+func (t *Tensor) Texture() uint32 { return t.tex }
+
+// AllocateStorage defines texture storage without uploading data (needed
+// before a tensor is used as an FBO attachment or a Sub-image destination).
+func (t *Tensor) AllocateStorage() error {
+	gl := t.e.gl
+	prev := gl.BoundTexture()
+	gl.BindTexture(gles.TEXTURE_2D, t.tex)
+	gl.TexImage2D(gles.TEXTURE_2D, 0, gles.RGBA, t.Cols, t.Rows, gles.RGBA, gles.UNSIGNED_BYTE, nil)
+	gl.BindTexture(gles.TEXTURE_2D, prev)
+	t.allocated = true
+	return t.e.glErr("tensor storage")
+}
+
+// Upload encodes m and transfers it to the texture. With reuse the upload
+// goes through glTexSubImage2D into live storage; otherwise glTexImage2D
+// allocates fresh storage (the paper's texture-loading trade-off).
+func (t *Tensor) Upload(m *codec.Matrix, reuse bool) error {
+	if m.Rows != t.Rows || m.Cols != t.Cols {
+		return fmt.Errorf("core: upload shape %dx%d into tensor %dx%d", m.Rows, m.Cols, t.Rows, t.Cols)
+	}
+	t.Range = m.Range
+	var data []byte
+	if !t.e.gl.TimingOnly() {
+		data = m.EncodeTexture(t.e.cfg.Kernel.Depth)
+	} else {
+		// Replay mode: size matters, contents do not.
+		data = t.e.scratch(t.Rows * t.Cols * 4)
+	}
+	gl := t.e.gl
+	prev := gl.BoundTexture()
+	gl.BindTexture(gles.TEXTURE_2D, t.tex)
+	if reuse && t.allocated {
+		gl.TexSubImage2D(gles.TEXTURE_2D, 0, 0, 0, t.Cols, t.Rows, gles.RGBA, gles.UNSIGNED_BYTE, data)
+	} else {
+		gl.TexImage2D(gles.TEXTURE_2D, 0, gles.RGBA, t.Cols, t.Rows, gles.RGBA, gles.UNSIGNED_BYTE, data)
+		t.allocated = true
+	}
+	gl.BindTexture(gles.TEXTURE_2D, prev)
+	return t.e.glErr("tensor upload")
+}
+
+// UploadEncoded uploads pre-encoded texel bytes (len rows*cols*4).
+func (t *Tensor) UploadEncoded(data []byte, reuse bool) error {
+	gl := t.e.gl
+	prev := gl.BoundTexture()
+	gl.BindTexture(gles.TEXTURE_2D, t.tex)
+	if reuse && t.allocated {
+		gl.TexSubImage2D(gles.TEXTURE_2D, 0, 0, 0, t.Cols, t.Rows, gles.RGBA, gles.UNSIGNED_BYTE, data)
+	} else {
+		gl.TexImage2D(gles.TEXTURE_2D, 0, gles.RGBA, t.Cols, t.Rows, gles.RGBA, gles.UNSIGNED_BYTE, data)
+		t.allocated = true
+	}
+	gl.BindTexture(gles.TEXTURE_2D, prev)
+	return t.e.glErr("tensor upload")
+}
+
+// Read transfers the tensor back to the host and decodes it into a matrix
+// using the tensor's range. GLES2 has no texture readback, so the texture
+// is attached to a scratch FBO and read with glReadPixels, exactly like
+// real clients do.
+func (t *Tensor) Read() (*codec.Matrix, error) {
+	if !t.allocated {
+		return nil, fmt.Errorf("core: reading unallocated tensor")
+	}
+	gl := t.e.gl
+	gl.BindFramebuffer(gles.FRAMEBUFFER, t.e.readFBO)
+	gl.FramebufferTexture2D(gles.FRAMEBUFFER, gles.COLOR_ATTACHMENT0, gles.TEXTURE_2D, t.tex, 0)
+	if st := gl.CheckFramebufferStatus(gles.FRAMEBUFFER); st != gles.FRAMEBUFFER_COMPLETE {
+		gl.BindFramebuffer(gles.FRAMEBUFFER, 0)
+		return nil, fmt.Errorf("core: readback FBO incomplete (0x%04X)", uint32(st))
+	}
+	buf := make([]byte, t.Rows*t.Cols*4)
+	gl.ReadPixels(0, 0, t.Cols, t.Rows, gles.RGBA, gles.UNSIGNED_BYTE, buf)
+	gl.BindFramebuffer(gles.FRAMEBUFFER, 0)
+	if err := t.e.glErr("tensor read"); err != nil {
+		return nil, err
+	}
+	m := codec.NewMatrix(t.Rows, t.Cols)
+	m.Range = t.Range
+	if err := m.DecodeTexture(t.e.cfg.Kernel.Depth, buf); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Free releases the texture.
+func (t *Tensor) Free() {
+	t.e.gl.DeleteTexture(t.tex)
+	t.allocated = false
+}

@@ -1,0 +1,206 @@
+package egl
+
+import (
+	"testing"
+
+	"gles2gpgpu/internal/device"
+	"gles2gpgpu/internal/gpu"
+	"gles2gpgpu/internal/timing"
+)
+
+func newDisplay(t *testing.T, prof *device.Profile) *Display {
+	t.Helper()
+	d := GetDisplay(prof)
+	if d.Initialized() {
+		t.Fatal("display initialized before Initialize")
+	}
+	maj, min := d.Initialize()
+	if maj != 1 || min < 0 {
+		t.Fatalf("version %d.%d", maj, min)
+	}
+	return d
+}
+
+func TestSurfaceCreation(t *testing.T) {
+	d := newDisplay(t, device.Generic())
+	w, err := d.CreateWindowSurface(64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.IsWindow() || w.W != 64 || w.H != 32 {
+		t.Error("window surface misconfigured")
+	}
+	if w.BackRes() == w.FrontRes() {
+		t.Error("window surface not double-buffered")
+	}
+	if len(w.BackPixels()) != 64*32*4 {
+		t.Errorf("pixel store = %d bytes", len(w.BackPixels()))
+	}
+	p, err := d.CreatePbufferSurface(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IsWindow() {
+		t.Error("pbuffer reported as window")
+	}
+	if p.BackRes() != p.FrontRes() {
+		t.Error("pbuffer should be single-buffered")
+	}
+	if _, err := d.CreateWindowSurface(0, 5); err == nil {
+		t.Error("zero-size surface accepted")
+	}
+}
+
+func TestUninitializedDisplayRejected(t *testing.T) {
+	d := GetDisplay(device.Generic())
+	if _, err := d.CreateWindowSurface(8, 8); err == nil {
+		t.Error("surface created on uninitialized display")
+	}
+	if _, err := d.CreateContext(); err == nil {
+		t.Error("context created on uninitialized display")
+	}
+	d.Initialize()
+	d.Terminate()
+	if _, err := d.CreateContext(); err == nil {
+		t.Error("context created on terminated display")
+	}
+}
+
+func TestSwapBuffersFlips(t *testing.T) {
+	d := newDisplay(t, device.Generic())
+	s, _ := d.CreateWindowSurface(8, 8)
+	ctx, _ := d.CreateContext()
+	if err := ctx.MakeCurrent(s); err != nil {
+		t.Fatal(err)
+	}
+	b0 := s.BackRes()
+	if err := ctx.SwapBuffers(); err != nil {
+		t.Fatal(err)
+	}
+	if s.BackRes() == b0 {
+		t.Error("swap did not flip buffers")
+	}
+	ctx.SwapBuffers()
+	if s.BackRes() != b0 {
+		t.Error("second swap did not flip back")
+	}
+	if s.Swaps() != 2 {
+		t.Errorf("swaps = %d", s.Swaps())
+	}
+}
+
+func TestSwapWaitsForRendering(t *testing.T) {
+	d := newDisplay(t, device.Generic())
+	s, _ := d.CreateWindowSurface(64, 64)
+	ctx, _ := d.CreateContext()
+	ctx.MakeCurrent(s)
+	ctx.SwapInterval(0)
+	m := d.Machine
+	// Simulate a 5 ms render to the back buffer.
+	m.Clear(s.BackRes())
+	r := m.Draw(gpu.DrawJob{
+		Target: s.BackRes(), TargetW: 64, TargetH: 64,
+		CoveredPixels: 64 * 64, FragCycles: 5_000_000 * 1024, VertexCount: 6,
+	})
+	if m.Now() >= r.FPEnd {
+		t.Fatal("draw should not block")
+	}
+	ctx.SwapBuffers()
+	if m.Now() < r.FPEnd {
+		t.Errorf("swap returned at %v before rendering finished at %v", m.Now(), r.FPEnd)
+	}
+}
+
+func TestSwapIntervalGatesAtVsync(t *testing.T) {
+	prof := device.VideoCoreIV()
+	d := newDisplay(t, prof)
+	s, _ := d.CreateWindowSurface(32, 32)
+	ctx, _ := d.CreateContext()
+	ctx.MakeCurrent(s)
+	if ctx.SwapIntervalValue() != 1 {
+		t.Fatalf("VideoCore default swap interval = %d, want 1", ctx.SwapIntervalValue())
+	}
+	period := d.Machine.VSyncClock.Period()
+	var prev timing.Time
+	for i := 0; i < 5; i++ {
+		ctx.SwapBuffers()
+		now := d.Machine.Now()
+		if i > 0 && now-prev < period {
+			t.Fatalf("swap %d advanced only %v, want >= vsync period %v", i, now-prev, period)
+		}
+		prev = now
+	}
+	// Interval 0 decouples from vsync: swaps become cheap.
+	ctx.SwapInterval(0)
+	before := d.Machine.Now()
+	ctx.SwapBuffers()
+	if got := d.Machine.Now() - before; got >= period/2 {
+		t.Errorf("interval-0 swap took %v, want far below vsync period", got)
+	}
+	// Interval 2 waits two periods.
+	ctx.SwapInterval(2)
+	before = d.Machine.Now()
+	ctx.SwapBuffers()
+	if got := d.Machine.Now() - before; got < period {
+		t.Errorf("interval-2 swap took %v, want > one period", got)
+	}
+}
+
+func TestSGXDefaultNotVsyncGated(t *testing.T) {
+	prof := device.PowerVRSGX545()
+	d := newDisplay(t, prof)
+	s, _ := d.CreateWindowSurface(32, 32)
+	ctx, _ := d.CreateContext()
+	ctx.MakeCurrent(s)
+	// Paper: SwapInterval(0) has no effect on SGX because default pacing
+	// is already faster than the panel.
+	if ctx.SwapIntervalValue() != 0 {
+		t.Fatalf("SGX default interval = %d, want 0", ctx.SwapIntervalValue())
+	}
+	period := d.Machine.VSyncClock.Period()
+	for i := 0; i < 10; i++ {
+		before := d.Machine.Now()
+		ctx.SwapBuffers()
+		got := d.Machine.Now() - before
+		// Each swap pays the driver bookkeeping but is NOT rounded up to
+		// the next display refresh tick.
+		if got >= period {
+			t.Fatalf("swap %d took %v (>= vsync period %v): SGX must not gate at vsync", i, got, period)
+		}
+		if got != prof.SwapBookkeeping {
+			t.Fatalf("swap %d took %v, want the bookkeeping cost %v", i, got, prof.SwapBookkeeping)
+		}
+	}
+}
+
+func TestPbufferSwapNoFlip(t *testing.T) {
+	d := newDisplay(t, device.Generic())
+	s, _ := d.CreatePbufferSurface(8, 8)
+	ctx, _ := d.CreateContext()
+	ctx.MakeCurrent(s)
+	b := s.BackRes()
+	ctx.SwapInterval(1)
+	ctx.SwapBuffers()
+	if s.BackRes() != b {
+		t.Error("pbuffer flipped buffers")
+	}
+}
+
+func TestMakeCurrentValidation(t *testing.T) {
+	d := newDisplay(t, device.Generic())
+	d2 := newDisplay(t, device.Generic())
+	ctx, _ := d.CreateContext()
+	if err := ctx.MakeCurrent(nil); err == nil {
+		t.Error("nil surface accepted")
+	}
+	s2, _ := d2.CreateWindowSurface(8, 8)
+	if err := ctx.MakeCurrent(s2); err == nil {
+		t.Error("cross-display surface accepted")
+	}
+	if err := ctx.SwapInterval(-1); err == nil {
+		t.Error("negative swap interval accepted")
+	}
+	if err := ctx.SwapBuffers(); err == nil {
+		t.Error("swap without current surface accepted")
+	}
+}

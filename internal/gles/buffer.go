@@ -1,0 +1,229 @@
+package gles
+
+import (
+	"fmt"
+
+	"gles2gpgpu/internal/device"
+)
+
+// GenBuffer creates a buffer object name.
+func (c *Context) GenBuffer() uint32 {
+	c.apiCost()
+	name := c.genName()
+	c.buffers[name] = &Buffer{name: name, usage: STATIC_DRAW}
+	return name
+}
+
+// BindBuffer binds a buffer to ARRAY_BUFFER.
+func (c *Context) BindBuffer(target Enum, name uint32) {
+	c.apiCost()
+	if target != ARRAY_BUFFER {
+		c.setErr(INVALID_ENUM)
+		return
+	}
+	if name != 0 {
+		if _, ok := c.buffers[name]; !ok {
+			c.setErr(INVALID_OPERATION)
+			return
+		}
+	}
+	c.boundArray = name
+}
+
+// DeleteBuffer deletes a buffer object.
+func (c *Context) DeleteBuffer(name uint32) {
+	c.apiCost()
+	b, ok := c.buffers[name]
+	if !ok {
+		return
+	}
+	if b.data != nil {
+		_ = c.alloc.Free(b.alloc)
+		c.m.FreeResource(b.res)
+	}
+	delete(c.buffers, name)
+	if c.boundArray == name {
+		c.boundArray = 0
+	}
+}
+
+// BufferData allocates GPU-managed storage for the bound VBO and uploads
+// data — the paper's Vertex Processing optimisation: the copy into GPU
+// memory happens once here instead of on every draw, and the usage hint
+// tells the driver how much consistency maintenance to do.
+func (c *Context) BufferData(target Enum, data []byte, usage Enum) {
+	c.apiCost()
+	if target != ARRAY_BUFFER {
+		c.setErr(INVALID_ENUM)
+		return
+	}
+	switch usage {
+	case STATIC_DRAW, DYNAMIC_DRAW, STREAM_DRAW:
+	default:
+		c.setErr(INVALID_ENUM)
+		return
+	}
+	b := c.buffers[c.boundArray]
+	if b == nil {
+		c.setErr(INVALID_OPERATION)
+		return
+	}
+	if b.data != nil {
+		_ = c.alloc.Free(b.alloc)
+		c.m.FreeResource(b.res)
+	}
+	a, cost := c.alloc.Alloc(len(data), fmt.Sprintf("vbo%d", b.name))
+	c.m.AllocCost(cost)
+	b.alloc = a
+	b.res = c.m.NewResource(fmt.Sprintf("vbo%d", b.name))
+	b.usage = usage
+	b.data = make([]byte, len(data))
+	copy(b.data, data)
+	c.m.Upload(b.res, len(data), false)
+}
+
+// BufferSubData updates part of a VBO.
+func (c *Context) BufferSubData(target Enum, offset int, data []byte) {
+	c.apiCost()
+	if target != ARRAY_BUFFER {
+		c.setErr(INVALID_ENUM)
+		return
+	}
+	b := c.buffers[c.boundArray]
+	if b == nil || b.data == nil {
+		c.setErr(INVALID_OPERATION)
+		return
+	}
+	if offset < 0 || offset+len(data) > len(b.data) {
+		c.setErr(INVALID_VALUE)
+		return
+	}
+	copy(b.data[offset:], data)
+	c.m.Upload(b.res, len(data), true)
+}
+
+// usageHint maps GL usage enums to the device cost table.
+func usageHint(u Enum) device.VBOUsage {
+	switch u {
+	case DYNAMIC_DRAW:
+		return device.UsageDynamicDraw
+	case STREAM_DRAW:
+		return device.UsageStreamDraw
+	}
+	return device.UsageStaticDraw
+}
+
+// EnableVertexAttribArray enables an attribute slot.
+func (c *Context) EnableVertexAttribArray(index int) {
+	c.apiCost()
+	if index < 0 || index >= MaxVertexAttribs {
+		c.setErr(INVALID_VALUE)
+		return
+	}
+	c.attribs[index].enabled = true
+}
+
+// DisableVertexAttribArray disables an attribute slot.
+func (c *Context) DisableVertexAttribArray(index int) {
+	c.apiCost()
+	if index < 0 || index >= MaxVertexAttribs {
+		c.setErr(INVALID_VALUE)
+		return
+	}
+	c.attribs[index].enabled = false
+}
+
+// VertexAttribPointer sources an attribute from the bound VBO, with byte
+// stride and offset (glVertexAttribPointer with a buffer binding). Only
+// FLOAT components are supported.
+func (c *Context) VertexAttribPointer(index, size int, xtype Enum, strideBytes, offsetBytes int) {
+	c.apiCost()
+	if index < 0 || index >= MaxVertexAttribs || size < 1 || size > 4 {
+		c.setErr(INVALID_VALUE)
+		return
+	}
+	if xtype != FLOAT {
+		c.setErr(INVALID_ENUM)
+		return
+	}
+	if c.boundArray == 0 {
+		c.setErr(INVALID_OPERATION)
+		return
+	}
+	a := &c.attribs[index]
+	a.size = size
+	a.clientData = nil
+	a.buffer = c.boundArray
+	a.strideBytes = strideBytes
+	a.offsetBytes = offsetBytes
+}
+
+// VertexAttribPointerClient sources an attribute from client memory (the
+// no-VBO baseline: the driver copies the data to GPU memory on every draw,
+// paper §II step 1). Stride/offset are in float32 elements.
+func (c *Context) VertexAttribPointerClient(index, size int, data []float32, strideFloats, offsetFloats int) {
+	c.apiCost()
+	if index < 0 || index >= MaxVertexAttribs || size < 1 || size > 4 {
+		c.setErr(INVALID_VALUE)
+		return
+	}
+	a := &c.attribs[index]
+	a.size = size
+	a.clientData = data
+	a.buffer = 0
+	a.strideBytes = strideFloats * 4
+	a.offsetBytes = offsetFloats * 4
+}
+
+// attribValue fetches attribute index for vertex vi. Missing components
+// default to (0,0,0,1) per the GL convention. ok=false on sourcing errors.
+func (c *Context) attribValue(index, vi int) ([4]float32, bool) {
+	a := &c.attribs[index]
+	out := [4]float32{0, 0, 0, 1}
+	if !a.enabled {
+		return out, true
+	}
+	stride := a.strideBytes
+	if stride == 0 {
+		stride = a.size * 4
+	}
+	if a.clientData != nil {
+		base := a.offsetBytes/4 + vi*(stride/4)
+		for i := 0; i < a.size; i++ {
+			if base+i >= len(a.clientData) {
+				return out, false
+			}
+			out[i] = a.clientData[base+i]
+		}
+		return out, true
+	}
+	b := c.buffers[a.buffer]
+	if b == nil || b.data == nil {
+		return out, false
+	}
+	base := a.offsetBytes + vi*stride
+	for i := 0; i < a.size; i++ {
+		off := base + i*4
+		if off+4 > len(b.data) {
+			return out, false
+		}
+		bits := uint32(b.data[off]) | uint32(b.data[off+1])<<8 |
+			uint32(b.data[off+2])<<16 | uint32(b.data[off+3])<<24
+		out[i] = f32FromBits(bits)
+	}
+	return out, true
+}
+
+// Float32Bytes converts float32 slices to the little-endian byte layout
+// BufferData expects (a convenience for clients).
+func Float32Bytes(vals []float32) []byte {
+	out := make([]byte, len(vals)*4)
+	for i, v := range vals {
+		bits := f32Bits(v)
+		out[i*4] = byte(bits)
+		out[i*4+1] = byte(bits >> 8)
+		out[i*4+2] = byte(bits >> 16)
+		out[i*4+3] = byte(bits >> 24)
+	}
+	return out
+}

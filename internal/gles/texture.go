@@ -1,0 +1,298 @@
+package gles
+
+import "fmt"
+
+// GenTexture creates a texture name (glGenTextures with n=1; call
+// repeatedly for more).
+func (c *Context) GenTexture() uint32 {
+	c.apiCost()
+	name := c.genName()
+	c.textures[name] = &Texture{
+		name:      name,
+		minFilter: NEAREST_MIPMAP_LINEAR, // GL default: mipmapping on
+		magFilter: LINEAR,
+		wrapS:     REPEAT,
+		wrapT:     REPEAT,
+	}
+	return name
+}
+
+// BindTexture binds a texture to the active unit.
+func (c *Context) BindTexture(target Enum, name uint32) {
+	c.apiCost()
+	if target != TEXTURE_2D {
+		c.setErr(INVALID_ENUM)
+		return
+	}
+	if name != 0 {
+		if _, ok := c.textures[name]; !ok {
+			// GLES allows binding fresh names from glGenTextures only;
+			// unknown names are client bugs here.
+			c.setErr(INVALID_OPERATION)
+			return
+		}
+	}
+	c.boundTex[c.activeTexture] = name
+}
+
+// DeleteTexture deletes a texture object.
+func (c *Context) DeleteTexture(name uint32) {
+	c.apiCost()
+	t, ok := c.textures[name]
+	if !ok {
+		return
+	}
+	if t.allocated {
+		_ = c.alloc.Free(t.alloc)
+		c.m.FreeResource(t.res)
+	}
+	delete(c.textures, name)
+	for i := range c.boundTex {
+		if c.boundTex[i] == name {
+			c.boundTex[i] = 0
+		}
+	}
+}
+
+func (c *Context) activeTex2D() *Texture {
+	name := c.boundTex[c.activeTexture]
+	if name == 0 {
+		return nil
+	}
+	return c.textures[name]
+}
+
+// TexParameteri sets texture filtering/wrapping state.
+func (c *Context) TexParameteri(target, pname, param Enum) {
+	c.apiCost()
+	if target != TEXTURE_2D {
+		c.setErr(INVALID_ENUM)
+		return
+	}
+	t := c.activeTex2D()
+	if t == nil {
+		c.setErr(INVALID_OPERATION)
+		return
+	}
+	switch pname {
+	case TEXTURE_MIN_FILTER:
+		t.minFilter = param
+	case TEXTURE_MAG_FILTER:
+		t.magFilter = param
+	case TEXTURE_WRAP_S:
+		t.wrapS = param
+	case TEXTURE_WRAP_T:
+		t.wrapT = param
+	default:
+		c.setErr(INVALID_ENUM)
+	}
+}
+
+// TexImage2D defines level-0 storage and optionally uploads data.
+//
+// The driver allocates *fresh* GPU-managed storage every time (paper §II
+// "Texture Loading": the allocation can consume a significant time
+// portion). Passing nil data allocates without the upload. Only
+// RGBA/UNSIGNED_BYTE level 0 is supported, the format the [13] GPGPU
+// encoding uses.
+func (c *Context) TexImage2D(target Enum, level int, internalFormat Enum, w, h int, format, xtype Enum, data []byte) {
+	c.apiCost()
+	if target != TEXTURE_2D {
+		c.setErr(INVALID_ENUM)
+		return
+	}
+	if level != 0 {
+		c.setErr(INVALID_VALUE) // mip levels unsupported in the subset
+		return
+	}
+	if internalFormat != RGBA || format != RGBA || xtype != UNSIGNED_BYTE {
+		c.setErr(INVALID_ENUM)
+		return
+	}
+	if w <= 0 || h <= 0 {
+		c.setErr(INVALID_VALUE)
+		return
+	}
+	t := c.activeTex2D()
+	if t == nil {
+		c.setErr(INVALID_OPERATION)
+		return
+	}
+	size := w * h * 4
+	if data != nil && len(data) < size {
+		c.setErr(INVALID_OPERATION)
+		return
+	}
+	// Orphan previous storage (driver "ghosting"): new ResID means no
+	// write-after-read hazard against readers of the old image.
+	if t.allocated {
+		_ = c.alloc.Free(t.alloc)
+		c.m.FreeResource(t.res)
+	}
+	a, cost := c.alloc.Alloc(size, fmt.Sprintf("tex%d %dx%d", t.name, w, h))
+	c.m.AllocCost(cost)
+	t.alloc = a
+	t.res = c.m.NewResource(fmt.Sprintf("tex%d", t.name))
+	t.W, t.H = w, h
+	t.allocated = true
+	if !c.timingOnly {
+		t.data = make([]byte, size)
+		if data != nil {
+			copy(t.data, data[:size])
+		}
+	}
+	if data != nil {
+		c.m.Upload(t.res, size, false)
+	}
+}
+
+// TexSubImage2D updates a region of existing storage without reallocating
+// (the paper's texture-reuse optimisation). The update is a write into
+// live storage, so it carries the write-after-read hazard Fig. 5 explores.
+func (c *Context) TexSubImage2D(target Enum, level, x, y, w, h int, format, xtype Enum, data []byte) {
+	c.apiCost()
+	if target != TEXTURE_2D {
+		c.setErr(INVALID_ENUM)
+		return
+	}
+	if level != 0 || format != RGBA || xtype != UNSIGNED_BYTE {
+		c.setErr(INVALID_ENUM)
+		return
+	}
+	t := c.activeTex2D()
+	if t == nil || !t.allocated {
+		c.setErr(INVALID_OPERATION)
+		return
+	}
+	if x < 0 || y < 0 || w < 0 || h < 0 || x+w > t.W || y+h > t.H {
+		c.setErr(INVALID_VALUE)
+		return
+	}
+	size := w * h * 4
+	if data == nil || len(data) < size {
+		c.setErr(INVALID_OPERATION)
+		return
+	}
+	if !c.timingOnly {
+		for row := 0; row < h; row++ {
+			dst := ((y+row)*t.W + x) * 4
+			src := row * w * 4
+			copy(t.data[dst:dst+w*4], data[src:src+w*4])
+		}
+	}
+	c.m.Upload(t.res, size, true)
+}
+
+// texComplete reports whether a texture can be sampled (GLES2 completeness:
+// allocated storage and a non-mipmapped min filter, since the subset has no
+// mip chains).
+func texComplete(t *Texture) bool {
+	if t == nil || !t.allocated {
+		return false
+	}
+	return t.minFilter == NEAREST || t.minFilter == LINEAR
+}
+
+// sampleTexture fetches (u,v) with the texture's filter and wrap modes.
+// Incomplete textures sample opaque black, per the GLES2 spec.
+func sampleTexture(t *Texture, u, v float32) [4]float32 {
+	if !texComplete(t) {
+		return [4]float32{0, 0, 0, 1}
+	}
+	if t.magFilter == LINEAR {
+		return sampleBilinear(t, u, v)
+	}
+	return sampleNearest(t, u, v)
+}
+
+func wrapCoord(mode Enum, x float32) float32 {
+	switch mode {
+	case REPEAT:
+		f := x - float32(int(x))
+		if f < 0 {
+			f += 1
+		}
+		return f
+	default: // CLAMP_TO_EDGE
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+}
+
+func texel(t *Texture, ix, iy int) [4]float32 {
+	if ix < 0 {
+		ix = 0
+	}
+	if iy < 0 {
+		iy = 0
+	}
+	if ix >= t.W {
+		ix = t.W - 1
+	}
+	if iy >= t.H {
+		iy = t.H - 1
+	}
+	off := (iy*t.W + ix) * 4
+	const inv = 1.0 / 255.0
+	return [4]float32{
+		float32(t.data[off]) * inv,
+		float32(t.data[off+1]) * inv,
+		float32(t.data[off+2]) * inv,
+		float32(t.data[off+3]) * inv,
+	}
+}
+
+func sampleNearest(t *Texture, u, v float32) [4]float32 {
+	u = wrapCoord(t.wrapS, u)
+	v = wrapCoord(t.wrapT, v)
+	ix := int(u * float32(t.W))
+	iy := int(v * float32(t.H))
+	return texel(t, ix, iy)
+}
+
+func sampleBilinear(t *Texture, u, v float32) [4]float32 {
+	u = wrapCoord(t.wrapS, u)
+	v = wrapCoord(t.wrapT, v)
+	fx := u*float32(t.W) - 0.5
+	fy := v*float32(t.H) - 0.5
+	ix, iy := int(floorf(fx)), int(floorf(fy))
+	ax, ay := fx-floorf(fx), fy-floorf(fy)
+	c00 := texel(t, ix, iy)
+	c10 := texel(t, ix+1, iy)
+	c01 := texel(t, ix, iy+1)
+	c11 := texel(t, ix+1, iy+1)
+	var out [4]float32
+	for i := 0; i < 4; i++ {
+		top := c00[i]*(1-ax) + c10[i]*ax
+		bot := c01[i]*(1-ax) + c11[i]*ax
+		out[i] = top*(1-ay) + bot*ay
+	}
+	return out
+}
+
+func floorf(x float32) float32 {
+	i := float32(int(x))
+	if x < i {
+		return i - 1
+	}
+	return i
+}
+
+// BoundTexture returns the texture bound to the active unit (the
+// GL_TEXTURE_BINDING_2D query), letting clients save/restore bindings
+// around texture-management calls.
+func (c *Context) BoundTexture() uint32 { return c.boundTex[c.activeTexture] }
+
+// TextureData returns the functional contents for verification in tests
+// (not part of the GL API).
+func (c *Context) TextureData(name uint32) []byte {
+	if t, ok := c.textures[name]; ok {
+		return t.data
+	}
+	return nil
+}

@@ -1,0 +1,384 @@
+package glsl
+
+// The AST node set. Every expression node carries a T field filled in by
+// the type checker (sema.go) and a Const field holding its folded constant
+// value when the expression is a constant expression.
+
+// Node is implemented by all AST nodes.
+type Node interface {
+	Pos() Pos
+}
+
+// Expr is implemented by expression nodes.
+type Expr interface {
+	Node
+	// Type returns the checked type (valid after sema).
+	Type() Type
+	// ConstVal returns the folded constant value, or nil.
+	ConstVal() *ConstValue
+}
+
+// ConstValue is a folded compile-time value. Components are stored as
+// float64 for float/vec/mat values; for int/bool values the float64 holds
+// the exact integer (GLSL ES integer ranges fit losslessly).
+type ConstValue struct {
+	T    Type
+	Vals []float64 // len == T.Components() (or ArrayLen*components)
+}
+
+// Bool returns the value as a bool (first component non-zero).
+func (c *ConstValue) Bool() bool { return len(c.Vals) > 0 && c.Vals[0] != 0 }
+
+// Float returns the first component.
+func (c *ConstValue) Float() float64 {
+	if len(c.Vals) == 0 {
+		return 0
+	}
+	return c.Vals[0]
+}
+
+// Int returns the first component truncated toward zero.
+func (c *ConstValue) Int() int { return int(c.Float()) }
+
+// exprBase embeds the checked type and constant value.
+type exprBase struct {
+	P Pos
+	T Type
+	C *ConstValue
+}
+
+func (e *exprBase) Pos() Pos              { return e.P }
+func (e *exprBase) Type() Type            { return e.T }
+func (e *exprBase) ConstVal() *ConstValue { return e.C }
+
+// Ident is a reference to a named variable (or, before sema resolves calls,
+// a function name inside a Call).
+type Ident struct {
+	exprBase
+	Name string
+	// Sym is resolved by sema.
+	Sym *Symbol
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	exprBase
+	Value float64
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	exprBase
+	Value bool
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+// Binary operators.
+const (
+	OpAdd BinaryOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpLT
+	OpGT
+	OpLE
+	OpGE
+	OpEQ
+	OpNE
+	OpLAnd
+	OpLOr
+	OpLXor
+)
+
+var binOpNames = map[BinaryOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpLT: "<", OpGT: ">", OpLE: "<=", OpGE: ">=",
+	OpEQ: "==", OpNE: "!=", OpLAnd: "&&", OpLOr: "||", OpLXor: "^^",
+}
+
+func (op BinaryOp) String() string { return binOpNames[op] }
+
+// Binary is a binary expression.
+type Binary struct {
+	exprBase
+	Op   BinaryOp
+	L, R Expr
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp int
+
+// Unary operators.
+const (
+	OpNeg UnaryOp = iota
+	OpNot
+	OpPreInc
+	OpPreDec
+	OpPostInc
+	OpPostDec
+)
+
+// Unary is a unary expression. For the inc/dec forms X must be an l-value.
+type Unary struct {
+	exprBase
+	Op UnaryOp
+	X  Expr
+}
+
+// AssignOp enumerates assignment operators.
+type AssignOp int
+
+// Assignment operators.
+const (
+	AsgEq AssignOp = iota
+	AsgAdd
+	AsgSub
+	AsgMul
+	AsgDiv
+)
+
+func (op AssignOp) String() string {
+	switch op {
+	case AsgAdd:
+		return "+="
+	case AsgSub:
+		return "-="
+	case AsgMul:
+		return "*="
+	case AsgDiv:
+		return "/="
+	}
+	return "="
+}
+
+// Assign is an assignment expression (GLSL assignments are expressions).
+type Assign struct {
+	exprBase
+	Op  AssignOp
+	LHS Expr
+	RHS Expr
+}
+
+// Ternary is cond ? a : b.
+type Ternary struct {
+	exprBase
+	Cond, Then, Else Expr
+}
+
+// Call is a function call or a type constructor. After sema either Builtin
+// or Func is set for function calls, or Ctor is true for constructors.
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+	// Resolution results:
+	Ctor     bool // type constructor such as vec4(...)
+	CtorType Type
+	Builtin  *BuiltinSig // resolved builtin overload
+	Func     *FuncDecl   // resolved user function
+}
+
+// Index is x[i] on vectors, matrices and arrays.
+type Index struct {
+	exprBase
+	X   Expr
+	Idx Expr
+}
+
+// FieldSelect is x.swizzle (e.g. v.xyz, v.rgba, v.s).
+type FieldSelect struct {
+	exprBase
+	X     Expr
+	Field string
+	// Comps is the resolved component index list (filled by sema).
+	Comps []int
+}
+
+// Statements.
+
+// Stmt is implemented by statement nodes.
+type Stmt interface{ Node }
+
+// DeclStmt declares one local variable (the parser splits comma lists into
+// several DeclStmts for simplicity).
+type DeclStmt struct {
+	P        Pos
+	Name     string
+	DeclType Type
+	Prec     Precision
+	IsConst  bool
+	Init     Expr // may be nil
+	Sym      *Symbol
+}
+
+// Pos implements Node.
+func (d *DeclStmt) Pos() Pos { return d.P }
+
+// ExprStmt is an expression evaluated for effect.
+type ExprStmt struct {
+	P Pos
+	X Expr
+}
+
+// Pos implements Node.
+func (s *ExprStmt) Pos() Pos { return s.P }
+
+// Block is { ... }.
+type Block struct {
+	P     Pos
+	Stmts []Stmt
+}
+
+// Pos implements Node.
+func (b *Block) Pos() Pos { return b.P }
+
+// IfStmt is if/else.
+type IfStmt struct {
+	P    Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// Pos implements Node.
+func (s *IfStmt) Pos() Pos { return s.P }
+
+// ForStmt is the ES2-restricted for loop.
+type ForStmt struct {
+	P    Pos
+	Init Stmt // DeclStmt or ExprStmt, may be nil
+	Cond Expr // may be nil (rejected by sema: ES2 requires a condition)
+	Post Expr // may be nil
+	Body Stmt
+}
+
+// Pos implements Node.
+func (s *ForStmt) Pos() Pos { return s.P }
+
+// WhileStmt is while(cond) body. GLSL ES 1.00 makes while-loop support
+// optional; this implementation parses it and rejects it in sema, the same
+// observable behaviour as the embedded compilers the paper targets.
+type WhileStmt struct {
+	P    Pos
+	Cond Expr
+	Body Stmt
+}
+
+// Pos implements Node.
+func (s *WhileStmt) Pos() Pos { return s.P }
+
+// ReturnStmt returns from a function.
+type ReturnStmt struct {
+	P Pos
+	X Expr // may be nil
+}
+
+// Pos implements Node.
+func (s *ReturnStmt) Pos() Pos { return s.P }
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{ P Pos }
+
+// Pos implements Node.
+func (s *BreakStmt) Pos() Pos { return s.P }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ P Pos }
+
+// Pos implements Node.
+func (s *ContinueStmt) Pos() Pos { return s.P }
+
+// DiscardStmt discards the fragment (fragment shaders only).
+type DiscardStmt struct{ P Pos }
+
+// Pos implements Node.
+func (s *DiscardStmt) Pos() Pos { return s.P }
+
+// Top-level declarations.
+
+// GlobalDecl is a module-scope variable declaration.
+type GlobalDecl struct {
+	P        Pos
+	Name     string
+	DeclType Type
+	Prec     Precision
+	Storage  StorageQualifier
+	Init     Expr // only for const globals
+	Sym      *Symbol
+}
+
+// Pos implements Node.
+func (g *GlobalDecl) Pos() Pos { return g.P }
+
+// Param is a function parameter.
+type Param struct {
+	P         Pos
+	Name      string
+	DeclType  Type
+	Prec      Precision
+	Qualifier ParamQualifier
+	Sym       *Symbol
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	P      Pos
+	Name   string
+	Ret    Type
+	Params []Param
+	Body   *Block
+}
+
+// Pos implements Node.
+func (f *FuncDecl) Pos() Pos { return f.P }
+
+// PrecisionDecl is a default-precision statement
+// ("precision mediump float;").
+type PrecisionDecl struct {
+	P    Pos
+	Prec Precision
+	For  BasicKind // KFloat, KInt or a sampler kind
+}
+
+// Pos implements Node.
+func (p *PrecisionDecl) Pos() Pos { return p.P }
+
+// Program is a parsed translation unit.
+type Program struct {
+	Decls []Node // GlobalDecl, FuncDecl, PrecisionDecl in source order
+}
+
+// SymbolKind classifies resolved symbols.
+type SymbolKind int
+
+// Symbol kinds.
+const (
+	SymLocal SymbolKind = iota
+	SymParam
+	SymGlobal
+	SymUniform
+	SymAttribute
+	SymVarying
+	SymBuiltinVar
+	SymConst
+)
+
+// Symbol is a resolved named entity.
+type Symbol struct {
+	Name string
+	Kind SymbolKind
+	Type Type
+	Prec Precision
+	// Const value for SymConst symbols.
+	Const *ConstValue
+	// Register assignment, filled by the shader back end.
+	Reg int
+}

@@ -1,0 +1,263 @@
+package glsl
+
+// BuiltinOp identifies the semantic operation of a builtin function so the
+// shader back end can select hardware instructions (the paper's "Kernel
+// Code" optimisation: builtins like dot and clamp map to single
+// instructions on embedded GPU ISAs).
+type BuiltinOp int
+
+// Builtin operations.
+const (
+	BRadians BuiltinOp = iota
+	BDegrees
+	BSin
+	BCos
+	BTan
+	BAsin
+	BAcos
+	BAtan
+	BAtan2
+	BPow
+	BExp
+	BLog
+	BExp2
+	BLog2
+	BSqrt
+	BInverseSqrt
+	BAbs
+	BSign
+	BFloor
+	BCeil
+	BFract
+	BMod
+	BMin
+	BMax
+	BClamp
+	BMix
+	BStep
+	BSmoothstep
+	BLength
+	BDistance
+	BDot
+	BCross
+	BNormalize
+	BFaceforward
+	BReflect
+	BRefract
+	BMatrixCompMult
+	BLessThan
+	BLessThanEqual
+	BGreaterThan
+	BGreaterThanEqual
+	BEqual
+	BNotEqual
+	BAny
+	BAll
+	BNot
+	BTexture2D
+	BTexture2DBias
+	BMul24 // GL_EXT_mul24 extension: 24-bit multiply (paper §II Kernel Code)
+)
+
+// BuiltinSig is one concrete overload of a builtin function.
+type BuiltinSig struct {
+	Name   string
+	Op     BuiltinOp
+	Params []Type
+	Ret    Type
+	// Ext names the extension that must be enabled for this builtin, or
+	// "" for core builtins.
+	Ext string
+	// FragmentOnly restricts the overload to fragment shaders.
+	FragmentOnly bool
+}
+
+// ExtMul24 is the extension name enabling the mul24 builtin. The real
+// hardware feature exists on several embedded ISAs (VideoCore IV's QPU has
+// a native mul24; OpenCL exposes it as mul24); the paper proposes using it
+// from GLSL because GPGPU outputs carry at most 24–32 bits of precision.
+const ExtMul24 = "GL_EXT_mul24"
+
+// KnownExtensions lists the extension names this implementation accepts.
+var KnownExtensions = map[string]bool{
+	ExtMul24: true,
+	// EXT_discard_framebuffer is a GL-API-level extension; listing it here
+	// lets shaders mention it harmlessly.
+	"GL_EXT_discard_framebuffer": true,
+}
+
+var builtinTable map[string][]BuiltinSig
+
+func init() {
+	builtinTable = make(map[string][]BuiltinSig)
+	gen := []Type{T(KFloat), T(KVec2), T(KVec3), T(KVec4)}
+	vecs := []Type{T(KVec2), T(KVec3), T(KVec4)}
+	ivecs := []Type{T(KIVec2), T(KIVec3), T(KIVec4)}
+	bvecs := []Type{T(KBVec2), T(KBVec3), T(KBVec4)}
+
+	add := func(sig BuiltinSig) {
+		builtinTable[sig.Name] = append(builtinTable[sig.Name], sig)
+	}
+	// genType f(genType): componentwise.
+	unary := func(name string, op BuiltinOp) {
+		for _, g := range gen {
+			add(BuiltinSig{Name: name, Op: op, Params: []Type{g}, Ret: g})
+		}
+	}
+	// genType f(genType, genType).
+	binary := func(name string, op BuiltinOp) {
+		for _, g := range gen {
+			add(BuiltinSig{Name: name, Op: op, Params: []Type{g, g}, Ret: g})
+		}
+	}
+	// genType f(genType, float) in addition to the genType,genType form.
+	binaryScalar := func(name string, op BuiltinOp) {
+		binary(name, op)
+		for _, g := range vecs {
+			add(BuiltinSig{Name: name, Op: op, Params: []Type{g, T(KFloat)}, Ret: g})
+		}
+	}
+
+	unary("radians", BRadians)
+	unary("degrees", BDegrees)
+	unary("sin", BSin)
+	unary("cos", BCos)
+	unary("tan", BTan)
+	unary("asin", BAsin)
+	unary("acos", BAcos)
+	unary("atan", BAtan)
+	binary("atan", BAtan2)
+	binary("pow", BPow)
+	unary("exp", BExp)
+	unary("log", BLog)
+	unary("exp2", BExp2)
+	unary("log2", BLog2)
+	unary("sqrt", BSqrt)
+	unary("inversesqrt", BInverseSqrt)
+	unary("abs", BAbs)
+	unary("sign", BSign)
+	unary("floor", BFloor)
+	unary("ceil", BCeil)
+	unary("fract", BFract)
+	binaryScalar("mod", BMod)
+	binaryScalar("min", BMin)
+	binaryScalar("max", BMax)
+	// clamp(g, g, g) and clamp(g, float, float).
+	for _, g := range gen {
+		add(BuiltinSig{Name: "clamp", Op: BClamp, Params: []Type{g, g, g}, Ret: g})
+	}
+	for _, g := range vecs {
+		add(BuiltinSig{Name: "clamp", Op: BClamp, Params: []Type{g, T(KFloat), T(KFloat)}, Ret: g})
+	}
+	// mix(g, g, g) and mix(g, g, float).
+	for _, g := range gen {
+		add(BuiltinSig{Name: "mix", Op: BMix, Params: []Type{g, g, g}, Ret: g})
+	}
+	for _, g := range vecs {
+		add(BuiltinSig{Name: "mix", Op: BMix, Params: []Type{g, g, T(KFloat)}, Ret: g})
+	}
+	// step(g, g) and step(float, g).
+	binary("step", BStep)
+	for _, g := range vecs {
+		add(BuiltinSig{Name: "step", Op: BStep, Params: []Type{T(KFloat), g}, Ret: g})
+	}
+	// smoothstep(g, g, g) and smoothstep(float, float, g).
+	for _, g := range gen {
+		add(BuiltinSig{Name: "smoothstep", Op: BSmoothstep, Params: []Type{g, g, g}, Ret: g})
+	}
+	for _, g := range vecs {
+		add(BuiltinSig{Name: "smoothstep", Op: BSmoothstep, Params: []Type{T(KFloat), T(KFloat), g}, Ret: g})
+	}
+	// Geometric.
+	for _, g := range gen {
+		add(BuiltinSig{Name: "length", Op: BLength, Params: []Type{g}, Ret: T(KFloat)})
+		add(BuiltinSig{Name: "distance", Op: BDistance, Params: []Type{g, g}, Ret: T(KFloat)})
+		add(BuiltinSig{Name: "dot", Op: BDot, Params: []Type{g, g}, Ret: T(KFloat)})
+		add(BuiltinSig{Name: "normalize", Op: BNormalize, Params: []Type{g}, Ret: g})
+		add(BuiltinSig{Name: "faceforward", Op: BFaceforward, Params: []Type{g, g, g}, Ret: g})
+		add(BuiltinSig{Name: "reflect", Op: BReflect, Params: []Type{g, g}, Ret: g})
+		add(BuiltinSig{Name: "refract", Op: BRefract, Params: []Type{g, g, T(KFloat)}, Ret: g})
+	}
+	add(BuiltinSig{Name: "cross", Op: BCross, Params: []Type{T(KVec3), T(KVec3)}, Ret: T(KVec3)})
+	// Matrix.
+	for _, m := range []Type{T(KMat2), T(KMat3), T(KMat4)} {
+		add(BuiltinSig{Name: "matrixCompMult", Op: BMatrixCompMult, Params: []Type{m, m}, Ret: m})
+	}
+	// Vector relational.
+	rel := func(name string, op BuiltinOp, boolToo bool) {
+		for i, v := range vecs {
+			add(BuiltinSig{Name: name, Op: op, Params: []Type{v, v}, Ret: bvecs[i]})
+			add(BuiltinSig{Name: name, Op: op, Params: []Type{ivecs[i], ivecs[i]}, Ret: bvecs[i]})
+			if boolToo {
+				add(BuiltinSig{Name: name, Op: op, Params: []Type{bvecs[i], bvecs[i]}, Ret: bvecs[i]})
+			}
+		}
+	}
+	rel("lessThan", BLessThan, false)
+	rel("lessThanEqual", BLessThanEqual, false)
+	rel("greaterThan", BGreaterThan, false)
+	rel("greaterThanEqual", BGreaterThanEqual, false)
+	rel("equal", BEqual, true)
+	rel("notEqual", BNotEqual, true)
+	for _, b := range bvecs {
+		add(BuiltinSig{Name: "any", Op: BAny, Params: []Type{b}, Ret: T(KBool)})
+		add(BuiltinSig{Name: "all", Op: BAll, Params: []Type{b}, Ret: T(KBool)})
+		add(BuiltinSig{Name: "not", Op: BNot, Params: []Type{b}, Ret: b})
+	}
+	// Texture lookup. Vertex texture fetch is optional in GLES2 and both
+	// modelled devices report gl_MaxVertexTextureImageUnits = 0, so all
+	// texture2D overloads are fragment-only here.
+	add(BuiltinSig{Name: "texture2D", Op: BTexture2D, Params: []Type{T(KSampler2D), T(KVec2)}, Ret: T(KVec4), FragmentOnly: true})
+	add(BuiltinSig{Name: "texture2D", Op: BTexture2DBias, Params: []Type{T(KSampler2D), T(KVec2), T(KFloat)}, Ret: T(KVec4), FragmentOnly: true})
+	// Extension builtins.
+	add(BuiltinSig{Name: "mul24", Op: BMul24, Params: []Type{T(KFloat), T(KFloat)}, Ret: T(KFloat), Ext: ExtMul24})
+}
+
+// LookupBuiltin returns the overloads registered under name.
+func LookupBuiltin(name string) []BuiltinSig { return builtinTable[name] }
+
+// ShaderStage distinguishes vertex from fragment compilation.
+type ShaderStage int
+
+// Shader stages.
+const (
+	StageVertex ShaderStage = iota
+	StageFragment
+)
+
+func (s ShaderStage) String() string {
+	if s == StageVertex {
+		return "vertex"
+	}
+	return "fragment"
+}
+
+// builtinVar describes a gl_* variable available to a stage.
+type builtinVar struct {
+	typ      Type
+	writable bool
+	stages   map[ShaderStage]bool
+}
+
+var builtinVars = map[string]builtinVar{
+	"gl_Position":    {typ: T(KVec4), writable: true, stages: map[ShaderStage]bool{StageVertex: true}},
+	"gl_PointSize":   {typ: T(KFloat), writable: true, stages: map[ShaderStage]bool{StageVertex: true}},
+	"gl_FragColor":   {typ: T(KVec4), writable: true, stages: map[ShaderStage]bool{StageFragment: true}},
+	"gl_FragCoord":   {typ: T(KVec4), writable: false, stages: map[ShaderStage]bool{StageFragment: true}},
+	"gl_FrontFacing": {typ: T(KBool), writable: false, stages: map[ShaderStage]bool{StageFragment: true}},
+	"gl_PointCoord":  {typ: T(KVec2), writable: false, stages: map[ShaderStage]bool{StageFragment: true}},
+}
+
+// builtinConsts are the gl_Max* implementation constants exposed to
+// shaders. Values follow the minima of the GLES2 spec; device profiles can
+// be stricter at link time but the shader-visible constants use these.
+var builtinConsts = map[string]int{
+	"gl_MaxVertexAttribs":             8,
+	"gl_MaxVertexUniformVectors":      128,
+	"gl_MaxVaryingVectors":            8,
+	"gl_MaxVertexTextureImageUnits":   0,
+	"gl_MaxCombinedTextureImageUnits": 8,
+	"gl_MaxTextureImageUnits":         8,
+	"gl_MaxFragmentUniformVectors":    16,
+	"gl_MaxDrawBuffers":               1,
+}

@@ -1,0 +1,35 @@
+package glsl
+
+// Frontend bundles preprocessing, parsing and semantic analysis behind one
+// call, the way a driver's glCompileShader entry point would.
+
+// CompileOptions configures a front-end run.
+type CompileOptions struct {
+	Stage ShaderStage
+	// Defines are injected before the source is preprocessed, like -D
+	// compiler flags. Map iteration order does not matter because macros
+	// are independent definitions.
+	Defines map[string]string
+}
+
+// Frontend runs the full front end over src and returns the checked shader.
+func Frontend(src string, opts CompileOptions) (*CheckedShader, error) {
+	pp := NewPreprocessor()
+	for name := range KnownExtensions {
+		pp.KnownExtensions[name] = true
+	}
+	for k, v := range opts.Defines {
+		if err := pp.Define(k, v); err != nil {
+			return nil, err
+		}
+	}
+	res, err := pp.Process(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := NewParser(res.Tokens).Parse()
+	if err != nil {
+		return nil, err
+	}
+	return Check(prog, CheckOpts{Stage: opts.Stage, Extensions: res.Extensions})
+}

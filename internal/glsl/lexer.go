@@ -1,0 +1,291 @@
+package glsl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error is a compile diagnostic with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lexer turns GLSL source text into tokens. Comments are stripped; line
+// numbering is preserved across them.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// skipSpaceAndComments consumes whitespace and // and /* */ comments.
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token, or an error for malformed input.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isAlpha(c):
+		start := l.off
+		for l.off < len(l.src) && (isAlpha(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if reservedKeywords[text] {
+			return Token{}, errf(pos, "use of reserved keyword %q", text)
+		}
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Pos: pos}, nil
+	case isDigit(c) || (c == '.' && isDigit(l.peek2())):
+		return l.lexNumber(pos)
+	}
+	l.advance()
+	two := func(second byte, withKind, withoutKind TokenKind) Token {
+		if l.peek() == second {
+			l.advance()
+			return Token{Kind: withKind, Pos: pos}
+		}
+		return Token{Kind: withoutKind, Pos: pos}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemicolon, Pos: pos}, nil
+	case '.':
+		return Token{Kind: TokDot, Pos: pos}, nil
+	case '?':
+		return Token{Kind: TokQuestion, Pos: pos}, nil
+	case ':':
+		return Token{Kind: TokColon, Pos: pos}, nil
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return Token{Kind: TokInc, Pos: pos}, nil
+		}
+		return two('=', TokPlusEq, TokPlus), nil
+	case '-':
+		if l.peek() == '-' {
+			l.advance()
+			return Token{Kind: TokDec, Pos: pos}, nil
+		}
+		return two('=', TokMinusEq, TokMinus), nil
+	case '*':
+		return two('=', TokStarEq, TokStar), nil
+	case '/':
+		return two('=', TokSlashEq, TokSlash), nil
+	case '=':
+		return two('=', TokEq, TokAssign), nil
+	case '<':
+		return two('=', TokLe, TokLt), nil
+	case '>':
+		return two('=', TokGe, TokGt), nil
+	case '!':
+		return two('=', TokNe, TokNot), nil
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return Token{Kind: TokAnd, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "bitwise '&' is not supported in GLSL ES 1.00")
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return Token{Kind: TokOr, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "bitwise '|' is not supported in GLSL ES 1.00")
+	case '^':
+		if l.peek() == '^' {
+			l.advance()
+			return Token{Kind: TokXor, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "bitwise '^' is not supported in GLSL ES 1.00")
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+// lexNumber scans integer and float literals, including exponent forms.
+// GLSL ES 1.00 also allows octal/hex integer literals.
+func (l *Lexer) lexNumber(pos Pos) (Token, error) {
+	start := l.off
+	isFloat := false
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		n := 0
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+			n++
+		}
+		if n == 0 {
+			return Token{}, errf(pos, "malformed hex literal")
+		}
+		return Token{Kind: TokIntLit, Text: l.src[start:l.off], Pos: pos}, nil
+	}
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.off
+		isExp := false
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+			isExp = true
+		}
+		if !isExp {
+			// Not an exponent after all (e.g. "1e" followed by ident);
+			// GLSL treats this as malformed.
+			l.off = save
+			return Token{}, errf(pos, "malformed exponent in numeric literal")
+		}
+		isFloat = true
+	}
+	text := l.src[start:l.off]
+	if isAlpha(l.peek()) {
+		return Token{}, errf(pos, "malformed numeric literal %q…", text)
+	}
+	if isFloat {
+		return Token{Kind: TokFloatLit, Text: text, Pos: pos}, nil
+	}
+	return Token{Kind: TokIntLit, Text: text, Pos: pos}, nil
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// LexAll tokenises src completely (excluding the trailing EOF token).
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}
+
+// FormatTokens renders tokens for debugging.
+func FormatTokens(toks []Token) string {
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,136 @@
+package glsl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll("void main() { float x = 1.0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokenKind{TokKeyword, TokIdent, TokLParen, TokRParen, TokLBrace,
+		TokKeyword, TokIdent, TokAssign, TokFloatLit, TokSemicolon, TokRBrace}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %s", len(toks), len(kinds), FormatTokens(toks))
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind TokenKind
+	}{
+		{"0", TokIntLit},
+		{"42", TokIntLit},
+		{"0x1F", TokIntLit},
+		{"1.0", TokFloatLit},
+		{".5", TokFloatLit},
+		{"3.", TokFloatLit},
+		{"1e3", TokFloatLit},
+		{"1.5e-2", TokFloatLit},
+		{"2E+4", TokFloatLit},
+	}
+	for _, c := range cases {
+		toks, err := LexAll(c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if len(toks) != 1 || toks[0].Kind != c.kind {
+			t.Errorf("%q => %s, want single %s", c.src, FormatTokens(toks), c.kind)
+		}
+	}
+}
+
+func TestLexMalformedNumbers(t *testing.T) {
+	for _, src := range []string{"1.0f", "0x", "1e", "1eX", "123abc"} {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("%q: expected lex error", src)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := LexAll("a += b * c <= d && !e != f ^^ g || h++")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []TokenKind
+	for _, tok := range toks {
+		if tok.Kind != TokIdent {
+			ops = append(ops, tok.Kind)
+		}
+	}
+	want := []TokenKind{TokPlusEq, TokStar, TokLe, TokAnd, TokNot, TokNe, TokXor, TokOr, TokInc}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %s, want %s", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// line comment
+float /* block
+spanning lines */ x;
+`
+	toks, err := LexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 {
+		t.Fatalf("got %s", FormatTokens(toks))
+	}
+	// Line numbers survive comments.
+	if toks[0].Pos.Line != 3 {
+		t.Errorf("float at line %d, want 3", toks[0].Pos.Line)
+	}
+	if toks[2].Pos.Line != 4 {
+		t.Errorf("x ; at line %d, want 4", toks[2].Pos.Line)
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	if _, err := LexAll("/* never closed"); err == nil {
+		t.Error("unterminated block comment not rejected")
+	}
+}
+
+func TestLexReservedKeyword(t *testing.T) {
+	_, err := LexAll("double x;")
+	if err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Errorf("reserved keyword not rejected: %v", err)
+	}
+}
+
+func TestLexBitwiseRejected(t *testing.T) {
+	for _, src := range []string{"a & b", "a | b", "a ^ b"} {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("%q: bitwise operator not rejected", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("a\n  bb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{Line: 1, Col: 1}) {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{Line: 2, Col: 3}) {
+		t.Errorf("bb at %v", toks[1].Pos)
+	}
+}

@@ -1,0 +1,833 @@
+package glsl
+
+import "strconv"
+
+// Parser builds an AST from a preprocessed token stream.
+type Parser struct {
+	toks []Token
+	i    int
+}
+
+// NewParser returns a parser over toks (as produced by Preprocessor.Process).
+func NewParser(toks []Token) *Parser { return &Parser{toks: toks} }
+
+// Parse parses a full translation unit.
+func (p *Parser) Parse() (*Program, error) {
+	prog := &Program{}
+	for !p.atEOF() {
+		d, err := p.parseTopLevel()
+		if err != nil {
+			return nil, err
+		}
+		prog.Decls = append(prog.Decls, d...)
+	}
+	return prog, nil
+}
+
+func (p *Parser) atEOF() bool { return p.i >= len(p.toks) }
+
+func (p *Parser) peek() Token {
+	if p.atEOF() {
+		last := Pos{Line: 1, Col: 1}
+		if len(p.toks) > 0 {
+			last = p.toks[len(p.toks)-1].Pos
+		}
+		return Token{Kind: TokEOF, Pos: last}
+	}
+	return p.toks[p.i]
+}
+
+func (p *Parser) peekN(n int) Token {
+	if p.i+n >= len(p.toks) {
+		return Token{Kind: TokEOF}
+	}
+	return p.toks[p.i+n]
+}
+
+func (p *Parser) next() Token {
+	t := p.peek()
+	if !p.atEOF() {
+		p.i++
+	}
+	return t
+}
+
+func (p *Parser) expect(k TokenKind) (Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, errf(t.Pos, "expected %s, got %s", k, t)
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) isKeyword(s string) bool {
+	t := p.peek()
+	return t.Kind == TokKeyword && t.Text == s
+}
+
+func (p *Parser) acceptKeyword(s string) bool {
+	if p.isKeyword(s) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// parseTypeName consumes a type keyword.
+func (p *Parser) parseTypeName() (Type, error) {
+	t := p.peek()
+	if t.Kind == TokKeyword {
+		if k, ok := typeByName[t.Text]; ok {
+			p.next()
+			return T(k), nil
+		}
+	}
+	return Type{}, errf(t.Pos, "expected type name, got %s", t)
+}
+
+func (p *Parser) parsePrecisionOpt() Precision {
+	t := p.peek()
+	if t.Kind == TokKeyword {
+		if pr, ok := precisionByName[t.Text]; ok {
+			p.next()
+			return pr
+		}
+	}
+	return PrecNone
+}
+
+// parseTopLevel parses one top-level declaration, which may expand to
+// several nodes (comma-separated globals).
+func (p *Parser) parseTopLevel() ([]Node, error) {
+	t := p.peek()
+	if t.Kind == TokKeyword && t.Text == "precision" {
+		p.next()
+		prec := p.parsePrecisionOpt()
+		if prec == PrecNone {
+			return nil, errf(p.peek().Pos, "expected precision qualifier")
+		}
+		ty, err := p.parseTypeName()
+		if err != nil {
+			return nil, err
+		}
+		switch ty.Kind {
+		case KFloat, KInt, KSampler2D, KSamplerCube:
+		default:
+			return nil, errf(t.Pos, "default precision cannot be set for %s", ty)
+		}
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return nil, err
+		}
+		return []Node{&PrecisionDecl{P: t.Pos, Prec: prec, For: ty.Kind}}, nil
+	}
+	if t.Kind == TokKeyword && t.Text == "struct" {
+		return nil, errf(t.Pos, "struct declarations are not supported by this implementation")
+	}
+	if t.Kind == TokKeyword && t.Text == "invariant" {
+		// "invariant varying ..." — accept and ignore the invariant flag.
+		p.next()
+		t = p.peek()
+	}
+
+	storage := StorNone
+	switch {
+	case p.acceptKeyword("const"):
+		storage = StorConst
+	case p.acceptKeyword("attribute"):
+		storage = StorAttribute
+	case p.acceptKeyword("uniform"):
+		storage = StorUniform
+	case p.acceptKeyword("varying"):
+		storage = StorVarying
+	}
+	prec := p.parsePrecisionOpt()
+	ty, err := p.parseTypeName()
+	if err != nil {
+		return nil, err
+	}
+
+	// Function definition: type name '(' ...
+	if storage == StorNone && p.peek().Kind == TokIdent && p.peekN(1).Kind == TokLParen {
+		fd, err := p.parseFuncDecl(ty, t.Pos)
+		if err != nil {
+			return nil, err
+		}
+		return []Node{fd}, nil
+	}
+	if ty.Kind == KVoid {
+		return nil, errf(t.Pos, "variables cannot have type void")
+	}
+
+	// Global variable declaration list.
+	var out []Node
+	for {
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		gty := ty
+		if p.peek().Kind == TokLBracket {
+			p.next()
+			n, err := p.parseArraySize()
+			if err != nil {
+				return nil, err
+			}
+			gty.ArrayLen = n
+		}
+		g := &GlobalDecl{P: nameTok.Pos, Name: nameTok.Text, DeclType: gty, Prec: prec, Storage: storage}
+		if p.peek().Kind == TokAssign {
+			p.next()
+			e, err := p.parseAssignExpr()
+			if err != nil {
+				return nil, err
+			}
+			g.Init = e
+		}
+		out = append(out, g)
+		if p.peek().Kind == TokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *Parser) parseArraySize() (int, error) {
+	t, err := p.expect(TokIntLit)
+	if err != nil {
+		return 0, errf(p.peek().Pos, "array size must be an integer constant")
+	}
+	n, err2 := strconv.Atoi(t.Text)
+	if err2 != nil || n <= 0 {
+		return 0, errf(t.Pos, "invalid array size %q", t.Text)
+	}
+	if _, err := p.expect(TokRBracket); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func (p *Parser) parseFuncDecl(ret Type, pos Pos) (*FuncDecl, error) {
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	fd := &FuncDecl{P: pos, Name: nameTok.Text, Ret: ret}
+	if p.peek().Kind != TokRParen {
+		// void parameter list: foo(void)
+		if p.isKeyword("void") && p.peekN(1).Kind == TokRParen {
+			p.next()
+		} else {
+			for {
+				prm, err := p.parseParam()
+				if err != nil {
+					return nil, err
+				}
+				fd.Params = append(fd.Params, prm)
+				if p.peek().Kind != TokComma {
+					break
+				}
+				p.next()
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokSemicolon {
+		return nil, errf(p.peek().Pos, "function prototypes without bodies are not supported; define %s before use", fd.Name)
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *Parser) parseParam() (Param, error) {
+	prm := Param{P: p.peek().Pos, Qualifier: ParamIn}
+	switch {
+	case p.acceptKeyword("in"):
+		prm.Qualifier = ParamIn
+	case p.acceptKeyword("out"):
+		prm.Qualifier = ParamOut
+	case p.acceptKeyword("inout"):
+		prm.Qualifier = ParamInOut
+	}
+	prm.Prec = p.parsePrecisionOpt()
+	ty, err := p.parseTypeName()
+	if err != nil {
+		return prm, err
+	}
+	if ty.Kind == KVoid {
+		return prm, errf(prm.P, "parameter cannot have type void")
+	}
+	prm.DeclType = ty
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return prm, err
+	}
+	prm.Name = nameTok.Text
+	if p.peek().Kind == TokLBracket {
+		p.next()
+		n, err := p.parseArraySize()
+		if err != nil {
+			return prm, err
+		}
+		prm.DeclType.ArrayLen = n
+	}
+	return prm, nil
+}
+
+// Statements.
+
+func (p *Parser) parseBlock() (*Block, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{P: lb.Pos}
+	for p.peek().Kind != TokRBrace {
+		if p.atEOF() {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		stmts, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, stmts...)
+	}
+	p.next()
+	return b, nil
+}
+
+// parseStmt returns one or more statements (declaration lists split).
+func (p *Parser) parseStmt() ([]Stmt, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokLBrace:
+		b, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return []Stmt{b}, nil
+	case t.Kind == TokSemicolon:
+		p.next()
+		return nil, nil
+	case t.Kind == TokKeyword:
+		switch t.Text {
+		case "if":
+			s, err := p.parseIf()
+			return wrap(s, err)
+		case "for":
+			s, err := p.parseFor()
+			return wrap(s, err)
+		case "while":
+			s, err := p.parseWhile()
+			return wrap(s, err)
+		case "do":
+			return nil, errf(t.Pos, "do-while loops are not supported by GLSL ES 1.00 implementations")
+		case "return":
+			p.next()
+			s := &ReturnStmt{P: t.Pos}
+			if p.peek().Kind != TokSemicolon {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				s.X = e
+			}
+			if _, err := p.expect(TokSemicolon); err != nil {
+				return nil, err
+			}
+			return []Stmt{s}, nil
+		case "break":
+			p.next()
+			if _, err := p.expect(TokSemicolon); err != nil {
+				return nil, err
+			}
+			return []Stmt{&BreakStmt{P: t.Pos}}, nil
+		case "continue":
+			p.next()
+			if _, err := p.expect(TokSemicolon); err != nil {
+				return nil, err
+			}
+			return []Stmt{&ContinueStmt{P: t.Pos}}, nil
+		case "discard":
+			p.next()
+			if _, err := p.expect(TokSemicolon); err != nil {
+				return nil, err
+			}
+			return []Stmt{&DiscardStmt{P: t.Pos}}, nil
+		}
+		if p.startsDecl() {
+			return p.parseDeclStmt()
+		}
+	}
+	// Expression statement.
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return []Stmt{&ExprStmt{P: t.Pos, X: e}}, nil
+}
+
+func wrap(s Stmt, err error) ([]Stmt, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+// startsDecl reports whether the upcoming tokens begin a declaration:
+// [const] [precision] typename ident.
+func (p *Parser) startsDecl() bool {
+	j := 0
+	t := p.peekN(j)
+	if t.Kind == TokKeyword && t.Text == "const" {
+		j++
+		t = p.peekN(j)
+	}
+	if t.Kind == TokKeyword {
+		if _, ok := precisionByName[t.Text]; ok {
+			j++
+			t = p.peekN(j)
+		}
+	}
+	if t.Kind != TokKeyword {
+		return false
+	}
+	if _, ok := typeByName[t.Text]; !ok {
+		return false
+	}
+	// A type keyword followed by '(' is a constructor expression, not a
+	// declaration.
+	return p.peekN(j+1).Kind == TokIdent
+}
+
+func (p *Parser) parseDeclStmt() ([]Stmt, error) {
+	isConst := p.acceptKeyword("const")
+	prec := p.parsePrecisionOpt()
+	ty, err := p.parseTypeName()
+	if err != nil {
+		return nil, err
+	}
+	if ty.Kind == KVoid {
+		return nil, errf(p.peek().Pos, "variables cannot have type void")
+	}
+	var out []Stmt
+	for {
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		dty := ty
+		if p.peek().Kind == TokLBracket {
+			p.next()
+			n, err := p.parseArraySize()
+			if err != nil {
+				return nil, err
+			}
+			dty.ArrayLen = n
+		}
+		d := &DeclStmt{P: nameTok.Pos, Name: nameTok.Text, DeclType: dty, Prec: prec, IsConst: isConst}
+		if p.peek().Kind == TokAssign {
+			p.next()
+			e, err := p.parseAssignExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+		out = append(out, d)
+		if p.peek().Kind == TokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	t := p.next() // 'if'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	thenStmts, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{P: t.Pos, Cond: cond, Then: stmtOrBlock(t.Pos, thenStmts)}
+	if p.isKeyword("else") {
+		p.next()
+		elseStmts, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = stmtOrBlock(t.Pos, elseStmts)
+	}
+	return s, nil
+}
+
+func stmtOrBlock(pos Pos, stmts []Stmt) Stmt {
+	if len(stmts) == 1 {
+		return stmts[0]
+	}
+	return &Block{P: pos, Stmts: stmts}
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	t := p.next() // 'for'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{P: t.Pos}
+	if p.peek().Kind != TokSemicolon {
+		if p.startsDecl() {
+			decls, err := p.parseDeclStmt()
+			if err != nil {
+				return nil, err
+			}
+			if len(decls) != 1 {
+				return nil, errf(t.Pos, "for-loop init must declare exactly one variable")
+			}
+			s.Init = decls[0]
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemicolon); err != nil {
+				return nil, err
+			}
+			s.Init = &ExprStmt{P: t.Pos, X: e}
+		}
+	} else {
+		p.next()
+	}
+	if p.peek().Kind != TokSemicolon {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = e
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != TokRParen {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = e
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = stmtOrBlock(t.Pos, body)
+	return s, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	t := p.next() // 'while'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{P: t.Pos, Cond: cond, Body: stmtOrBlock(t.Pos, body)}, nil
+}
+
+// Expressions. Precedence climbing; GLSL ES 1.00 precedence for the
+// supported operators.
+
+var binPrec = map[TokenKind]struct {
+	prec int
+	op   BinaryOp
+}{
+	TokOr:    {1, OpLOr},
+	TokXor:   {2, OpLXor},
+	TokAnd:   {3, OpLAnd},
+	TokEq:    {4, OpEQ},
+	TokNe:    {4, OpNE},
+	TokLt:    {5, OpLT},
+	TokGt:    {5, OpGT},
+	TokLe:    {5, OpLE},
+	TokGe:    {5, OpGE},
+	TokPlus:  {6, OpAdd},
+	TokMinus: {6, OpSub},
+	TokStar:  {7, OpMul},
+	TokSlash: {7, OpDiv},
+}
+
+// parseExpr parses a full expression including the comma operator? GLSL has
+// the sequence operator but shaders in this subset do not need it; we parse
+// assignment level here.
+func (p *Parser) parseExpr() (Expr, error) { return p.parseAssignExpr() }
+
+func (p *Parser) parseAssignExpr() (Expr, error) {
+	lhs, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	var op AssignOp
+	switch p.peek().Kind {
+	case TokAssign:
+		op = AsgEq
+	case TokPlusEq:
+		op = AsgAdd
+	case TokMinusEq:
+		op = AsgSub
+	case TokStarEq:
+		op = AsgMul
+	case TokSlashEq:
+		op = AsgDiv
+	default:
+		return lhs, nil
+	}
+	t := p.next()
+	rhs, err := p.parseAssignExpr() // right-associative
+	if err != nil {
+		return nil, err
+	}
+	return &Assign{exprBase: exprBase{P: t.Pos}, Op: op, LHS: lhs, RHS: rhs}, nil
+}
+
+func (p *Parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != TokQuestion {
+		return cond, nil
+	}
+	t := p.next()
+	thenE, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	elseE, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Ternary{exprBase: exprBase{P: t.Pos}, Cond: cond, Then: thenE, Else: elseE}, nil
+}
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		info, ok := binPrec[p.peek().Kind]
+		if !ok || info.prec < minPrec {
+			return lhs, nil
+		}
+		t := p.next()
+		rhs, err := p.parseBinary(info.prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{exprBase: exprBase{P: t.Pos}, Op: info.op, L: lhs, R: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokMinus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{exprBase: exprBase{P: t.Pos}, Op: OpNeg, X: x}, nil
+	case TokPlus:
+		p.next()
+		return p.parseUnary()
+	case TokNot:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{exprBase: exprBase{P: t.Pos}, Op: OpNot, X: x}, nil
+	case TokInc, TokDec:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		op := OpPreInc
+		if t.Kind == TokDec {
+			op = OpPreDec
+		}
+		return &Unary{exprBase: exprBase{P: t.Pos}, Op: op, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		switch t.Kind {
+		case TokDot:
+			p.next()
+			f, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			x = &FieldSelect{exprBase: exprBase{P: f.Pos}, X: x, Field: f.Text}
+		case TokLBracket:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			x = &Index{exprBase: exprBase{P: t.Pos}, X: x, Idx: idx}
+		case TokInc, TokDec:
+			p.next()
+			op := OpPostInc
+			if t.Kind == TokDec {
+				op = OpPostDec
+			}
+			x = &Unary{exprBase: exprBase{P: t.Pos}, Op: op, X: x}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokFloatLit:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad float literal %q", t.Text)
+		}
+		return &FloatLit{exprBase: exprBase{P: t.Pos}, Value: v}, nil
+	case TokIntLit:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 0, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad int literal %q", t.Text)
+		}
+		return &IntLit{exprBase: exprBase{P: t.Pos}, Value: v}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "true", "false":
+			p.next()
+			return &BoolLit{exprBase: exprBase{P: t.Pos}, Value: t.Text == "true"}, nil
+		}
+		// Constructor: typename '(' args ')'
+		if _, ok := typeByName[t.Text]; ok {
+			p.next()
+			if p.peek().Kind != TokLParen {
+				return nil, errf(t.Pos, "expected '(' after type name %s", t.Text)
+			}
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{exprBase: exprBase{P: t.Pos}, Name: t.Text, Args: args}, nil
+		}
+		return nil, errf(t.Pos, "unexpected keyword %q in expression", t.Text)
+	case TokIdent:
+		p.next()
+		if p.peek().Kind == TokLParen {
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{exprBase: exprBase{P: t.Pos}, Name: t.Text, Args: args}, nil
+		}
+		return &Ident{exprBase: exprBase{P: t.Pos}, Name: t.Text}, nil
+	}
+	return nil, errf(t.Pos, "unexpected %s in expression", t)
+}
+
+func (p *Parser) parseArgs() ([]Expr, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.peek().Kind != TokRParen {
+		if p.isKeyword("void") && p.peekN(1).Kind == TokRParen {
+			p.next()
+		} else {
+			for {
+				a, err := p.parseAssignExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.peek().Kind != TokComma {
+					break
+				}
+				p.next()
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}

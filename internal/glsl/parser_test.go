@@ -1,0 +1,304 @@
+package glsl
+
+import (
+	"strings"
+	"testing"
+)
+
+// parse runs preprocessor + parser (no sema).
+func parse(t *testing.T, src string) *Program {
+	t.Helper()
+	pp := NewPreprocessor()
+	res, err := pp.Process(src)
+	if err != nil {
+		t.Fatalf("preprocess: %v", err)
+	}
+	prog, err := NewParser(res.Tokens).Parse()
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+// parseErr expects a parse failure mentioning substr.
+func parseErr(t *testing.T, src, substr string) {
+	t.Helper()
+	pp := NewPreprocessor()
+	res, err := pp.Process(src)
+	if err != nil {
+		t.Fatalf("preprocess: %v", err)
+	}
+	_, err = NewParser(res.Tokens).Parse()
+	if err == nil {
+		t.Fatalf("expected parse error containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not contain %q", err, substr)
+	}
+}
+
+func TestParseGlobals(t *testing.T) {
+	prog := parse(t, `
+uniform sampler2D tex;
+attribute vec2 a_pos;
+varying highp vec2 v_uv;
+const float PI = 3.14;
+uniform float weights[4];
+float counter;
+`)
+	kinds := map[string]StorageQualifier{}
+	for _, d := range prog.Decls {
+		g, ok := d.(*GlobalDecl)
+		if !ok {
+			t.Fatalf("unexpected decl %T", d)
+		}
+		kinds[g.Name] = g.Storage
+		if g.Name == "weights" && g.DeclType.ArrayLen != 4 {
+			t.Errorf("weights array len = %d", g.DeclType.ArrayLen)
+		}
+		if g.Name == "v_uv" && g.Prec != PrecHigh {
+			t.Errorf("v_uv precision = %v", g.Prec)
+		}
+	}
+	want := map[string]StorageQualifier{
+		"tex": StorUniform, "a_pos": StorAttribute, "v_uv": StorVarying,
+		"PI": StorConst, "weights": StorUniform, "counter": StorNone,
+	}
+	for name, storage := range want {
+		if kinds[name] != storage {
+			t.Errorf("%s storage = %v, want %v", name, kinds[name], storage)
+		}
+	}
+}
+
+func TestParseCommaDeclarations(t *testing.T) {
+	prog := parse(t, "uniform float a, b, c;")
+	if len(prog.Decls) != 3 {
+		t.Fatalf("comma globals split into %d decls", len(prog.Decls))
+	}
+	prog = parse(t, "void main(){ float x = 1.0, y = 2.0, z; }")
+	fn := prog.Decls[0].(*FuncDecl)
+	if len(fn.Body.Stmts) != 3 {
+		t.Fatalf("comma locals split into %d stmts", len(fn.Body.Stmts))
+	}
+}
+
+func TestParsePrecisionStatement(t *testing.T) {
+	prog := parse(t, "precision mediump float;\nprecision lowp sampler2D;")
+	pd := prog.Decls[0].(*PrecisionDecl)
+	if pd.Prec != PrecMedium || pd.For != KFloat {
+		t.Errorf("precision decl = %+v", pd)
+	}
+	parseErr(t, "precision mediump vec4;", "default precision")
+	parseErr(t, "precision float;", "precision qualifier")
+}
+
+func TestParseFunctionForms(t *testing.T) {
+	prog := parse(t, `
+float f0() { return 1.0; }
+float f1(void) { return 1.0; }
+vec2 f2(in float a, out vec2 b, inout mat2 m) { return vec2(a); }
+void main() {}
+`)
+	f2 := prog.Decls[2].(*FuncDecl)
+	if len(f2.Params) != 3 {
+		t.Fatalf("f2 params = %d", len(f2.Params))
+	}
+	if f2.Params[0].Qualifier != ParamIn || f2.Params[1].Qualifier != ParamOut || f2.Params[2].Qualifier != ParamInOut {
+		t.Error("param qualifiers wrong")
+	}
+	f1 := prog.Decls[1].(*FuncDecl)
+	if len(f1.Params) != 0 {
+		t.Error("(void) parameter list not empty")
+	}
+}
+
+func TestParsePrototypesRejected(t *testing.T) {
+	parseErr(t, "float helper(float x);\nvoid main(){}", "prototypes")
+}
+
+func TestParseStructRejected(t *testing.T) {
+	parseErr(t, "struct Light { vec3 dir; };", "struct")
+}
+
+func TestParseDoWhileRejected(t *testing.T) {
+	parseErr(t, "void main(){ do { } while(true); }", "do-while")
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	prog := parse(t, "void main(){ float x = 1.0 + 2.0 * 3.0; }")
+	decl := prog.Decls[0].(*FuncDecl).Body.Stmts[0].(*DeclStmt)
+	add, ok := decl.Init.(*Binary)
+	if !ok || add.Op != OpAdd {
+		t.Fatalf("top op = %T", decl.Init)
+	}
+	mul, ok := add.R.(*Binary)
+	if !ok || mul.Op != OpMul {
+		t.Fatalf("rhs = %T, want * bound tighter than +", add.R)
+	}
+}
+
+func TestParseComparisonAndLogicalPrecedence(t *testing.T) {
+	// a < b && c > d  parses as (a<b) && (c>d)
+	prog := parse(t, "void main(){ bool x = 1.0 < 2.0 && 3.0 > 2.0; }")
+	decl := prog.Decls[0].(*FuncDecl).Body.Stmts[0].(*DeclStmt)
+	and, ok := decl.Init.(*Binary)
+	if !ok || and.Op != OpLAnd {
+		t.Fatalf("top = %v", decl.Init)
+	}
+	if l, ok := and.L.(*Binary); !ok || l.Op != OpLT {
+		t.Error("lhs not <")
+	}
+}
+
+func TestParseAssignmentRightAssociative(t *testing.T) {
+	prog := parse(t, "void main(){ float a; float b; a = b = 1.0; }")
+	stmt := prog.Decls[0].(*FuncDecl).Body.Stmts[2].(*ExprStmt)
+	outer, ok := stmt.X.(*Assign)
+	if !ok {
+		t.Fatalf("stmt = %T", stmt.X)
+	}
+	if _, ok := outer.RHS.(*Assign); !ok {
+		t.Error("a = b = 1.0 not right-associative")
+	}
+}
+
+func TestParseTernaryChain(t *testing.T) {
+	prog := parse(t, "void main(){ float x = true ? 1.0 : false ? 2.0 : 3.0; }")
+	decl := prog.Decls[0].(*FuncDecl).Body.Stmts[0].(*DeclStmt)
+	tern, ok := decl.Init.(*Ternary)
+	if !ok {
+		t.Fatalf("init = %T", decl.Init)
+	}
+	if _, ok := tern.Else.(*Ternary); !ok {
+		t.Error("nested ternary not in else branch")
+	}
+}
+
+func TestParsePostfixChains(t *testing.T) {
+	prog := parse(t, "uniform mat4 m;\nvoid main(){ float x = m[0].xyz.y; }")
+	decl := prog.Decls[1].(*FuncDecl).Body.Stmts[0].(*DeclStmt)
+	outer, ok := decl.Init.(*FieldSelect)
+	if !ok || outer.Field != "y" {
+		t.Fatalf("outer = %T", decl.Init)
+	}
+	mid, ok := outer.X.(*FieldSelect)
+	if !ok || mid.Field != "xyz" {
+		t.Fatalf("mid = %T", outer.X)
+	}
+	if _, ok := mid.X.(*Index); !ok {
+		t.Fatalf("inner = %T", mid.X)
+	}
+}
+
+func TestParseIncDec(t *testing.T) {
+	prog := parse(t, "void main(){ float i; i++; ++i; i--; --i; }")
+	stmts := prog.Decls[0].(*FuncDecl).Body.Stmts
+	ops := []UnaryOp{OpPostInc, OpPreInc, OpPostDec, OpPreDec}
+	for i, want := range ops {
+		u, ok := stmts[i+1].(*ExprStmt).X.(*Unary)
+		if !ok || u.Op != want {
+			t.Errorf("stmt %d: got %T/%v, want %v", i+1, stmts[i+1].(*ExprStmt).X, u.Op, want)
+		}
+	}
+}
+
+func TestParseForLoopShapes(t *testing.T) {
+	prog := parse(t, `
+void main(){
+	for (int i = 0; i < 4; i++) { }
+	float j;
+	for (j = 0.0; j < 1.0; j += 0.25) { }
+}`)
+	body := prog.Decls[0].(*FuncDecl).Body.Stmts
+	f1, ok := body[0].(*ForStmt)
+	if !ok {
+		t.Fatalf("stmt 0 = %T", body[0])
+	}
+	if _, ok := f1.Init.(*DeclStmt); !ok {
+		t.Error("decl-style init not parsed")
+	}
+	f2 := body[2].(*ForStmt)
+	if _, ok := f2.Init.(*ExprStmt); !ok {
+		t.Error("assignment-style init not parsed")
+	}
+}
+
+func TestParseIfElseChain(t *testing.T) {
+	prog := parse(t, `
+void main(){
+	if (true) { } else if (false) { } else { }
+}`)
+	s := prog.Decls[0].(*FuncDecl).Body.Stmts[0].(*IfStmt)
+	elseIf, ok := s.Else.(*IfStmt)
+	if !ok {
+		t.Fatalf("else = %T", s.Else)
+	}
+	if elseIf.Else == nil {
+		t.Error("final else missing")
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	pp := NewPreprocessor()
+	res, err := pp.Process("void main(){\n\tfloat x = ;\n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewParser(res.Tokens).Parse()
+	if err == nil {
+		t.Fatal("missing expression accepted")
+	}
+	e, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if e.Pos.Line != 2 {
+		t.Errorf("error at line %d, want 2", e.Pos.Line)
+	}
+}
+
+func TestParseMalformedInputs(t *testing.T) {
+	cases := []string{
+		"void main(){",                   // unterminated block
+		"void main(){ float ; }",         // missing name
+		"void main(){ x = 1.0 }",         // missing semicolon
+		"void main(){ vec4 v = vec4(; }", // bad ctor
+		"void 3main(){}",                 // bad name
+		"uniform float a[0];",            // zero array
+		"uniform float a[-1];",           // negative array
+		"void main(){ for ;; {} }",       // bad for
+		"void main(){ if true {} }",      // missing parens
+	}
+	for _, src := range cases {
+		pp := NewPreprocessor()
+		res, err := pp.Process(src)
+		if err != nil {
+			continue // preprocessor may reject; fine
+		}
+		if _, err := NewParser(res.Tokens).Parse(); err == nil {
+			t.Errorf("malformed source accepted: %q", src)
+		}
+	}
+}
+
+func TestParseVoidVariableRejected(t *testing.T) {
+	parseErr(t, "void x;", "void")
+	parseErr(t, "void main(){ void x; }", "void")
+}
+
+func TestParseInvariantAccepted(t *testing.T) {
+	// "invariant varying" is accepted (flag ignored).
+	parse(t, "invariant varying vec2 v;\nvoid main(){}")
+}
+
+func TestParseConstructorVsDeclaration(t *testing.T) {
+	// `vec2(...)` in expression position is a constructor, while
+	// `vec2 name` is a declaration — the parser must disambiguate.
+	prog := parse(t, "void main(){ vec2 a = vec2(1.0, 2.0); }")
+	d := prog.Decls[0].(*FuncDecl).Body.Stmts[0].(*DeclStmt)
+	call, ok := d.Init.(*Call)
+	if !ok || call.Name != "vec2" {
+		t.Fatalf("init = %T", d.Init)
+	}
+}

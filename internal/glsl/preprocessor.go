@@ -1,0 +1,622 @@
+package glsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Macro is one preprocessor definition.
+type Macro struct {
+	Name      string
+	Params    []string // nil for object-like macros
+	IsFunc    bool
+	Body      []Token
+	DefinedAt Pos
+}
+
+// ExtensionBehavior is the behaviour field of an #extension directive.
+type ExtensionBehavior string
+
+// Extension behaviours from the GLSL ES specification.
+const (
+	ExtRequire ExtensionBehavior = "require"
+	ExtEnable  ExtensionBehavior = "enable"
+	ExtWarn    ExtensionBehavior = "warn"
+	ExtDisable ExtensionBehavior = "disable"
+)
+
+// PPResult is the output of preprocessing: the expanded token stream plus
+// the directives of semantic interest to the compiler driver.
+type PPResult struct {
+	Tokens     []Token
+	Version    int // 0 when no #version directive was present
+	Extensions map[string]ExtensionBehavior
+}
+
+// Preprocessor implements the GLSL ES 1.00 preprocessor subset: object- and
+// function-like #define, #undef, #ifdef/#ifndef/#if/#elif/#else/#endif with
+// integer constant expressions, #error, #version, #extension, #pragma and
+// #line (the last two are accepted and ignored).
+type Preprocessor struct {
+	macros map[string]Macro
+	// KnownExtensions lists extension names the implementation accepts
+	// with "enable"/"require". Unknown extensions fail on "require" as
+	// the spec demands.
+	KnownExtensions map[string]bool
+}
+
+// NewPreprocessor returns a preprocessor with no predefined macros except
+// GL_ES=1, as mandated by the specification.
+func NewPreprocessor() *Preprocessor {
+	pp := &Preprocessor{macros: make(map[string]Macro), KnownExtensions: make(map[string]bool)}
+	pp.Define("GL_ES", "1")
+	return pp
+}
+
+// Define installs an object-like macro whose body is the lexed value. It is
+// used both by #define and by the compiler driver to inject configuration
+// constants (the way build systems pass -DBLOCK_SIZE=16).
+func (pp *Preprocessor) Define(name, value string) error {
+	toks, err := LexAll(value)
+	if err != nil {
+		return fmt.Errorf("glsl: bad macro value for %s: %w", name, err)
+	}
+	pp.macros[name] = Macro{Name: name, Body: toks}
+	return nil
+}
+
+type ppState struct {
+	active   bool // current branch emits tokens
+	everTrue bool // some branch of this #if chain was taken
+	elseSeen bool
+}
+
+// Process runs the preprocessor over src and returns the expanded tokens.
+func (pp *Preprocessor) Process(src string) (*PPResult, error) {
+	res := &PPResult{Extensions: make(map[string]ExtensionBehavior)}
+	var stack []ppState
+	activeNow := func() bool {
+		for _, s := range stack {
+			if !s.active {
+				return false
+			}
+		}
+		return true
+	}
+
+	lines := splitLogicalLines(src)
+	for _, ln := range lines {
+		trimmed := strings.TrimSpace(ln.text)
+		if strings.HasPrefix(trimmed, "#") {
+			if err := pp.directive(trimmed, ln.line, &stack, activeNow, res); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if !activeNow() || trimmed == "" {
+			continue
+		}
+		toks, err := lexLine(ln.text, ln.line)
+		if err != nil {
+			return nil, err
+		}
+		out, err := pp.expand(toks, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.Tokens = append(res.Tokens, out...)
+	}
+	if len(stack) != 0 {
+		return nil, errf(Pos{Line: len(lines), Col: 1}, "unterminated #if/#ifdef")
+	}
+	return res, nil
+}
+
+type logicalLine struct {
+	text string
+	line int
+}
+
+// splitLogicalLines splits on newlines, merging lines ending in backslash
+// continuations (used by multi-line #define).
+func splitLogicalLines(src string) []logicalLine {
+	raw := strings.Split(src, "\n")
+	var out []logicalLine
+	for i := 0; i < len(raw); i++ {
+		line := raw[i]
+		start := i
+		for strings.HasSuffix(strings.TrimRight(line, " \t\r"), "\\") && i+1 < len(raw) {
+			line = strings.TrimSuffix(strings.TrimRight(line, " \t\r"), "\\") + " " + raw[i+1]
+			i++
+		}
+		out = append(out, logicalLine{text: line, line: start + 1})
+	}
+	return out
+}
+
+// lexLine tokenises one logical line, fixing up token line numbers.
+func lexLine(text string, line int) ([]Token, error) {
+	toks, err := LexAll(text)
+	if err != nil {
+		if e, ok := err.(*Error); ok {
+			e.Pos.Line = line
+		}
+		return nil, err
+	}
+	for i := range toks {
+		toks[i].Pos.Line = line
+	}
+	return toks, nil
+}
+
+func (pp *Preprocessor) directive(trimmed string, line int, stack *[]ppState, activeNow func() bool, res *PPResult) error {
+	pos := Pos{Line: line, Col: 1}
+	body := strings.TrimSpace(trimmed[1:])
+	if body == "" { // null directive
+		return nil
+	}
+	name := body
+	rest := ""
+	if i := strings.IndexAny(body, " \t"); i >= 0 {
+		name, rest = body[:i], strings.TrimSpace(body[i+1:])
+	}
+	switch name {
+	case "ifdef", "ifndef":
+		cond := false
+		if activeNow() {
+			_, defined := pp.macros[rest]
+			cond = defined == (name == "ifdef")
+		}
+		*stack = append(*stack, ppState{active: cond, everTrue: cond})
+	case "if":
+		cond := false
+		if activeNow() {
+			v, err := pp.evalCondition(rest, pos)
+			if err != nil {
+				return err
+			}
+			cond = v != 0
+		}
+		*stack = append(*stack, ppState{active: cond, everTrue: cond})
+	case "elif":
+		if len(*stack) == 0 {
+			return errf(pos, "#elif without #if")
+		}
+		top := &(*stack)[len(*stack)-1]
+		if top.elseSeen {
+			return errf(pos, "#elif after #else")
+		}
+		if top.everTrue {
+			top.active = false
+		} else {
+			outerActive := true
+			for _, s := range (*stack)[:len(*stack)-1] {
+				outerActive = outerActive && s.active
+			}
+			if outerActive {
+				v, err := pp.evalCondition(rest, pos)
+				if err != nil {
+					return err
+				}
+				top.active = v != 0
+				top.everTrue = top.active
+			}
+		}
+	case "else":
+		if len(*stack) == 0 {
+			return errf(pos, "#else without #if")
+		}
+		top := &(*stack)[len(*stack)-1]
+		if top.elseSeen {
+			return errf(pos, "duplicate #else")
+		}
+		top.elseSeen = true
+		top.active = !top.everTrue
+		top.everTrue = true
+	case "endif":
+		if len(*stack) == 0 {
+			return errf(pos, "#endif without #if")
+		}
+		*stack = (*stack)[:len(*stack)-1]
+	case "define":
+		if !activeNow() {
+			return nil
+		}
+		return pp.parseDefine(rest, line)
+	case "undef":
+		if !activeNow() {
+			return nil
+		}
+		delete(pp.macros, strings.TrimSpace(rest))
+	case "error":
+		if !activeNow() {
+			return nil
+		}
+		return errf(pos, "#error %s", rest)
+	case "version":
+		if !activeNow() {
+			return nil
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			return errf(pos, "#version requires a number")
+		}
+		v, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return errf(pos, "#version requires a number, got %q", fields[0])
+		}
+		if v != 100 {
+			return errf(pos, "unsupported shading language version %d (this implementation supports 100 es)", v)
+		}
+		res.Version = v
+	case "extension":
+		if !activeNow() {
+			return nil
+		}
+		parts := strings.SplitN(rest, ":", 2)
+		if len(parts) != 2 {
+			return errf(pos, "#extension requires 'name : behavior'")
+		}
+		ext := strings.TrimSpace(parts[0])
+		beh := ExtensionBehavior(strings.TrimSpace(parts[1]))
+		switch beh {
+		case ExtRequire, ExtEnable, ExtWarn, ExtDisable:
+		default:
+			return errf(pos, "invalid extension behavior %q", beh)
+		}
+		if beh == ExtRequire && !pp.KnownExtensions[ext] && ext != "all" {
+			return errf(pos, "extension %q is not supported", ext)
+		}
+		res.Extensions[ext] = beh
+		// Extensions conventionally define a macro of the same name.
+		if (beh == ExtEnable || beh == ExtRequire) && pp.KnownExtensions[ext] {
+			pp.Define(ext, "1")
+		}
+	case "pragma", "line":
+		// Accepted and ignored.
+	default:
+		return errf(pos, "unknown preprocessor directive #%s", name)
+	}
+	return nil
+}
+
+func (pp *Preprocessor) parseDefine(rest string, line int) error {
+	pos := Pos{Line: line, Col: 1}
+	toks, err := lexLine(rest, line)
+	if err != nil {
+		return err
+	}
+	if len(toks) == 0 || (toks[0].Kind != TokIdent && toks[0].Kind != TokKeyword) {
+		return errf(pos, "#define requires a macro name")
+	}
+	name := toks[0].Text
+	if keywords[name] {
+		return errf(pos, "cannot #define keyword %q", name)
+	}
+	if strings.HasPrefix(name, "GL_") {
+		return errf(pos, "macro names beginning with GL_ are reserved (%q)", name)
+	}
+	i := 1
+	m := Macro{Name: name, DefinedAt: pos}
+	// Function-like only when '(' immediately follows the name in source;
+	// since we lex the whole line we approximate with the next token being
+	// '(' at an adjacent column.
+	if i < len(toks) && toks[i].Kind == TokLParen && toks[i].Pos.Col == toks[0].Pos.Col+len(name) {
+		m.IsFunc = true
+		i++
+		for i < len(toks) && toks[i].Kind != TokRParen {
+			if toks[i].Kind != TokIdent {
+				return errf(toks[i].Pos, "macro parameter must be an identifier")
+			}
+			m.Params = append(m.Params, toks[i].Text)
+			i++
+			if i < len(toks) && toks[i].Kind == TokComma {
+				i++
+			}
+		}
+		if i >= len(toks) {
+			return errf(pos, "unterminated macro parameter list")
+		}
+		i++ // consume ')'
+	}
+	m.Body = toks[i:]
+	pp.macros[name] = m
+	return nil
+}
+
+// expand performs recursive macro expansion on a token slice. hideset holds
+// macro names currently being expanded, to stop self-referential loops.
+func (pp *Preprocessor) expand(toks []Token, hideset map[string]bool) ([]Token, error) {
+	var out []Token
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind != TokIdent {
+			out = append(out, t)
+			continue
+		}
+		m, ok := pp.macros[t.Text]
+		if !ok || hideset[t.Text] {
+			out = append(out, t)
+			continue
+		}
+		if m.IsFunc {
+			if i+1 >= len(toks) || toks[i+1].Kind != TokLParen {
+				out = append(out, t) // name without call: not expanded
+				continue
+			}
+			args, consumed, err := collectMacroArgs(toks[i+1:], t.Pos)
+			if err != nil {
+				return nil, err
+			}
+			i += consumed
+			if len(args) != len(m.Params) && !(len(m.Params) == 0 && len(args) == 1 && len(args[0]) == 0) {
+				return nil, errf(t.Pos, "macro %s expects %d arguments, got %d", m.Name, len(m.Params), len(args))
+			}
+			// Substitute parameters, then rescan.
+			var body []Token
+			for _, bt := range m.Body {
+				if bt.Kind == TokIdent {
+					if idx := indexOf(m.Params, bt.Text); idx >= 0 && idx < len(args) {
+						for _, at := range args[idx] {
+							at.Pos = t.Pos
+							body = append(body, at)
+						}
+						continue
+					}
+				}
+				bt.Pos = t.Pos
+				body = append(body, bt)
+			}
+			sub, err := pp.expandWith(body, hideset, m.Name)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+			continue
+		}
+		body := make([]Token, len(m.Body))
+		for j, bt := range m.Body {
+			bt.Pos = t.Pos
+			body[j] = bt
+		}
+		sub, err := pp.expandWith(body, hideset, m.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sub...)
+	}
+	return out, nil
+}
+
+func (pp *Preprocessor) expandWith(toks []Token, hideset map[string]bool, plus string) ([]Token, error) {
+	hs := make(map[string]bool, len(hideset)+1)
+	for k := range hideset {
+		hs[k] = true
+	}
+	hs[plus] = true
+	return pp.expand(toks, hs)
+}
+
+func indexOf(ss []string, s string) int {
+	for i, v := range ss {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// collectMacroArgs parses "( arg, arg, ... )" starting at toks[0] == '('.
+// It returns the argument token slices and the number of tokens consumed
+// including both parentheses.
+func collectMacroArgs(toks []Token, at Pos) ([][]Token, int, error) {
+	depth := 0
+	var args [][]Token
+	var cur []Token
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		switch t.Kind {
+		case TokLParen:
+			depth++
+			if depth > 1 {
+				cur = append(cur, t)
+			}
+		case TokRParen:
+			depth--
+			if depth == 0 {
+				args = append(args, cur)
+				return args, i + 1, nil
+			}
+			cur = append(cur, t)
+		case TokComma:
+			if depth == 1 {
+				args = append(args, cur)
+				cur = nil
+			} else {
+				cur = append(cur, t)
+			}
+		default:
+			cur = append(cur, t)
+		}
+	}
+	return nil, 0, errf(at, "unterminated macro argument list")
+}
+
+// evalCondition evaluates a #if / #elif integer constant expression.
+// Supported: integer literals, defined(NAME)/defined NAME, macro expansion,
+// unary !,-,+, and binary * / % + - < > <= >= == != && ||.
+func (pp *Preprocessor) evalCondition(expr string, pos Pos) (int64, error) {
+	toks, err := lexLine(expr, pos.Line)
+	if err != nil {
+		return 0, err
+	}
+	// Resolve defined(...) before macro expansion.
+	var resolved []Token
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind == TokIdent && t.Text == "defined" {
+			j := i + 1
+			paren := false
+			if j < len(toks) && toks[j].Kind == TokLParen {
+				paren = true
+				j++
+			}
+			if j >= len(toks) || toks[j].Kind != TokIdent {
+				return 0, errf(t.Pos, "defined requires a macro name")
+			}
+			name := toks[j].Text
+			if paren {
+				j++
+				if j >= len(toks) || toks[j].Kind != TokRParen {
+					return 0, errf(t.Pos, "missing ')' after defined(%s", name)
+				}
+			}
+			val := "0"
+			if _, ok := pp.macros[name]; ok {
+				val = "1"
+			}
+			resolved = append(resolved, Token{Kind: TokIntLit, Text: val, Pos: t.Pos})
+			i = j
+			continue
+		}
+		resolved = append(resolved, t)
+	}
+	expanded, err := pp.expand(resolved, nil)
+	if err != nil {
+		return 0, err
+	}
+	// Remaining identifiers evaluate to 0, per the C preprocessor rule.
+	e := &condEval{toks: expanded, pos: pos}
+	v, err := e.parseBinary(0)
+	if err != nil {
+		return 0, err
+	}
+	if e.i != len(e.toks) {
+		return 0, errf(pos, "trailing tokens in preprocessor condition")
+	}
+	return v, nil
+}
+
+type condEval struct {
+	toks []Token
+	i    int
+	pos  Pos
+}
+
+func (e *condEval) peek() Token {
+	if e.i >= len(e.toks) {
+		return Token{Kind: TokEOF, Pos: e.pos}
+	}
+	return e.toks[e.i]
+}
+
+var condPrec = map[TokenKind]int{
+	TokOr: 1, TokAnd: 2,
+	TokEq: 3, TokNe: 3,
+	TokLt: 4, TokGt: 4, TokLe: 4, TokGe: 4,
+	TokPlus: 5, TokMinus: 5,
+	TokStar: 6, TokSlash: 6,
+}
+
+func (e *condEval) parseBinary(minPrec int) (int64, error) {
+	lhs, err := e.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		op := e.peek()
+		prec, ok := condPrec[op.Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		e.i++
+		rhs, err := e.parseBinary(prec + 1)
+		if err != nil {
+			return 0, err
+		}
+		b2i := func(b bool) int64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		switch op.Kind {
+		case TokOr:
+			lhs = b2i(lhs != 0 || rhs != 0)
+		case TokAnd:
+			lhs = b2i(lhs != 0 && rhs != 0)
+		case TokEq:
+			lhs = b2i(lhs == rhs)
+		case TokNe:
+			lhs = b2i(lhs != rhs)
+		case TokLt:
+			lhs = b2i(lhs < rhs)
+		case TokGt:
+			lhs = b2i(lhs > rhs)
+		case TokLe:
+			lhs = b2i(lhs <= rhs)
+		case TokGe:
+			lhs = b2i(lhs >= rhs)
+		case TokPlus:
+			lhs += rhs
+		case TokMinus:
+			lhs -= rhs
+		case TokStar:
+			lhs *= rhs
+		case TokSlash:
+			if rhs == 0 {
+				return 0, errf(op.Pos, "division by zero in preprocessor condition")
+			}
+			lhs /= rhs
+		}
+	}
+}
+
+func (e *condEval) parseUnary() (int64, error) {
+	t := e.peek()
+	switch t.Kind {
+	case TokNot:
+		e.i++
+		v, err := e.parseUnary()
+		if err != nil {
+			return 0, err
+		}
+		if v == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case TokMinus:
+		e.i++
+		v, err := e.parseUnary()
+		return -v, err
+	case TokPlus:
+		e.i++
+		return e.parseUnary()
+	case TokLParen:
+		e.i++
+		v, err := e.parseBinary(0)
+		if err != nil {
+			return 0, err
+		}
+		if e.peek().Kind != TokRParen {
+			return 0, errf(e.peek().Pos, "missing ')' in preprocessor condition")
+		}
+		e.i++
+		return v, nil
+	case TokIntLit:
+		e.i++
+		v, err := strconv.ParseInt(t.Text, 0, 64)
+		if err != nil {
+			return 0, errf(t.Pos, "bad integer %q", t.Text)
+		}
+		return v, nil
+	case TokIdent, TokKeyword:
+		e.i++
+		if t.Text == "true" {
+			return 1, nil
+		}
+		return 0, nil // undefined identifiers are 0
+	}
+	return 0, errf(t.Pos, "unexpected %s in preprocessor condition", t)
+}

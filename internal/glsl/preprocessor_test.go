@@ -1,0 +1,221 @@
+package glsl
+
+import (
+	"strings"
+	"testing"
+)
+
+func ppProcess(t *testing.T, src string, defines map[string]string) *PPResult {
+	t.Helper()
+	pp := NewPreprocessor()
+	for k := range KnownExtensions {
+		pp.KnownExtensions[k] = true
+	}
+	for k, v := range defines {
+		if err := pp.Define(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := pp.Process(src)
+	if err != nil {
+		t.Fatalf("preprocess: %v", err)
+	}
+	return res
+}
+
+func ppText(t *testing.T, src string, defines map[string]string) string {
+	return FormatTokens(ppProcess(t, src, defines).Tokens)
+}
+
+func TestPPObjectMacro(t *testing.T) {
+	got := ppText(t, "#define N 16\nfloat x = N;", nil)
+	if !strings.Contains(got, `"16"`) || strings.Contains(got, `"N"`) {
+		t.Errorf("macro not expanded: %s", got)
+	}
+}
+
+func TestPPInjectedDefines(t *testing.T) {
+	got := ppText(t, "float m = M;", map[string]string{"M": "1024.0"})
+	if !strings.Contains(got, `"1024.0"`) {
+		t.Errorf("injected define not expanded: %s", got)
+	}
+}
+
+func TestPPFunctionMacro(t *testing.T) {
+	src := "#define SQ(x) ((x)*(x))\nfloat y = SQ(3.0);"
+	got := ppText(t, src, nil)
+	if !strings.Contains(got, `'(' '(' "3.0" ')' '*' '(' "3.0" ')' ')'`) {
+		t.Errorf("function macro expansion wrong: %s", got)
+	}
+}
+
+func TestPPFunctionMacroNested(t *testing.T) {
+	src := "#define ADD(a,b) ((a)+(b))\n#define TWICE(x) ADD(x,x)\nfloat y = TWICE(2.0);"
+	got := ppText(t, src, nil)
+	if !strings.Contains(got, "'+'") || strings.Contains(got, `"ADD"`) {
+		t.Errorf("nested expansion wrong: %s", got)
+	}
+}
+
+func TestPPRecursiveMacroStops(t *testing.T) {
+	// Self-referential macros must not loop forever.
+	got := ppText(t, "#define A A\nfloat x = A;", nil)
+	if !strings.Contains(got, `"A"`) {
+		t.Errorf("self-referential macro mishandled: %s", got)
+	}
+}
+
+func TestPPUndef(t *testing.T) {
+	got := ppText(t, "#define N 4\n#undef N\nfloat x = N;", nil)
+	if !strings.Contains(got, `"N"`) {
+		t.Errorf("undef ignored: %s", got)
+	}
+}
+
+func TestPPConditionals(t *testing.T) {
+	src := `
+#define FAST 1
+#ifdef FAST
+float a;
+#else
+float b;
+#endif
+#ifndef MISSING
+float c;
+#endif
+#if FAST == 1 && 2 < 3
+float d;
+#elif 1
+float e;
+#endif
+#if 0
+float f;
+#elif defined(FAST)
+float g;
+#else
+float h;
+#endif
+`
+	got := ppText(t, src, nil)
+	for _, want := range []string{`"a"`, `"c"`, `"d"`, `"g"`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %s in %s", want, got)
+		}
+	}
+	for _, bad := range []string{`"b"`, `"e"`, `"f"`, `"h"`} {
+		if strings.Contains(got, bad) {
+			t.Errorf("unexpected %s in %s", bad, got)
+		}
+	}
+}
+
+func TestPPNestedConditionals(t *testing.T) {
+	src := "#if 1\n#if 0\nfloat a;\n#endif\nfloat b;\n#endif"
+	got := ppText(t, src, nil)
+	if strings.Contains(got, `"a"`) || !strings.Contains(got, `"b"`) {
+		t.Errorf("nested conditional wrong: %s", got)
+	}
+}
+
+func TestPPUnterminatedIf(t *testing.T) {
+	pp := NewPreprocessor()
+	if _, err := pp.Process("#if 1\nfloat a;"); err == nil {
+		t.Error("unterminated #if not rejected")
+	}
+}
+
+func TestPPElseWithoutIf(t *testing.T) {
+	pp := NewPreprocessor()
+	if _, err := pp.Process("#else"); err == nil {
+		t.Error("#else without #if not rejected")
+	}
+}
+
+func TestPPError(t *testing.T) {
+	pp := NewPreprocessor()
+	_, err := pp.Process("#error custom failure")
+	if err == nil || !strings.Contains(err.Error(), "custom failure") {
+		t.Errorf("#error mishandled: %v", err)
+	}
+	// Inactive #error is skipped.
+	ppText(t, "#if 0\n#error should not fire\n#endif", nil)
+}
+
+func TestPPVersion(t *testing.T) {
+	res := ppProcess(t, "#version 100\nfloat x;", nil)
+	if res.Version != 100 {
+		t.Errorf("Version = %d, want 100", res.Version)
+	}
+	pp := NewPreprocessor()
+	if _, err := pp.Process("#version 300\n"); err == nil {
+		t.Error("#version 300 not rejected by an ES2 implementation")
+	}
+}
+
+func TestPPExtension(t *testing.T) {
+	res := ppProcess(t, "#extension GL_EXT_mul24 : enable\nfloat x;", nil)
+	if res.Extensions[ExtMul24] != ExtEnable {
+		t.Errorf("extensions = %v", res.Extensions)
+	}
+	// The extension macro becomes defined.
+	got := ppText(t, "#extension GL_EXT_mul24 : enable\n#ifdef GL_EXT_mul24\nfloat y;\n#endif", nil)
+	if !strings.Contains(got, `"y"`) {
+		t.Errorf("extension macro not defined: %s", got)
+	}
+	// Requiring an unknown extension fails.
+	pp := NewPreprocessor()
+	if _, err := pp.Process("#extension GL_FAKE_ext : require\n"); err == nil {
+		t.Error("unknown required extension not rejected")
+	}
+	// Enabling an unknown extension is tolerated (spec: warn).
+	pp2 := NewPreprocessor()
+	if _, err := pp2.Process("#extension GL_FAKE_ext : enable\n"); err != nil {
+		t.Errorf("enable of unknown extension should not fail: %v", err)
+	}
+}
+
+func TestPPGLESPredefined(t *testing.T) {
+	got := ppText(t, "#ifdef GL_ES\nfloat ok;\n#endif", nil)
+	if !strings.Contains(got, `"ok"`) {
+		t.Error("GL_ES not predefined")
+	}
+}
+
+func TestPPLineContinuation(t *testing.T) {
+	got := ppText(t, "#define LONG 1.0 + \\\n 2.0\nfloat x = LONG;", nil)
+	if !strings.Contains(got, `"1.0" '+' "2.0"`) {
+		t.Errorf("line continuation broken: %s", got)
+	}
+}
+
+func TestPPReservedMacroNames(t *testing.T) {
+	pp := NewPreprocessor()
+	if _, err := pp.Process("#define GL_custom 1\n"); err == nil {
+		t.Error("GL_ macro prefix not rejected")
+	}
+	pp = NewPreprocessor()
+	if _, err := pp.Process("#define float 1\n"); err == nil {
+		t.Error("defining a keyword not rejected")
+	}
+}
+
+func TestPPUnknownDirective(t *testing.T) {
+	pp := NewPreprocessor()
+	if _, err := pp.Process("#frobnicate\n"); err == nil {
+		t.Error("unknown directive not rejected")
+	}
+}
+
+func TestPPMacroArgCount(t *testing.T) {
+	pp := NewPreprocessor()
+	if _, err := pp.Process("#define F(a,b) a+b\nfloat x = F(1.0);"); err == nil {
+		t.Error("wrong macro arg count not rejected")
+	}
+}
+
+func TestPPConditionDivZero(t *testing.T) {
+	pp := NewPreprocessor()
+	if _, err := pp.Process("#if 1/0\n#endif"); err == nil {
+		t.Error("division by zero in #if not rejected")
+	}
+}

@@ -1,0 +1,671 @@
+package glsl
+
+import (
+	"fmt"
+)
+
+// LoopInfo is the static description of an ES2-restricted for loop. GLSL ES
+// 1.00 Appendix A requires loops to have compile-time-computable trip
+// counts; embedded compilers rely on this to fully unroll fragment-shader
+// loops, which is what makes instruction-count limits bite for large block
+// sizes (paper §V-B, Fig. 4b).
+type LoopInfo struct {
+	Sym   *Symbol
+	Start float64
+	CmpOp BinaryOp
+	Bound float64
+	Step  float64 // signed per-iteration increment
+	Trip  int
+}
+
+// maxLoopTrip is a front-end sanity cap on statically-computed trip counts,
+// far above any real shader; device-specific limits are enforced by the
+// back end.
+const maxLoopTrip = 1 << 22
+
+// CheckOpts configures semantic analysis.
+type CheckOpts struct {
+	Stage ShaderStage
+	// Extensions holds the #extension directives from preprocessing.
+	Extensions map[string]ExtensionBehavior
+}
+
+// CheckedShader is the result of semantic analysis: the typed AST plus the
+// interface (uniforms, attributes, varyings) and resource usage the linker
+// and back end need.
+type CheckedShader struct {
+	Stage      ShaderStage
+	Prog       *Program
+	Uniforms   []*Symbol
+	Attributes []*Symbol
+	Varyings   []*Symbol
+	Functions  map[string]*FuncDecl
+	Main       *FuncDecl
+	Loops      map[*ForStmt]LoopInfo
+
+	// Resource usage in spec units.
+	UniformVectors int
+	VaryingVectors int
+	AttributeSlots int
+
+	UsesDiscard     bool
+	WritesFragColor bool
+	WritesPosition  bool
+	Extensions      map[string]ExtensionBehavior
+	DefaultPrec     map[BasicKind]Precision
+}
+
+type checker struct {
+	opts      CheckOpts
+	out       *CheckedShader
+	scopes    []map[string]*Symbol
+	frozen    map[*Symbol]bool // live loop indices, not assignable
+	curFn     *FuncDecl
+	loopDepth int
+}
+
+// Check performs semantic analysis on a parsed program.
+func Check(prog *Program, opts CheckOpts) (*CheckedShader, error) {
+	c := &checker{
+		opts: opts,
+		out: &CheckedShader{
+			Stage:       opts.Stage,
+			Prog:        prog,
+			Functions:   make(map[string]*FuncDecl),
+			Loops:       make(map[*ForStmt]LoopInfo),
+			Extensions:  opts.Extensions,
+			DefaultPrec: map[BasicKind]Precision{},
+		},
+		frozen: make(map[*Symbol]bool),
+	}
+	// GLES2 default precisions: vertex float=highp int=mediump;
+	// fragment float has NO default (must be declared), int=mediump;
+	// samplers lowp.
+	c.out.DefaultPrec[KInt] = PrecMedium
+	c.out.DefaultPrec[KSampler2D] = PrecLow
+	c.out.DefaultPrec[KSamplerCube] = PrecLow
+	if opts.Stage == StageVertex {
+		c.out.DefaultPrec[KFloat] = PrecHigh
+	}
+	c.push()
+	defer c.pop()
+
+	for _, d := range prog.Decls {
+		switch d := d.(type) {
+		case *PrecisionDecl:
+			c.out.DefaultPrec[d.For] = d.Prec
+		case *GlobalDecl:
+			if err := c.checkGlobal(d); err != nil {
+				return nil, err
+			}
+		case *FuncDecl:
+			if err := c.checkFunc(d); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, errf(d.Pos(), "unsupported top-level declaration")
+		}
+	}
+	if c.out.Main == nil {
+		return nil, errf(Pos{Line: 1, Col: 1}, "missing void main()")
+	}
+	if opts.Stage == StageFragment {
+		usesFloat := false
+		for _, fn := range c.out.Functions {
+			_ = fn
+			usesFloat = true // every useful fragment shader touches floats
+		}
+		if usesFloat {
+			if _, ok := c.out.DefaultPrec[KFloat]; !ok {
+				return nil, errf(Pos{Line: 1, Col: 1}, "fragment shaders must declare a default float precision (e.g. \"precision mediump float;\")")
+			}
+		}
+	}
+	return c.out, nil
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(pos Pos, sym *Symbol) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, ok := top[sym.Name]; ok {
+		return errf(pos, "redeclaration of %q in the same scope", sym.Name)
+	}
+	top[sym.Name] = sym
+	return nil
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *checker) extEnabled(name string) bool {
+	b, ok := c.opts.Extensions[name]
+	return ok && (b == ExtEnable || b == ExtRequire || b == ExtWarn)
+}
+
+// vectorSlots returns the number of 4-component "vectors" a type occupies
+// in the spec's resource-counting model.
+func vectorSlots(t Type) int {
+	per := 1
+	switch t.Kind {
+	case KMat2:
+		per = 2
+	case KMat3:
+		per = 3
+	case KMat4:
+		per = 4
+	}
+	n := 1
+	if t.ArrayLen > 0 {
+		n = t.ArrayLen
+	}
+	return per * n
+}
+
+func (c *checker) checkGlobal(d *GlobalDecl) error {
+	if c.lookup(d.Name) != nil {
+		return errf(d.P, "redeclaration of %q", d.Name)
+	}
+	if d.DeclType.IsSampler() && d.Storage != StorUniform {
+		return errf(d.P, "samplers must be declared uniform")
+	}
+	kind := SymGlobal
+	switch d.Storage {
+	case StorConst:
+		kind = SymConst
+		if d.Init == nil {
+			return errf(d.P, "const variable %q requires an initializer", d.Name)
+		}
+	case StorAttribute:
+		kind = SymAttribute
+		if c.opts.Stage != StageVertex {
+			return errf(d.P, "attribute %q declared outside a vertex shader", d.Name)
+		}
+		if d.DeclType.IsArray() {
+			return errf(d.P, "attributes cannot be arrays")
+		}
+		if !d.DeclType.IsFloatBased() {
+			return errf(d.P, "attribute %q must have a float-based type, got %s", d.Name, d.DeclType)
+		}
+	case StorUniform:
+		kind = SymUniform
+	case StorVarying:
+		kind = SymVarying
+		base := d.DeclType
+		base.ArrayLen = 0
+		if !base.IsFloatBased() {
+			return errf(d.P, "varying %q must have a float-based type, got %s", d.Name, d.DeclType)
+		}
+	}
+	if d.Init != nil && d.Storage != StorConst && d.Storage != StorNone {
+		return errf(d.P, "%s variable %q cannot have an initializer", d.Storage, d.Name)
+	}
+	sym := &Symbol{Name: d.Name, Kind: kind, Type: d.DeclType, Prec: c.effPrec(d.Prec, d.DeclType)}
+	if d.Init != nil {
+		e, err := c.checkExpr(d.Init)
+		if err != nil {
+			return err
+		}
+		d.Init = e
+		if !typesEqual(e.Type(), d.DeclType) {
+			return errf(d.P, "cannot initialize %s %q with %s", d.DeclType, d.Name, e.Type())
+		}
+		if kind == SymConst {
+			if e.ConstVal() == nil {
+				return errf(d.P, "initializer of const %q is not a constant expression", d.Name)
+			}
+			sym.Const = e.ConstVal()
+		}
+	}
+	d.Sym = sym
+	if err := c.declare(d.P, sym); err != nil {
+		return err
+	}
+	switch kind {
+	case SymUniform:
+		c.out.Uniforms = append(c.out.Uniforms, sym)
+		c.out.UniformVectors += vectorSlots(d.DeclType)
+	case SymAttribute:
+		c.out.Attributes = append(c.out.Attributes, sym)
+		c.out.AttributeSlots += vectorSlots(d.DeclType)
+	case SymVarying:
+		c.out.Varyings = append(c.out.Varyings, sym)
+		c.out.VaryingVectors += vectorSlots(d.DeclType)
+	}
+	return nil
+}
+
+func (c *checker) effPrec(p Precision, t Type) Precision {
+	if p != PrecNone {
+		return p
+	}
+	if dp, ok := c.out.DefaultPrec[t.ComponentKind()]; ok {
+		return dp
+	}
+	if t.IsSampler() {
+		if dp, ok := c.out.DefaultPrec[t.Kind]; ok {
+			return dp
+		}
+	}
+	return PrecNone
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	if _, exists := c.out.Functions[f.Name]; exists {
+		return errf(f.P, "redefinition of function %q (overloading user functions is not supported)", f.Name)
+	}
+	if len(LookupBuiltin(f.Name)) > 0 {
+		return errf(f.P, "cannot redefine builtin function %q", f.Name)
+	}
+	if f.Name == "main" {
+		if f.Ret.Kind != KVoid || len(f.Params) > 0 {
+			return errf(f.P, "main must be declared as void main()")
+		}
+		c.out.Main = f
+	}
+	c.out.Functions[f.Name] = f
+	prev := c.curFn
+	c.curFn = f
+	defer func() { c.curFn = prev }()
+	c.push()
+	defer c.pop()
+	for i := range f.Params {
+		p := &f.Params[i]
+		if p.DeclType.IsSampler() && p.Qualifier != ParamIn {
+			return errf(p.P, "sampler parameters must be 'in'")
+		}
+		sym := &Symbol{Name: p.Name, Kind: SymParam, Type: p.DeclType, Prec: c.effPrec(p.Prec, p.DeclType)}
+		p.Sym = sym
+		if err := c.declare(p.P, sym); err != nil {
+			return err
+		}
+	}
+	if err := c.checkBlock(f.Body); err != nil {
+		return err
+	}
+	if f.Name == "main" {
+		// Stage-output checks are advisory; GLES2 drivers accept shaders
+		// that never write outputs (the result is undefined), so we only
+		// record the facts.
+		_ = f
+	}
+	return nil
+}
+
+func (c *checker) checkBlock(b *Block) error {
+	c.push()
+	defer c.pop()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *Block:
+		return c.checkBlock(s)
+	case *DeclStmt:
+		return c.checkDecl(s)
+	case *ExprStmt:
+		e, err := c.checkExpr(s.X)
+		if err != nil {
+			return err
+		}
+		s.X = e
+		return nil
+	case *IfStmt:
+		cond, err := c.checkExpr(s.Cond)
+		if err != nil {
+			return err
+		}
+		s.Cond = cond
+		if cond.Type() != T(KBool) {
+			return errf(s.P, "if condition must be bool, got %s", cond.Type())
+		}
+		if err := c.checkStmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkStmt(s.Else)
+		}
+		return nil
+	case *ForStmt:
+		return c.checkFor(s)
+	case *WhileStmt:
+		return errf(s.P, "while loops are not supported by this GLSL ES 1.00 implementation (Appendix A restrictions)")
+	case *ReturnStmt:
+		if c.curFn == nil {
+			return errf(s.P, "return outside function")
+		}
+		if s.X == nil {
+			if c.curFn.Ret.Kind != KVoid {
+				return errf(s.P, "missing return value in function returning %s", c.curFn.Ret)
+			}
+			return nil
+		}
+		e, err := c.checkExpr(s.X)
+		if err != nil {
+			return err
+		}
+		s.X = e
+		if !typesEqual(e.Type(), c.curFn.Ret) {
+			return errf(s.P, "cannot return %s from function returning %s", e.Type(), c.curFn.Ret)
+		}
+		return nil
+	case *BreakStmt:
+		if c.loopDepth == 0 {
+			return errf(s.P, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			return errf(s.P, "continue outside loop")
+		}
+		return nil
+	case *DiscardStmt:
+		if c.opts.Stage != StageFragment {
+			return errf(s.P, "discard is only valid in fragment shaders")
+		}
+		c.out.UsesDiscard = true
+		return nil
+	}
+	return errf(s.Pos(), "unsupported statement")
+}
+
+func (c *checker) checkDecl(d *DeclStmt) error {
+	if d.DeclType.IsSampler() {
+		return errf(d.P, "local variables cannot have sampler types")
+	}
+	sym := &Symbol{Name: d.Name, Kind: SymLocal, Type: d.DeclType, Prec: c.effPrec(d.Prec, d.DeclType)}
+	if d.IsConst {
+		sym.Kind = SymConst
+		if d.Init == nil {
+			return errf(d.P, "const variable %q requires an initializer", d.Name)
+		}
+	}
+	if d.Init != nil {
+		e, err := c.checkExpr(d.Init)
+		if err != nil {
+			return err
+		}
+		d.Init = e
+		if !typesEqual(e.Type(), d.DeclType) {
+			return errf(d.P, "cannot initialize %s %q with %s", d.DeclType, d.Name, e.Type())
+		}
+		if d.IsConst {
+			if e.ConstVal() == nil {
+				return errf(d.P, "initializer of const %q is not a constant expression", d.Name)
+			}
+			sym.Const = e.ConstVal()
+		}
+	}
+	d.Sym = sym
+	return c.declare(d.P, sym)
+}
+
+// checkFor enforces the GLSL ES Appendix A loop restrictions and computes
+// the static trip count.
+func (c *checker) checkFor(s *ForStmt) error {
+	c.push()
+	defer c.pop()
+
+	var loopSym *Symbol
+	var start float64
+	switch init := s.Init.(type) {
+	case *DeclStmt:
+		if err := c.checkDecl(init); err != nil {
+			return err
+		}
+		if init.Init == nil || init.Init.ConstVal() == nil {
+			return errf(init.P, "loop index %q must be initialized with a constant expression", init.Name)
+		}
+		loopSym = init.Sym
+		start = init.Init.ConstVal().Float()
+	case *ExprStmt:
+		asg, ok := init.X.(*Assign)
+		if !ok || asg.Op != AsgEq {
+			return errf(init.P, "for-loop init must be a declaration or a simple assignment")
+		}
+		lhs, err := c.checkExpr(asg.LHS)
+		if err != nil {
+			return err
+		}
+		id, ok := lhs.(*Ident)
+		if !ok {
+			return errf(init.P, "for-loop init must assign a plain variable")
+		}
+		rhs, err := c.checkExpr(asg.RHS)
+		if err != nil {
+			return err
+		}
+		asg.LHS, asg.RHS = lhs, rhs
+		asg.T = lhs.Type()
+		if rhs.ConstVal() == nil {
+			return errf(init.P, "loop index %q must be initialized with a constant expression", id.Name)
+		}
+		if !typesEqual(lhs.Type(), rhs.Type()) {
+			return errf(init.P, "loop init type mismatch: %s = %s", lhs.Type(), rhs.Type())
+		}
+		loopSym = id.Sym
+		start = rhs.ConstVal().Float()
+	case nil:
+		return errf(s.P, "for loops require an init statement with a loop index (GLSL ES Appendix A)")
+	default:
+		return errf(s.P, "unsupported for-loop init")
+	}
+	if loopSym.Type != T(KFloat) && loopSym.Type != T(KInt) {
+		return errf(s.P, "loop index must be float or int, got %s", loopSym.Type)
+	}
+
+	if s.Cond == nil {
+		return errf(s.P, "for loops require a termination condition (GLSL ES Appendix A)")
+	}
+	cond, err := c.checkExpr(s.Cond)
+	if err != nil {
+		return err
+	}
+	s.Cond = cond
+	bin, ok := cond.(*Binary)
+	if !ok {
+		return errf(cond.Pos(), "loop condition must compare the loop index against a constant expression")
+	}
+	lid, ok := bin.L.(*Ident)
+	if !ok || lid.Sym != loopSym {
+		return errf(cond.Pos(), "loop condition must have the loop index on the left-hand side")
+	}
+	switch bin.Op {
+	case OpLT, OpLE, OpGT, OpGE, OpNE, OpEQ:
+	default:
+		return errf(cond.Pos(), "loop condition operator must be relational")
+	}
+	if bin.R.ConstVal() == nil {
+		return errf(bin.R.Pos(), "loop bound must be a constant expression (GLSL ES Appendix A)")
+	}
+	bound := bin.R.ConstVal().Float()
+
+	if s.Post == nil {
+		return errf(s.P, "for loops require an increment expression (GLSL ES Appendix A)")
+	}
+	post, err := c.checkExpr(s.Post)
+	if err != nil {
+		return err
+	}
+	s.Post = post
+	step, err := loopStep(post, loopSym)
+	if err != nil {
+		return err
+	}
+
+	info := LoopInfo{Sym: loopSym, Start: start, CmpOp: bin.Op, Bound: bound, Step: step}
+	trip, err := computeTrip(info, loopSym.Type.Kind == KFloat)
+	if err != nil {
+		return errf(s.P, "%v", err)
+	}
+	info.Trip = trip
+	c.out.Loops[s] = info
+
+	// The loop index is immutable inside the body.
+	c.frozen[loopSym] = true
+	defer delete(c.frozen, loopSym)
+	c.loopDepth++
+	defer func() { c.loopDepth-- }()
+	return c.checkStmt(s.Body)
+}
+
+// loopStep extracts the signed per-iteration step from the post expression.
+func loopStep(post Expr, loopSym *Symbol) (float64, error) {
+	switch p := post.(type) {
+	case *Unary:
+		id, ok := p.X.(*Ident)
+		if !ok || id.Sym != loopSym {
+			return 0, errf(p.Pos(), "loop increment must modify the loop index")
+		}
+		switch p.Op {
+		case OpPreInc, OpPostInc:
+			return 1, nil
+		case OpPreDec, OpPostDec:
+			return -1, nil
+		}
+	case *Assign:
+		id, ok := p.LHS.(*Ident)
+		if !ok || id.Sym != loopSym {
+			return 0, errf(p.Pos(), "loop increment must modify the loop index")
+		}
+		switch p.Op {
+		case AsgAdd, AsgSub:
+			cv := p.RHS.ConstVal()
+			if cv == nil {
+				return 0, errf(p.Pos(), "loop step must be a constant expression")
+			}
+			if p.Op == AsgSub {
+				return -cv.Float(), nil
+			}
+			return cv.Float(), nil
+		case AsgEq:
+			// i = i + c or i = i - c
+			b, ok := p.RHS.(*Binary)
+			if ok && (b.Op == OpAdd || b.Op == OpSub) {
+				if bid, ok2 := b.L.(*Ident); ok2 && bid.Sym == loopSym && b.R.ConstVal() != nil {
+					st := b.R.ConstVal().Float()
+					if b.Op == OpSub {
+						st = -st
+					}
+					return st, nil
+				}
+			}
+		}
+	}
+	return 0, errf(post.Pos(), "loop increment must be ++, --, += const, -= const or index = index ± const (GLSL ES Appendix A)")
+}
+
+// computeTrip simulates the loop header arithmetic to obtain the trip
+// count, using float32 accumulation when the index is a float so the count
+// matches what the shader VM will actually execute.
+func computeTrip(info LoopInfo, isFloat bool) (int, error) {
+	if info.Step == 0 {
+		return 0, fmt.Errorf("loop step is zero: loop never terminates")
+	}
+	test := func(i float64) bool {
+		switch info.CmpOp {
+		case OpLT:
+			return i < info.Bound
+		case OpLE:
+			return i <= info.Bound
+		case OpGT:
+			return i > info.Bound
+		case OpGE:
+			return i >= info.Bound
+		case OpNE:
+			return i != info.Bound
+		case OpEQ:
+			return i == info.Bound
+		}
+		return false
+	}
+	trip := 0
+	if isFloat {
+		i := float32(info.Start)
+		for test(float64(i)) {
+			trip++
+			if trip > maxLoopTrip {
+				return 0, fmt.Errorf("loop trip count exceeds implementation maximum (%d)", maxLoopTrip)
+			}
+			i += float32(info.Step)
+		}
+	} else {
+		i := int64(info.Start)
+		step := int64(info.Step)
+		if step == 0 {
+			return 0, fmt.Errorf("integer loop step truncates to zero")
+		}
+		for test(float64(i)) {
+			trip++
+			if trip > maxLoopTrip {
+				return 0, fmt.Errorf("loop trip count exceeds implementation maximum (%d)", maxLoopTrip)
+			}
+			i += step
+		}
+	}
+	return trip, nil
+}
+
+func typesEqual(a, b Type) bool { return a == b }
+
+// isLValue reports whether e can be assigned to in the current stage,
+// returning a reason when it cannot.
+func (c *checker) isLValue(e Expr) (bool, string) {
+	switch e := e.(type) {
+	case *Ident:
+		sym := e.Sym
+		if sym == nil {
+			return false, "unresolved identifier"
+		}
+		if c.frozen[sym] {
+			return false, fmt.Sprintf("loop index %q cannot be modified inside the loop body (GLSL ES Appendix A)", sym.Name)
+		}
+		switch sym.Kind {
+		case SymConst:
+			return false, fmt.Sprintf("%q is const", sym.Name)
+		case SymUniform:
+			return false, fmt.Sprintf("uniform %q is read-only", sym.Name)
+		case SymAttribute:
+			return false, fmt.Sprintf("attribute %q is read-only", sym.Name)
+		case SymVarying:
+			if c.opts.Stage != StageVertex {
+				return false, fmt.Sprintf("varying %q is read-only in fragment shaders", sym.Name)
+			}
+			return true, ""
+		case SymBuiltinVar:
+			bv := builtinVars[sym.Name]
+			if !bv.writable {
+				return false, fmt.Sprintf("%q is read-only", sym.Name)
+			}
+			return true, ""
+		}
+		return true, ""
+	case *FieldSelect:
+		// Swizzles are assignable when the base is and no component
+		// repeats.
+		seen := map[int]bool{}
+		for _, ci := range e.Comps {
+			if seen[ci] {
+				return false, "swizzle with repeated components is not assignable"
+			}
+			seen[ci] = true
+		}
+		return c.isLValue(e.X)
+	case *Index:
+		return c.isLValue(e.X)
+	}
+	return false, "expression is not assignable"
+}

@@ -1,0 +1,748 @@
+package glsl
+
+import (
+	"math"
+	"strings"
+)
+
+// checkExpr type-checks e, resolves names, folds constants, and returns the
+// (possibly annotated) expression.
+func (c *checker) checkExpr(e Expr) (Expr, error) {
+	switch e := e.(type) {
+	case *FloatLit:
+		e.T = T(KFloat)
+		e.C = &ConstValue{T: e.T, Vals: []float64{e.Value}}
+		return e, nil
+	case *IntLit:
+		e.T = T(KInt)
+		e.C = &ConstValue{T: e.T, Vals: []float64{float64(e.Value)}}
+		return e, nil
+	case *BoolLit:
+		e.T = T(KBool)
+		v := 0.0
+		if e.Value {
+			v = 1
+		}
+		e.C = &ConstValue{T: e.T, Vals: []float64{v}}
+		return e, nil
+	case *Ident:
+		return c.checkIdent(e)
+	case *Unary:
+		return c.checkUnary(e)
+	case *Binary:
+		return c.checkBinary(e)
+	case *Assign:
+		return c.checkAssign(e)
+	case *Ternary:
+		return c.checkTernary(e)
+	case *Call:
+		return c.checkCall(e)
+	case *Index:
+		return c.checkIndex(e)
+	case *FieldSelect:
+		return c.checkFieldSelect(e)
+	}
+	return nil, errf(e.Pos(), "unsupported expression")
+}
+
+func (c *checker) checkIdent(e *Ident) (Expr, error) {
+	if sym := c.lookup(e.Name); sym != nil {
+		e.Sym = sym
+		e.T = sym.Type
+		if sym.Kind == SymConst && sym.Const != nil {
+			e.C = sym.Const
+		}
+		return e, nil
+	}
+	if bv, ok := builtinVars[e.Name]; ok {
+		if !bv.stages[c.opts.Stage] {
+			return nil, errf(e.P, "%s is not available in %s shaders", e.Name, c.opts.Stage)
+		}
+		sym := c.builtinSym(e.Name, bv)
+		e.Sym = sym
+		e.T = sym.Type
+		if e.Name == "gl_FragColor" {
+			c.out.WritesFragColor = true // recorded on any reference
+		}
+		if e.Name == "gl_Position" {
+			c.out.WritesPosition = true
+		}
+		return e, nil
+	}
+	if v, ok := builtinConsts[e.Name]; ok {
+		e.T = T(KInt)
+		e.C = &ConstValue{T: e.T, Vals: []float64{float64(v)}}
+		return e, nil
+	}
+	return nil, errf(e.P, "undeclared identifier %q", e.Name)
+}
+
+// builtinSyms caches one Symbol per gl_* variable so all references share
+// register assignment.
+func (c *checker) builtinSym(name string, bv builtinVar) *Symbol {
+	if c.scopes[0][name] == nil {
+		c.scopes[0][name] = &Symbol{Name: name, Kind: SymBuiltinVar, Type: bv.typ}
+	}
+	return c.scopes[0][name]
+}
+
+func (c *checker) checkUnary(e *Unary) (Expr, error) {
+	x, err := c.checkExpr(e.X)
+	if err != nil {
+		return nil, err
+	}
+	e.X = x
+	t := x.Type()
+	switch e.Op {
+	case OpNeg:
+		if t.IsSampler() || t.Kind == KBool || t.ComponentKind() == KBool || t.IsArray() {
+			return nil, errf(e.P, "operator - not defined for %s", t)
+		}
+		e.T = t
+		if cv := x.ConstVal(); cv != nil {
+			vals := make([]float64, len(cv.Vals))
+			for i, v := range cv.Vals {
+				vals[i] = -v
+			}
+			e.C = &ConstValue{T: t, Vals: vals}
+		}
+		return e, nil
+	case OpNot:
+		if t != T(KBool) {
+			return nil, errf(e.P, "operator ! requires bool, got %s", t)
+		}
+		e.T = t
+		if cv := x.ConstVal(); cv != nil {
+			v := 1.0
+			if cv.Bool() {
+				v = 0
+			}
+			e.C = &ConstValue{T: t, Vals: []float64{v}}
+		}
+		return e, nil
+	case OpPreInc, OpPreDec, OpPostInc, OpPostDec:
+		if ok, why := c.isLValue(x); !ok {
+			return nil, errf(e.P, "%s", why)
+		}
+		if t.ComponentKind() == KBool || t.IsSampler() || t.IsArray() {
+			return nil, errf(e.P, "operator ++/-- not defined for %s", t)
+		}
+		e.T = t
+		return e, nil
+	}
+	return nil, errf(e.P, "unsupported unary operator")
+}
+
+// arithResult computes the result type for +,-,*,/ under GLSL ES 1.00 rules
+// (no implicit conversions; scalar⊗vector promotes; * does linear-algebra
+// products for matrices).
+func arithResult(op BinaryOp, lt, rt Type) (Type, bool) {
+	if lt.IsArray() || rt.IsArray() || lt.IsSampler() || rt.IsSampler() {
+		return Type{}, false
+	}
+	lk, rk := lt.ComponentKind(), rt.ComponentKind()
+	if lk == KBool || rk == KBool || lk != rk {
+		return Type{}, false
+	}
+	// Matrix cases.
+	if lt.IsMatrix() || rt.IsMatrix() {
+		switch {
+		case lt.IsMatrix() && rt.IsMatrix():
+			if lt != rt {
+				return Type{}, false
+			}
+			return lt, true // componentwise for + - /; linear product for *
+		case lt.IsMatrix() && rt.IsScalar(), rt.IsMatrix() && lt.IsScalar():
+			if lt.IsMatrix() {
+				return lt, true
+			}
+			return rt, true
+		case op == OpMul && lt.IsMatrix() && rt.IsVector():
+			if lt.MatrixCols() == rt.Components() {
+				return rt, true
+			}
+			return Type{}, false
+		case op == OpMul && lt.IsVector() && rt.IsMatrix():
+			if rt.MatrixCols() == lt.Components() {
+				return lt, true
+			}
+			return Type{}, false
+		default:
+			return Type{}, false
+		}
+	}
+	switch {
+	case lt == rt:
+		return lt, true
+	case lt.IsScalar() && rt.IsVector():
+		return rt, true
+	case lt.IsVector() && rt.IsScalar():
+		return lt, true
+	}
+	return Type{}, false
+}
+
+func (c *checker) checkBinary(e *Binary) (Expr, error) {
+	l, err := c.checkExpr(e.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.checkExpr(e.R)
+	if err != nil {
+		return nil, err
+	}
+	e.L, e.R = l, r
+	lt, rt := l.Type(), r.Type()
+	switch e.Op {
+	case OpAdd, OpSub, OpMul, OpDiv:
+		t, ok := arithResult(e.Op, lt, rt)
+		if !ok {
+			return nil, errf(e.P, "operator %s not defined for %s and %s (GLSL ES has no implicit conversions)", e.Op, lt, rt)
+		}
+		e.T = t
+	case OpLT, OpGT, OpLE, OpGE:
+		if !(lt.IsScalar() && lt == rt && lt.Kind != KBool) {
+			return nil, errf(e.P, "operator %s requires two int or two float scalars, got %s and %s", e.Op, lt, rt)
+		}
+		e.T = T(KBool)
+	case OpEQ, OpNE:
+		if lt != rt || lt.IsSampler() {
+			return nil, errf(e.P, "operator %s requires matching non-sampler types, got %s and %s", e.Op, lt, rt)
+		}
+		e.T = T(KBool)
+	case OpLAnd, OpLOr, OpLXor:
+		if lt != T(KBool) || rt != T(KBool) {
+			return nil, errf(e.P, "operator %s requires bool operands, got %s and %s", e.Op, lt, rt)
+		}
+		e.T = T(KBool)
+	default:
+		return nil, errf(e.P, "unsupported binary operator")
+	}
+	e.C = foldBinary(e.Op, e.T, l.ConstVal(), r.ConstVal())
+	return e, nil
+}
+
+// foldBinary folds constant operands; returns nil when not foldable.
+func foldBinary(op BinaryOp, resT Type, lc, rc *ConstValue) *ConstValue {
+	if lc == nil || rc == nil {
+		return nil
+	}
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	// Matrix linear algebra is not folded (never needed for loop bounds).
+	if lc.T.IsMatrix() || rc.T.IsMatrix() {
+		return nil
+	}
+	n := resT.Components()
+	get := func(cv *ConstValue, i int) float64 {
+		if len(cv.Vals) == 1 {
+			return cv.Vals[0]
+		}
+		if i < len(cv.Vals) {
+			return cv.Vals[i]
+		}
+		return 0
+	}
+	isInt := resT.ComponentKind() == KInt
+	switch op {
+	case OpAdd, OpSub, OpMul, OpDiv:
+		vals := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a, b := get(lc, i), get(rc, i)
+			var v float64
+			switch op {
+			case OpAdd:
+				v = a + b
+			case OpSub:
+				v = a - b
+			case OpMul:
+				v = a * b
+			case OpDiv:
+				if b == 0 {
+					if isInt {
+						return nil // int division by zero: not a constant
+					}
+					v = math.Inf(1)
+					if a < 0 {
+						v = math.Inf(-1)
+					}
+					if a == 0 {
+						v = math.NaN()
+					}
+				} else if isInt {
+					v = float64(int64(a) / int64(b))
+				} else {
+					v = a / b
+				}
+			}
+			if isInt && op != OpDiv {
+				v = float64(int64(v))
+			}
+			vals[i] = v
+		}
+		return &ConstValue{T: resT, Vals: vals}
+	case OpLT:
+		return &ConstValue{T: T(KBool), Vals: []float64{b2f(lc.Float() < rc.Float())}}
+	case OpGT:
+		return &ConstValue{T: T(KBool), Vals: []float64{b2f(lc.Float() > rc.Float())}}
+	case OpLE:
+		return &ConstValue{T: T(KBool), Vals: []float64{b2f(lc.Float() <= rc.Float())}}
+	case OpGE:
+		return &ConstValue{T: T(KBool), Vals: []float64{b2f(lc.Float() >= rc.Float())}}
+	case OpEQ, OpNE:
+		eq := len(lc.Vals) == len(rc.Vals)
+		if eq {
+			for i := range lc.Vals {
+				if lc.Vals[i] != rc.Vals[i] {
+					eq = false
+					break
+				}
+			}
+		}
+		if op == OpNE {
+			eq = !eq
+		}
+		return &ConstValue{T: T(KBool), Vals: []float64{b2f(eq)}}
+	case OpLAnd:
+		return &ConstValue{T: T(KBool), Vals: []float64{b2f(lc.Bool() && rc.Bool())}}
+	case OpLOr:
+		return &ConstValue{T: T(KBool), Vals: []float64{b2f(lc.Bool() || rc.Bool())}}
+	case OpLXor:
+		return &ConstValue{T: T(KBool), Vals: []float64{b2f(lc.Bool() != rc.Bool())}}
+	}
+	return nil
+}
+
+func (c *checker) checkAssign(e *Assign) (Expr, error) {
+	lhs, err := c.checkExpr(e.LHS)
+	if err != nil {
+		return nil, err
+	}
+	rhs, err := c.checkExpr(e.RHS)
+	if err != nil {
+		return nil, err
+	}
+	e.LHS, e.RHS = lhs, rhs
+	if ok, why := c.isLValue(lhs); !ok {
+		return nil, errf(e.P, "cannot assign: %s", why)
+	}
+	lt, rt := lhs.Type(), rhs.Type()
+	if lt.IsArray() || rt.IsArray() {
+		return nil, errf(e.P, "arrays cannot be assigned as a whole in GLSL ES 1.00")
+	}
+	if e.Op == AsgEq {
+		if !typesEqual(lt, rt) {
+			return nil, errf(e.P, "cannot assign %s to %s", rt, lt)
+		}
+	} else {
+		var bop BinaryOp
+		switch e.Op {
+		case AsgAdd:
+			bop = OpAdd
+		case AsgSub:
+			bop = OpSub
+		case AsgMul:
+			bop = OpMul
+		case AsgDiv:
+			bop = OpDiv
+		}
+		t, ok := arithResult(bop, lt, rt)
+		if !ok || !typesEqual(t, lt) {
+			return nil, errf(e.P, "operator %s not defined for %s and %s", e.Op, lt, rt)
+		}
+	}
+	e.T = lt
+	return e, nil
+}
+
+func (c *checker) checkTernary(e *Ternary) (Expr, error) {
+	cond, err := c.checkExpr(e.Cond)
+	if err != nil {
+		return nil, err
+	}
+	thenE, err := c.checkExpr(e.Then)
+	if err != nil {
+		return nil, err
+	}
+	elseE, err := c.checkExpr(e.Else)
+	if err != nil {
+		return nil, err
+	}
+	e.Cond, e.Then, e.Else = cond, thenE, elseE
+	if cond.Type() != T(KBool) {
+		return nil, errf(e.P, "ternary condition must be bool, got %s", cond.Type())
+	}
+	if !typesEqual(thenE.Type(), elseE.Type()) {
+		return nil, errf(e.P, "ternary branches have mismatched types %s and %s", thenE.Type(), elseE.Type())
+	}
+	e.T = thenE.Type()
+	if cc := cond.ConstVal(); cc != nil {
+		if cc.Bool() {
+			e.C = thenE.ConstVal()
+		} else {
+			e.C = elseE.ConstVal()
+		}
+	}
+	return e, nil
+}
+
+func (c *checker) checkIndex(e *Index) (Expr, error) {
+	x, err := c.checkExpr(e.X)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := c.checkExpr(e.Idx)
+	if err != nil {
+		return nil, err
+	}
+	e.X, e.Idx = x, idx
+	if idx.Type() != T(KInt) {
+		return nil, errf(e.P, "index must be int, got %s", idx.Type())
+	}
+	xt := x.Type()
+	switch {
+	case xt.IsArray():
+		elem := xt
+		elem.ArrayLen = 0
+		e.T = elem
+		if cv := idx.ConstVal(); cv != nil {
+			if i := cv.Int(); i < 0 || i >= xt.ArrayLen {
+				return nil, errf(e.P, "array index %d out of range [0,%d)", i, xt.ArrayLen)
+			}
+		}
+	case xt.IsVector():
+		comp, _ := VectorOf(xt.ComponentKind(), 1)
+		e.T = comp
+		if cv := idx.ConstVal(); cv != nil {
+			if i := cv.Int(); i < 0 || i >= xt.Components() {
+				return nil, errf(e.P, "vector index %d out of range [0,%d)", i, xt.Components())
+			}
+		}
+	case xt.IsMatrix():
+		col, _ := VectorOf(KFloat, xt.MatrixCols())
+		e.T = col
+		if cv := idx.ConstVal(); cv != nil {
+			if i := cv.Int(); i < 0 || i >= xt.MatrixCols() {
+				return nil, errf(e.P, "matrix column %d out of range [0,%d)", i, xt.MatrixCols())
+			}
+		}
+	default:
+		return nil, errf(e.P, "type %s cannot be indexed", xt)
+	}
+	return e, nil
+}
+
+var swizzleSets = []string{"xyzw", "rgba", "stpq"}
+
+func (c *checker) checkFieldSelect(e *FieldSelect) (Expr, error) {
+	x, err := c.checkExpr(e.X)
+	if err != nil {
+		return nil, err
+	}
+	e.X = x
+	xt := x.Type()
+	if !xt.IsVector() {
+		return nil, errf(e.P, "field selection %q on non-vector type %s", e.Field, xt)
+	}
+	if len(e.Field) == 0 || len(e.Field) > 4 {
+		return nil, errf(e.P, "swizzle %q must select 1 to 4 components", e.Field)
+	}
+	var set string
+	for _, s := range swizzleSets {
+		if strings.IndexByte(s, e.Field[0]) >= 0 {
+			set = s
+			break
+		}
+	}
+	if set == "" {
+		return nil, errf(e.P, "invalid swizzle component %q", string(e.Field[0]))
+	}
+	comps := make([]int, len(e.Field))
+	for i := 0; i < len(e.Field); i++ {
+		ci := strings.IndexByte(set, e.Field[i])
+		if ci < 0 {
+			return nil, errf(e.P, "swizzle %q mixes component sets", e.Field)
+		}
+		if ci >= xt.Components() {
+			return nil, errf(e.P, "swizzle component %q out of range for %s", string(e.Field[i]), xt)
+		}
+		comps[i] = ci
+	}
+	e.Comps = comps
+	rt, ok := VectorOf(xt.ComponentKind(), len(comps))
+	if !ok {
+		return nil, errf(e.P, "invalid swizzle result")
+	}
+	e.T = rt
+	if cv := x.ConstVal(); cv != nil {
+		vals := make([]float64, len(comps))
+		for i, ci := range comps {
+			if ci < len(cv.Vals) {
+				vals[i] = cv.Vals[ci]
+			}
+		}
+		e.C = &ConstValue{T: rt, Vals: vals}
+	}
+	return e, nil
+}
+
+func (c *checker) checkCall(e *Call) (Expr, error) {
+	for i, a := range e.Args {
+		ca, err := c.checkExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		e.Args[i] = ca
+	}
+	// Constructor?
+	if k, ok := typeByName[e.Name]; ok {
+		return c.checkCtor(e, T(k))
+	}
+	// Builtin?
+	if sigs := LookupBuiltin(e.Name); len(sigs) > 0 {
+		return c.checkBuiltinCall(e, sigs)
+	}
+	// User function (must already be defined: enforces no recursion, as
+	// GLSL ES requires).
+	fn, ok := c.out.Functions[e.Name]
+	if !ok {
+		return nil, errf(e.P, "call to undefined function %q (functions must be defined before use; recursion is not allowed)", e.Name)
+	}
+	if len(e.Args) != len(fn.Params) {
+		return nil, errf(e.P, "function %q expects %d arguments, got %d", e.Name, len(fn.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		if !typesEqual(a.Type(), fn.Params[i].DeclType) {
+			return nil, errf(a.Pos(), "argument %d of %q: cannot pass %s as %s", i+1, e.Name, a.Type(), fn.Params[i].DeclType)
+		}
+		if fn.Params[i].Qualifier != ParamIn {
+			if ok, why := c.isLValue(a); !ok {
+				return nil, errf(a.Pos(), "argument %d of %q is %s and needs an l-value: %s", i+1, e.Name, fn.Params[i].Qualifier, why)
+			}
+		}
+	}
+	e.Func = fn
+	e.T = fn.Ret
+	return e, nil
+}
+
+func (c *checker) checkBuiltinCall(e *Call, sigs []BuiltinSig) (Expr, error) {
+	var argTypes []Type
+	for _, a := range e.Args {
+		argTypes = append(argTypes, a.Type())
+	}
+outer:
+	for i := range sigs {
+		sig := &sigs[i]
+		if len(sig.Params) != len(argTypes) {
+			continue
+		}
+		for j, pt := range sig.Params {
+			if !typesEqual(pt, argTypes[j]) {
+				continue outer
+			}
+		}
+		if sig.Ext != "" && !c.extEnabled(sig.Ext) {
+			return nil, errf(e.P, "builtin %q requires #extension %s : enable", e.Name, sig.Ext)
+		}
+		if sig.FragmentOnly && c.opts.Stage != StageFragment {
+			return nil, errf(e.P, "%q is not available in vertex shaders on this hardware class (0 vertex texture units)", e.Name)
+		}
+		e.Builtin = sig
+		e.T = sig.Ret
+		e.C = foldBuiltin(sig, e.Args)
+		return e, nil
+	}
+	return nil, errf(e.P, "no overload of builtin %q matches argument types %s", e.Name, formatTypes(argTypes))
+}
+
+func formatTypes(ts []Type) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// foldBuiltin folds pure builtins over constant arguments — enough for
+// constant loop bounds like min(A, B) or floor(x).
+func foldBuiltin(sig *BuiltinSig, args []Expr) *ConstValue {
+	cvs := make([]*ConstValue, len(args))
+	for i, a := range args {
+		cvs[i] = a.ConstVal()
+		if cvs[i] == nil {
+			return nil
+		}
+	}
+	n := sig.Ret.Components()
+	get := func(cv *ConstValue, i int) float64 {
+		if len(cv.Vals) == 1 {
+			return cv.Vals[0]
+		}
+		if i < len(cv.Vals) {
+			return cv.Vals[i]
+		}
+		return 0
+	}
+	comp := func(f func(i int) float64) *ConstValue {
+		vals := make([]float64, n)
+		for i := 0; i < n; i++ {
+			vals[i] = f(i)
+		}
+		return &ConstValue{T: sig.Ret, Vals: vals}
+	}
+	switch sig.Op {
+	case BAbs:
+		return comp(func(i int) float64 { return math.Abs(get(cvs[0], i)) })
+	case BFloor:
+		return comp(func(i int) float64 { return math.Floor(get(cvs[0], i)) })
+	case BCeil:
+		return comp(func(i int) float64 { return math.Ceil(get(cvs[0], i)) })
+	case BFract:
+		return comp(func(i int) float64 { v := get(cvs[0], i); return v - math.Floor(v) })
+	case BSign:
+		return comp(func(i int) float64 {
+			v := get(cvs[0], i)
+			if v > 0 {
+				return 1
+			}
+			if v < 0 {
+				return -1
+			}
+			return 0
+		})
+	case BMin:
+		return comp(func(i int) float64 { return math.Min(get(cvs[0], i), get(cvs[1], i)) })
+	case BMax:
+		return comp(func(i int) float64 { return math.Max(get(cvs[0], i), get(cvs[1], i)) })
+	case BClamp:
+		return comp(func(i int) float64 {
+			return math.Min(math.Max(get(cvs[0], i), get(cvs[1], i)), get(cvs[2], i))
+		})
+	case BSqrt:
+		return comp(func(i int) float64 { return math.Sqrt(get(cvs[0], i)) })
+	case BPow:
+		return comp(func(i int) float64 { return math.Pow(get(cvs[0], i), get(cvs[1], i)) })
+	case BExp2:
+		return comp(func(i int) float64 { return math.Exp2(get(cvs[0], i)) })
+	case BLog2:
+		return comp(func(i int) float64 { return math.Log2(get(cvs[0], i)) })
+	case BMod:
+		return comp(func(i int) float64 {
+			x, y := get(cvs[0], i), get(cvs[1], i)
+			return x - y*math.Floor(x/y)
+		})
+	}
+	return nil
+}
+
+// checkCtor validates a type constructor call.
+func (c *checker) checkCtor(e *Call, ct Type) (Expr, error) {
+	if ct.Kind == KVoid || ct.IsSampler() {
+		return nil, errf(e.P, "cannot construct values of type %s", ct)
+	}
+	e.Ctor = true
+	e.CtorType = ct
+	e.T = ct
+	if len(e.Args) == 0 {
+		return nil, errf(e.P, "constructor %s requires arguments", ct)
+	}
+	for _, a := range e.Args {
+		at := a.Type()
+		if at.IsSampler() || at.IsArray() || at.Kind == KVoid {
+			return nil, errf(a.Pos(), "cannot use %s in a constructor", at)
+		}
+	}
+	need := ct.Components()
+	if ct.IsScalar() {
+		// Explicit scalar conversion from any scalar/vector first
+		// component.
+		if len(e.Args) != 1 {
+			return nil, errf(e.P, "scalar constructor %s takes exactly one argument", ct)
+		}
+		e.C = foldCtor(ct, e.Args)
+		return e, nil
+	}
+	if ct.IsMatrix() {
+		if len(e.Args) == 1 {
+			at := e.Args[0].Type()
+			if at.IsScalar() || at == ct {
+				return e, nil
+			}
+			return nil, errf(e.P, "matrix constructor %s from %s is not supported", ct, at)
+		}
+		total := 0
+		for _, a := range e.Args {
+			if a.Type().IsMatrix() {
+				return nil, errf(a.Pos(), "matrix constructors from component lists cannot take matrix arguments")
+			}
+			total += a.Type().Components()
+		}
+		if total != need {
+			return nil, errf(e.P, "constructor %s needs %d components, got %d", ct, need, total)
+		}
+		return e, nil
+	}
+	// Vector constructor.
+	if len(e.Args) == 1 {
+		at := e.Args[0].Type()
+		if at.IsScalar() {
+			e.C = foldCtor(ct, e.Args)
+			return e, nil // replicate
+		}
+		if at.IsVector() && at.Components() >= need {
+			e.C = foldCtor(ct, e.Args)
+			return e, nil // truncate
+		}
+	}
+	total := 0
+	for _, a := range e.Args {
+		total += a.Type().Components()
+	}
+	if total < need {
+		return nil, errf(e.P, "constructor %s needs %d components, got %d", ct, need, total)
+	}
+	// GLSL allows extra components only from the final argument's tail;
+	// we implement the strict reading (exact match) except single-arg
+	// truncation handled above.
+	if total > need {
+		return nil, errf(e.P, "constructor %s has %d excess components", ct, total-need)
+	}
+	e.C = foldCtor(ct, e.Args)
+	return e, nil
+}
+
+func foldCtor(ct Type, args []Expr) *ConstValue {
+	var flat []float64
+	for _, a := range args {
+		cv := a.ConstVal()
+		if cv == nil {
+			return nil
+		}
+		flat = append(flat, cv.Vals...)
+	}
+	n := ct.Components()
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var v float64
+		if len(flat) == 1 {
+			v = flat[0]
+		} else if i < len(flat) {
+			v = flat[i]
+		}
+		switch ct.ComponentKind() {
+		case KInt:
+			v = math.Trunc(v)
+		case KBool:
+			if v != 0 {
+				v = 1
+			}
+		}
+		vals[i] = v
+	}
+	return &ConstValue{T: ct, Vals: vals}
+}

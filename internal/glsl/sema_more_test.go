@@ -1,0 +1,326 @@
+package glsl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Second coverage pass for semantic analysis: constant folding, array
+// rules, loop shapes, and type-system corners.
+
+func TestConstFoldingArithmetic(t *testing.T) {
+	cs := frag(t, fragHeader+`
+const float A = 2.0 * 3.0 + 1.0;   // 7
+const float B = (1.0 / 4.0) - 2.0; // -1.75
+const int   C = 7 / 2;             // 3 (integer division)
+const bool  D = 3.0 > 2.0 && !(1 == 2);
+const float E = D ? A : B;
+void main(){ gl_FragColor = vec4(A, B, float(C), E); }
+`)
+	vals := map[string]float64{}
+	for _, d := range cs.Prog.Decls {
+		if g, ok := d.(*GlobalDecl); ok && g.Sym.Const != nil {
+			vals[g.Name] = g.Sym.Const.Float()
+		}
+	}
+	want := map[string]float64{"A": 7, "B": -1.75, "C": 3, "D": 1, "E": 7}
+	for name, w := range want {
+		if vals[name] != w {
+			t.Errorf("const %s = %g, want %g", name, vals[name], w)
+		}
+	}
+}
+
+func TestConstFoldingVectorsAndSwizzles(t *testing.T) {
+	cs := frag(t, fragHeader+`
+const vec4 V = vec4(1.0, 2.0, 3.0, 4.0);
+const vec2 S = V.wy;        // (4, 2)
+const float X = V.z;        // 3
+const vec3 R = vec3(0.5);   // replicate
+void main(){ gl_FragColor = vec4(S, X, R.x); }
+`)
+	for _, d := range cs.Prog.Decls {
+		g, ok := d.(*GlobalDecl)
+		if !ok || g.Sym.Const == nil {
+			continue
+		}
+		switch g.Name {
+		case "S":
+			if g.Sym.Const.Vals[0] != 4 || g.Sym.Const.Vals[1] != 2 {
+				t.Errorf("S = %v", g.Sym.Const.Vals)
+			}
+		case "X":
+			if g.Sym.Const.Float() != 3 {
+				t.Errorf("X = %v", g.Sym.Const.Float())
+			}
+		case "R":
+			if g.Sym.Const.Vals[2] != 0.5 {
+				t.Errorf("R = %v", g.Sym.Const.Vals)
+			}
+		}
+	}
+}
+
+func TestConstFoldingBuiltins(t *testing.T) {
+	cs := frag(t, fragHeader+`
+const float F = floor(3.7);
+const float M = max(2.0, min(5.0, 3.0));
+const float C = clamp(9.0, 0.0, 1.0);
+const float Q = sqrt(16.0);
+const float MO = mod(7.0, 3.0);
+void main(){ gl_FragColor = vec4(F + M + C + Q + MO); }
+`)
+	want := map[string]float64{"F": 3, "M": 3, "C": 1, "Q": 4, "MO": 1}
+	for _, d := range cs.Prog.Decls {
+		if g, ok := d.(*GlobalDecl); ok && g.Sym.Const != nil {
+			if w, ok := want[g.Name]; ok && g.Sym.Const.Float() != w {
+				t.Errorf("const %s = %g, want %g", g.Name, g.Sym.Const.Float(), w)
+			}
+		}
+	}
+}
+
+// Property: the front end's integer constant folding of a+b*c agrees with
+// Go arithmetic for in-range inputs.
+func TestConstFoldProperty(t *testing.T) {
+	f := func(a, b, c int16) bool {
+		src := fragHeader +
+			"const int R = " + itos(int(a)) + " + " + itos(int(b)) + " * " + itos(int(c)) + ";\n" +
+			"void main(){ gl_FragColor = vec4(float(R)); }"
+		cs, err := Frontend(src, CompileOptions{Stage: StageFragment})
+		if err != nil {
+			return false
+		}
+		for _, d := range cs.Prog.Decls {
+			if g, ok := d.(*GlobalDecl); ok && g.Name == "R" {
+				return g.Sym.Const.Int() == int(a)+int(b)*int(c)
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itos(v int) string {
+	if v < 0 {
+		return "(0 - " + itosPos(-v) + ")"
+	}
+	return itosPos(v)
+}
+
+func itosPos(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestLoopTripShapes(t *testing.T) {
+	cases := []struct {
+		header string
+		trip   int
+	}{
+		{"for (int i = 0; i < 5; i++)", 5},
+		{"for (int i = 0; i <= 5; i++)", 6},
+		{"for (int i = 5; i > 0; i--)", 5},
+		{"for (int i = 0; i != 4; i += 2)", 2},
+		{"for (int i = 0; i < 10; i += 3)", 4},
+		{"for (float i = 0.0; i < 1.0; i += 0.25)", 4},
+		{"for (int i = 0; i < 7; i = i + 2)", 4},
+		{"for (int i = 8; i >= 0; i -= 4)", 3},
+		{"for (int i = 3; i < 3; i++)", 0}, // zero-trip
+	}
+	for _, c := range cases {
+		cs := frag(t, fragHeader+`void main(){
+	float acc = 0.0;
+	`+c.header+` { acc += 1.0; }
+	gl_FragColor = vec4(acc);
+}`)
+		if len(cs.Loops) != 1 {
+			t.Fatalf("%s: loops = %d", c.header, len(cs.Loops))
+		}
+		for _, info := range cs.Loops {
+			if info.Trip != c.trip {
+				t.Errorf("%s: trip = %d, want %d", c.header, info.Trip, c.trip)
+			}
+		}
+	}
+}
+
+func TestLoopRunawayRejected(t *testing.T) {
+	// A loop whose step moves away from the bound never terminates.
+	fragErr(t, fragHeader+"void main(){ for (int i = 0; i > -1; i++) {} gl_FragColor = vec4(0.0);}", "trip count")
+}
+
+func TestNestedLoops(t *testing.T) {
+	cs := frag(t, fragHeader+`void main(){
+	float acc = 0.0;
+	for (int i = 0; i < 3; i++) {
+		for (int j = 0; j < 4; j++) { acc += 1.0; }
+	}
+	gl_FragColor = vec4(acc / 12.0);
+}`)
+	if len(cs.Loops) != 2 {
+		t.Errorf("nested loops = %d", len(cs.Loops))
+	}
+}
+
+func TestInnerLoopMayUseOuterIndexInBody(t *testing.T) {
+	// The outer index is frozen but readable.
+	frag(t, fragHeader+`void main(){
+	float acc = 0.0;
+	for (int i = 0; i < 3; i++) {
+		for (int j = 0; j < 3; j++) { acc += float(i) * float(j); }
+	}
+	gl_FragColor = vec4(acc);
+}`)
+	// But an inner loop bound must still be constant (not the outer
+	// index).
+	fragErr(t, fragHeader+`void main(){
+	for (int i = 0; i < 3; i++) {
+		for (int j = 0; j < i; j++) { }
+	}
+	gl_FragColor = vec4(0.0);
+}`, "constant expression")
+}
+
+func TestArrayRules(t *testing.T) {
+	// Arrays of samplers are uniforms; constant indexing required at the
+	// backend but sema accepts int expressions.
+	frag(t, fragHeader+`
+uniform float w[8];
+void main(){
+	float acc = w[0] + w[7];
+	gl_FragColor = vec4(acc);
+}`)
+	fragErr(t, fragHeader+"uniform float w[4];\nvoid main(){ gl_FragColor = vec4(w[1.0]); }", "index must be int")
+	// Arrays are not assignable wholesale in ES2 — our subset also rejects
+	// arrays as initialisers.
+	fragErr(t, fragHeader+"void main(){ float a[2]; float b[2]; a = b; gl_FragColor=vec4(0.0);}", "arrays cannot be assigned")
+}
+
+func TestVaryingArraysCounted(t *testing.T) {
+	cs, err := Frontend(`
+varying vec4 v_rows[3];
+void main(){
+	gl_Position = vec4(0.0);
+	v_rows[0] = vec4(1.0);
+	v_rows[1] = vec4(2.0);
+	v_rows[2] = vec4(3.0);
+}`, CompileOptions{Stage: StageVertex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.VaryingVectors != 3 {
+		t.Errorf("varying vectors = %d, want 3", cs.VaryingVectors)
+	}
+}
+
+func TestMatrixUniformSlotCount(t *testing.T) {
+	cs := frag(t, fragHeader+`
+uniform mat4 m;
+uniform mat2 m2[3];
+void main(){ gl_FragColor = m[0] + vec4(m2[1][0], 0.0, 0.0); }`)
+	// mat4 = 4 vectors, mat2[3] = 2*3 = 6.
+	if cs.UniformVectors != 10 {
+		t.Errorf("uniform vectors = %d, want 10", cs.UniformVectors)
+	}
+}
+
+func TestScalarVectorPromotion(t *testing.T) {
+	frag(t, fragHeader+`void main(){
+	vec3 v = vec3(1.0, 2.0, 3.0);
+	vec3 a = v + 1.0;
+	vec3 b = 2.0 * v;
+	vec3 c = v / 4.0;
+	vec3 d = 1.0 - v;
+	gl_FragColor = vec4(a + b + c + d, 1.0);
+}`)
+	// int scalar with float vector is NOT promoted.
+	fragErr(t, fragHeader+"void main(){ vec2 v = vec2(0.0) + 1; gl_FragColor=vec4(v,0.0,0.0);}", "not defined")
+}
+
+func TestAssignOperators(t *testing.T) {
+	frag(t, fragHeader+`void main(){
+	vec2 v = vec2(4.0, 8.0);
+	v += vec2(1.0);
+	v -= 0.5;
+	v *= 2.0;
+	v /= vec2(2.0, 4.0);
+	float f = 3.0;
+	f *= f;
+	gl_FragColor = vec4(v, f, 1.0);
+}`)
+	fragErr(t, fragHeader+"void main(){ float f = 1.0; f += vec2(1.0).x + vec2(0.0); gl_FragColor=vec4(f);}", "")
+}
+
+func TestTernaryNonConstCondition(t *testing.T) {
+	cs := frag(t, fragHeader+`
+uniform float u;
+void main(){
+	float x = u > 0.5 ? u * 2.0 : u * 3.0;
+	gl_FragColor = vec4(x);
+}`)
+	_ = cs
+}
+
+func TestSamplerComparisonRejected(t *testing.T) {
+	fragErr(t, fragHeader+`
+uniform sampler2D a;
+uniform sampler2D b;
+void main(){ gl_FragColor = vec4(a == b ? 1.0 : 0.0); }`, "sampler")
+}
+
+func TestVertexAttributeCount(t *testing.T) {
+	cs, err := Frontend(`
+attribute vec4 a0;
+attribute vec2 a1;
+attribute mat2 a2;
+void main(){ gl_Position = a0 + vec4(a1, a2[0]); }`, CompileOptions{Stage: StageVertex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// vec4=1, vec2=1, mat2=2.
+	if cs.AttributeSlots != 4 {
+		t.Errorf("attribute slots = %d, want 4", cs.AttributeSlots)
+	}
+}
+
+func TestGlobalMutableState(t *testing.T) {
+	frag(t, fragHeader+`
+float counter = 0.0;
+void bump() { counter += 1.0; }
+void main(){
+	bump();
+	bump();
+	gl_FragColor = vec4(counter * 0.5);
+}`)
+}
+
+func TestPrecisionQualifiersRecorded(t *testing.T) {
+	cs := frag(t, "precision highp float;\n"+`
+uniform lowp vec4 cheap;
+uniform float defaulted;
+void main(){ gl_FragColor = cheap + vec4(defaulted); }`)
+	for _, u := range cs.Uniforms {
+		switch u.Name {
+		case "cheap":
+			if u.Prec != PrecLow {
+				t.Errorf("cheap precision = %v", u.Prec)
+			}
+		case "defaulted":
+			if u.Prec != PrecHigh {
+				t.Errorf("defaulted precision = %v (default float is highp here)", u.Prec)
+			}
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package glsl
+
+import (
+	"strings"
+	"testing"
+)
+
+// frag compiles a fragment shader and returns the checked result.
+func frag(t *testing.T, src string) *CheckedShader {
+	t.Helper()
+	cs, err := Frontend(src, CompileOptions{Stage: StageFragment})
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	return cs
+}
+
+// fragErr compiles a fragment shader expecting a failure containing substr.
+func fragErr(t *testing.T, src, substr string) {
+	t.Helper()
+	_, err := Frontend(src, CompileOptions{Stage: StageFragment})
+	if err == nil {
+		t.Fatalf("expected error containing %q, got success", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not contain %q", err.Error(), substr)
+	}
+}
+
+const fragHeader = "precision mediump float;\n"
+
+func TestSemaMinimalFragment(t *testing.T) {
+	cs := frag(t, fragHeader+`void main() { gl_FragColor = vec4(1.0); }`)
+	if cs.Main == nil {
+		t.Fatal("main not found")
+	}
+	if !cs.WritesFragColor {
+		t.Error("WritesFragColor not recorded")
+	}
+}
+
+func TestSemaMissingMain(t *testing.T) {
+	fragErr(t, fragHeader+"float helper() { return 1.0; }", "missing void main()")
+}
+
+func TestSemaMissingFloatPrecision(t *testing.T) {
+	fragErr(t, "void main() { gl_FragColor = vec4(0.0); }", "default float precision")
+}
+
+func TestSemaVertexHasDefaultPrecision(t *testing.T) {
+	_, err := Frontend("void main() { gl_Position = vec4(0.0); }", CompileOptions{Stage: StageVertex})
+	if err != nil {
+		t.Fatalf("vertex shader needs no precision declaration: %v", err)
+	}
+}
+
+func TestSemaNoImplicitConversion(t *testing.T) {
+	fragErr(t, fragHeader+"void main() { float x = 1; }", "cannot initialize")
+	fragErr(t, fragHeader+"void main() { float x = 1.0 + 1; }", "no implicit conversions")
+}
+
+func TestSemaInterface(t *testing.T) {
+	cs := frag(t, fragHeader+`
+uniform sampler2D tex0;
+uniform vec4 scale;
+uniform float offs[4];
+varying vec2 v_coord;
+void main() { gl_FragColor = texture2D(tex0, v_coord) * scale + offs[0]; }
+`)
+	if len(cs.Uniforms) != 3 {
+		t.Errorf("uniforms = %d, want 3", len(cs.Uniforms))
+	}
+	if len(cs.Varyings) != 1 {
+		t.Errorf("varyings = %d, want 1", len(cs.Varyings))
+	}
+	// scale(1) + offs(4) + sampler(1) = 6 uniform vectors.
+	if cs.UniformVectors != 6 {
+		t.Errorf("UniformVectors = %d, want 6", cs.UniformVectors)
+	}
+}
+
+func TestSemaAttributeRules(t *testing.T) {
+	fragErr(t, fragHeader+"attribute vec4 a;\nvoid main(){gl_FragColor=a;}", "outside a vertex shader")
+	_, err := Frontend("attribute vec4 a_pos;\nvoid main(){gl_Position=a_pos;}", CompileOptions{Stage: StageVertex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Frontend("attribute int a;\nvoid main(){gl_Position=vec4(0.0);}", CompileOptions{Stage: StageVertex})
+	if err == nil {
+		t.Error("int attribute not rejected")
+	}
+}
+
+func TestSemaVaryingReadOnlyInFragment(t *testing.T) {
+	fragErr(t, fragHeader+"varying vec2 v;\nvoid main(){ v = vec2(0.0); gl_FragColor=vec4(v,0.0,1.0);}", "read-only in fragment")
+}
+
+func TestSemaUniformNotAssignable(t *testing.T) {
+	fragErr(t, fragHeader+"uniform float u;\nvoid main(){ u = 1.0; gl_FragColor=vec4(u);}", "read-only")
+}
+
+func TestSemaConstRules(t *testing.T) {
+	frag(t, fragHeader+"const float PI = 3.14159;\nvoid main(){gl_FragColor=vec4(PI);}")
+	fragErr(t, fragHeader+"const float X = 1.0;\nvoid main(){ X = 2.0; gl_FragColor=vec4(X);}", "const")
+	fragErr(t, fragHeader+"uniform float u;\nconst float X = u;\nvoid main(){gl_FragColor=vec4(X);}", "not a constant expression")
+}
+
+func TestSemaSwizzle(t *testing.T) {
+	frag(t, fragHeader+`void main() {
+	vec4 v = vec4(1.0, 2.0, 3.0, 4.0);
+	vec2 a = v.xy;
+	vec3 b = v.rgb;
+	float c = v.w;
+	v.zw = a;
+	gl_FragColor = vec4(b, c);
+}`)
+	fragErr(t, fragHeader+"void main(){ vec4 v=vec4(0.0); vec2 a=v.xr; gl_FragColor=v;}", "mixes component sets")
+	fragErr(t, fragHeader+"void main(){ vec2 v=vec2(0.0); float a=v.z; gl_FragColor=vec4(a);}", "out of range")
+	fragErr(t, fragHeader+"void main(){ vec4 v=vec4(0.0); v.xx = vec2(1.0); gl_FragColor=v;}", "repeated components")
+}
+
+func TestSemaConstructors(t *testing.T) {
+	frag(t, fragHeader+`void main() {
+	vec4 a = vec4(1.0);                 // scalar replicate
+	vec4 b = vec4(vec2(0.0), 0.5, 1.0); // flatten
+	vec3 c = vec3(b);                   // truncate
+	float d = float(2);                 // explicit conversion
+	int e = int(3.7);
+	vec4 f = vec4(c, d) * float(e);
+	gl_FragColor = a + b + f;
+}`)
+	fragErr(t, fragHeader+"void main(){ vec4 v = vec4(1.0, 2.0); gl_FragColor=v;}", "needs 4 components")
+	fragErr(t, fragHeader+"void main(){ vec2 v = vec2(1.0, 2.0, 3.0); gl_FragColor=vec4(v,0.0,0.0);}", "excess components")
+}
+
+func TestSemaBuiltinOverloads(t *testing.T) {
+	frag(t, fragHeader+`
+uniform sampler2D s;
+varying vec2 vc;
+void main() {
+	vec4 t = texture2D(s, vc);
+	float d = dot(t.xyz, vec3(1.0));
+	vec3 cl = clamp(t.rgb, 0.0, 1.0);
+	vec3 mx = max(cl, vec3(0.1));
+	float m = mod(d, 2.0);
+	gl_FragColor = vec4(mx * m, 1.0);
+}`)
+	fragErr(t, fragHeader+"void main(){ float x = dot(1.0, vec2(0.0)); gl_FragColor=vec4(x);}", "no overload")
+}
+
+func TestSemaMul24RequiresExtension(t *testing.T) {
+	fragErr(t, fragHeader+"void main(){ gl_FragColor = vec4(mul24(0.5, 0.5)); }", "requires #extension")
+	frag(t, "#extension GL_EXT_mul24 : enable\n"+fragHeader+
+		"void main(){ gl_FragColor = vec4(mul24(0.5, 0.5)); }")
+}
+
+func TestSemaUserFunctions(t *testing.T) {
+	frag(t, fragHeader+`
+float square(float x) { return x * x; }
+void unpack(in vec4 v, out float a, inout float b) { a = v.x; b += v.y; }
+void main() {
+	float a = 0.0;
+	float b = 1.0;
+	unpack(vec4(0.25), a, b);
+	gl_FragColor = vec4(square(a) + b);
+}`)
+	// Calling an undefined (or later-defined) function fails: no recursion.
+	fragErr(t, fragHeader+"float f(float x){ return g(x); }\nfloat g(float x){ return f(x); }\nvoid main(){gl_FragColor=vec4(f(1.0));}", "undefined function")
+	// out argument must be an l-value.
+	fragErr(t, fragHeader+"void setit(out float a){ a=1.0; }\nvoid main(){ setit(2.0); gl_FragColor=vec4(0.0);}", "l-value")
+	// Wrong arg type.
+	fragErr(t, fragHeader+"float f(float x){ return x; }\nvoid main(){ gl_FragColor=vec4(f(1)); }", "cannot pass")
+}
+
+func TestSemaLoopRestrictions(t *testing.T) {
+	// Canonical int loop.
+	cs := frag(t, fragHeader+`void main() {
+	float acc = 0.0;
+	for (int i = 0; i < 8; i++) { acc += 1.0; }
+	gl_FragColor = vec4(acc);
+}`)
+	if len(cs.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(cs.Loops))
+	}
+	for _, info := range cs.Loops {
+		if info.Trip != 8 {
+			t.Errorf("trip = %d, want 8", info.Trip)
+		}
+	}
+
+	// The paper's float-index loop shape (assignment init).
+	cs = frag(t, fragHeader+`
+#define M 64.0
+#define BLOCK_SIZE 16.0
+void main() {
+	float acc = 0.0;
+	float i;
+	for (i = 0.0; i < (1.0/(M/BLOCK_SIZE)); i += 1.0/M) { acc += 1.0; }
+	gl_FragColor = vec4(acc);
+}`)
+	for _, info := range cs.Loops {
+		if info.Trip != 16 {
+			t.Errorf("paper loop trip = %d, want 16", info.Trip)
+		}
+	}
+
+	// Non-constant bound rejected.
+	fragErr(t, fragHeader+`uniform float n;
+void main(){ float a=0.0; for (float i=0.0; i<n; i+=1.0){a+=1.0;} gl_FragColor=vec4(a);}`,
+		"constant expression")
+	// Missing condition rejected.
+	fragErr(t, fragHeader+"void main(){ for (int i=0;;i++){} gl_FragColor=vec4(0.0);}", "termination condition")
+	// Loop index modified in body rejected.
+	fragErr(t, fragHeader+"void main(){ for (int i=0;i<4;i++){ i = 2; } gl_FragColor=vec4(0.0);}", "loop index")
+	// Zero step rejected.
+	fragErr(t, fragHeader+"void main(){ for (float i=0.0;i<4.0;i+=0.0){} gl_FragColor=vec4(0.0);}", "never terminates")
+	// While loops rejected.
+	fragErr(t, fragHeader+"void main(){ float i=0.0; while(i<1.0){i+=1.0;} gl_FragColor=vec4(0.0);}", "while loops")
+}
+
+func TestSemaLoopDecrement(t *testing.T) {
+	cs := frag(t, fragHeader+`void main() {
+	float acc = 0.0;
+	for (int i = 10; i > 2; i--) { acc += 1.0; }
+	gl_FragColor = vec4(acc);
+}`)
+	for _, info := range cs.Loops {
+		if info.Trip != 8 {
+			t.Errorf("trip = %d, want 8", info.Trip)
+		}
+	}
+}
+
+func TestSemaBreakContinueDiscard(t *testing.T) {
+	cs := frag(t, fragHeader+`void main() {
+	for (int i = 0; i < 4; i++) {
+		if (i == 2) { continue; }
+		if (i == 3) { break; }
+	}
+	if (gl_FragCoord.x < 0.0) { discard; }
+	gl_FragColor = vec4(1.0);
+}`)
+	if !cs.UsesDiscard {
+		t.Error("UsesDiscard not recorded")
+	}
+	fragErr(t, fragHeader+"void main(){ break; }", "outside loop")
+	_, err := Frontend("void main(){ discard; gl_Position=vec4(0.0); }", CompileOptions{Stage: StageVertex})
+	if err == nil {
+		t.Error("discard in vertex shader not rejected")
+	}
+}
+
+func TestSemaBuiltinVarsPerStage(t *testing.T) {
+	fragErr(t, fragHeader+"void main(){ gl_Position = vec4(0.0); gl_FragColor=vec4(0.0);}", "not available in fragment")
+	_, err := Frontend("void main(){ gl_FragColor = vec4(0.0); }", CompileOptions{Stage: StageVertex})
+	if err == nil {
+		t.Error("gl_FragColor in vertex shader not rejected")
+	}
+	fragErr(t, fragHeader+"void main(){ gl_FragCoord = vec4(0.0); gl_FragColor=vec4(0.0);}", "read-only")
+}
+
+func TestSemaVertexTextureFetchRejected(t *testing.T) {
+	// Both modelled devices report 0 vertex texture units.
+	_, err := Frontend(`
+uniform sampler2D s;
+void main(){ gl_Position = texture2D(s, vec2(0.0)); }`,
+		CompileOptions{Stage: StageVertex})
+	if err == nil {
+		t.Fatal("vertex texture fetch accepted")
+	}
+	if !strings.Contains(err.Error(), "vertex") {
+		t.Errorf("error: %v", err)
+	}
+}
+
+func TestSemaMatrixOps(t *testing.T) {
+	_, err := Frontend(`
+attribute vec4 a_pos;
+uniform mat4 mvp;
+void main() { gl_Position = mvp * a_pos; }
+`, CompileOptions{Stage: StageVertex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fragErr(t, fragHeader+"void main(){ mat2 m = mat2(1.0); vec3 v = m * vec3(1.0); gl_FragColor=vec4(v,1.0);}", "not defined")
+}
+
+func TestSemaTernary(t *testing.T) {
+	frag(t, fragHeader+"void main(){ float x = gl_FragCoord.x > 0.5 ? 1.0 : 0.0; gl_FragColor = vec4(x); }")
+	fragErr(t, fragHeader+"void main(){ float x = 1.0 ? 1.0 : 0.0; gl_FragColor=vec4(x);}", "must be bool")
+	fragErr(t, fragHeader+"void main(){ float x = true ? 1.0 : vec2(0.0).x + vec2(0.0); gl_FragColor=vec4(x);}", "mismatched")
+}
+
+func TestSemaIndexBounds(t *testing.T) {
+	fragErr(t, fragHeader+"void main(){ vec3 v=vec3(0.0); float x = v[3]; gl_FragColor=vec4(x);}", "out of range")
+	fragErr(t, fragHeader+"uniform float u[4];\nvoid main(){ gl_FragColor=vec4(u[4]);}", "out of range")
+	frag(t, fragHeader+`uniform float u[4];
+void main(){
+	float s = 0.0;
+	for (int i = 0; i < 4; i++) { s += u[i]; }
+	gl_FragColor = vec4(s);
+}`)
+}
+
+func TestSemaSamplerRules(t *testing.T) {
+	fragErr(t, fragHeader+"varying sampler2D s;\nvoid main(){gl_FragColor=vec4(0.0);}", "must be declared uniform")
+	fragErr(t, fragHeader+"void main(){ sampler2D s; gl_FragColor=vec4(0.0);}", "sampler")
+}
+
+func TestSemaRedeclaration(t *testing.T) {
+	fragErr(t, fragHeader+"void main(){ float x = 1.0; float x = 2.0; gl_FragColor=vec4(x);}", "redeclaration")
+	// Shadowing in a nested scope is fine.
+	frag(t, fragHeader+"void main(){ float x = 1.0; { float x = 2.0; gl_FragColor = vec4(x);} }")
+}
+
+func TestSemaBuiltinConstants(t *testing.T) {
+	frag(t, fragHeader+`void main() {
+	float lim = float(gl_MaxTextureImageUnits);
+	gl_FragColor = vec4(lim / 8.0);
+}`)
+}

@@ -1,0 +1,143 @@
+// Package glsl implements a front end for the OpenGL ES Shading Language
+// 1.00 (the GLSL dialect mandated by OpenGL ES 2.0): preprocessor, lexer,
+// parser, type checker and constant folder. The back end that turns the
+// typed AST into executable shader IR lives in internal/shader.
+//
+// The implemented subset covers everything GPGPU kernels in the reproduced
+// paper require — and deliberately enforces the ES2-era restrictions
+// (e.g. loop bounds must be constant expressions so loops can be unrolled,
+// fragment shaders cannot declare attributes) because those restrictions
+// are exactly what creates the implementation limits the paper runs into at
+// block sizes above 16.
+package glsl
+
+import "fmt"
+
+// TokenKind enumerates lexical token classes.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokFloatLit
+	TokIntLit
+	TokKeyword
+
+	// Punctuation and operators.
+	TokLParen    // (
+	TokRParen    // )
+	TokLBrace    // {
+	TokRBrace    // }
+	TokLBracket  // [
+	TokRBracket  // ]
+	TokComma     // ,
+	TokSemicolon // ;
+	TokDot       // .
+	TokQuestion  // ?
+	TokColon     // :
+
+	TokPlus    // +
+	TokMinus   // -
+	TokStar    // *
+	TokSlash   // /
+	TokAssign  // =
+	TokPlusEq  // +=
+	TokMinusEq // -=
+	TokStarEq  // *=
+	TokSlashEq // /=
+	TokInc     // ++
+	TokDec     // --
+	TokLt      // <
+	TokGt      // >
+	TokLe      // <=
+	TokGe      // >=
+	TokEq      // ==
+	TokNe      // !=
+	TokAnd     // &&
+	TokOr      // ||
+	TokXor     // ^^
+	TokNot     // !
+)
+
+var tokenKindNames = map[TokenKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokFloatLit: "float literal",
+	TokIntLit: "int literal", TokKeyword: "keyword",
+	TokLParen: "'('", TokRParen: "')'", TokLBrace: "'{'", TokRBrace: "'}'",
+	TokLBracket: "'['", TokRBracket: "']'", TokComma: "','",
+	TokSemicolon: "';'", TokDot: "'.'", TokQuestion: "'?'", TokColon: "':'",
+	TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'", TokSlash: "'/'",
+	TokAssign: "'='", TokPlusEq: "'+='", TokMinusEq: "'-='",
+	TokStarEq: "'*='", TokSlashEq: "'/='", TokInc: "'++'", TokDec: "'--'",
+	TokLt: "'<'", TokGt: "'>'", TokLe: "'<='", TokGe: "'>='",
+	TokEq: "'=='", TokNe: "'!='", TokAnd: "'&&'", TokOr: "'||'",
+	TokXor: "'^^'", TokNot: "'!'",
+}
+
+func (k TokenKind) String() string {
+	if s, ok := tokenKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its source text and position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokKeyword, TokFloatLit, TokIntLit:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// keywords are the GLSL ES 1.00 keywords the subset recognises. Type names
+// are keywords in GLSL.
+var keywords = map[string]bool{
+	"attribute": true, "const": true, "uniform": true, "varying": true,
+	"break": true, "continue": true, "do": true, "for": true, "while": true,
+	"if": true, "else": true, "in": true, "out": true, "inout": true,
+	"float": true, "int": true, "bool": true, "true": true, "false": true,
+	"discard": true, "return": true,
+	"vec2": true, "vec3": true, "vec4": true,
+	"ivec2": true, "ivec3": true, "ivec4": true,
+	"bvec2": true, "bvec3": true, "bvec4": true,
+	"mat2": true, "mat3": true, "mat4": true,
+	"sampler2D": true, "samplerCube": true,
+	"void": true,
+	"lowp": true, "mediump": true, "highp": true, "precision": true,
+	"invariant": true, "struct": true,
+}
+
+// reservedKeywords are keywords of GLSL ES 1.00 that the subset rejects
+// explicitly (using one is a compile error, same as on real drivers).
+var reservedKeywords = map[string]bool{
+	"asm": true, "class": true, "union": true, "enum": true,
+	"typedef": true, "template": true, "this": true, "packed": true,
+	"goto": true, "switch": true, "default": true, "inline": true,
+	"noinline": true, "volatile": true, "public": true, "static": true,
+	"extern": true, "external": true, "interface": true, "flat": true,
+	"long": true, "short": true, "double": true, "half": true,
+	"fixed": true, "unsigned": true, "superp": true, "input": true,
+	"output": true, "hvec2": true, "hvec3": true, "hvec4": true,
+	"dvec2": true, "dvec3": true, "dvec4": true, "fvec2": true,
+	"fvec3": true, "fvec4": true, "sampler1D": true, "sampler3D": true,
+	"sampler1DShadow": true, "sampler2DShadow": true,
+	"sampler2DRect": true, "sampler3DRect": true,
+	"sampler2DRectShadow": true, "sizeof": true, "cast": true,
+	"namespace": true, "using": true,
+}

@@ -1,0 +1,263 @@
+package glsl
+
+import "fmt"
+
+// BasicKind enumerates the GLSL ES 1.00 basic types this front end supports.
+type BasicKind int
+
+// Basic type kinds.
+const (
+	KVoid BasicKind = iota
+	KBool
+	KInt
+	KFloat
+	KVec2
+	KVec3
+	KVec4
+	KIVec2
+	KIVec3
+	KIVec4
+	KBVec2
+	KBVec3
+	KBVec4
+	KMat2
+	KMat3
+	KMat4
+	KSampler2D
+	KSamplerCube
+)
+
+var kindNames = map[BasicKind]string{
+	KVoid: "void", KBool: "bool", KInt: "int", KFloat: "float",
+	KVec2: "vec2", KVec3: "vec3", KVec4: "vec4",
+	KIVec2: "ivec2", KIVec3: "ivec3", KIVec4: "ivec4",
+	KBVec2: "bvec2", KBVec3: "bvec3", KBVec4: "bvec4",
+	KMat2: "mat2", KMat3: "mat3", KMat4: "mat4",
+	KSampler2D: "sampler2D", KSamplerCube: "samplerCube",
+}
+
+func (k BasicKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("BasicKind(%d)", int(k))
+}
+
+// typeByName maps GLSL type keywords to kinds.
+var typeByName = map[string]BasicKind{
+	"void": KVoid, "bool": KBool, "int": KInt, "float": KFloat,
+	"vec2": KVec2, "vec3": KVec3, "vec4": KVec4,
+	"ivec2": KIVec2, "ivec3": KIVec3, "ivec4": KIVec4,
+	"bvec2": KBVec2, "bvec3": KBVec3, "bvec4": KBVec4,
+	"mat2": KMat2, "mat3": KMat3, "mat4": KMat4,
+	"sampler2D": KSampler2D, "samplerCube": KSamplerCube,
+}
+
+// Type is a GLSL type: a basic type, optionally an array of it
+// (ArrayLen > 0). GLSL ES 1.00 has no nested arrays and no array-valued
+// expressions, so this flat representation is complete for the subset.
+type Type struct {
+	Kind     BasicKind
+	ArrayLen int // 0: not an array
+}
+
+// T is shorthand for a non-array type of the given kind.
+func T(k BasicKind) Type { return Type{Kind: k} }
+
+func (t Type) String() string {
+	if t.ArrayLen > 0 {
+		return fmt.Sprintf("%s[%d]", t.Kind, t.ArrayLen)
+	}
+	return t.Kind.String()
+}
+
+// IsArray reports whether t is an array type.
+func (t Type) IsArray() bool { return t.ArrayLen > 0 }
+
+// IsScalar reports whether t is bool, int or float.
+func (t Type) IsScalar() bool {
+	return !t.IsArray() && (t.Kind == KBool || t.Kind == KInt || t.Kind == KFloat)
+}
+
+// IsVector reports whether t is a vector type of any component type.
+func (t Type) IsVector() bool {
+	if t.IsArray() {
+		return false
+	}
+	switch t.Kind {
+	case KVec2, KVec3, KVec4, KIVec2, KIVec3, KIVec4, KBVec2, KBVec3, KBVec4:
+		return true
+	}
+	return false
+}
+
+// IsMatrix reports whether t is mat2, mat3 or mat4.
+func (t Type) IsMatrix() bool {
+	if t.IsArray() {
+		return false
+	}
+	return t.Kind == KMat2 || t.Kind == KMat3 || t.Kind == KMat4
+}
+
+// IsSampler reports whether t is a sampler type.
+func (t Type) IsSampler() bool {
+	return !t.IsArray() && (t.Kind == KSampler2D || t.Kind == KSamplerCube)
+}
+
+// IsFloatBased reports whether t's components are floats (float, vecN, matN).
+func (t Type) IsFloatBased() bool {
+	if t.IsArray() {
+		return false
+	}
+	switch t.Kind {
+	case KFloat, KVec2, KVec3, KVec4, KMat2, KMat3, KMat4:
+		return true
+	}
+	return false
+}
+
+// Components returns the number of scalar components in one element of t
+// (e.g. vec3 → 3, mat2 → 4, float → 1). Samplers and void return 0.
+func (t Type) Components() int {
+	switch t.Kind {
+	case KBool, KInt, KFloat:
+		return 1
+	case KVec2, KIVec2, KBVec2:
+		return 2
+	case KVec3, KIVec3, KBVec3:
+		return 3
+	case KVec4, KIVec4, KBVec4:
+		return 4
+	case KMat2:
+		return 4
+	case KMat3:
+		return 9
+	case KMat4:
+		return 16
+	}
+	return 0
+}
+
+// MatrixCols returns N for matN, 0 otherwise.
+func (t Type) MatrixCols() int {
+	switch t.Kind {
+	case KMat2:
+		return 2
+	case KMat3:
+		return 3
+	case KMat4:
+		return 4
+	}
+	return 0
+}
+
+// ComponentKind returns the scalar kind of t's components.
+func (t Type) ComponentKind() BasicKind {
+	switch t.Kind {
+	case KBool, KBVec2, KBVec3, KBVec4:
+		return KBool
+	case KInt, KIVec2, KIVec3, KIVec4:
+		return KInt
+	case KFloat, KVec2, KVec3, KVec4, KMat2, KMat3, KMat4:
+		return KFloat
+	}
+	return KVoid
+}
+
+// VectorOf returns the vector type with the given component kind and size
+// (size 1 returns the scalar kind itself).
+func VectorOf(comp BasicKind, size int) (Type, bool) {
+	if size == 1 {
+		switch comp {
+		case KBool, KInt, KFloat:
+			return T(comp), true
+		}
+		return Type{}, false
+	}
+	tab := map[BasicKind][3]BasicKind{
+		KFloat: {KVec2, KVec3, KVec4},
+		KInt:   {KIVec2, KIVec3, KIVec4},
+		KBool:  {KBVec2, KBVec3, KBVec4},
+	}
+	kinds, ok := tab[comp]
+	if !ok || size < 2 || size > 4 {
+		return Type{}, false
+	}
+	return T(kinds[size-2]), true
+}
+
+// Precision is a GLSL precision qualifier. The front end records it; the
+// back end uses it to pick the arithmetic cost class and, for mediump/lowp,
+// to model reduced-precision effects.
+type Precision int
+
+// Precision qualifiers. PrecNone means "not specified, inherit default".
+const (
+	PrecNone Precision = iota
+	PrecLow
+	PrecMedium
+	PrecHigh
+)
+
+func (p Precision) String() string {
+	switch p {
+	case PrecLow:
+		return "lowp"
+	case PrecMedium:
+		return "mediump"
+	case PrecHigh:
+		return "highp"
+	}
+	return ""
+}
+
+// precisionByName maps the precision keywords.
+var precisionByName = map[string]Precision{
+	"lowp": PrecLow, "mediump": PrecMedium, "highp": PrecHigh,
+}
+
+// StorageQualifier is the storage class of a global declaration.
+type StorageQualifier int
+
+// Storage qualifiers.
+const (
+	StorNone StorageQualifier = iota
+	StorConst
+	StorAttribute
+	StorUniform
+	StorVarying
+)
+
+func (s StorageQualifier) String() string {
+	switch s {
+	case StorConst:
+		return "const"
+	case StorAttribute:
+		return "attribute"
+	case StorUniform:
+		return "uniform"
+	case StorVarying:
+		return "varying"
+	}
+	return ""
+}
+
+// ParamQualifier is the parameter direction of a function parameter.
+type ParamQualifier int
+
+// Parameter qualifiers.
+const (
+	ParamIn ParamQualifier = iota
+	ParamOut
+	ParamInOut
+)
+
+func (p ParamQualifier) String() string {
+	switch p {
+	case ParamOut:
+		return "out"
+	case ParamInOut:
+		return "inout"
+	}
+	return "in"
+}

@@ -1,0 +1,313 @@
+// Package kernels generates the GLSL ES sources of the GPGPU kernels the
+// paper evaluates (sum, multi-pass blocked sgemm) plus additional
+// application kernels (saxpy, 3×3 convolution, Jacobi relaxation) used by
+// the examples. Generation is parameterised on the paper's kernel-code
+// options: encoding depth (fp32/fp24) and mul24 arithmetic.
+package kernels
+
+import (
+	"fmt"
+	"strings"
+
+	"gles2gpgpu/internal/codec"
+)
+
+// Options selects the kernel-code variants of paper §II ("Kernel Code").
+type Options struct {
+	// Depth selects the [13] encoding width; Depth24 also restricts
+	// element I/O to 3 bytes (the 25% bandwidth saving).
+	Depth codec.Depth
+	// Mul24 replaces full-precision multiplies of encoded values with the
+	// mul24 builtin (paper: exact because outputs carry ≤24–32 bits).
+	Mul24 bool
+}
+
+// DefaultOptions is the baseline: 32-bit encoding, full-precision
+// arithmetic.
+var DefaultOptions = Options{Depth: codec.Depth32}
+
+// FP24Options is the paper's optimised kernel-code configuration.
+var FP24Options = Options{Depth: codec.Depth24, Mul24: true}
+
+func (o Options) normalized() Options {
+	if o.Depth == 0 {
+		o.Depth = codec.Depth32
+	}
+	return o
+}
+
+// header emits the preamble common to all fragment kernels.
+func (o Options) header() string {
+	var sb strings.Builder
+	if o.Mul24 {
+		sb.WriteString("#extension GL_EXT_mul24 : enable\n")
+	}
+	sb.WriteString("precision mediump float;\n")
+	return sb.String()
+}
+
+// mul returns the multiply expression for two encoded operands.
+func (o Options) mul(a, b string) string {
+	if o.Mul24 {
+		return fmt.Sprintf("mul24(%s, %s)", a, b)
+	}
+	return fmt.Sprintf("%s * %s", a, b)
+}
+
+// VertexShader is the standard GPGPU pass-through vertex shader: a
+// viewport-filling quad whose varying sweeps the unit square so each
+// fragment addresses one matrix element.
+const VertexShader = `
+attribute vec2 a_pos;
+varying vec2 v_tex;
+void main() {
+	gl_Position = vec4(a_pos, 0.0, 1.0);
+	v_tex = a_pos * 0.5 + 0.5;
+}
+`
+
+// QuadVertices is the client-side full-screen quad (two triangles).
+var QuadVertices = []float32{-1, -1, 1, -1, 1, 1, -1, -1, 1, 1, -1, 1}
+
+// Sum generates the streaming-addition kernel: out = (A + B) / 2 in the
+// encoded domain (the host publishes the output with a doubled range).
+func Sum(o Options) string {
+	o = o.normalized()
+	return o.header() +
+		codec.ReconstrGLSL(o.Depth) +
+		codec.EncodeGLSL(o.Depth) + `
+uniform sampler2D text0;
+uniform sampler2D text1;
+varying vec2 v_tex;
+void main() {
+	float a = reconstr_in(texture2D(text0, v_tex));
+	float b = reconstr_in(texture2D(text1, v_tex));
+	gl_FragColor = encode_out((a + b) * 0.5);
+}
+`
+}
+
+// SumDep generates the sum kernel with an artificial dependency on the
+// previous iteration's output (Fig. 4a's dependency experiment): the
+// result is unchanged — the extra term is scaled by zero — but the texture
+// read forces the consecutive-frame hazard.
+func SumDep(o Options) string {
+	o = o.normalized()
+	return o.header() +
+		codec.ReconstrGLSL(o.Depth) +
+		codec.EncodeGLSL(o.Depth) + `
+uniform sampler2D text0;
+uniform sampler2D text1;
+uniform sampler2D text2; // previous output: artificial dependency
+varying vec2 v_tex;
+void main() {
+	float a = reconstr_in(texture2D(text0, v_tex));
+	float b = reconstr_in(texture2D(text1, v_tex));
+	float prev = reconstr_in(texture2D(text2, v_tex));
+	gl_FragColor = encode_out((a + b) * 0.5 + prev * 0.0);
+}
+`
+}
+
+// isPow2 reports whether v is a positive power of two.
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// SgemmPass generates one pass of the paper's multi-pass blocked sgemm
+// (Fig. 2): each invocation accumulates a block of the dot product and adds
+// the intermediate texture from the previous pass. The host sets the blk_n
+// uniform to block*BLOCK_SIZE/M before each launch. M and block must be
+// powers of two so the float loop arithmetic is exact.
+//
+//	acc = Σ_{k in block} A[y][k]·B[k][x]
+//	out = acc/M + interm            (output range [0, M))
+func SgemmPass(m, block int, o Options) (string, error) {
+	o = o.normalized()
+	if !isPow2(m) || !isPow2(block) || block > m {
+		return "", fmt.Errorf("kernels: sgemm requires power-of-two sizes with block <= M, got M=%d block=%d", m, block)
+	}
+	bound := float64(block) / float64(m)
+	step := 1.0 / float64(m)
+	half := 0.5 / float64(m)
+	src := o.header() +
+		codec.ReconstrGLSL(o.Depth) +
+		codec.EncodeGLSL(o.Depth) + fmt.Sprintf(`
+uniform sampler2D text0; // A
+uniform sampler2D text1; // B
+uniform sampler2D text2; // intermediate accumulator
+uniform float blk_n;     // current_block * BLOCK_SIZE / M
+varying vec2 v_tex;
+void main() {
+	float acc = 0.0;
+	float A;
+	float B;
+	float i;
+	for (i = 0.0; i < %s; i += %s) {
+		A = reconstr_in(texture2D(text0, vec2(i + blk_n + %s, v_tex.y)));
+		B = reconstr_in(texture2D(text1, vec2(v_tex.x, i + blk_n + %s)));
+		acc += %s;
+	}
+	float interm = reconstr_in(texture2D(text2, v_tex));
+	gl_FragColor = encode_out(acc * %s + interm);
+}
+`, glslFloat(bound), glslFloat(step), glslFloat(half), glslFloat(half),
+		o.mul("A", "B"), glslFloat(step))
+	return src, nil
+}
+
+// SgemmSinglePass generates the naive single-pass matrix multiply: ONE
+// kernel whose loop covers the entire dot product of length m. For real
+// matrix sizes the fully-unrolled kernel vastly exceeds every embedded
+// implementation limit — the paper's §III motivation for multi-pass
+// blocking ("Multi-pass algorithms can be used to solve problems related
+// to exceedance of implementation limits in kernel code").
+func SgemmSinglePass(m int, o Options) (string, error) {
+	o = o.normalized()
+	if !isPow2(m) {
+		return "", fmt.Errorf("kernels: sgemm requires a power-of-two M, got %d", m)
+	}
+	step := 1.0 / float64(m)
+	half := 0.5 / float64(m)
+	return o.header() +
+		codec.ReconstrGLSL(o.Depth) +
+		codec.EncodeGLSL(o.Depth) + fmt.Sprintf(`
+uniform sampler2D text0; // A
+uniform sampler2D text1; // B
+varying vec2 v_tex;
+void main() {
+	float acc = 0.0;
+	float A;
+	float B;
+	float i;
+	for (i = 0.0; i < 1.0; i += %s) {
+		A = reconstr_in(texture2D(text0, vec2(i + %s, v_tex.y)));
+		B = reconstr_in(texture2D(text1, vec2(v_tex.x, i + %s)));
+		acc += %s;
+	}
+	gl_FragColor = encode_out(acc * %s);
+}
+`, glslFloat(step), glslFloat(half), glslFloat(half),
+		o.mul("A", "B"), glslFloat(step)), nil
+}
+
+// Saxpy generates y' = (alpha·x + y)/2 (host output range doubled).
+func Saxpy(o Options) string {
+	o = o.normalized()
+	return o.header() +
+		codec.ReconstrGLSL(o.Depth) +
+		codec.EncodeGLSL(o.Depth) + `
+uniform sampler2D text0; // x
+uniform sampler2D text1; // y
+uniform float alpha;
+varying vec2 v_tex;
+void main() {
+	float x = reconstr_in(texture2D(text0, v_tex));
+	float y = reconstr_in(texture2D(text1, v_tex));
+	gl_FragColor = encode_out((` + o.mul("alpha", "x") + ` + y) * 0.5);
+}
+`
+}
+
+// Conv3x3 generates a 3×3 convolution over a w×h grid with clamp-to-edge
+// sampling (the texture wrap mode provides the clamping). Weights arrive
+// as a 9-element uniform array, normalised so the output stays in [0,1).
+func Conv3x3(w, h int, o Options) string {
+	o = o.normalized()
+	var taps strings.Builder
+	ki := 0
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			fmt.Fprintf(&taps,
+				"\tacc += k[%d] * reconstr_in(texture2D(text0, v_tex + vec2(%s, %s)));\n",
+				ki, glslFloat(float64(dx)/float64(w)), glslFloat(float64(dy)/float64(h)))
+			ki++
+		}
+	}
+	return o.header() +
+		codec.ReconstrGLSL(o.Depth) +
+		codec.EncodeGLSL(o.Depth) + `
+uniform sampler2D text0;
+uniform float k[9];
+varying vec2 v_tex;
+void main() {
+	float acc = 0.0;
+` + taps.String() + `	gl_FragColor = encode_out(clamp(acc, 0.0, 1.0));
+}
+`
+}
+
+// Transpose generates the matrix-transpose kernel: out[y][x] = in[x][y],
+// a pure data-movement kernel (texture coordinates swizzled with .yx).
+func Transpose(o Options) string {
+	o = o.normalized()
+	return o.header() +
+		codec.ReconstrGLSL(o.Depth) +
+		codec.EncodeGLSL(o.Depth) + `
+uniform sampler2D text0;
+varying vec2 v_tex;
+void main() {
+	gl_FragColor = encode_out(reconstr_in(texture2D(text0, v_tex.yx)));
+}
+`
+}
+
+// Reduce2x2 generates one level of a pyramid reduction: each output texel
+// is the average of a 2×2 block of the input (a wIn×wIn texture). Chaining
+// log2(N) levels reduces a matrix to a single texel holding the mean, from
+// which the host recovers the total — the classic GPGPU reduction pattern
+// on APIs without compute primitives.
+func Reduce2x2(wIn int, o Options) (string, error) {
+	o = o.normalized()
+	if !isPow2(wIn) || wIn < 2 {
+		return "", fmt.Errorf("kernels: reduction level input width %d must be a power of two >= 2", wIn)
+	}
+	h := glslFloat(0.5 / float64(wIn))
+	return o.header() +
+		codec.ReconstrGLSL(o.Depth) +
+		codec.EncodeGLSL(o.Depth) + fmt.Sprintf(`
+uniform sampler2D text0;
+varying vec2 v_tex;
+void main() {
+	float a = reconstr_in(texture2D(text0, v_tex + vec2(-%[1]s, -%[1]s)));
+	float b = reconstr_in(texture2D(text0, v_tex + vec2(%[1]s, -%[1]s)));
+	float c = reconstr_in(texture2D(text0, v_tex + vec2(-%[1]s, %[1]s)));
+	float d = reconstr_in(texture2D(text0, v_tex + vec2(%[1]s, %[1]s)));
+	gl_FragColor = encode_out((a + b + c + d) * 0.25);
+}
+`, h), nil
+}
+
+// Jacobi generates one Jacobi relaxation step for the 2D Laplace equation;
+// boundary handling (Dirichlet) is applied by the host keeping boundary
+// texels fixed between passes, and the shader masks boundary fragments.
+func Jacobi(w, h int, o Options) string {
+	o = o.normalized()
+	dx := glslFloat(1.0 / float64(w))
+	dy := glslFloat(1.0 / float64(h))
+	return o.header() +
+		codec.ReconstrGLSL(o.Depth) +
+		codec.EncodeGLSL(o.Depth) + fmt.Sprintf(`
+uniform sampler2D text0;
+varying vec2 v_tex;
+void main() {
+	float left  = reconstr_in(texture2D(text0, v_tex + vec2(-%[1]s, 0.0)));
+	float right = reconstr_in(texture2D(text0, v_tex + vec2(%[1]s, 0.0)));
+	float down  = reconstr_in(texture2D(text0, v_tex + vec2(0.0, -%[2]s)));
+	float up    = reconstr_in(texture2D(text0, v_tex + vec2(0.0, %[2]s)));
+	float here  = reconstr_in(texture2D(text0, v_tex));
+	float relaxed = (left + right + down + up) * 0.25;
+	// Boundary fragments keep their value (Dirichlet condition).
+	bool interior = v_tex.x > %[1]s && v_tex.x < 1.0 - %[1]s &&
+		v_tex.y > %[2]s && v_tex.y < 1.0 - %[2]s;
+	gl_FragColor = encode_out(interior ? relaxed : here);
+}
+`, dx, dy)
+}
+
+// glslFloat renders a float64 as a GLSL float literal with full precision.
+func glslFloat(v float64) string {
+	s := fmt.Sprintf("%.17g", v)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}

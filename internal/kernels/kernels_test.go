@@ -1,0 +1,174 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+
+	"gles2gpgpu/internal/codec"
+	"gles2gpgpu/internal/glsl"
+)
+
+// compileFrag checks a generated fragment kernel through the real front
+// end.
+func compileFrag(t *testing.T, src string) *glsl.CheckedShader {
+	t.Helper()
+	cs, err := glsl.Frontend(src, glsl.CompileOptions{Stage: glsl.StageFragment})
+	if err != nil {
+		t.Fatalf("generated kernel does not compile: %v\n%s", err, src)
+	}
+	return cs
+}
+
+func TestVertexShaderCompiles(t *testing.T) {
+	if _, err := glsl.Frontend(VertexShader, glsl.CompileOptions{Stage: glsl.StageVertex}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumVariantsCompile(t *testing.T) {
+	for _, o := range []Options{DefaultOptions, FP24Options, {}} {
+		compileFrag(t, Sum(o))
+		compileFrag(t, SumDep(o))
+	}
+}
+
+func TestSumFP24UsesExtensionAndThreeChannels(t *testing.T) {
+	src := Sum(FP24Options)
+	if !strings.Contains(src, "#extension GL_EXT_mul24") {
+		t.Error("fp24 kernel missing mul24 extension header")
+	}
+	if !strings.Contains(src, "t.rgb") {
+		t.Error("fp24 reconstruct does not restrict to 3 channels")
+	}
+}
+
+func TestSgemmPassGeneration(t *testing.T) {
+	src, err := SgemmPass(64, 16, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := compileFrag(t, src)
+	// One loop, trip count = block size.
+	if len(cs.Loops) != 1 {
+		t.Fatalf("loops = %d", len(cs.Loops))
+	}
+	for _, info := range cs.Loops {
+		if info.Trip != 16 {
+			t.Errorf("trip = %d, want 16", info.Trip)
+		}
+	}
+	// Uniform interface as in the paper's Fig. 2.
+	names := map[string]bool{}
+	for _, u := range cs.Uniforms {
+		names[u.Name] = true
+	}
+	for _, want := range []string{"text0", "text1", "text2", "blk_n"} {
+		if !names[want] {
+			t.Errorf("missing uniform %q", want)
+		}
+	}
+}
+
+func TestSgemmPassMul24(t *testing.T) {
+	src, err := SgemmPass(64, 8, FP24Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "mul24(A, B)") {
+		t.Error("mul24 option did not change the inner product")
+	}
+	compileFrag(t, src)
+}
+
+func TestSgemmPassValidation(t *testing.T) {
+	if _, err := SgemmPass(100, 10, DefaultOptions); err == nil {
+		t.Error("non-power-of-two M accepted")
+	}
+	if _, err := SgemmPass(64, 3, DefaultOptions); err == nil {
+		t.Error("non-power-of-two block accepted")
+	}
+	if _, err := SgemmPass(16, 32, DefaultOptions); err == nil {
+		t.Error("block > M accepted")
+	}
+}
+
+func TestSgemmSinglePassMotivatesMultiPass(t *testing.T) {
+	// Tiny M: the single-pass kernel is legal GLSL and compiles.
+	src, err := SgemmSinglePass(8, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := compileFrag(t, src)
+	for _, info := range cs.Loops {
+		if info.Trip != 8 {
+			t.Errorf("trip = %d, want 8", info.Trip)
+		}
+	}
+	// Paper-sized M: the front end accepts it, but the unrolled program
+	// annihilates every device limit — reproduced in
+	// shader.TestSinglePassSgemmExceedsDeviceLimits. Here we check the
+	// trip count scales to the full dot-product length.
+	src, err = SgemmSinglePass(1024, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err2 := glsl.Frontend(src, glsl.CompileOptions{Stage: glsl.StageFragment})
+	if err2 != nil {
+		t.Fatalf("front end rejected single-pass kernel: %v", err2)
+	}
+	for _, info := range cs.Loops {
+		if info.Trip != 1024 {
+			t.Errorf("trip = %d, want 1024", info.Trip)
+		}
+	}
+	if _, err := SgemmSinglePass(100, DefaultOptions); err == nil {
+		t.Error("non-power-of-two M accepted")
+	}
+}
+
+func TestOtherKernelsCompile(t *testing.T) {
+	compileFrag(t, Saxpy(DefaultOptions))
+	compileFrag(t, Saxpy(FP24Options))
+	compileFrag(t, Conv3x3(64, 64, DefaultOptions))
+	compileFrag(t, Jacobi(32, 32, DefaultOptions))
+	for _, w := range []int{2, 64, 1024} {
+		src, err := Reduce2x2(w, DefaultOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := compileFrag(t, src)
+		if got := len(cs.Uniforms); got != 1 {
+			t.Errorf("reduce uniforms = %d", got)
+		}
+	}
+	if _, err := Reduce2x2(3, DefaultOptions); err == nil {
+		t.Error("non-power-of-two reduction width accepted")
+	}
+	if _, err := Reduce2x2(1, DefaultOptions); err == nil {
+		t.Error("width-1 reduction accepted")
+	}
+}
+
+func TestGlslFloatLiterals(t *testing.T) {
+	cases := map[float64]string{
+		0.5:  "0.5",
+		1:    "1.0",
+		0.25: "0.25",
+	}
+	for v, want := range cases {
+		if got := glslFloat(v); got != want {
+			t.Errorf("glslFloat(%g) = %q, want %q", v, got, want)
+		}
+	}
+	// Exactness for binary fractions used as loop bounds.
+	if glslFloat(1.0/1024) != "0.0009765625" {
+		t.Errorf("1/1024 rendered as %q", glslFloat(1.0/1024))
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	var o Options
+	if o.normalized().Depth != codec.Depth32 {
+		t.Error("zero Options did not default to Depth32")
+	}
+}

@@ -1,0 +1,123 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gles2gpgpu/internal/timing"
+)
+
+func TestBusTransferTime(t *testing.T) {
+	b := Bus{BytesPerSecond: 1e9, Latency: 5 * timing.Microsecond}
+	// 1 GB/s => 1 MB takes 1 ms (+ latency).
+	got := b.TransferTime(1 << 20)
+	want := 5*timing.Microsecond + timing.FromSeconds(float64(1<<20)/1e9)
+	if got != want {
+		t.Errorf("TransferTime(1MiB) = %v, want %v", got, want)
+	}
+	if got := b.TransferTime(0); got != b.Latency {
+		t.Errorf("TransferTime(0) = %v, want latency %v", got, b.Latency)
+	}
+	if got := b.TransferTime(-7); got != b.Latency {
+		t.Errorf("TransferTime(-7) = %v, want latency", got)
+	}
+	// Infinite bandwidth: latency only.
+	inf := Bus{Latency: 3}
+	if got := inf.TransferTime(1 << 30); got != 3 {
+		t.Errorf("infinite bus TransferTime = %v, want 3", got)
+	}
+	// Real data on a real bus never takes literally zero extra time.
+	tiny := Bus{BytesPerSecond: 1e18}
+	if got := tiny.TransferTime(1); got <= 0 {
+		t.Errorf("1-byte transfer = %v, want > 0", got)
+	}
+}
+
+func TestBusMonotoneProperty(t *testing.T) {
+	b := Bus{BytesPerSecond: 2.5e8, Latency: timing.Nanosecond}
+	f := func(a, c uint32) bool {
+		x, y := int(a%(1<<24)), int(c%(1<<24))
+		if x > y {
+			x, y = y, x
+		}
+		return b.TransferTime(x) <= b.TransferTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocModel(t *testing.T) {
+	m := AllocModel{Fixed: 10 * timing.Microsecond, PerByte: 100 * timing.Nanosecond}
+	if got := m.AllocTime(0); got != 10*timing.Microsecond {
+		t.Errorf("AllocTime(0) = %v", got)
+	}
+	// 8 KiB = 2 pages worth of per-byte cost.
+	want := 10*timing.Microsecond + 2*100*timing.Nanosecond
+	if got := m.AllocTime(8192); got != want {
+		t.Errorf("AllocTime(8KiB) = %v, want %v", got, want)
+	}
+	if got := m.AllocTime(-1); got != m.Fixed {
+		t.Errorf("AllocTime(-1) = %v, want fixed", got)
+	}
+}
+
+func TestAllocatorLifecycle(t *testing.T) {
+	al := NewAllocator(AllocModel{Fixed: 1})
+	a, cost := al.Alloc(100, "texA")
+	if cost != 1 {
+		t.Errorf("alloc cost = %v, want 1", cost)
+	}
+	b, _ := al.Alloc(50, "texB")
+	if al.LiveBytes() != 150 || al.LiveCount() != 2 {
+		t.Fatalf("live = %d bytes / %d allocs, want 150/2", al.LiveBytes(), al.LiveCount())
+	}
+	if al.PeakLiveBytes != 150 {
+		t.Errorf("peak = %d, want 150", al.PeakLiveBytes)
+	}
+	if err := al.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if al.LiveBytes() != 50 {
+		t.Errorf("live after free = %d, want 50", al.LiveBytes())
+	}
+	// Double free is an error.
+	if err := al.Free(a); err == nil {
+		t.Error("double free not rejected")
+	}
+	if err := al.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if al.TotalAllocs != 2 || al.TotalFrees != 2 || al.TotalBytes != 150 {
+		t.Errorf("stats = %d/%d/%d", al.TotalAllocs, al.TotalFrees, al.TotalBytes)
+	}
+	al.ResetStats()
+	if al.TotalAllocs != 0 || al.PeakLiveBytes != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+}
+
+func TestDMASerializesTransfers(t *testing.T) {
+	d := NewDMA("dma", Bus{BytesPerSecond: 1e9})
+	oneMB := 1 << 20
+	dur := Bus{BytesPerSecond: 1e9}.TransferTime(oneMB)
+	s1, e1 := d.Schedule(0, oneMB)
+	if s1 != 0 || e1 != dur {
+		t.Fatalf("first transfer [%v,%v], want [0,%v]", s1, e1, dur)
+	}
+	// Second transfer requested mid-flight queues behind the first.
+	s2, e2 := d.Schedule(dur/2, oneMB)
+	if s2 != e1 || e2 != e1+dur {
+		t.Fatalf("second transfer [%v,%v], want [%v,%v]", s2, e2, e1, e1+dur)
+	}
+	if d.FreeAt() != e2 {
+		t.Errorf("FreeAt = %v, want %v", d.FreeAt(), e2)
+	}
+	if d.BusyTotal() != 2*dur {
+		t.Errorf("BusyTotal = %v, want %v", d.BusyTotal(), 2*dur)
+	}
+	d.Reset()
+	if d.FreeAt() != 0 {
+		t.Error("Reset did not idle the engine")
+	}
+}

@@ -1,0 +1,117 @@
+// Package ref provides CPU reference implementations of every kernel the
+// GPGPU framework runs, used to validate the GPU results numerically.
+package ref
+
+// Sum computes c = a + b elementwise.
+func Sum(a, b, c []float64) {
+	for i := range c {
+		c[i] = a[i] + b[i]
+	}
+}
+
+// Saxpy computes y = alpha*x + y elementwise.
+func Saxpy(alpha float64, x, y []float64) {
+	for i := range y {
+		y[i] = alpha*x[i] + y[i]
+	}
+}
+
+// Sgemm computes C = A·B for row-major n×n matrices.
+func Sgemm(n int, a, b, c []float64) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for k := 0; k < n; k++ {
+				acc += a[i*n+k] * b[k*n+j]
+			}
+			c[i*n+j] = acc
+		}
+	}
+}
+
+// SgemmBlocked computes C = A·B in passes of block columns, mirroring the
+// GPU multi-pass accumulation order (useful when comparing against
+// precision-limited GPU accumulation).
+func SgemmBlocked(n, block int, a, b, c []float64) {
+	for i := range c {
+		c[i] = 0
+	}
+	for k0 := 0; k0 < n; k0 += block {
+		k1 := k0 + block
+		if k1 > n {
+			k1 = n
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				acc := c[i*n+j]
+				for k := k0; k < k1; k++ {
+					acc += a[i*n+k] * b[k*n+j]
+				}
+				c[i*n+j] = acc
+			}
+		}
+	}
+}
+
+// Convolve3x3 applies a 3×3 kernel with clamp-to-edge boundaries to a w×h
+// image.
+func Convolve3x3(w, h int, src []float64, k [9]float64, dst []float64) {
+	at := func(x, y int) float64 {
+		if x < 0 {
+			x = 0
+		}
+		if y < 0 {
+			y = 0
+		}
+		if x >= w {
+			x = w - 1
+		}
+		if y >= h {
+			y = h - 1
+		}
+		return src[y*w+x]
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var acc float64
+			ki := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					acc += k[ki] * at(x+dx, y+dy)
+					ki++
+				}
+			}
+			dst[y*w+x] = acc
+		}
+	}
+}
+
+// JacobiStep performs one Jacobi iteration for the 2D Laplace equation on
+// a w×h grid with Dirichlet boundaries (boundary cells are copied).
+func JacobiStep(w, h int, src, dst []float64) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			if x == 0 || y == 0 || x == w-1 || y == h-1 {
+				dst[i] = src[i]
+				continue
+			}
+			dst[i] = 0.25 * (src[i-1] + src[i+1] + src[i-w] + src[i+w])
+		}
+	}
+}
+
+// MaxAbsDiff returns the largest elementwise |a-b|.
+func MaxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

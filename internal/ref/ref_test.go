@@ -1,0 +1,149 @@
+package ref
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSum(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 20, 30}
+	c := make([]float64, 3)
+	Sum(a, b, c)
+	if c[0] != 11 || c[1] != 22 || c[2] != 33 {
+		t.Errorf("c = %v", c)
+	}
+}
+
+func TestSaxpy(t *testing.T) {
+	x := []float64{1, 2}
+	y := []float64{10, 20}
+	Saxpy(3, x, y)
+	if y[0] != 13 || y[1] != 26 {
+		t.Errorf("y = %v", y)
+	}
+}
+
+func TestSgemmIdentity(t *testing.T) {
+	n := 4
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		a[i*n+i] = 1
+	}
+	b := make([]float64, n*n)
+	for i := range b {
+		b[i] = float64(i)
+	}
+	c := make([]float64, n*n)
+	Sgemm(n, a, b, c)
+	if MaxAbsDiff(b, c) != 0 {
+		t.Error("I*B != B")
+	}
+}
+
+func TestSgemmBlockedMatchesSgemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 12
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := range a {
+		a[i] = rng.Float64()
+		b[i] = rng.Float64()
+	}
+	want := make([]float64, n*n)
+	Sgemm(n, a, b, want)
+	for _, blk := range []int{1, 2, 3, 4, 6, 12} {
+		got := make([]float64, n*n)
+		SgemmBlocked(n, blk, a, b, got)
+		if d := MaxAbsDiff(want, got); d > 1e-12 {
+			t.Errorf("block %d: diff %g", blk, d)
+		}
+	}
+}
+
+func TestSgemmBlockedProperty(t *testing.T) {
+	f := func(seed int64, blkRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8
+		blk := int(blkRaw%8) + 1
+		a := make([]float64, n*n)
+		b := make([]float64, n*n)
+		for i := range a {
+			a[i] = rng.Float64()
+			b[i] = rng.Float64()
+		}
+		want := make([]float64, n*n)
+		got := make([]float64, n*n)
+		Sgemm(n, a, b, want)
+		SgemmBlocked(n, blk, a, b, got)
+		return MaxAbsDiff(want, got) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvolve3x3Identity(t *testing.T) {
+	w, h := 5, 4
+	src := make([]float64, w*h)
+	for i := range src {
+		src[i] = float64(i) * 0.1
+	}
+	dst := make([]float64, w*h)
+	var id [9]float64
+	id[4] = 1
+	Convolve3x3(w, h, src, id, dst)
+	if MaxAbsDiff(src, dst) != 0 {
+		t.Error("identity kernel changed the image")
+	}
+}
+
+func TestConvolve3x3BoxBlurConstant(t *testing.T) {
+	w, h := 6, 6
+	src := make([]float64, w*h)
+	for i := range src {
+		src[i] = 0.5
+	}
+	var box [9]float64
+	for i := range box {
+		box[i] = 1.0 / 9
+	}
+	dst := make([]float64, w*h)
+	Convolve3x3(w, h, src, box, dst)
+	for i, v := range dst {
+		if math.Abs(v-0.5) > 1e-12 {
+			t.Fatalf("pixel %d = %g (clamp-to-edge blur of constant must be constant)", i, v)
+		}
+	}
+}
+
+func TestJacobiStepConvergesOnAverage(t *testing.T) {
+	w, h := 8, 8
+	a := make([]float64, w*h)
+	b := make([]float64, w*h)
+	// Hot left edge.
+	for y := 0; y < h; y++ {
+		a[y*w] = 1
+	}
+	cur, nxt := a, b
+	for it := 0; it < 500; it++ {
+		JacobiStep(w, h, cur, nxt)
+		cur, nxt = nxt, cur
+	}
+	// Interior next to the hot edge must have warmed up.
+	if cur[3*w+1] <= 0.2 {
+		t.Errorf("interior value %g did not converge toward boundary", cur[3*w+1])
+	}
+	// Boundaries preserved.
+	if cur[3*w] != 1 || cur[3*w+w-1] != 0 {
+		t.Error("Dirichlet boundaries not preserved")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if MaxAbsDiff([]float64{1, 5, 2}, []float64{1, 2, 4}) != 3 {
+		t.Error("MaxAbsDiff wrong")
+	}
+}

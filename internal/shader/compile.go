@@ -1,0 +1,520 @@
+package shader
+
+import (
+	"fmt"
+
+	"gles2gpgpu/internal/glsl"
+)
+
+// Compile lowers a checked shader to IR. Limits are enforced separately via
+// Program.CheckLimits so callers can compile once and validate against
+// several device profiles.
+func Compile(cs *glsl.CheckedShader) (*Program, error) {
+	g := &cgen{
+		cs: cs,
+		prog: &Program{
+			Stage:       cs.Stage,
+			UsesDiscard: cs.UsesDiscard,
+		},
+		env:      make(map[*glsl.Symbol]*binding),
+		constMap: make(map[[4]float32]int),
+	}
+	if err := g.run(); err != nil {
+		return nil, err
+	}
+	return g.prog, nil
+}
+
+// binding maps a GLSL symbol to its IR location or compile-time constant.
+type binding struct {
+	cval *glsl.ConstValue // set for const symbols and unrolled loop indices
+	loc  loc
+	// samplerIdx is >= 0 for sampler uniforms.
+	samplerIdx int
+}
+
+// loc is a register-file location spanning one or more registers.
+type loc struct {
+	file  RegFile
+	reg   int
+	nregs int
+}
+
+// value is the result of expression codegen.
+type value struct {
+	typ  glsl.Type
+	cval *glsl.ConstValue // non-nil for compile-time constants
+
+	file  RegFile
+	reg   int
+	nregs int
+	swiz  [4]uint8
+	neg   bool
+
+	samplerIdx int // for sampler-typed values
+}
+
+func (v value) src() Src {
+	return Src{File: v.file, Reg: uint16(v.reg), Swiz: v.swiz, Neg: v.neg}
+}
+
+// colSrc returns the source operand for column i of a matrix value.
+func (v value) colSrc(i int) Src {
+	return Src{File: v.file, Reg: uint16(v.reg + i), Swiz: IdentitySwiz, Neg: v.neg}
+}
+
+// lval is a resolved assignment target: destination components comps[j]
+// receive source component j.
+type lval struct {
+	file  RegFile
+	reg   int
+	comps []int
+	typ   glsl.Type
+	nregs int // >1 for whole-matrix targets
+}
+
+type cgen struct {
+	cs   *glsl.CheckedShader
+	prog *Program
+
+	env      map[*glsl.Symbol]*binding
+	constMap map[[4]float32]int
+
+	// Temp register allocation: persistent watermark for named locals
+	// (stack discipline per block) and a scratch pointer reset per
+	// statement.
+	persistWM int
+	scratch   int
+	maxTemp   int
+
+	nextUniform int
+	nextInput   int
+	nextOutput  int
+
+	// inlineRet tracks the return slot and end-label of the function
+	// currently being inlined (nil at main level).
+	inlineRet []*inlineCtx
+	// loopEnds tracks (continueLabel, breakLabel) fixup lists.
+	loopCtx []*loopCtx
+
+	inlineDepth int
+}
+
+type inlineCtx struct {
+	retLoc  *loc // nil for void
+	retType glsl.Type
+	endBRs  []int // BR instructions to patch to the inline end
+}
+
+type loopCtx struct {
+	breakBRs    []int
+	continueBRs []int
+}
+
+const maxInlineDepth = 64
+
+// regsFor returns how many registers a type occupies.
+func regsFor(t glsl.Type) int {
+	per := 1
+	if t.IsMatrix() {
+		per = t.MatrixCols()
+	}
+	if t.ArrayLen > 0 {
+		return per * t.ArrayLen
+	}
+	return per
+}
+
+func (g *cgen) run() error {
+	// Interface allocation in declaration order.
+	for _, d := range g.cs.Prog.Decls {
+		gd, ok := d.(*glsl.GlobalDecl)
+		if !ok {
+			continue
+		}
+		switch gd.Storage {
+		case glsl.StorUniform:
+			b := &binding{samplerIdx: -1}
+			n := regsFor(gd.DeclType)
+			b.loc = loc{file: FileUniform, reg: g.nextUniform, nregs: n}
+			if gd.DeclType.IsSampler() {
+				b.samplerIdx = len(g.prog.Samplers)
+				g.prog.Samplers = append(g.prog.Samplers, gd.Name)
+			}
+			g.prog.Uniforms = append(g.prog.Uniforms, UniformInfo{
+				Name: gd.Name, Type: gd.DeclType, Reg: g.nextUniform, Regs: n,
+				SamplerIdx: b.samplerIdx,
+			})
+			g.nextUniform += n
+			g.env[gd.Sym] = b
+		case glsl.StorAttribute:
+			if g.cs.Stage != glsl.StageVertex {
+				return errAt(gd.P, "attribute outside vertex shader")
+			}
+			g.bindInput(gd.Sym, gd.Name, gd.DeclType)
+		case glsl.StorVarying:
+			if g.cs.Stage == glsl.StageVertex {
+				g.bindOutput(gd.Sym, gd.Name, gd.DeclType)
+			} else {
+				g.bindInput(gd.Sym, gd.Name, gd.DeclType)
+			}
+		case glsl.StorConst:
+			g.env[gd.Sym] = &binding{cval: gd.Sym.Const, samplerIdx: -1}
+		case glsl.StorNone:
+			n := regsFor(gd.DeclType)
+			reg := g.allocPersist(n)
+			g.env[gd.Sym] = &binding{loc: loc{file: FileTemp, reg: reg, nregs: n}, samplerIdx: -1}
+		}
+	}
+	// Global initializers for plain globals.
+	for _, d := range g.cs.Prog.Decls {
+		gd, ok := d.(*glsl.GlobalDecl)
+		if !ok || gd.Storage != glsl.StorNone || gd.Init == nil {
+			continue
+		}
+		g.resetScratch()
+		v, err := g.genExpr(gd.Init)
+		if err != nil {
+			return err
+		}
+		b := g.env[gd.Sym]
+		g.storeToLoc(b.loc, gd.DeclType, v)
+	}
+
+	// Inline main.
+	g.resetScratch()
+	if err := g.genBlock(g.cs.Main.Body); err != nil {
+		return err
+	}
+	g.emit(Inst{Op: OpRET})
+
+	g.prog.NumTemps = g.maxTemp
+	g.prog.NumInputs = g.nextInput
+	g.prog.NumOutputs = g.nextOutput
+	g.prog.NumUniform = g.nextUniform
+	for i := range g.prog.Insts {
+		if g.prog.Insts[i].Op == OpTEX {
+			g.prog.TexInstructions++
+		}
+	}
+	return nil
+}
+
+// Output register layout: vertex shaders write gl_Position to a register
+// named "gl_Position"; each varying gets its own named output. Fragment
+// shaders write gl_FragColor to the output named "gl_FragColor". The
+// rasteriser and framebuffer stage look registers up by name, so ordering
+// is irrelevant.
+
+func (g *cgen) bindInput(sym *glsl.Symbol, name string, t glsl.Type) {
+	n := regsFor(t)
+	g.env[sym] = &binding{loc: loc{file: FileInput, reg: g.nextInput, nregs: n}, samplerIdx: -1}
+	g.prog.Inputs = append(g.prog.Inputs, VarInfo{Name: name, Type: t, Reg: g.nextInput, Components: t.Components()})
+	g.nextInput += n
+}
+
+func (g *cgen) bindOutput(sym *glsl.Symbol, name string, t glsl.Type) {
+	n := regsFor(t)
+	g.env[sym] = &binding{loc: loc{file: FileOutput, reg: g.nextOutput, nregs: n}, samplerIdx: -1}
+	g.prog.Outputs = append(g.prog.Outputs, VarInfo{Name: name, Type: t, Reg: g.nextOutput, Components: t.Components()})
+	g.nextOutput += n
+}
+
+// builtinVarBinding lazily allocates the register for a gl_* variable.
+func (g *cgen) builtinVarBinding(sym *glsl.Symbol) *binding {
+	if b, ok := g.env[sym]; ok {
+		return b
+	}
+	var b *binding
+	switch sym.Name {
+	case "gl_Position", "gl_PointSize", "gl_FragColor":
+		n := regsFor(sym.Type)
+		b = &binding{loc: loc{file: FileOutput, reg: g.nextOutput, nregs: n}, samplerIdx: -1}
+		g.prog.Outputs = append(g.prog.Outputs, VarInfo{Name: sym.Name, Type: sym.Type, Reg: g.nextOutput, Components: sym.Type.Components()})
+		g.nextOutput += n
+	default: // gl_FragCoord, gl_FrontFacing, gl_PointCoord
+		n := regsFor(sym.Type)
+		b = &binding{loc: loc{file: FileInput, reg: g.nextInput, nregs: n}, samplerIdx: -1}
+		g.prog.Inputs = append(g.prog.Inputs, VarInfo{Name: sym.Name, Type: sym.Type, Reg: g.nextInput, Components: sym.Type.Components()})
+		g.nextInput += n
+	}
+	g.env[sym] = b
+	return b
+}
+
+func errAt(p glsl.Pos, format string, args ...interface{}) error {
+	return fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...))
+}
+
+// Register allocation.
+
+func (g *cgen) allocPersist(n int) int {
+	r := g.persistWM
+	g.persistWM += n
+	if g.scratch < g.persistWM {
+		g.scratch = g.persistWM
+	}
+	if g.persistWM > g.maxTemp {
+		g.maxTemp = g.persistWM
+	}
+	return r
+}
+
+func (g *cgen) allocScratch(n int) int {
+	r := g.scratch
+	g.scratch += n
+	if g.scratch > g.maxTemp {
+		g.maxTemp = g.scratch
+	}
+	return r
+}
+
+func (g *cgen) resetScratch() { g.scratch = g.persistWM }
+
+func (g *cgen) emit(in Inst) int {
+	g.prog.Insts = append(g.prog.Insts, in)
+	return len(g.prog.Insts) - 1
+}
+
+func (g *cgen) here() int32 { return int32(len(g.prog.Insts)) }
+
+// constIdx interns a constant vector in the pool.
+func (g *cgen) constIdx(c [4]float32) int {
+	if i, ok := g.constMap[c]; ok {
+		return i
+	}
+	i := len(g.prog.Consts)
+	g.prog.Consts = append(g.prog.Consts, c)
+	g.constMap[c] = i
+	return i
+}
+
+// constSrc materialises a ConstValue as a const-pool operand.
+func (g *cgen) constSrc(cv *glsl.ConstValue) Src {
+	var c [4]float32
+	for i := 0; i < 4 && i < len(cv.Vals); i++ {
+		c[i] = float32(cv.Vals[i])
+	}
+	if len(cv.Vals) == 1 {
+		// Broadcast scalars so any swizzle works.
+		c[1], c[2], c[3] = c[0], c[0], c[0]
+	}
+	return SrcReg(FileConst, g.constIdx(c))
+}
+
+// scalarConst returns a const-pool operand broadcasting v.
+func (g *cgen) scalarConst(v float32) Src {
+	return SrcReg(FileConst, g.constIdx([4]float32{v, v, v, v}))
+}
+
+// asSrc converts a (non-matrix) value to a source operand, materialising
+// constants.
+func (g *cgen) asSrc(v value) Src {
+	if v.cval != nil {
+		s := g.constSrc(v.cval)
+		s.Neg = v.neg
+		return s
+	}
+	return v.src()
+}
+
+// Statements.
+
+func (g *cgen) genBlock(b *glsl.Block) error {
+	// Locals declared in this block release their registers on exit.
+	// Their symbols cannot be referenced afterwards (scoping is checked
+	// by sema), so stale env entries are harmless.
+	savedPersist := g.persistWM
+	for _, s := range b.Stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	g.persistWM = savedPersist
+	g.resetScratch()
+	return nil
+}
+
+func (g *cgen) genStmt(s glsl.Stmt) error {
+	g.resetScratch()
+	switch s := s.(type) {
+	case *glsl.Block:
+		return g.genBlock(s)
+	case *glsl.DeclStmt:
+		return g.genDecl(s)
+	case *glsl.ExprStmt:
+		_, err := g.genExpr(s.X)
+		return err
+	case *glsl.IfStmt:
+		return g.genIf(s)
+	case *glsl.ForStmt:
+		return g.genFor(s)
+	case *glsl.ReturnStmt:
+		return g.genReturn(s)
+	case *glsl.BreakStmt:
+		if len(g.loopCtx) == 0 {
+			return errAt(s.P, "break outside loop")
+		}
+		lc := g.loopCtx[len(g.loopCtx)-1]
+		lc.breakBRs = append(lc.breakBRs, g.emit(Inst{Op: OpBR}))
+		return nil
+	case *glsl.ContinueStmt:
+		if len(g.loopCtx) == 0 {
+			return errAt(s.P, "continue outside loop")
+		}
+		lc := g.loopCtx[len(g.loopCtx)-1]
+		lc.continueBRs = append(lc.continueBRs, g.emit(Inst{Op: OpBR}))
+		return nil
+	case *glsl.DiscardStmt:
+		g.emit(Inst{Op: OpKIL, A: g.scalarConst(1)})
+		return nil
+	}
+	return errAt(s.Pos(), "unsupported statement in code generation")
+}
+
+func (g *cgen) genDecl(d *glsl.DeclStmt) error {
+	if d.Sym.Kind == glsl.SymConst && d.Sym.Const != nil {
+		g.env[d.Sym] = &binding{cval: d.Sym.Const, samplerIdx: -1}
+		return nil
+	}
+	n := regsFor(d.DeclType)
+	reg := g.allocPersist(n)
+	b := &binding{loc: loc{file: FileTemp, reg: reg, nregs: n}, samplerIdx: -1}
+	g.env[d.Sym] = b
+	if d.Init != nil {
+		v, err := g.genExpr(d.Init)
+		if err != nil {
+			return err
+		}
+		g.storeToLoc(b.loc, d.DeclType, v)
+	}
+	return nil
+}
+
+// storeToLoc moves a value into a location (handling matrices).
+func (g *cgen) storeToLoc(l loc, t glsl.Type, v value) {
+	if t.IsMatrix() || t.IsArray() {
+		n := l.nregs
+		for i := 0; i < n; i++ {
+			var src Src
+			if v.cval != nil {
+				// Column i of a constant matrix.
+				var c [4]float32
+				cols := t.MatrixCols()
+				if cols == 0 {
+					cols = 1
+				}
+				for j := 0; j < cols && i*cols+j < len(v.cval.Vals); j++ {
+					c[j] = float32(v.cval.Vals[i*cols+j])
+				}
+				src = SrcReg(FileConst, g.constIdx(c))
+			} else {
+				src = v.colSrc(i)
+			}
+			g.emit(Inst{Op: OpMOV, Dst: DstReg(l.file, l.reg+i, 4), A: src})
+		}
+		return
+	}
+	g.emit(Inst{Op: OpMOV, Dst: DstReg(l.file, l.reg, t.Components()), A: g.asSrc(v)})
+}
+
+func (g *cgen) genIf(s *glsl.IfStmt) error {
+	cond, err := g.genExpr(s.Cond)
+	if err != nil {
+		return err
+	}
+	if cond.cval != nil {
+		// Statically-known condition: emit only the taken branch.
+		if cond.cval.Bool() {
+			return g.genStmt(s.Then)
+		}
+		if s.Else != nil {
+			return g.genStmt(s.Else)
+		}
+		return nil
+	}
+	brz := g.emit(Inst{Op: OpBRZ, A: g.asSrc(cond)})
+	if err := g.genStmt(s.Then); err != nil {
+		return err
+	}
+	if s.Else == nil {
+		g.prog.Insts[brz].Target = g.here()
+		return nil
+	}
+	br := g.emit(Inst{Op: OpBR})
+	g.prog.Insts[brz].Target = g.here()
+	if err := g.genStmt(s.Else); err != nil {
+		return err
+	}
+	g.prog.Insts[br].Target = g.here()
+	return nil
+}
+
+// genFor fully unrolls the loop using the front end's LoopInfo, binding the
+// loop index to a fresh constant each iteration (GLSL ES Appendix A
+// semantics; this is what makes instruction counts grow with sgemm block
+// size).
+func (g *cgen) genFor(s *glsl.ForStmt) error {
+	info, ok := g.cs.Loops[s]
+	if !ok {
+		return errAt(s.P, "internal: loop without static trip info")
+	}
+	lc := &loopCtx{}
+	g.loopCtx = append(g.loopCtx, lc)
+	defer func() { g.loopCtx = g.loopCtx[:len(g.loopCtx)-1] }()
+
+	isFloat := info.Sym.Type.Kind == glsl.KFloat
+	fidx := float32(info.Start)
+	iidx := int64(info.Start)
+
+	savedBinding, hadBinding := g.env[info.Sym]
+	for iter := 0; iter < info.Trip; iter++ {
+		var cv glsl.ConstValue
+		if isFloat {
+			cv = glsl.ConstValue{T: glsl.T(glsl.KFloat), Vals: []float64{float64(fidx)}}
+		} else {
+			cv = glsl.ConstValue{T: glsl.T(glsl.KInt), Vals: []float64{float64(iidx)}}
+		}
+		g.env[info.Sym] = &binding{cval: &cv, samplerIdx: -1}
+		if err := g.genStmt(s.Body); err != nil {
+			return err
+		}
+		// continue lands at the end of this iteration.
+		for _, idx := range lc.continueBRs {
+			g.prog.Insts[idx].Target = g.here()
+		}
+		lc.continueBRs = lc.continueBRs[:0]
+		if isFloat {
+			fidx += float32(info.Step)
+		} else {
+			iidx += int64(info.Step)
+		}
+	}
+	for _, idx := range lc.breakBRs {
+		g.prog.Insts[idx].Target = g.here()
+	}
+	if hadBinding {
+		g.env[info.Sym] = savedBinding
+	} else {
+		delete(g.env, info.Sym)
+	}
+	return nil
+}
+
+func (g *cgen) genReturn(s *glsl.ReturnStmt) error {
+	if len(g.inlineRet) == 0 {
+		// Returning from main ends the shader.
+		g.emit(Inst{Op: OpRET})
+		return nil
+	}
+	ic := g.inlineRet[len(g.inlineRet)-1]
+	if s.X != nil {
+		v, err := g.genExpr(s.X)
+		if err != nil {
+			return err
+		}
+		g.storeToLoc(*ic.retLoc, ic.retType, v)
+	}
+	ic.endBRs = append(ic.endBRs, g.emit(Inst{Op: OpBR}))
+	return nil
+}

@@ -1,0 +1,500 @@
+package shader
+
+import (
+	"math"
+
+	"gles2gpgpu/internal/glsl"
+)
+
+func (g *cgen) genCall(e *glsl.Call) (value, error) {
+	switch {
+	case e.Ctor:
+		return g.genCtor(e)
+	case e.Builtin != nil:
+		return g.genBuiltin(e)
+	case e.Func != nil:
+		return g.genUserCall(e)
+	}
+	return value{}, errAt(e.P, "internal: unresolved call %q", e.Name)
+}
+
+// genCtor lowers type constructors. Constant constructors were already
+// folded by genExpr; this path handles runtime arguments.
+func (g *cgen) genCtor(e *glsl.Call) (value, error) {
+	ct := e.CtorType
+	args := make([]value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := g.genExpr(a)
+		if err != nil {
+			return value{}, err
+		}
+		args[i] = v
+	}
+	if ct.IsScalar() {
+		// Conversions: int(float) truncates, bool(x) = x != 0, float(int)
+		// is a representation no-op in this float32 register file.
+		v := args[0]
+		src := g.asSrc(v)
+		res := g.tempValue(ct)
+		switch ct.Kind {
+		case glsl.KInt:
+			// trunc(x) = sign(x)*floor(|x|)
+			if v.typ.Kind == glsl.KFloat {
+				absV := g.tempValue(ct)
+				g.emit(Inst{Op: OpABS, Dst: absV.dst(), A: src})
+				flr := g.tempValue(ct)
+				g.emit(Inst{Op: OpFLR, Dst: flr.dst(), A: absV.src()})
+				sgn := g.tempValue(ct)
+				g.emit(Inst{Op: OpSGN, Dst: sgn.dst(), A: src})
+				g.emit(Inst{Op: OpMUL, Dst: res.dst(), A: flr.src(), B: sgn.src()})
+			} else {
+				g.emit(Inst{Op: OpMOV, Dst: res.dst(), A: src})
+			}
+		case glsl.KBool:
+			g.emit(Inst{Op: OpSNE, Dst: res.dst(), A: src, B: g.scalarConst(0)})
+		default:
+			g.emit(Inst{Op: OpMOV, Dst: res.dst(), A: src})
+		}
+		return res, nil
+	}
+	if ct.IsMatrix() {
+		return g.genMatCtor(e, ct, args)
+	}
+	// Vector constructor.
+	n := ct.Components()
+	res := g.tempValue(ct)
+	if len(args) == 1 {
+		a := args[0]
+		src := g.asSrc(a)
+		if a.typ.IsScalar() {
+			src.Swiz = [4]uint8{src.Swiz[0], src.Swiz[0], src.Swiz[0], src.Swiz[0]}
+		}
+		g.emit(Inst{Op: OpMOV, Dst: res.dst(), A: src})
+		return res, nil
+	}
+	// Flatten arguments into consecutive components.
+	at := 0
+	for _, a := range args {
+		cn := a.typ.Components()
+		src := g.asSrc(a)
+		var mask uint8
+		var sw [4]uint8
+		for j := 0; j < cn; j++ {
+			d := at + j
+			mask |= 1 << uint(d)
+			sw[d] = src.Swiz[j]
+		}
+		src.Swiz = sw
+		g.emit(Inst{Op: OpMOV, Dst: Dst{File: FileTemp, Reg: uint16(res.reg), Mask: mask}, A: src})
+		at += cn
+	}
+	_ = n
+	return res, nil
+}
+
+func (g *cgen) genMatCtor(e *glsl.Call, ct glsl.Type, args []value) (value, error) {
+	n := ct.MatrixCols()
+	res := g.tempValue(ct)
+	if len(args) == 1 {
+		a := args[0]
+		if a.typ.IsScalar() {
+			// Diagonal matrix.
+			src := g.asSrc(a)
+			src.Swiz = [4]uint8{src.Swiz[0], src.Swiz[0], src.Swiz[0], src.Swiz[0]}
+			zero := g.scalarConst(0)
+			for i := 0; i < n; i++ {
+				g.emit(Inst{Op: OpMOV, Dst: DstReg(FileTemp, res.reg+i, n), A: zero})
+				g.emit(Inst{Op: OpMOV, Dst: Dst{File: FileTemp, Reg: uint16(res.reg + i), Mask: 1 << uint(i)}, A: src})
+			}
+			return res, nil
+		}
+		if a.typ == ct {
+			for i := 0; i < n; i++ {
+				g.emit(Inst{Op: OpMOV, Dst: DstReg(FileTemp, res.reg+i, n), A: a.colSrc(i)})
+			}
+			return res, nil
+		}
+		return value{}, errAt(e.P, "unsupported matrix constructor argument %s", a.typ)
+	}
+	// Component list: distribute into columns.
+	col, at := 0, 0
+	for _, a := range args {
+		cn := a.typ.Components()
+		src := g.asSrc(a)
+		for j := 0; j < cn; j++ {
+			d := at % n
+			s := src
+			s.Swiz = [4]uint8{src.Swiz[j], src.Swiz[j], src.Swiz[j], src.Swiz[j]}
+			g.emit(Inst{Op: OpMOV, Dst: Dst{File: FileTemp, Reg: uint16(res.reg + col), Mask: 1 << uint(d)}, A: s})
+			at++
+			if at%n == 0 {
+				col++
+			}
+		}
+	}
+	return res, nil
+}
+
+// genBuiltin lowers builtin calls to hardware instruction sequences.
+func (g *cgen) genBuiltin(e *glsl.Call) (value, error) {
+	sig := e.Builtin
+	// texture2D needs its sampler operand resolved, not evaluated.
+	if sig.Op == glsl.BTexture2D || sig.Op == glsl.BTexture2DBias {
+		return g.genTexture(e)
+	}
+	args := make([]value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := g.genExpr(a)
+		if err != nil {
+			return value{}, err
+		}
+		args[i] = v
+	}
+	res := g.tempValue(e.Type())
+	simple1 := map[glsl.BuiltinOp]Op{
+		glsl.BSin: OpSIN, glsl.BCos: OpCOS, glsl.BTan: OpTAN,
+		glsl.BAsin: OpASIN, glsl.BAcos: OpACOS, glsl.BAtan: OpATAN,
+		glsl.BExp: OpEXP, glsl.BLog: OpLOG, glsl.BExp2: OpEX2, glsl.BLog2: OpLG2,
+		glsl.BSqrt: OpSQRT, glsl.BInverseSqrt: OpRSQ,
+		glsl.BAbs: OpABS, glsl.BSign: OpSGN, glsl.BFloor: OpFLR,
+		glsl.BCeil: OpCEIL, glsl.BFract: OpFRC,
+	}
+	if op, ok := simple1[sig.Op]; ok {
+		g.emit(Inst{Op: op, Dst: res.dst(), A: g.asSrc(args[0])})
+		return res, nil
+	}
+	bcast := func(s Src) Src {
+		s.Swiz = [4]uint8{s.Swiz[0], s.Swiz[0], s.Swiz[0], s.Swiz[0]}
+		return s
+	}
+	// Align a possibly-scalar second operand with a vector first operand.
+	alignB := func(a, b value) (Src, Src) {
+		sa, sb := g.asSrc(a), g.asSrc(b)
+		if a.typ.Components() > 1 && b.typ.Components() == 1 {
+			sb = bcast(sb)
+		}
+		return sa, sb
+	}
+	dpOp := func(n int) Op {
+		switch n {
+		case 2:
+			return OpDP2
+		case 3:
+			return OpDP3
+		case 4:
+			return OpDP4
+		}
+		return OpMUL // 1-component "dot" is a multiply
+	}
+	switch sig.Op {
+	case glsl.BRadians:
+		g.emit(Inst{Op: OpMUL, Dst: res.dst(), A: g.asSrc(args[0]), B: g.scalarConst(float32(math.Pi / 180))})
+	case glsl.BDegrees:
+		g.emit(Inst{Op: OpMUL, Dst: res.dst(), A: g.asSrc(args[0]), B: g.scalarConst(float32(180 / math.Pi))})
+	case glsl.BAtan2:
+		g.emit(Inst{Op: OpATAN2, Dst: res.dst(), A: g.asSrc(args[0]), B: g.asSrc(args[1])})
+	case glsl.BPow:
+		g.emit(Inst{Op: OpPOW, Dst: res.dst(), A: g.asSrc(args[0]), B: g.asSrc(args[1])})
+	case glsl.BMod:
+		// a - b*floor(a/b)
+		sa, sb := alignB(args[0], args[1])
+		q := g.tempValue(e.Type())
+		g.emit(Inst{Op: OpDIV, Dst: q.dst(), A: sa, B: sb})
+		g.emit(Inst{Op: OpFLR, Dst: q.dst(), A: q.src()})
+		nb := sb
+		nb.Neg = !nb.Neg
+		g.emit(Inst{Op: OpMAD, Dst: res.dst(), A: q.src(), B: nb, C: sa})
+	case glsl.BMin, glsl.BMax:
+		op := OpMIN
+		if sig.Op == glsl.BMax {
+			op = OpMAX
+		}
+		sa, sb := alignB(args[0], args[1])
+		g.emit(Inst{Op: op, Dst: res.dst(), A: sa, B: sb})
+	case glsl.BClamp:
+		sa := g.asSrc(args[0])
+		slo, shi := g.asSrc(args[1]), g.asSrc(args[2])
+		if args[0].typ.Components() > 1 && args[1].typ.Components() == 1 {
+			slo, shi = bcast(slo), bcast(shi)
+		}
+		g.emit(Inst{Op: OpCLAMP, Dst: res.dst(), A: sa, B: slo, C: shi})
+	case glsl.BMix:
+		// a + t*(b-a)
+		sa, sb := g.asSrc(args[0]), g.asSrc(args[1])
+		st := g.asSrc(args[2])
+		if args[0].typ.Components() > 1 && args[2].typ.Components() == 1 {
+			st = bcast(st)
+		}
+		d := g.tempValue(e.Type())
+		g.emit(Inst{Op: OpSUB, Dst: d.dst(), A: sb, B: sa})
+		g.emit(Inst{Op: OpMAD, Dst: res.dst(), A: d.src(), B: st, C: sa})
+	case glsl.BStep:
+		// step(edge, x) = x >= edge
+		se, sx := g.asSrc(args[0]), g.asSrc(args[1])
+		if args[1].typ.Components() > 1 && args[0].typ.Components() == 1 {
+			se = bcast(se)
+		}
+		g.emit(Inst{Op: OpSGE, Dst: res.dst(), A: sx, B: se})
+	case glsl.BSmoothstep:
+		s0, s1 := g.asSrc(args[0]), g.asSrc(args[1])
+		sx := g.asSrc(args[2])
+		if args[2].typ.Components() > 1 && args[0].typ.Components() == 1 {
+			s0, s1 = bcast(s0), bcast(s1)
+		}
+		num := g.tempValue(e.Type())
+		g.emit(Inst{Op: OpSUB, Dst: num.dst(), A: sx, B: s0})
+		den := g.tempValue(e.Type())
+		g.emit(Inst{Op: OpSUB, Dst: den.dst(), A: s1, B: s0})
+		t := g.tempValue(e.Type())
+		g.emit(Inst{Op: OpDIV, Dst: t.dst(), A: num.src(), B: den.src()})
+		g.emit(Inst{Op: OpCLAMP, Dst: t.dst(), A: t.src(), B: g.scalarConst(0), C: g.scalarConst(1)})
+		// t*t*(3-2t)
+		poly := g.tempValue(e.Type())
+		nt := t.src()
+		nt.Neg = true
+		g.emit(Inst{Op: OpMAD, Dst: poly.dst(), A: nt, B: g.scalarConst(2), C: g.scalarConst(3)})
+		tt := g.tempValue(e.Type())
+		g.emit(Inst{Op: OpMUL, Dst: tt.dst(), A: t.src(), B: t.src()})
+		g.emit(Inst{Op: OpMUL, Dst: res.dst(), A: tt.src(), B: poly.src()})
+	case glsl.BLength:
+		n := args[0].typ.Components()
+		d := g.tempValue(glsl.T(glsl.KFloat))
+		g.emit(Inst{Op: dpOp(n), Dst: d.dst(), A: g.asSrc(args[0]), B: g.asSrc(args[0])})
+		g.emit(Inst{Op: OpSQRT, Dst: res.dst(), A: d.src()})
+	case glsl.BDistance:
+		n := args[0].typ.Components()
+		diff := g.tempValue(args[0].typ)
+		g.emit(Inst{Op: OpSUB, Dst: diff.dst(), A: g.asSrc(args[0]), B: g.asSrc(args[1])})
+		d := g.tempValue(glsl.T(glsl.KFloat))
+		g.emit(Inst{Op: dpOp(n), Dst: d.dst(), A: diff.src(), B: diff.src()})
+		g.emit(Inst{Op: OpSQRT, Dst: res.dst(), A: d.src()})
+	case glsl.BDot:
+		n := args[0].typ.Components()
+		g.emit(Inst{Op: dpOp(n), Dst: res.dst(), A: g.asSrc(args[0]), B: g.asSrc(args[1])})
+	case glsl.BCross:
+		// a.yzx*b.zxy - a.zxy*b.yzx
+		sa, sb := g.asSrc(args[0]), g.asSrc(args[1])
+		reswiz := func(s Src, a, b, c uint8) Src {
+			s.Swiz = [4]uint8{s.Swiz[a], s.Swiz[b], s.Swiz[c], s.Swiz[c]}
+			return s
+		}
+		t := g.tempValue(e.Type())
+		g.emit(Inst{Op: OpMUL, Dst: t.dst(), A: reswiz(sa, 1, 2, 0), B: reswiz(sb, 2, 0, 1)})
+		na := reswiz(sa, 2, 0, 1)
+		na.Neg = !na.Neg
+		g.emit(Inst{Op: OpMAD, Dst: res.dst(), A: na, B: reswiz(sb, 1, 2, 0), C: t.src()})
+	case glsl.BNormalize:
+		n := args[0].typ.Components()
+		sa := g.asSrc(args[0])
+		if n == 1 {
+			g.emit(Inst{Op: OpSGN, Dst: res.dst(), A: sa})
+			break
+		}
+		d := g.tempValue(glsl.T(glsl.KFloat))
+		g.emit(Inst{Op: dpOp(n), Dst: d.dst(), A: sa, B: sa})
+		r := g.tempValue(glsl.T(glsl.KFloat))
+		g.emit(Inst{Op: OpRSQ, Dst: r.dst(), A: d.src()})
+		g.emit(Inst{Op: OpMUL, Dst: res.dst(), A: sa, B: bcast(r.src())})
+	case glsl.BFaceforward:
+		// dot(Nref, I) < 0 ? N : -N
+		n := args[0].typ.Components()
+		d := g.tempValue(glsl.T(glsl.KFloat))
+		g.emit(Inst{Op: dpOp(n), Dst: d.dst(), A: g.asSrc(args[2]), B: g.asSrc(args[1])})
+		cmp := g.tempValue(glsl.T(glsl.KFloat))
+		g.emit(Inst{Op: OpSLT, Dst: cmp.dst(), A: d.src(), B: g.scalarConst(0)})
+		sn := g.asSrc(args[0])
+		nn := sn
+		nn.Neg = !nn.Neg
+		g.emit(Inst{Op: OpSEL, Dst: res.dst(), A: bcast(cmp.src()), B: sn, C: nn})
+	case glsl.BReflect:
+		// I - 2*dot(N,I)*N
+		n := args[0].typ.Components()
+		si, sn := g.asSrc(args[0]), g.asSrc(args[1])
+		d := g.tempValue(glsl.T(glsl.KFloat))
+		g.emit(Inst{Op: dpOp(n), Dst: d.dst(), A: sn, B: si})
+		d2 := g.tempValue(glsl.T(glsl.KFloat))
+		g.emit(Inst{Op: OpADD, Dst: d2.dst(), A: d.src(), B: d.src()})
+		nd := bcast(d2.src())
+		nd.Neg = true
+		g.emit(Inst{Op: OpMAD, Dst: res.dst(), A: sn, B: nd, C: si})
+	case glsl.BRefract:
+		// k = 1 - eta^2*(1 - dot(N,I)^2); k < 0 ? 0 : eta*I - (eta*dot(N,I)+sqrt(k))*N
+		n := args[0].typ.Components()
+		si, sn, seta := g.asSrc(args[0]), g.asSrc(args[1]), g.asSrc(args[2])
+		d := g.tempValue(glsl.T(glsl.KFloat))
+		g.emit(Inst{Op: dpOp(n), Dst: d.dst(), A: sn, B: si})
+		dd := g.tempValue(glsl.T(glsl.KFloat))
+		nd := d.src()
+		nd.Neg = true
+		g.emit(Inst{Op: OpMAD, Dst: dd.dst(), A: nd, B: d.src(), C: g.scalarConst(1)}) // 1 - d*d
+		e2 := g.tempValue(glsl.T(glsl.KFloat))
+		g.emit(Inst{Op: OpMUL, Dst: e2.dst(), A: seta, B: seta})
+		k := g.tempValue(glsl.T(glsl.KFloat))
+		ne2 := e2.src()
+		ne2.Neg = true
+		g.emit(Inst{Op: OpMAD, Dst: k.dst(), A: ne2, B: dd.src(), C: g.scalarConst(1)})
+		sq := g.tempValue(glsl.T(glsl.KFloat))
+		kc := k.src()
+		g.emit(Inst{Op: OpMAX, Dst: sq.dst(), A: kc, B: g.scalarConst(0)})
+		g.emit(Inst{Op: OpSQRT, Dst: sq.dst(), A: sq.src()})
+		coef := g.tempValue(glsl.T(glsl.KFloat))
+		g.emit(Inst{Op: OpMAD, Dst: coef.dst(), A: seta, B: d.src(), C: sq.src()})
+		tv := g.tempValue(e.Type())
+		nc := bcast(coef.src())
+		nc.Neg = true
+		ei := g.tempValue(e.Type())
+		g.emit(Inst{Op: OpMUL, Dst: ei.dst(), A: si, B: bcast(seta)})
+		g.emit(Inst{Op: OpMAD, Dst: tv.dst(), A: sn, B: nc, C: ei.src()})
+		// k < 0 → 0
+		cmp := g.tempValue(glsl.T(glsl.KFloat))
+		g.emit(Inst{Op: OpSLT, Dst: cmp.dst(), A: k.src(), B: g.scalarConst(0)})
+		g.emit(Inst{Op: OpSEL, Dst: res.dst(), A: bcast(cmp.src()), B: g.scalarConst(0), C: tv.src()})
+	case glsl.BMatrixCompMult:
+		for i := 0; i < res.nregs; i++ {
+			g.emit(Inst{Op: OpMUL, Dst: DstReg(FileTemp, res.reg+i, e.Type().MatrixCols()), A: args[0].colSrc(i), B: args[1].colSrc(i)})
+		}
+	case glsl.BLessThan, glsl.BLessThanEqual, glsl.BGreaterThan, glsl.BGreaterThanEqual, glsl.BEqual, glsl.BNotEqual:
+		ops := map[glsl.BuiltinOp]Op{
+			glsl.BLessThan: OpSLT, glsl.BLessThanEqual: OpSLE,
+			glsl.BGreaterThan: OpSGT, glsl.BGreaterThanEqual: OpSGE,
+			glsl.BEqual: OpSEQ, glsl.BNotEqual: OpSNE,
+		}
+		g.emit(Inst{Op: ops[sig.Op], Dst: res.dst(), A: g.asSrc(args[0]), B: g.asSrc(args[1])})
+	case glsl.BAny, glsl.BAll:
+		n := args[0].typ.Components()
+		sum := g.tempValue(glsl.T(glsl.KFloat))
+		g.emit(Inst{Op: dpOp(n), Dst: sum.dst(), A: g.asSrc(args[0]), B: g.scalarConst(1)})
+		thresh := float32(0.5)
+		if sig.Op == glsl.BAll {
+			thresh = float32(n) - 0.5
+		}
+		g.emit(Inst{Op: OpSGE, Dst: res.dst(), A: sum.src(), B: g.scalarConst(thresh)})
+	case glsl.BNot:
+		g.emit(Inst{Op: OpSEQ, Dst: res.dst(), A: g.asSrc(args[0]), B: g.scalarConst(0)})
+	case glsl.BMul24:
+		g.emit(Inst{Op: OpMUL24, Dst: res.dst(), A: g.asSrc(args[0]), B: g.asSrc(args[1])})
+	default:
+		return value{}, errAt(e.P, "builtin %q is not implemented by the back end", e.Name)
+	}
+	return res, nil
+}
+
+// genTexture lowers texture2D calls.
+func (g *cgen) genTexture(e *glsl.Call) (value, error) {
+	sv, err := g.genExpr(e.Args[0])
+	if err != nil {
+		return value{}, err
+	}
+	if sv.samplerIdx < 0 {
+		return value{}, errAt(e.P, "texture2D sampler argument must be a sampler uniform")
+	}
+	coord, err := g.genExpr(e.Args[1])
+	if err != nil {
+		return value{}, err
+	}
+	// The bias argument (if present) is evaluated for completeness but has
+	// no effect: GPGPU textures have a single mip level.
+	if len(e.Args) == 3 {
+		if _, err := g.genExpr(e.Args[2]); err != nil {
+			return value{}, err
+		}
+	}
+	res := g.tempValue(e.Type())
+	g.emit(Inst{Op: OpTEX, Dst: res.dst(), A: g.asSrc(coord), SamplerIdx: uint8(sv.samplerIdx)})
+	return res, nil
+}
+
+// genUserCall inlines a user function call, the way embedded GLSL
+// compilers do (there is no call stack on this hardware class).
+func (g *cgen) genUserCall(e *glsl.Call) (value, error) {
+	fn := e.Func
+	if g.inlineDepth >= maxInlineDepth {
+		return value{}, errAt(e.P, "function inlining exceeds depth %d", maxInlineDepth)
+	}
+	g.inlineDepth++
+	defer func() { g.inlineDepth-- }()
+
+	savedPersist := g.persistWM
+
+	// Bind parameters.
+	type outCopy struct {
+		param loc
+		dst   lval
+		typ   glsl.Type
+	}
+	var outs []outCopy
+	savedBindings := make([]*binding, len(fn.Params))
+	for i := range fn.Params {
+		p := &fn.Params[i]
+		savedBindings[i] = g.env[p.Sym]
+		arg := e.Args[i]
+		if p.DeclType.IsSampler() {
+			av, err := g.genExpr(arg)
+			if err != nil {
+				return value{}, err
+			}
+			g.env[p.Sym] = &binding{samplerIdx: av.samplerIdx}
+			continue
+		}
+		n := regsFor(p.DeclType)
+		reg := g.allocPersist(n)
+		pl := loc{file: FileTemp, reg: reg, nregs: n}
+		g.env[p.Sym] = &binding{loc: pl, samplerIdx: -1}
+		switch p.Qualifier {
+		case glsl.ParamIn:
+			av, err := g.genExpr(arg)
+			if err != nil {
+				return value{}, err
+			}
+			g.storeToLoc(pl, p.DeclType, av)
+		case glsl.ParamOut, glsl.ParamInOut:
+			dst, err := g.genLValue(arg)
+			if err != nil {
+				return value{}, err
+			}
+			if p.Qualifier == glsl.ParamInOut {
+				cur := g.loadLValue(dst)
+				g.storeToLoc(pl, p.DeclType, cur)
+			}
+			outs = append(outs, outCopy{param: pl, dst: dst, typ: p.DeclType})
+		}
+	}
+
+	// Return slot.
+	ic := &inlineCtx{retType: fn.Ret}
+	var retVal value
+	if fn.Ret.Kind != glsl.KVoid {
+		n := regsFor(fn.Ret)
+		reg := g.allocPersist(n)
+		rl := loc{file: FileTemp, reg: reg, nregs: n}
+		ic.retLoc = &rl
+		retVal = value{typ: fn.Ret, file: FileTemp, reg: reg, nregs: n, swiz: IdentitySwiz, samplerIdx: -1}
+	}
+	g.inlineRet = append(g.inlineRet, ic)
+	if err := g.genBlock(fn.Body); err != nil {
+		return value{}, err
+	}
+	g.inlineRet = g.inlineRet[:len(g.inlineRet)-1]
+	for _, idx := range ic.endBRs {
+		g.prog.Insts[idx].Target = g.here()
+	}
+
+	// Copy out/inout parameters back.
+	for _, oc := range outs {
+		v := value{typ: oc.typ, file: oc.param.file, reg: oc.param.reg, nregs: oc.param.nregs, swiz: IdentitySwiz, samplerIdx: -1}
+		g.storeLValue(oc.dst, v)
+	}
+	for i := range fn.Params {
+		if savedBindings[i] != nil {
+			g.env[fn.Params[i].Sym] = savedBindings[i]
+		} else {
+			delete(g.env, fn.Params[i].Sym)
+		}
+	}
+	// Parameter and return registers: the return value must survive past
+	// this call within the enclosing statement, so the return slot is NOT
+	// released here; it was allocated below the statement's scratch reset
+	// point and dies with the statement.
+	_ = savedPersist
+	return retVal, nil
+}

@@ -1,0 +1,644 @@
+package shader
+
+import (
+	"gles2gpgpu/internal/glsl"
+)
+
+// Expression code generation. Every path returns a value; constants flow
+// through as cval so downstream instructions can fold or intern them.
+
+func (g *cgen) genExpr(e glsl.Expr) (value, error) {
+	// Constant-folded expressions never emit code.
+	if cv := e.ConstVal(); cv != nil && !cv.T.IsMatrix() {
+		return value{typ: e.Type(), cval: cv, samplerIdx: -1}, nil
+	}
+	switch e := e.(type) {
+	case *glsl.Ident:
+		return g.genIdent(e)
+	case *glsl.Unary:
+		return g.genUnary(e)
+	case *glsl.Binary:
+		return g.genBinary(e)
+	case *glsl.Assign:
+		return g.genAssign(e)
+	case *glsl.Ternary:
+		return g.genTernary(e)
+	case *glsl.Call:
+		return g.genCall(e)
+	case *glsl.Index:
+		return g.genIndex(e)
+	case *glsl.FieldSelect:
+		return g.genFieldSelect(e)
+	}
+	return value{}, errAt(e.Pos(), "unsupported expression in code generation")
+}
+
+func (g *cgen) genIdent(e *glsl.Ident) (value, error) {
+	sym := e.Sym
+	if sym == nil {
+		return value{}, errAt(e.P, "internal: unresolved identifier %q", e.Name)
+	}
+	var b *binding
+	if sym.Kind == glsl.SymBuiltinVar {
+		b = g.builtinVarBinding(sym)
+	} else {
+		var ok bool
+		b, ok = g.env[sym]
+		if !ok {
+			return value{}, errAt(e.P, "internal: no binding for %q", e.Name)
+		}
+	}
+	if b.cval != nil {
+		return value{typ: e.Type(), cval: b.cval, samplerIdx: -1}, nil
+	}
+	return value{
+		typ: e.Type(), file: b.loc.file, reg: b.loc.reg, nregs: b.loc.nregs,
+		swiz: IdentitySwiz, samplerIdx: b.samplerIdx,
+	}, nil
+}
+
+func (g *cgen) genUnary(e *glsl.Unary) (value, error) {
+	switch e.Op {
+	case glsl.OpNeg:
+		v, err := g.genExpr(e.X)
+		if err != nil {
+			return value{}, err
+		}
+		if v.typ.IsMatrix() {
+			// Negate each column into temps.
+			res := g.tempValue(v.typ)
+			for i := 0; i < res.nregs; i++ {
+				s := v.colSrc(i)
+				s.Neg = !s.Neg
+				g.emit(Inst{Op: OpMOV, Dst: DstReg(FileTemp, res.reg+i, 4), A: s})
+			}
+			return res, nil
+		}
+		v.neg = !v.neg
+		return v, nil
+	case glsl.OpNot:
+		v, err := g.genExpr(e.X)
+		if err != nil {
+			return value{}, err
+		}
+		res := g.tempValue(e.Type())
+		g.emit(Inst{Op: OpSEQ, Dst: res.dst(), A: g.asSrc(v), B: g.scalarConst(0)})
+		return res, nil
+	case glsl.OpPreInc, glsl.OpPreDec, glsl.OpPostInc, glsl.OpPostDec:
+		lv, err := g.genLValue(e.X)
+		if err != nil {
+			return value{}, err
+		}
+		cur := g.loadLValue(lv)
+		one := g.scalarConst(1)
+		var old value
+		if e.Op == glsl.OpPostInc || e.Op == glsl.OpPostDec {
+			old = g.tempValue(e.Type())
+			g.emit(Inst{Op: OpMOV, Dst: old.dst(), A: g.asSrc(cur)})
+		}
+		op := OpADD
+		if e.Op == glsl.OpPreDec || e.Op == glsl.OpPostDec {
+			op = OpSUB
+		}
+		next := g.tempValue(e.Type())
+		g.emit(Inst{Op: op, Dst: next.dst(), A: g.asSrc(cur), B: one})
+		g.storeLValue(lv, next)
+		if e.Op == glsl.OpPostInc || e.Op == glsl.OpPostDec {
+			return old, nil
+		}
+		return next, nil
+	}
+	return value{}, errAt(e.P, "unsupported unary operator")
+}
+
+// tempValue allocates a scratch register sized for t.
+func (g *cgen) tempValue(t glsl.Type) value {
+	n := regsFor(t)
+	reg := g.allocScratch(n)
+	return value{typ: t, file: FileTemp, reg: reg, nregs: n, swiz: IdentitySwiz, samplerIdx: -1}
+}
+
+// dst returns the destination covering the value's components.
+func (v value) dst() Dst {
+	return DstReg(v.file, v.reg, v.typ.Components())
+}
+
+func (g *cgen) genBinary(e *glsl.Binary) (value, error) {
+	switch e.Op {
+	case glsl.OpAdd, glsl.OpSub:
+		// MAD fusion: a + b*c, b*c + a, a - b*c, b*c - a.
+		if v, ok, err := g.tryMAD(e); err != nil {
+			return value{}, err
+		} else if ok {
+			return v, nil
+		}
+		return g.genArith(e)
+	case glsl.OpMul, glsl.OpDiv:
+		return g.genArith(e)
+	case glsl.OpLT, glsl.OpLE, glsl.OpGT, glsl.OpGE:
+		ops := map[glsl.BinaryOp]Op{glsl.OpLT: OpSLT, glsl.OpLE: OpSLE, glsl.OpGT: OpSGT, glsl.OpGE: OpSGE}
+		l, err := g.genExpr(e.L)
+		if err != nil {
+			return value{}, err
+		}
+		r, err := g.genExpr(e.R)
+		if err != nil {
+			return value{}, err
+		}
+		res := g.tempValue(e.Type())
+		g.emit(Inst{Op: ops[e.Op], Dst: res.dst(), A: g.asSrc(l), B: g.asSrc(r)})
+		return res, nil
+	case glsl.OpEQ, glsl.OpNE:
+		return g.genEquality(e)
+	case glsl.OpLAnd, glsl.OpLOr, glsl.OpLXor:
+		return g.genLogical(e)
+	}
+	return value{}, errAt(e.P, "unsupported binary operator")
+}
+
+// tryMAD fuses multiply-add patterns into a single MAD instruction.
+func (g *cgen) tryMAD(e *glsl.Binary) (value, bool, error) {
+	if e.Type().IsMatrix() || e.Type().ComponentKind() != glsl.KFloat {
+		return value{}, false, nil
+	}
+	pick := func(side glsl.Expr) *glsl.Binary {
+		if b, ok := side.(*glsl.Binary); ok && b.Op == glsl.OpMul &&
+			!b.Type().IsMatrix() && !b.L.Type().IsMatrix() && !b.R.Type().IsMatrix() &&
+			b.ConstVal() == nil {
+			return b
+		}
+		return nil
+	}
+	var mulE *glsl.Binary
+	var addE glsl.Expr
+	negMul, negAdd := false, false
+	if m := pick(e.L); m != nil {
+		mulE, addE = m, e.R
+		if e.Op == glsl.OpSub {
+			negAdd = true // b*c - a
+		}
+	} else if m := pick(e.R); m != nil {
+		mulE, addE = m, e.L
+		if e.Op == glsl.OpSub {
+			negMul = true // a - b*c
+		}
+	} else {
+		return value{}, false, nil
+	}
+	a, err := g.genExpr(mulE.L)
+	if err != nil {
+		return value{}, false, err
+	}
+	b, err := g.genExpr(mulE.R)
+	if err != nil {
+		return value{}, false, err
+	}
+	c, err := g.genExpr(addE)
+	if err != nil {
+		return value{}, false, err
+	}
+	res := g.tempValue(e.Type())
+	sa, sb, sc := g.asSrc(a), g.asSrc(b), g.asSrc(c)
+	if negMul {
+		sa.Neg = !sa.Neg
+	}
+	if negAdd {
+		sc.Neg = !sc.Neg
+	}
+	g.emit(Inst{Op: OpMAD, Dst: res.dst(), A: sa, B: sb, C: sc})
+	return res, true, nil
+}
+
+func (g *cgen) genArith(e *glsl.Binary) (value, error) {
+	l, err := g.genExpr(e.L)
+	if err != nil {
+		return value{}, err
+	}
+	r, err := g.genExpr(e.R)
+	if err != nil {
+		return value{}, err
+	}
+	return g.emitArith(e.Op, e.Type(), l, r)
+}
+
+func (g *cgen) emitArith(op glsl.BinaryOp, resT glsl.Type, l, r value) (value, error) {
+	ops := map[glsl.BinaryOp]Op{glsl.OpAdd: OpADD, glsl.OpSub: OpSUB, glsl.OpMul: OpMUL, glsl.OpDiv: OpDIV}
+	lm, rm := l.typ.IsMatrix(), r.typ.IsMatrix()
+	if !lm && !rm {
+		res := g.tempValue(resT)
+		g.emit(Inst{Op: ops[op], Dst: res.dst(), A: g.asSrc(l), B: g.asSrc(r)})
+		return res, nil
+	}
+	// Matrix forms.
+	res := g.tempValue(resT)
+	switch {
+	case lm && rm && op != glsl.OpMul:
+		for i := 0; i < res.nregs; i++ {
+			g.emit(Inst{Op: ops[op], Dst: DstReg(FileTemp, res.reg+i, 4), A: l.colSrc(i), B: r.colSrc(i)})
+		}
+	case lm && rm: // matrix product
+		n := l.typ.MatrixCols()
+		for j := 0; j < n; j++ {
+			// result[:,j] = Σ_k L[:,k] * R[k][j]
+			for k := 0; k < n; k++ {
+				rs := r.colSrc(j)
+				rs.Swiz = [4]uint8{uint8(k), uint8(k), uint8(k), uint8(k)}
+				if k == 0 {
+					g.emit(Inst{Op: OpMUL, Dst: DstReg(FileTemp, res.reg+j, n), A: l.colSrc(0), B: rs})
+				} else {
+					g.emit(Inst{Op: OpMAD, Dst: DstReg(FileTemp, res.reg+j, n),
+						A: l.colSrc(k), B: rs, C: SrcReg(FileTemp, res.reg+j)})
+				}
+			}
+		}
+	case lm && r.typ.IsVector() && op == glsl.OpMul: // mat * vec
+		n := l.typ.MatrixCols()
+		rsrc := g.asSrc(r)
+		for k := 0; k < n; k++ {
+			bs := rsrc
+			bs.Swiz = [4]uint8{rsrc.Swiz[k], rsrc.Swiz[k], rsrc.Swiz[k], rsrc.Swiz[k]}
+			if k == 0 {
+				g.emit(Inst{Op: OpMUL, Dst: res.dst(), A: l.colSrc(0), B: bs})
+			} else {
+				g.emit(Inst{Op: OpMAD, Dst: res.dst(), A: l.colSrc(k), B: bs, C: res.src()})
+			}
+		}
+	case rm && l.typ.IsVector() && op == glsl.OpMul: // vec * mat
+		n := r.typ.MatrixCols()
+		dp := OpDP2
+		if n == 3 {
+			dp = OpDP3
+		} else if n == 4 {
+			dp = OpDP4
+		}
+		for j := 0; j < n; j++ {
+			g.emit(Inst{Op: dp, Dst: Dst{File: FileTemp, Reg: uint16(res.reg), Mask: 1 << uint(j)},
+				A: g.asSrc(l), B: r.colSrc(j)})
+		}
+	case lm && r.typ.IsScalar(), rm && l.typ.IsScalar():
+		mat, sc := l, r
+		if rm {
+			mat, sc = r, l
+		}
+		ss := g.asSrc(sc)
+		ss.Swiz = [4]uint8{ss.Swiz[0], ss.Swiz[0], ss.Swiz[0], ss.Swiz[0]}
+		for i := 0; i < res.nregs; i++ {
+			a, b := mat.colSrc(i), ss
+			if rm && (op == glsl.OpDiv || op == glsl.OpSub) {
+				a, b = ss, mat.colSrc(i) // scalar op matrix
+			}
+			g.emit(Inst{Op: ops[op], Dst: DstReg(FileTemp, res.reg+i, 4), A: a, B: b})
+		}
+	default:
+		return value{}, errAt(glsl.Pos{}, "unsupported matrix operation")
+	}
+	return res, nil
+}
+
+func (g *cgen) genEquality(e *glsl.Binary) (value, error) {
+	l, err := g.genExpr(e.L)
+	if err != nil {
+		return value{}, err
+	}
+	r, err := g.genExpr(e.R)
+	if err != nil {
+		return value{}, err
+	}
+	res := g.tempValue(e.Type())
+	n := l.typ.Components()
+	if l.typ.IsMatrix() {
+		return value{}, errAt(e.P, "matrix equality comparison is not supported by this back end")
+	}
+	if n == 1 {
+		op := OpSEQ
+		if e.Op == glsl.OpNE {
+			op = OpSNE
+		}
+		g.emit(Inst{Op: op, Dst: res.dst(), A: g.asSrc(l), B: g.asSrc(r)})
+		return res, nil
+	}
+	// Vector compare: reduce componentwise equality.
+	cmp := g.tempValue(l.typ)
+	g.emit(Inst{Op: OpSEQ, Dst: cmp.dst(), A: g.asSrc(l), B: g.asSrc(r)})
+	dp := map[int]Op{2: OpDP2, 3: OpDP3, 4: OpDP4}[n]
+	sum := g.tempValue(glsl.T(glsl.KFloat))
+	g.emit(Inst{Op: dp, Dst: sum.dst(), A: cmp.src(), B: g.scalarConst(1)})
+	if e.Op == glsl.OpEQ { // all equal: sum == n
+		g.emit(Inst{Op: OpSGE, Dst: res.dst(), A: sum.src(), B: g.scalarConst(float32(n) - 0.5)})
+	} else { // any differ: sum < n
+		g.emit(Inst{Op: OpSLT, Dst: res.dst(), A: sum.src(), B: g.scalarConst(float32(n) - 0.5)})
+	}
+	return res, nil
+}
+
+func (g *cgen) genLogical(e *glsl.Binary) (value, error) {
+	l, err := g.genExpr(e.L)
+	if err != nil {
+		return value{}, err
+	}
+	res := g.tempValue(e.Type())
+	switch e.Op {
+	case glsl.OpLXor:
+		r, err := g.genExpr(e.R)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit(Inst{Op: OpSNE, Dst: res.dst(), A: g.asSrc(l), B: g.asSrc(r)})
+		return res, nil
+	case glsl.OpLAnd:
+		// res = l; if (res != 0) res = r;   (short-circuit)
+		g.emit(Inst{Op: OpMOV, Dst: res.dst(), A: g.asSrc(l)})
+		brz := g.emit(Inst{Op: OpBRZ, A: res.src()})
+		r, err := g.genExpr(e.R)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit(Inst{Op: OpMOV, Dst: res.dst(), A: g.asSrc(r)})
+		g.prog.Insts[brz].Target = g.here()
+		return res, nil
+	case glsl.OpLOr:
+		// res = l; if (res == 0) res = r.
+		g.emit(Inst{Op: OpMOV, Dst: res.dst(), A: g.asSrc(l)})
+		inv := g.tempValue(glsl.T(glsl.KBool))
+		g.emit(Inst{Op: OpSEQ, Dst: inv.dst(), A: res.src(), B: g.scalarConst(0)})
+		brz := g.emit(Inst{Op: OpBRZ, A: inv.src()})
+		r, err := g.genExpr(e.R)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit(Inst{Op: OpMOV, Dst: res.dst(), A: g.asSrc(r)})
+		g.prog.Insts[brz].Target = g.here()
+		return res, nil
+	}
+	return value{}, errAt(e.P, "unsupported logical operator")
+}
+
+func (g *cgen) genTernary(e *glsl.Ternary) (value, error) {
+	cond, err := g.genExpr(e.Cond)
+	if err != nil {
+		return value{}, err
+	}
+	if cond.cval != nil {
+		if cond.cval.Bool() {
+			return g.genExpr(e.Then)
+		}
+		return g.genExpr(e.Else)
+	}
+	res := g.tempValue(e.Type())
+	brz := g.emit(Inst{Op: OpBRZ, A: g.asSrc(cond)})
+	tv, err := g.genExpr(e.Then)
+	if err != nil {
+		return value{}, err
+	}
+	g.storeToLoc(loc{file: res.file, reg: res.reg, nregs: res.nregs}, e.Type(), tv)
+	br := g.emit(Inst{Op: OpBR})
+	g.prog.Insts[brz].Target = g.here()
+	ev, err := g.genExpr(e.Else)
+	if err != nil {
+		return value{}, err
+	}
+	g.storeToLoc(loc{file: res.file, reg: res.reg, nregs: res.nregs}, e.Type(), ev)
+	g.prog.Insts[br].Target = g.here()
+	return res, nil
+}
+
+func (g *cgen) genIndex(e *glsl.Index) (value, error) {
+	x, err := g.genExpr(e.X)
+	if err != nil {
+		return value{}, err
+	}
+	idxCV, err := g.constIndex(e.Idx)
+	if err != nil {
+		return value{}, err
+	}
+	i := idxCV.Int()
+	xt := x.typ
+	switch {
+	case xt.IsArray():
+		elem := xt
+		elem.ArrayLen = 0
+		per := regsFor(elem)
+		if x.cval != nil {
+			comps := elem.Components()
+			vals := x.cval.Vals[i*comps : (i+1)*comps]
+			return value{typ: elem, cval: &glsl.ConstValue{T: elem, Vals: vals}, samplerIdx: -1}, nil
+		}
+		return value{typ: elem, file: x.file, reg: x.reg + i*per, nregs: per, swiz: IdentitySwiz, neg: x.neg, samplerIdx: -1}, nil
+	case xt.IsVector():
+		comp, _ := glsl.VectorOf(xt.ComponentKind(), 1)
+		v := x
+		v.typ = comp
+		c := x.swiz[i]
+		v.swiz = [4]uint8{c, c, c, c}
+		return v, nil
+	case xt.IsMatrix():
+		col, _ := glsl.VectorOf(glsl.KFloat, xt.MatrixCols())
+		return value{typ: col, file: x.file, reg: x.reg + i, nregs: 1, swiz: IdentitySwiz, neg: x.neg, samplerIdx: -1}, nil
+	}
+	return value{}, errAt(e.P, "cannot index %s", xt)
+}
+
+func (g *cgen) genFieldSelect(e *glsl.FieldSelect) (value, error) {
+	x, err := g.genExpr(e.X)
+	if err != nil {
+		return value{}, err
+	}
+	v := x
+	v.typ = e.Type()
+	var sw [4]uint8
+	for i := 0; i < 4; i++ {
+		ci := 0
+		if i < len(e.Comps) {
+			ci = e.Comps[i]
+		} else {
+			ci = e.Comps[len(e.Comps)-1]
+		}
+		sw[i] = x.swiz[ci]
+	}
+	v.swiz = sw
+	return v, nil
+}
+
+// constIndex resolves an index expression to a compile-time constant. Sema
+// folds literal indices; unrolled loop indices only become constants during
+// code generation, so a second resolution pass runs here.
+func (g *cgen) constIndex(e glsl.Expr) (*glsl.ConstValue, error) {
+	if cv := e.ConstVal(); cv != nil {
+		return cv, nil
+	}
+	// The common dynamic-index shape is a bare loop index; evaluate it and
+	// accept only a constant result (no instructions are emitted for
+	// constant-valued subexpressions).
+	if id, ok := e.(*glsl.Ident); ok {
+		if b := g.env[id.Sym]; b != nil && b.cval != nil {
+			return b.cval, nil
+		}
+	}
+	return nil, errAt(e.Pos(), "dynamic indexing is not supported on this hardware class (use constant indices or unrollable loop indices)")
+}
+
+// L-values.
+
+func (g *cgen) genLValue(e glsl.Expr) (lval, error) {
+	switch e := e.(type) {
+	case *glsl.Ident:
+		var b *binding
+		if e.Sym.Kind == glsl.SymBuiltinVar {
+			b = g.builtinVarBinding(e.Sym)
+		} else {
+			var ok bool
+			b, ok = g.env[e.Sym]
+			if !ok || b.cval != nil {
+				return lval{}, errAt(e.P, "internal: %q is not assignable here", e.Name)
+			}
+		}
+		n := e.Type().Components()
+		comps := make([]int, n)
+		for i := range comps {
+			comps[i] = i
+		}
+		return lval{file: b.loc.file, reg: b.loc.reg, comps: comps, typ: e.Type(), nregs: b.loc.nregs}, nil
+	case *glsl.FieldSelect:
+		base, err := g.genLValue(e.X)
+		if err != nil {
+			return lval{}, err
+		}
+		comps := make([]int, len(e.Comps))
+		for i, ci := range e.Comps {
+			comps[i] = base.comps[ci]
+		}
+		return lval{file: base.file, reg: base.reg, comps: comps, typ: e.Type(), nregs: 1}, nil
+	case *glsl.Index:
+		idxCV, err := g.constIndex(e.Idx)
+		if err != nil {
+			return lval{}, err
+		}
+		i := idxCV.Int()
+		base, err := g.genLValue(e.X)
+		if err != nil {
+			return lval{}, err
+		}
+		xt := e.X.Type()
+		switch {
+		case xt.IsArray():
+			elem := xt
+			elem.ArrayLen = 0
+			per := regsFor(elem)
+			comps := make([]int, elem.Components())
+			for j := range comps {
+				comps[j] = j
+			}
+			return lval{file: base.file, reg: base.reg + i*per, comps: comps, typ: elem, nregs: per}, nil
+		case xt.IsVector():
+			comp, _ := glsl.VectorOf(xt.ComponentKind(), 1)
+			return lval{file: base.file, reg: base.reg, comps: []int{base.comps[i]}, typ: comp, nregs: 1}, nil
+		case xt.IsMatrix():
+			col, _ := glsl.VectorOf(glsl.KFloat, xt.MatrixCols())
+			comps := make([]int, xt.MatrixCols())
+			for j := range comps {
+				comps[j] = j
+			}
+			return lval{file: base.file, reg: base.reg + i, comps: comps, typ: col, nregs: 1}, nil
+		}
+		return lval{}, errAt(e.P, "cannot index %s", xt)
+	}
+	return lval{}, errAt(e.Pos(), "expression is not assignable")
+}
+
+// loadLValue reads the current value of an l-value.
+func (g *cgen) loadLValue(lv lval) value {
+	if lv.typ.IsMatrix() || lv.typ.IsArray() {
+		return value{typ: lv.typ, file: lv.file, reg: lv.reg, nregs: lv.nregs, swiz: IdentitySwiz, samplerIdx: -1}
+	}
+	var sw [4]uint8
+	for i := 0; i < 4; i++ {
+		ci := 0
+		if i < len(lv.comps) {
+			ci = lv.comps[i]
+		} else {
+			ci = lv.comps[len(lv.comps)-1]
+		}
+		sw[i] = uint8(ci)
+	}
+	return value{typ: lv.typ, file: lv.file, reg: lv.reg, nregs: 1, swiz: sw, samplerIdx: -1}
+}
+
+// storeLValue writes v into the l-value, arranging the swizzle so source
+// component j lands in destination component comps[j].
+func (g *cgen) storeLValue(lv lval, v value) {
+	if lv.typ.IsMatrix() || lv.typ.IsArray() {
+		g.storeToLoc(loc{file: lv.file, reg: lv.reg, nregs: lv.nregs}, lv.typ, v)
+		return
+	}
+	src := g.asSrc(v)
+	var mask uint8
+	var sw [4]uint8
+	srcIsScalar := v.typ.Components() == 1
+	for j, d := range lv.comps {
+		mask |= 1 << uint(d)
+		if srcIsScalar {
+			sw[d] = src.Swiz[0]
+		} else {
+			sw[d] = src.Swiz[j]
+		}
+	}
+	src.Swiz = sw
+	g.emit(Inst{Op: OpMOV, Dst: Dst{File: lv.file, Reg: uint16(lv.reg), Mask: mask}, A: src})
+}
+
+func (g *cgen) genAssign(e *glsl.Assign) (value, error) {
+	lv, err := g.genLValue(e.LHS)
+	if err != nil {
+		return value{}, err
+	}
+	if e.Op == glsl.AsgEq {
+		// MAD fusion into plain assignments: x = a*b + c.
+		rhs, err := g.genExpr(e.RHS)
+		if err != nil {
+			return value{}, err
+		}
+		g.storeLValue(lv, rhs)
+		return rhs, nil
+	}
+	cur := g.loadLValue(lv)
+	var bop glsl.BinaryOp
+	switch e.Op {
+	case glsl.AsgAdd:
+		bop = glsl.OpAdd
+	case glsl.AsgSub:
+		bop = glsl.OpSub
+	case glsl.AsgMul:
+		bop = glsl.OpMul
+	case glsl.AsgDiv:
+		bop = glsl.OpDiv
+	}
+	// Fusion for acc += a*b (the paper's sgemm inner loop shape).
+	if bop == glsl.OpAdd && lv.typ.ComponentKind() == glsl.KFloat {
+		if mulE, ok := e.RHS.(*glsl.Binary); ok && mulE.Op == glsl.OpMul &&
+			!mulE.Type().IsMatrix() && !mulE.L.Type().IsMatrix() && !mulE.R.Type().IsMatrix() &&
+			mulE.ConstVal() == nil {
+			a, err := g.genExpr(mulE.L)
+			if err != nil {
+				return value{}, err
+			}
+			b, err := g.genExpr(mulE.R)
+			if err != nil {
+				return value{}, err
+			}
+			res := g.tempValue(lv.typ)
+			g.emit(Inst{Op: OpMAD, Dst: res.dst(), A: g.asSrc(a), B: g.asSrc(b), C: g.asSrc(cur)})
+			g.storeLValue(lv, res)
+			return res, nil
+		}
+	}
+	rhs, err := g.genExpr(e.RHS)
+	if err != nil {
+		return value{}, err
+	}
+	res, err := g.emitArith(bop, lv.typ, cur, rhs)
+	if err != nil {
+		return value{}, err
+	}
+	g.storeLValue(lv, res)
+	return res, nil
+}

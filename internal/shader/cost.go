@@ -1,0 +1,155 @@
+package shader
+
+// CostModel assigns a cycle cost to each IR opcode. Device profiles in
+// internal/device provide calibrated instances; the zero value is unusable,
+// use DefaultCostModel as a base.
+//
+// The relative costs encode the micro-architectural facts the paper's
+// kernel-code optimisations exploit:
+//
+//   - MAD costs the same as MUL: expressing a*b+c as one MAD halves the
+//     ALU work of separate MUL+ADD.
+//   - DPn and CLAMP are single instructions (the paper: "many vendors
+//     directly implement those functionalities in hardware").
+//   - MUL24 is cheaper than a full-precision MUL (VideoCore IV's QPU
+//     multiplier is natively 24-bit; fp32 emulation costs extra).
+//   - Transcendentals run on a special-function unit and cost several
+//     cycles.
+type CostModel struct {
+	Costs [opMax]int32
+	// TexBase is the cost of issuing a texture fetch, excluding memory
+	// latency (which the pipeline model accounts as bandwidth).
+	TexBase int32
+}
+
+// DefaultCostModel returns a generic embedded-GPU cost model.
+func DefaultCostModel() CostModel {
+	var m CostModel
+	for op := Op(0); op < opMax; op++ {
+		m.Costs[op] = 1
+	}
+	m.Costs[OpNOP] = 0
+	m.Costs[OpRET] = 0
+	m.Costs[OpMUL] = 2   // full fp32 multiply on a 24-bit multiplier array
+	m.Costs[OpMAD] = 2   // fused: same cost as the multiply alone
+	m.Costs[OpMUL24] = 1 // native 24-bit multiply
+	m.Costs[OpDIV] = 8
+	m.Costs[OpRCP] = 6
+	m.Costs[OpRSQ] = 6
+	m.Costs[OpSQRT] = 8
+	m.Costs[OpEX2] = 6
+	m.Costs[OpLG2] = 6
+	m.Costs[OpEXP] = 8
+	m.Costs[OpLOG] = 8
+	m.Costs[OpPOW] = 12
+	m.Costs[OpSIN] = 8
+	m.Costs[OpCOS] = 8
+	m.Costs[OpTAN] = 16
+	m.Costs[OpASIN] = 16
+	m.Costs[OpACOS] = 16
+	m.Costs[OpATAN] = 16
+	m.Costs[OpATAN2] = 20
+	m.TexBase = 4
+	return m
+}
+
+// InstCost returns the cycle cost of one instruction.
+func (m *CostModel) InstCost(in *Inst) int64 {
+	if in.Op == OpTEX {
+		return int64(m.TexBase)
+	}
+	return int64(m.Costs[in.Op])
+}
+
+// StaticCycles estimates the per-invocation cycle cost of a program by
+// summing instruction costs, assuming straight-line execution (branches
+// counted once). For the fully-unrolled kernels this repository generates,
+// the estimate is exact; the VM additionally reports measured cycles for
+// programs with control flow.
+func (m *CostModel) StaticCycles(p *Program) int64 {
+	var total int64
+	for i := range p.Insts {
+		total += m.InstCost(&p.Insts[i])
+	}
+	return total
+}
+
+// Limits are the implementation-defined maxima a device imposes on compiled
+// shaders, mirroring the GLSL ES "implementation limits" whose exceedance
+// the paper reports for block sizes above 16 (§V-B: "crashes and shader
+// compilation failures ... due to exceeding GLSL implementation limits,
+// such as the maximum number of instructions or the maximum number of
+// texture accesses").
+type Limits struct {
+	MaxInstructions    int // total static instructions after unrolling
+	MaxTexInstructions int // static texture fetches after unrolling
+	MaxTemps           int
+	MaxUniformVectors  int
+	MaxVaryingVectors  int
+	MaxAttributes      int
+}
+
+// DefaultLimits returns permissive limits for tests.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxInstructions:    4096,
+		MaxTexInstructions: 256,
+		MaxTemps:           256,
+		MaxUniformVectors:  128,
+		MaxVaryingVectors:  8,
+		MaxAttributes:      8,
+	}
+}
+
+// LimitError reports which implementation limit a shader exceeded.
+type LimitError struct {
+	What  string
+	Used  int
+	Limit int
+}
+
+func (e *LimitError) Error() string {
+	return "shader exceeds implementation limit: " + e.What +
+		" (used " + itoa(e.Used) + ", max " + itoa(e.Limit) + ")"
+}
+
+func itoa(v int) string {
+	// Tiny helper avoiding fmt in the hot error path is unnecessary, but
+	// keeps this file dependency-free.
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// CheckLimits verifies a compiled program against device limits.
+func (p *Program) CheckLimits(lim Limits) error {
+	if lim.MaxInstructions > 0 && len(p.Insts) > lim.MaxInstructions {
+		return &LimitError{What: "instructions", Used: len(p.Insts), Limit: lim.MaxInstructions}
+	}
+	if lim.MaxTexInstructions > 0 && p.TexInstructions > lim.MaxTexInstructions {
+		return &LimitError{What: "texture accesses", Used: p.TexInstructions, Limit: lim.MaxTexInstructions}
+	}
+	if lim.MaxTemps > 0 && p.NumTemps > lim.MaxTemps {
+		return &LimitError{What: "temporary registers", Used: p.NumTemps, Limit: lim.MaxTemps}
+	}
+	if lim.MaxUniformVectors > 0 && p.NumUniform > lim.MaxUniformVectors {
+		return &LimitError{What: "uniform vectors", Used: p.NumUniform, Limit: lim.MaxUniformVectors}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package shader
+
+import (
+	"testing"
+)
+
+// Constructor and conversion lowering: these run with non-constant
+// (uniform) arguments so the runtime instruction paths are exercised, not
+// the constant folder.
+
+func TestRuntimeScalarConversions(t *testing.T) {
+	p := compileFrag(t, hdr+`
+uniform float x;
+void main(){
+	int i = int(x);          // truncation toward zero
+	float back = float(i);
+	bool b = bool(x);
+	float bf = b ? 1.0 : 0.0;
+	gl_FragColor = vec4(back / 8.0, bf, 0.0, 0.0);
+}`)
+	got := runFrag(t, p, map[string][]float32{"x": {3.9}}, nil, nil)
+	wantVec(t, got, [4]float32{3.0 / 8.0, 1, 0, 0}, 1e-6)
+	got = runFrag(t, p, map[string][]float32{"x": {-2.7}}, nil, nil)
+	// int(-2.7) = -2 (trunc toward zero); shown scaled by 1/8 then
+	// clamped at the framebuffer stage only — here we read raw register
+	// output, negative allowed in the VM.
+	if got[0] != -0.25 {
+		t.Errorf("int(-2.7)/8 = %g, want -0.25", got[0])
+	}
+	got = runFrag(t, p, map[string][]float32{"x": {0}}, nil, nil)
+	if got[1] != 0 {
+		t.Errorf("bool(0) = %g, want 0", got[1])
+	}
+}
+
+func TestRuntimeVectorConstructors(t *testing.T) {
+	p := compileFrag(t, hdr+`
+uniform float x;
+uniform vec4 v;
+void main(){
+	vec4 rep = vec4(x);          // scalar replicate
+	vec3 tr = vec3(v);           // truncate
+	vec4 fl = vec4(tr.xy, x, 1.0); // flatten mixed args
+	gl_FragColor = rep * 0.0 + vec4(fl.xyz, tr.z);
+}`)
+	got := runFrag(t, p, map[string][]float32{"x": {0.5}, "v": {0.1, 0.2, 0.3, 0.9}}, nil, nil)
+	wantVec(t, got, [4]float32{0.1, 0.2, 0.5, 0.3}, 1e-6)
+}
+
+func TestRuntimeMatrixConstructors(t *testing.T) {
+	p := compileFrag(t, hdr+`
+uniform float d;
+uniform vec2 c0;
+uniform vec2 c1;
+void main(){
+	mat2 diag = mat2(d);              // diagonal
+	mat2 comp = mat2(c0, c1);         // column list
+	mat2 copy = mat2(comp);           // matrix copy
+	vec2 a = diag * vec2(1.0, 1.0);   // (d, d)
+	vec2 b = copy[1];                 // c1
+	gl_FragColor = vec4(a, b);
+}`)
+	got := runFrag(t, p, map[string][]float32{"d": {3}, "c0": {1, 2}, "c1": {5, 7}}, nil, nil)
+	wantVec(t, got, [4]float32{3, 3, 5, 7}, 1e-6)
+}
+
+func TestRuntimeMatrixScalarOps(t *testing.T) {
+	p := compileFrag(t, hdr+`
+uniform float s;
+uniform vec2 col0;
+uniform vec2 col1;
+void main(){
+	mat2 m = mat2(col0, col1);
+	mat2 a = m * s;         // matrix * scalar
+	mat2 b = m + m;         // componentwise add
+	mat2 c = b - m;         // componentwise sub
+	vec2 r = (a[0] + c[1]);
+	gl_FragColor = vec4(r, a[1]);
+}`)
+	got := runFrag(t, p, map[string][]float32{"s": {2}, "col0": {1, 2}, "col1": {3, 4}}, nil, nil)
+	// a = [[2,4],[6,8]], c = m = [[1,2],[3,4]]; r = a[0]+c[1] = (2+3, 4+4).
+	wantVec(t, got, [4]float32{5, 8, 6, 8}, 1e-6)
+}
+
+func TestMatrixMatrixProduct(t *testing.T) {
+	p := compileFrag(t, hdr+`
+uniform vec2 a0;
+uniform vec2 a1;
+uniform vec2 b0;
+uniform vec2 b1;
+void main(){
+	mat2 A = mat2(a0, a1);
+	mat2 B = mat2(b0, b1);
+	mat2 C = A * B;
+	gl_FragColor = vec4(C[0], C[1]);
+}`)
+	// A = |1 3|  B = |5 7|   (columns a0=(1,2), a1=(3,4), b0=(5,6), b1=(7,8))
+	//     |2 4|      |6 8|
+	// C = A·B: C[0] = A·b0 = (1*5+3*6, 2*5+4*6) = (23, 34)
+	//          C[1] = A·b1 = (1*7+3*8, 2*7+4*8) = (31, 46)
+	got := runFrag(t, p, map[string][]float32{
+		"a0": {1, 2}, "a1": {3, 4}, "b0": {5, 6}, "b1": {7, 8},
+	}, nil, nil)
+	wantVec(t, got, [4]float32{23, 34, 31, 46}, 1e-4)
+}
+
+func TestNegatedMatrixAndVectorIndexing(t *testing.T) {
+	p := compileFrag(t, hdr+`
+uniform vec2 c0;
+uniform vec2 c1;
+void main(){
+	mat2 m = mat2(c0, c1);
+	mat2 n = -m;
+	vec4 v = vec4(1.0, 2.0, 3.0, 4.0);
+	gl_FragColor = vec4(n[0], v[2], v[3]);
+}`)
+	got := runFrag(t, p, map[string][]float32{"c0": {1, 2}, "c1": {3, 4}}, nil, nil)
+	wantVec(t, got, [4]float32{-1, -2, 3, 4}, 1e-6)
+}
+
+func TestCompoundAssignOnSwizzles(t *testing.T) {
+	p := compileFrag(t, hdr+`
+uniform vec4 v;
+void main(){
+	vec4 a = v;
+	a.xy += vec2(1.0, 2.0);
+	a.z *= 2.0;
+	a.w -= 1.0;
+	a.x /= 4.0;
+	gl_FragColor = a;
+}`)
+	got := runFrag(t, p, map[string][]float32{"v": {3, 4, 5, 6}}, nil, nil)
+	wantVec(t, got, [4]float32{1, 6, 10, 5}, 1e-6)
+}
+
+func TestPrePostIncrementValues(t *testing.T) {
+	p := compileFrag(t, hdr+`
+void main(){
+	float i = 1.0;
+	float a = i++;  // a=1, i=2
+	float b = ++i;  // b=3, i=3
+	float c = i--;  // c=3, i=2
+	float d = --i;  // d=1, i=1
+	gl_FragColor = vec4(a, b, c, d);
+}`)
+	got := runFrag(t, p, nil, nil, nil)
+	wantVec(t, got, [4]float32{1, 3, 3, 1}, 0)
+}
+
+func TestOutParamThroughSwizzle(t *testing.T) {
+	p := compileFrag(t, hdr+`
+void split(in vec2 v, out float lo, out float hi) {
+	lo = min(v.x, v.y);
+	hi = max(v.x, v.y);
+}
+void main(){
+	vec4 r = vec4(0.0);
+	split(vec2(0.75, 0.25), r.x, r.w);
+	gl_FragColor = r;
+}`)
+	got := runFrag(t, p, nil, nil, nil)
+	wantVec(t, got, [4]float32{0.25, 0, 0, 0.75}, 1e-6)
+}

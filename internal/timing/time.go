@@ -1,0 +1,103 @@
+// Package timing provides the virtual-time substrate for the GPU simulator.
+//
+// All simulated durations are expressed as Time, an int64 count of
+// picoseconds. Picosecond resolution lets the model represent single cycles
+// of multi-GHz clocks without rounding error while still covering more than
+// 100 days of simulated time before overflow, far beyond any experiment in
+// this repository.
+//
+// The package deliberately avoids a full discrete-event simulator: the GPU
+// pipeline model in internal/gpu schedules work on Resource timelines
+// (busy-until semantics), which is sufficient for throughput/latency
+// modelling of a tile-based deferred renderer and keeps the simulation cost
+// independent of the amount of simulated time.
+package timing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a point in (or span of) virtual time, in picoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond       = 1000 * Picosecond
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds converts t to floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds converts t to floating-point microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// FromSeconds converts floating-point seconds to Time, saturating on
+// overflow.
+func FromSeconds(s float64) Time {
+	ps := s * float64(Second)
+	if ps >= math.MaxInt64 {
+		return Time(math.MaxInt64)
+	}
+	if ps <= math.MinInt64 {
+		return Time(math.MinInt64)
+	}
+	return Time(ps)
+}
+
+// String renders the time with an auto-selected unit, e.g. "1.50ms".
+func (t Time) String() string {
+	abs := t
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= Second:
+		return fmt.Sprintf("%.6gs", t.Seconds())
+	case abs >= Millisecond:
+		return fmt.Sprintf("%.6gms", t.Milliseconds())
+	case abs >= Microsecond:
+		return fmt.Sprintf("%.6gus", t.Microseconds())
+	case abs >= Nanosecond:
+		return fmt.Sprintf("%.6gns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the earlier of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Cycles converts a cycle count at the given clock frequency (Hz) to Time.
+// Fractional picoseconds are rounded up so that work never takes zero time.
+func Cycles(cycles int64, hz float64) Time {
+	if cycles <= 0 || hz <= 0 {
+		return 0
+	}
+	ps := float64(cycles) * float64(Second) / hz
+	t := Time(math.Ceil(ps))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}

@@ -1,0 +1,268 @@
+package timing
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := Second.Seconds(); got != 1 {
+		t.Errorf("Second.Seconds() = %v, want 1", got)
+	}
+	if got := (500 * Millisecond).Seconds(); got != 0.5 {
+		t.Errorf("500ms = %v s, want 0.5", got)
+	}
+	if got := FromSeconds(2.5); got != 2500*Millisecond {
+		t.Errorf("FromSeconds(2.5) = %v, want 2.5s", got)
+	}
+	if got := (3 * Microsecond).Microseconds(); got != 3 {
+		t.Errorf("3us = %v us", got)
+	}
+	if got := (7 * Millisecond).Milliseconds(); got != 7 {
+		t.Errorf("7ms = %v ms", got)
+	}
+}
+
+func TestFromSecondsSaturates(t *testing.T) {
+	if got := FromSeconds(1e30); got != Time(math.MaxInt64) {
+		t.Errorf("FromSeconds(1e30) = %v, want MaxInt64", got)
+	}
+	if got := FromSeconds(-1e30); got != Time(math.MinInt64) {
+		t.Errorf("FromSeconds(-1e30) = %v, want MinInt64", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0ps"},
+		{1, "1ps"},
+		{Nanosecond, "1ns"},
+		{1500 * Nanosecond, "1.5us"},
+		{2 * Millisecond, "2ms"},
+		{3 * Second, "3s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	if Max(1, 2) != 2 || Max(2, 1) != 2 {
+		t.Error("Max broken")
+	}
+	if Min(1, 2) != 1 || Min(2, 1) != 1 {
+		t.Error("Min broken")
+	}
+}
+
+func TestCycles(t *testing.T) {
+	// 1000 cycles at 1 GHz = 1 us.
+	if got := Cycles(1000, 1e9); got != Microsecond {
+		t.Errorf("Cycles(1000, 1GHz) = %v, want 1us", got)
+	}
+	// Sub-picosecond work rounds up to at least 1 ps.
+	if got := Cycles(1, 1e13); got < 1 {
+		t.Errorf("Cycles(1, 10THz) = %v, want >= 1", got)
+	}
+	if got := Cycles(0, 1e9); got != 0 {
+		t.Errorf("Cycles(0, _) = %v, want 0", got)
+	}
+	if got := Cycles(100, 0); got != 0 {
+		t.Errorf("Cycles(_, 0) = %v, want 0", got)
+	}
+}
+
+func TestResourceAcquireSequencing(t *testing.T) {
+	r := NewResource("gpu")
+	s1, e1 := r.Acquire(0, 10)
+	if s1 != 0 || e1 != 10 {
+		t.Fatalf("first acquire = [%d,%d], want [0,10]", s1, e1)
+	}
+	// Arrives while busy: queued behind the first task.
+	s2, e2 := r.Acquire(5, 10)
+	if s2 != 10 || e2 != 20 {
+		t.Fatalf("second acquire = [%d,%d], want [10,20]", s2, e2)
+	}
+	// Arrives after idle: starts immediately.
+	s3, e3 := r.Acquire(100, 5)
+	if s3 != 100 || e3 != 105 {
+		t.Fatalf("third acquire = [%d,%d], want [100,105]", s3, e3)
+	}
+	if r.BusyTotal() != 25 {
+		t.Errorf("BusyTotal = %v, want 25", r.BusyTotal())
+	}
+	if r.Jobs() != 3 {
+		t.Errorf("Jobs = %v, want 3", r.Jobs())
+	}
+	if r.Name() != "gpu" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	r.Reset()
+	if r.FreeAt() != 0 || r.BusyTotal() != 0 || r.Jobs() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestResourceNegativeDuration(t *testing.T) {
+	r := NewResource("x")
+	s, e := r.Acquire(3, -5)
+	if s != 3 || e != 3 {
+		t.Errorf("negative duration => [%d,%d], want [3,3]", s, e)
+	}
+}
+
+// Property: resource timelines are monotone — each task starts no earlier
+// than requested and no earlier than the previous task's end.
+func TestResourceMonotonicityProperty(t *testing.T) {
+	f := func(durs []uint16, gaps []uint16) bool {
+		r := NewResource("p")
+		var prevEnd Time
+		var earliest Time
+		n := len(durs)
+		if len(gaps) < n {
+			n = len(gaps)
+		}
+		for i := 0; i < n; i++ {
+			earliest += Time(gaps[i])
+			s, e := r.Acquire(earliest, Time(durs[i]))
+			if s < earliest || s < prevEnd || e != s+Time(durs[i]) {
+				return false
+			}
+			prevEnd = e
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatal("fresh clock not at zero")
+	}
+	c.Advance(10)
+	c.Advance(-5) // ignored
+	if c.Now() != 10 {
+		t.Errorf("Now = %v, want 10", c.Now())
+	}
+	c.AdvanceTo(5) // never backwards
+	if c.Now() != 10 {
+		t.Errorf("AdvanceTo moved clock backwards: %v", c.Now())
+	}
+	c.AdvanceTo(50)
+	if c.Now() != 50 {
+		t.Errorf("AdvanceTo(50) => %v", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Error("Reset did not zero clock")
+	}
+}
+
+func TestVSync(t *testing.T) {
+	v := NewVSync(60)
+	p := v.Period()
+	if p <= 0 {
+		t.Fatal("60Hz vsync has non-positive period")
+	}
+	// Strictly-after semantics.
+	if got := v.NextTick(0); got != p {
+		t.Errorf("NextTick(0) = %v, want %v", got, p)
+	}
+	if got := v.NextTick(p); got != 2*p {
+		t.Errorf("NextTick(period) = %v, want %v", got, 2*p)
+	}
+	if got := v.NextTick(p - 1); got != p {
+		t.Errorf("NextTick(period-1) = %v, want %v", got, p)
+	}
+	// Zero-rate display imposes no wait.
+	free := NewVSync(0)
+	if got := free.NextTick(1234); got != 1234 {
+		t.Errorf("zero-rate NextTick = %v, want 1234", got)
+	}
+}
+
+func TestVSyncTickProperty(t *testing.T) {
+	v := NewVSync(60)
+	f := func(raw uint32) bool {
+		at := Time(raw) * 37 // spread values out
+		tick := v.NextTick(at)
+		if tick <= at {
+			return false
+		}
+		// Ticks are multiples of the period and within one period.
+		return tick%v.Period() == 0 && tick-at <= v.Period()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Enable(true)
+	tr.Add("fp", "draw#1", 0, 2*Microsecond)
+	tr.Add("copy", "copy 4MB", Microsecond, 5*Microsecond)
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string][]map[string]interface{}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	evs := doc["traceEvents"]
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0]["name"] != "draw#1" || evs[0]["ph"] != "X" {
+		t.Errorf("event 0 = %v", evs[0])
+	}
+	if evs[1]["dur"].(float64) != 4 { // 4 microseconds
+		t.Errorf("dur = %v", evs[1]["dur"])
+	}
+	if evs[1]["tid"] != "copy" {
+		t.Errorf("tid = %v", evs[1]["tid"])
+	}
+}
+
+func TestTrace(t *testing.T) {
+	tr := NewTrace(2)
+	tr.Add("gpu", "ignored-while-disabled", 0, 1)
+	if len(tr.Events()) != 0 {
+		t.Fatal("disabled trace recorded an event")
+	}
+	tr.Enable(true)
+	if !tr.Enabled() {
+		t.Fatal("Enabled() = false after Enable(true)")
+	}
+	tr.Add("gpu", "b", 5, 9)
+	tr.Add("dma", "a", 1, 3)
+	tr.Add("gpu", "c", 10, 11) // over cap, dropped
+	if got := len(tr.Events()); got != 2 {
+		t.Fatalf("events = %d, want 2 (cap)", got)
+	}
+	var sb strings.Builder
+	if err := tr.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Sorted by start: "a" (1) before "b" (5).
+	if ia, ib := strings.Index(out, "a"), strings.Index(out, "b"); ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("WriteText order wrong:\n%s", out)
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 {
+		t.Error("Reset did not clear events")
+	}
+}

@@ -1,0 +1,103 @@
+package timing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Event is one recorded span of activity on a named resource.
+type Event struct {
+	Resource string
+	Name     string
+	Start    Time
+	End      Time
+}
+
+// Trace records activity spans for post-mortem inspection and debugging of
+// the pipeline model. Recording is disabled by default so that benchmark
+// runs pay no allocation cost.
+type Trace struct {
+	enabled bool
+	events  []Event
+	limit   int
+}
+
+// NewTrace returns a disabled trace with the given event cap
+// (<=0 means unlimited).
+func NewTrace(limit int) *Trace { return &Trace{limit: limit} }
+
+// Enable turns recording on or off.
+func (t *Trace) Enable(on bool) { t.enabled = on }
+
+// Enabled reports whether spans are currently recorded.
+func (t *Trace) Enabled() bool { return t.enabled }
+
+// Add records a span if tracing is enabled and the cap is not reached.
+func (t *Trace) Add(resource, name string, start, end Time) {
+	if !t.enabled {
+		return
+	}
+	if t.limit > 0 && len(t.events) >= t.limit {
+		return
+	}
+	t.events = append(t.events, Event{Resource: resource, Name: name, Start: start, End: end})
+}
+
+// Events returns the recorded spans in insertion order.
+func (t *Trace) Events() []Event { return t.events }
+
+// Reset drops all recorded spans, keeping the enabled state.
+func (t *Trace) Reset() { t.events = t.events[:0] }
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events with microsecond timestamps).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  string  `json:"tid"`
+}
+
+// WriteChromeTrace exports the spans in the Chrome trace-event JSON format
+// (load the file in chrome://tracing or https://ui.perfetto.dev to inspect
+// the simulated pipeline visually). Each resource becomes a track.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	evs := make([]chromeEvent, 0, len(t.events))
+	for _, e := range t.events {
+		evs = append(evs, chromeEvent{
+			Name: e.Name,
+			Cat:  e.Resource,
+			Ph:   "X",
+			Ts:   e.Start.Microseconds(),
+			Dur:  (e.End - e.Start).Microseconds(),
+			Pid:  1,
+			Tid:  e.Resource,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]interface{}{"traceEvents": evs})
+}
+
+// WriteText dumps the trace sorted by start time, one span per line, in a
+// stable human-readable format.
+func (t *Trace) WriteText(w io.Writer) error {
+	evs := make([]Event, len(t.events))
+	copy(evs, t.events)
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Start != evs[j].Start {
+			return evs[i].Start < evs[j].Start
+		}
+		return evs[i].Resource < evs[j].Resource
+	})
+	for _, e := range evs {
+		if _, err := fmt.Fprintf(w, "%12s  %12s  %-10s %s\n", e.Start, e.End, e.Resource, e.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
