@@ -8,9 +8,12 @@ package gpgpu_test
 // are the reported custom metrics (virtual-time ratios).
 
 import (
+	"math/rand"
+	"runtime"
 	"testing"
 
 	"gles2gpgpu/internal/bench"
+	"gles2gpgpu/internal/codec"
 	"gles2gpgpu/internal/core"
 )
 
@@ -92,6 +95,45 @@ func BenchmarkFig5aReuseTexture(b *testing.B) {
 		b.ReportMetric(r.Speedup["VCore"]["sum"], "vcore-sum-reuse-x")
 		b.ReportMetric(r.Speedup["SGX"]["sum"], "sgx-sum-reuse-x")
 	}
+}
+
+// BenchmarkParallelShading measures the host wall-clock cost of one
+// functional sgemm multiplication (n=256, block=16) with serial versus
+// parallel fragment shading. Virtual-time results are bit-identical across
+// sub-benchmarks; only host time differs. The speedup scales with real
+// cores — on a multi-core host the parallel sub-benchmark shows near-linear
+// gains, on a single-core container the two are equal.
+func BenchmarkParallelShading(b *testing.B) {
+	const n, block = 256, 16
+	run := func(b *testing.B, workers int) {
+		rng := rand.New(rand.NewSource(1))
+		ma := codec.NewMatrix(n, n)
+		mb := codec.NewMatrix(n, n)
+		for i := range ma.Data {
+			ma.Data[i] = rng.Float64() * 0.999
+			mb.Data[i] = rng.Float64() * 0.999
+		}
+		e, err := core.NewEngine(core.Config{
+			Device: bench.Devices()[0],
+			Width:  n, Height: n,
+			Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := core.NewSgemm(e, ma, mb, block)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := r.RunOnce(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("workers=1", func(b *testing.B) { run(b, 1) })
+	b.Run("workers=max", func(b *testing.B) { run(b, runtime.GOMAXPROCS(0)) })
 }
 
 // BenchmarkFig5bReuseFB regenerates Figure 5b (texture reuse, framebuffer

@@ -15,6 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"gles2gpgpu/internal/bench"
 	"gles2gpgpu/internal/core"
@@ -25,19 +28,54 @@ func main() {
 	size := flag.Int("size", 1024, "matrix dimension for timing runs (paper: 1024)")
 	calib := flag.Int("calib", 64, "matrix dimension for the functional validation run")
 	iters := flag.Int("iters", 100, "measured benchmark-body repetitions")
+	workers := flag.Int("workers", 0, "host fragment-shading workers (0: GLES2GPGPU_WORKERS or GOMAXPROCS, 1: serial); virtual-time results are identical at any setting")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	o := bench.Opts{PaperSize: *size, CalibSize: *calib, Iters: *iters}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "glesbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "glesbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "glesbench: memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "glesbench: memprofile: %v\n", err)
+		}
+	}()
+
+	o := bench.Opts{PaperSize: *size, CalibSize: *calib, Iters: *iters, Workers: *workers}
 	devs := bench.Devices()
+	// Host wall-clock reporting goes to stderr so stdout stays
+	// byte-comparable with the recorded reference output.
 	run := func(name string, f func() (interface{ Table() *bench.Table }, error)) {
 		if *fig != "all" && *fig != name {
 			return
 		}
+		hostStart := time.Now()
 		r, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "glesbench: figure %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		fmt.Fprintf(os.Stderr, "glesbench: figure %s: host %v\n", name, time.Since(hostStart).Round(time.Millisecond))
 		if err := r.Table().Write(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

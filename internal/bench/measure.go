@@ -14,6 +14,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"gles2gpgpu/internal/codec"
 	"gles2gpgpu/internal/core"
@@ -68,6 +69,11 @@ type Opts struct {
 	// SkipValidation disables the CPU-reference check (used by ablations
 	// that perturb the device model, not the numerics).
 	SkipValidation bool
+	// Workers overrides the host fragment-shading worker count for the
+	// functional calibration run (0: engine default). It affects only how
+	// long the calibration takes on the host, never the virtual-time
+	// measurements.
+	Workers int
 }
 
 func (o Opts) withDefaults() Opts {
@@ -98,6 +104,10 @@ type Result struct {
 	ValidationErr float64
 	// Stats are the machine counters of the timing run.
 	Stats gpu.Stats
+	// HostTime is the host wall-clock time of the functional calibration
+	// run — the part parallel shading accelerates. Purely informational;
+	// it never feeds the virtual-time model.
+	HostTime time.Duration
 }
 
 // randMatrix produces a unit-range matrix of values in [0, 0.999].
@@ -177,6 +187,10 @@ func Measure(cfg core.Config, spec Spec, o Opts) (Result, error) {
 	var res Result
 
 	// Functional calibration + validation.
+	if o.Workers != 0 {
+		cfg.Workers = o.Workers
+	}
+	hostStart := time.Now()
 	cal, err := build(cfg, spec, o.CalibSize, o.Seed, false)
 	if err != nil {
 		return res, fmt.Errorf("bench: calibration: %w", err)
@@ -184,6 +198,7 @@ func Measure(cfg core.Config, spec Spec, o Opts) (Result, error) {
 	if err := cal.runner.RunOnce(); err != nil {
 		return res, fmt.Errorf("bench: calibration run: %w", err)
 	}
+	res.HostTime = time.Since(hostStart)
 	if !o.SkipValidation {
 		got, err := cal.runner.Result()
 		if err != nil {

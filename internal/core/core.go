@@ -121,6 +121,14 @@ type Config struct {
 	// ArtificialDependency makes each kernel additionally sample the
 	// previous iteration's output (the Fig. 4a dependency experiment).
 	ArtificialDependency bool
+
+	// Workers is the host-side fragment-shading worker count: how many OS
+	// threads the simulator spreads functional shading over. It changes
+	// host wall-clock time only — virtual-time results, framebuffer
+	// contents and cycle counters are bit-identical at any setting (see
+	// internal/gles/parallel.go). 0 means the GLES2GPGPU_WORKERS
+	// environment variable, or GOMAXPROCS; 1 forces serial shading.
+	Workers int
 }
 
 func boolPtr(b bool) *bool { return &b }
@@ -188,6 +196,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		}
 	}
 	e.gl = gles.NewContext(e.ectx)
+	if cfg.Workers != 0 {
+		e.gl.SetWorkers(cfg.Workers)
+	}
 	e.gl.Viewport(0, 0, cfg.Width, cfg.Height)
 	e.vsSource = kernels.VertexShader
 

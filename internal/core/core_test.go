@@ -421,6 +421,9 @@ func TestSumConfigFuzzProperty(t *testing.T) {
 		if bits&1024 != 0 {
 			cfg.Device = device.VideoCoreIV()
 		}
+		// Host-parallel shading must be invisible to results at any
+		// worker count (1, 2, 3 or 4 here).
+		cfg.Workers = 1 + int((bits>>11)&3)
 		e, err := NewEngine(cfg)
 		if err != nil {
 			return false
@@ -441,6 +444,74 @@ func TestSumConfigFuzzProperty(t *testing.T) {
 		return ref.MaxAbsDiff(want, got.Data) < 1e-4
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSumParallelParityFuzzProperty fuzzes config options at a grid size
+// that engages the parallel shading gate and demands the decoded result be
+// exactly equal between serial and four-worker execution — the byte-level
+// determinism property, sampled across the option space.
+func TestSumParallelParityFuzzProperty(t *testing.T) {
+	n := 64
+	a := randMatrix(n, 33)
+	b := randMatrix(n, 34)
+	f := func(bits uint16) bool {
+		mk := func(workers int) ([]float64, int64, error) {
+			cfg := baseConfig(n)
+			if bits&1 != 0 {
+				cfg.Target = TargetFramebuffer
+			}
+			cfg.StreamInputs = bits&2 != 0
+			cfg.ReuseInputTextures = bits&4 != 0
+			cfg.ReuseOutputTextures = bits&8 != 0
+			if bits&16 != 0 {
+				cfg.Kernel = kernels.FP24Options
+			}
+			cfg.ArtificialDependency = bits&32 != 0
+			if bits&64 != 0 {
+				cfg.Device = device.VideoCoreIV()
+			}
+			cfg.Workers = workers
+			e, err := NewEngine(cfg)
+			if err != nil {
+				return nil, 0, err
+			}
+			r, err := NewSum(e, a, b)
+			if err != nil {
+				return nil, 0, err
+			}
+			for i := 0; i < 2; i++ {
+				if err := r.RunOnce(); err != nil {
+					return nil, 0, err
+				}
+			}
+			got, err := r.Result()
+			if err != nil {
+				return nil, 0, err
+			}
+			e.Finish()
+			return got.Data, int64(e.Now()), nil
+		}
+		serial, serialNow, err := mk(1)
+		if err != nil {
+			return false
+		}
+		parallel, parallelNow, err := mk(4)
+		if err != nil {
+			return false
+		}
+		if serialNow != parallelNow {
+			return false
+		}
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
 		t.Error(err)
 	}
 }
@@ -595,5 +666,118 @@ func TestTimingOnlyReplayKeepsResults(t *testing.T) {
 	ref.Sum(a.Data, b.Data, want)
 	if d := ref.MaxAbsDiff(want, got.Data); d > 1e-5 {
 		t.Errorf("replay corrupted results: %g", d)
+	}
+}
+
+// TestAllKernelsParallelShadingIdentity runs every runner serially and with
+// four fragment-shading workers on identical inputs, demanding exactly
+// equal decoded results, virtual end times and machine counters. This is
+// the determinism guarantee of the host-parallel engine: worker count may
+// only change host wall-clock time.
+func TestAllKernelsParallelShadingIdentity(t *testing.T) {
+	const n = 64 // main draws sit at the parallel gate's threshold
+	type outcome struct {
+		data  []float64
+		now   int64
+		stats [10]int64
+	}
+	runners := []struct {
+		name  string
+		build func(e *Engine) (interface {
+			RunOnce() error
+			Result() (*codec.Matrix, error)
+		}, error)
+	}{
+		{"sum", func(e *Engine) (interface {
+			RunOnce() error
+			Result() (*codec.Matrix, error)
+		}, error) {
+			return NewSum(e, randMatrix(n, 41), randMatrix(n, 42))
+		}},
+		{"sgemm", func(e *Engine) (interface {
+			RunOnce() error
+			Result() (*codec.Matrix, error)
+		}, error) {
+			return NewSgemm(e, randMatrix(n, 43), randMatrix(n, 44), 8)
+		}},
+		{"saxpy", func(e *Engine) (interface {
+			RunOnce() error
+			Result() (*codec.Matrix, error)
+		}, error) {
+			return NewSaxpy(e, 0.5, randMatrix(n, 45), randMatrix(n, 46))
+		}},
+		{"jacobi", func(e *Engine) (interface {
+			RunOnce() error
+			Result() (*codec.Matrix, error)
+		}, error) {
+			return NewJacobi(e, randMatrix(n, 47))
+		}},
+		{"transpose", func(e *Engine) (interface {
+			RunOnce() error
+			Result() (*codec.Matrix, error)
+		}, error) {
+			return NewTranspose(e, randMatrix(n, 48))
+		}},
+		{"reduce", func(e *Engine) (interface {
+			RunOnce() error
+			Result() (*codec.Matrix, error)
+		}, error) {
+			return NewReduce(e, randMatrix(n, 49))
+		}},
+		{"conv3x3", func(e *Engine) (interface {
+			RunOnce() error
+			Result() (*codec.Matrix, error)
+		}, error) {
+			return NewConv3x3(e, randMatrix(n, 50), [9]float32{0.1, 0.1, 0.1, 0.1, 0.2, 0.1, 0.1, 0.1, 0.1})
+		}},
+	}
+	for _, rc := range runners {
+		t.Run(rc.name, func(t *testing.T) {
+			run := func(workers int) outcome {
+				cfg := baseConfig(n)
+				cfg.Workers = workers
+				e, err := NewEngine(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := rc.build(e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 2; i++ {
+					if err := r.RunOnce(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				got, err := r.Result()
+				if err != nil {
+					t.Fatal(err)
+				}
+				e.Finish()
+				s := e.Machine().Stats
+				return outcome{
+					data: got.Data,
+					now:  int64(e.Now()),
+					stats: [10]int64{s.Draws, s.Bubbles, s.WARStalls, s.CopyOps, s.CopyBytes,
+						s.UploadOps, s.UploadBytes, s.TileLoads, s.TileStores, s.FragmentsShaded},
+				}
+			}
+			serial := run(1)
+			parallel := run(4)
+			if serial.now != parallel.now {
+				t.Errorf("virtual end time: serial %d, parallel %d", serial.now, parallel.now)
+			}
+			if serial.stats != parallel.stats {
+				t.Errorf("machine stats diverge:\nserial   %v\nparallel %v", serial.stats, parallel.stats)
+			}
+			if len(serial.data) != len(parallel.data) {
+				t.Fatalf("result sizes diverge: %d vs %d", len(serial.data), len(parallel.data))
+			}
+			for i := range serial.data {
+				if serial.data[i] != parallel.data[i] {
+					t.Fatalf("result[%d]: serial %v, parallel %v", i, serial.data[i], parallel.data[i])
+				}
+			}
+		})
 	}
 }

@@ -209,6 +209,20 @@ type Context struct {
 	// scratch VM environments, reused across draws.
 	vsEnv, fsEnv *shader.Env
 	envProg      *Program
+
+	// Host-parallel fragment shading (see parallel.go): worker count,
+	// lazily started worker pool, per-program Env pool and the coverage
+	// bitmap scratch used for point-overlap detection.
+	workers      int
+	pool         *workerPool
+	fsEnvPool    *shader.EnvPool
+	coverScratch []uint64
+
+	// progCache memoises shader compilation by (stage, source hash) so
+	// multi-pass kernels that rebuild identical programs every pass (the
+	// reduction ladder, sgemm's per-level shaders) compile once per
+	// context. Evicted by Destroy.
+	progCache map[shaderCacheKey]shaderCacheEntry
 }
 
 // Framebuffer is a framebuffer object with a colour attachment.
@@ -236,6 +250,8 @@ func NewContext(ec *egl.Context) *Context {
 		programs:     make(map[uint32]*Program),
 		alloc:        mem.NewAllocator(prof.TexAlloc),
 		statCache:    make(map[statKey]drawStats),
+		progCache:    make(map[shaderCacheKey]shaderCacheEntry),
+		workers:      defaultWorkers(),
 	}
 	c.colorMask = [4]bool{true, true, true, true}
 	c.blendSrc, c.blendDst = ONE, ZERO
@@ -243,6 +259,20 @@ func NewContext(ec *egl.Context) *Context {
 		c.viewport = [4]int{0, 0, s.W, s.H}
 	}
 	return c
+}
+
+// Destroy releases host-side resources owned by the context: the shading
+// worker pool, the compiled-program cache and pooled VM environments. The
+// context must not be used for draws afterwards (a later draw would
+// lazily restart the pool, but callers should treat Destroy as final).
+func (c *Context) Destroy() {
+	if c.pool != nil {
+		c.pool.shutdown()
+		c.pool = nil
+	}
+	c.progCache = make(map[shaderCacheKey]shaderCacheEntry)
+	c.fsEnvPool = nil
+	c.coverScratch = nil
 }
 
 // Machine exposes the timing model (for harnesses and tests).

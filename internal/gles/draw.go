@@ -1,6 +1,8 @@
 package gles
 
 import (
+	"math"
+
 	"gles2gpgpu/internal/gpu"
 	"gles2gpgpu/internal/raster"
 	"gles2gpgpu/internal/shader"
@@ -223,7 +225,7 @@ func (c *Context) executeDraw(p *Program, tgt renderTarget, mode Enum, first, co
 	}
 
 	if mode == POINTS {
-		return c.rasterizePoints(p, tgt, verts, pointSizes)
+		return c.rasterizePoints(p, tgt, verts, pointSizes, samplers)
 	}
 
 	// Primitive assembly.
@@ -251,18 +253,35 @@ func (c *Context) executeDraw(p *Program, tgt renderTarget, mode Enum, first, co
 	if vpW == 0 || vpH == 0 {
 		vpW, vpH = tgt.w, tgt.h
 	}
+
+	// Triangle setup up front: the parallel path needs the full primitive
+	// list (each band worker walks every triangle in submission order), and
+	// the bounding-box areas give the fragment estimate that gates it.
+	setups := make([]raster.Triangle, 0, len(tris))
+	var estFrags int64
+	for _, tri := range tris {
+		t, ok := raster.Setup(&verts[tri[0]], &verts[tri[1]], &verts[tri[2]], vpW, vpH)
+		if !ok {
+			continue
+		}
+		x0, y0, x1, y1 := t.Bounds()
+		estFrags += int64(x1-x0+1) * int64(y1-y0+1)
+		setups = append(setups, t)
+	}
+	if c.parallelEligible(fp, estFrags) {
+		if st, ok := c.shadeTrianglesParallel(p, tgt, setups, vpX, vpY, samplers); ok {
+			return st
+		}
+	}
+
 	st := drawStats{valid: true}
 	startCycles := fsEnv.Cycles
 	startTex := fsEnv.TexFetches
 	fcReg := p.fragCoordReg
 	mask := c.colorMask
 
-	for _, tri := range tris {
-		t, ok := raster.Setup(&verts[tri[0]], &verts[tri[1]], &verts[tri[2]], vpW, vpH)
-		if !ok {
-			continue
-		}
-		t.Rasterize(func(x, y int, fc shader.Vec4, varyings []shader.Vec4) {
+	for ti := range setups {
+		setups[ti].Rasterize(func(x, y int, fc shader.Vec4, varyings []shader.Vec4) {
 			px, py := vpX+x, vpY+y
 			if px < 0 || py < 0 || px >= tgt.w || py >= tgt.h {
 				return
@@ -298,7 +317,7 @@ func (c *Context) executeDraw(p *Program, tgt renderTarget, mode Enum, first, co
 // square of fragments with flat (uninterpolated) varyings and a
 // gl_PointCoord sweeping the square — the classic GPGPU *scatter*
 // primitive on ES2-class hardware.
-func (c *Context) rasterizePoints(p *Program, tgt renderTarget, verts []raster.Vertex, sizes []float32) drawStats {
+func (c *Context) rasterizePoints(p *Program, tgt renderTarget, verts []raster.Vertex, sizes []float32, samplers []*Texture) drawStats {
 	fp := p.fsProg
 	fsEnv := c.fsEnv
 	cost := &c.prof.CostModel
@@ -306,12 +325,11 @@ func (c *Context) rasterizePoints(p *Program, tgt renderTarget, verts []raster.V
 	if vpW == 0 || vpH == 0 {
 		vpW, vpH = tgt.w, tgt.h
 	}
-	out, hasOut := fp.LookupOutput("gl_FragColor")
-	st := drawStats{valid: true}
-	startCycles := fsEnv.Cycles
-	startTex := fsEnv.TexFetches
-	mask := c.colorMask
 
+	// Precompute each point's raster footprint; the parallel path needs the
+	// full list to prove the rects pairwise disjoint before partitioning.
+	rects := make([]pointRect, 0, len(verts))
+	var estFrags int64
 	for vi := range verts {
 		v := &verts[vi]
 		w := v.Pos[3]
@@ -325,12 +343,35 @@ func (c *Context) rasterizePoints(p *Program, tgt renderTarget, verts []raster.V
 			size = 1
 		}
 		half := size / 2
-		x0 := int(mathCeil(sx - half - 0.5))
-		y0 := int(mathCeil(sy - half - 0.5))
+		x0 := int(math.Ceil(sx - half - 0.5))
+		y0 := int(math.Ceil(sy - half - 0.5))
 		n := int(size)
 		if n < 1 {
 			n = 1
 		}
+		estFrags += int64(n) * int64(n)
+		rects = append(rects, pointRect{
+			vi: vi, x0: x0, y0: y0, n: n, sx: sx, sy: sy, size: size, invW: 1 / w,
+		})
+	}
+	if c.parallelEligible(fp, estFrags) && len(rects) >= 2 &&
+		c.pointRectsDisjoint(rects, tgt, vpX, vpY, vpW, vpH) {
+		return c.shadePointsParallel(p, tgt, verts, rects, vpX, vpY, vpW, vpH, samplers)
+	}
+
+	out, hasOut := fp.LookupOutput("gl_FragColor")
+	st := drawStats{valid: true}
+	startCycles := fsEnv.Cycles
+	startTex := fsEnv.TexFetches
+	mask := c.colorMask
+
+	for ri := range rects {
+		r := &rects[ri]
+		v := &verts[r.vi]
+		sx, sy, size := r.sx, r.sy, r.size
+		half := size / 2
+		x0, y0, n := r.x0, r.y0, r.n
+		w := v.Pos[3]
 		for py := y0; py < y0+n; py++ {
 			for px := x0; px < x0+n; px++ {
 				tx, ty := vpX+px, vpY+py
@@ -368,14 +409,6 @@ func (c *Context) rasterizePoints(p *Program, tgt renderTarget, verts []raster.V
 	st.cycles = fsEnv.Cycles - startCycles
 	st.texFetches = fsEnv.TexFetches - startTex
 	return st
-}
-
-func mathCeil(v float64) float64 {
-	i := float64(int64(v))
-	if v > i {
-		return i + 1
-	}
-	return i
 }
 
 // writePixel stores a fragment colour with blending and the colour mask

@@ -1,12 +1,27 @@
 package gles
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"math"
 
 	"gles2gpgpu/internal/glsl"
 	"gles2gpgpu/internal/shader"
 )
+
+// shaderCacheKey identifies a compiled shader by stage and source hash.
+type shaderCacheKey struct {
+	stage Enum
+	hash  [sha256.Size]byte
+}
+
+// shaderCacheEntry holds a successful compilation. Compiled Programs are
+// immutable after Compile, so sharing one across shader objects (and the
+// draws that execute it) is safe.
+type shaderCacheEntry struct {
+	checked  *glsl.CheckedShader
+	compiled *shader.Program
+}
 
 func f32Bits(v float32) uint32     { return math.Float32bits(v) }
 func f32FromBits(b uint32) float32 { return math.Float32frombits(b) }
@@ -48,6 +63,14 @@ func (c *Context) CompileShader(name uint32) {
 		stage = glsl.StageFragment
 	}
 	s.compiled, s.checked, s.compileErr = nil, nil, nil
+	// Multi-pass kernels rebuild byte-identical shaders every pass (the
+	// reduction ladder, sgemm's double-buffered passes); memoise successful
+	// compilations per context so each distinct source compiles once.
+	key := shaderCacheKey{stage: s.stype, hash: sha256.Sum256([]byte(s.source))}
+	if e, ok := c.progCache[key]; ok {
+		s.checked, s.compiled = e.checked, e.compiled
+		return
+	}
 	cs, err := glsl.Frontend(s.source, glsl.CompileOptions{Stage: stage})
 	if err != nil {
 		s.compileErr = err
@@ -68,6 +91,7 @@ func (c *Context) CompileShader(name uint32) {
 	prog.Source = s.source
 	s.checked = cs
 	s.compiled = prog
+	c.progCache[key] = shaderCacheEntry{checked: cs, compiled: prog}
 }
 
 // GetShaderiv queries COMPILE_STATUS (1/0).

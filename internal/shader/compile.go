@@ -22,6 +22,7 @@ func Compile(cs *glsl.CheckedShader) (*Program, error) {
 	if err := g.run(); err != nil {
 		return nil, err
 	}
+	g.prog.WritesBeforeReads, g.prog.OutputsAlwaysWritten = analyzeLiveness(g.prog)
 	return g.prog, nil
 }
 

@@ -263,6 +263,22 @@ type Program struct {
 	// timing model.
 	TexInstructions int
 	UsesDiscard     bool
+
+	// WritesBeforeReads records that every read of a temp or output
+	// register component is preceded by a write within the same invocation
+	// (see liveness.go). When true, an invocation can never observe state
+	// left by a previous one: Env.Reset may skip zeroing Temps, and the
+	// host-parallel fragment engine may shade with per-worker Envs while
+	// staying bit-identical to serial execution.
+	WritesBeforeReads bool
+
+	// OutputsAlwaysWritten records that every component of every output
+	// register is definitely written on every non-discarding path to
+	// program exit. The GLES layer reads Outputs after Run even when the
+	// program left them untouched, so serial Env reuse can leak the
+	// previous fragment's colour; parallel shading requires this flag (in
+	// addition to WritesBeforeReads) to rule that channel out.
+	OutputsAlwaysWritten bool
 }
 
 // InstructionCount returns the static instruction count after unrolling.

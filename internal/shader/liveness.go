@@ -1,0 +1,222 @@
+package shader
+
+// Write-before-read liveness analysis.
+//
+// The host-parallel fragment engine in internal/gles shades disjoint
+// framebuffer regions on separate goroutines, each with its own Env. The
+// serial engine reuses one Env across every fragment of a draw without
+// resetting it, so a program that reads a temporary or output register
+// before writing it would observe the previous invocation's value — and
+// parallel shading (fresh or pooled Envs) would diverge from serial. The
+// same property lets Env.Reset skip zeroing Temps entirely.
+//
+// analyzeLiveness proves the property with a forward must-write dataflow
+// over the instruction CFG: a register component is "definitely written"
+// at an instruction if it is written on every path from the entry point.
+// Reads are then checked against the definitely-written set. The analysis
+// is path-insensitive but exact at joins, which handles the
+// if/ternary/short-circuit branches the compiler emits; generated GPGPU
+// kernels are fully unrolled and straight-line anyway.
+//
+// The same fixpoint yields outputsAlwaysWritten: the meet of the
+// definitely-written sets at every non-discarding program exit (RET and
+// fall-off-the-end; KIL exits are excluded because discarded fragments'
+// outputs are never read) must cover all output register components.
+
+// analyzeLiveness reports (writesBeforeReads, outputsAlwaysWritten) for p.
+func analyzeLiveness(p *Program) (wbr, outAlways bool) {
+	n := len(p.Insts)
+	if n == 0 {
+		return true, p.NumOutputs == 0
+	}
+	// One bit per writable register component: temps first, then outputs.
+	nTemps := p.NumTemps
+	bits := 4 * (nTemps + p.NumOutputs)
+	words := (bits + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	bitOf := func(file RegFile, reg uint16, comp int) int {
+		if file == FileTemp {
+			return int(reg)*4 + comp
+		}
+		return (nTemps+int(reg))*4 + comp
+	}
+
+	// gen[i] = components instruction i writes.
+	gen := make([][]uint64, n)
+	for i := range p.Insts {
+		g := make([]uint64, words)
+		in := &p.Insts[i]
+		switch in.Op {
+		case OpNOP, OpRET, OpBR, OpBRZ, OpKIL:
+		default:
+			if in.Dst.File == FileTemp || in.Dst.File == FileOutput {
+				for c := 0; c < 4; c++ {
+					if in.Dst.Mask&(1<<uint(c)) != 0 {
+						b := bitOf(in.Dst.File, in.Dst.Reg, c)
+						g[b/64] |= 1 << uint(b%64)
+					}
+				}
+			}
+		}
+		gen[i] = g
+	}
+
+	succs := func(i int) []int {
+		switch p.Insts[i].Op {
+		case OpRET:
+			return nil
+		case OpBR:
+			if t := int(p.Insts[i].Target); t >= 0 && t < n {
+				return []int{t}
+			}
+			return nil
+		case OpBRZ:
+			s := []int{}
+			if i+1 < n {
+				s = append(s, i+1)
+			}
+			if t := int(p.Insts[i].Target); t >= 0 && t < n {
+				s = append(s, t)
+			}
+			return s
+		default:
+			if i+1 < n {
+				return []int{i + 1}
+			}
+			return nil
+		}
+	}
+
+	// Must-write fixpoint: inSet[i] = intersection over predecessors of
+	// (inSet[pred] | gen[pred]). Initialise to top (all written) except the
+	// entry; unreachable instructions stay at top, which is fine — they
+	// never execute.
+	inSet := make([][]uint64, n)
+	for i := range inSet {
+		inSet[i] = make([]uint64, words)
+		if i != 0 {
+			for w := range inSet[i] {
+				inSet[i][w] = ^uint64(0)
+			}
+		}
+	}
+	work := make([]int, 0, n)
+	inWork := make([]bool, n)
+	work = append(work, 0)
+	inWork[0] = true
+	out := make([]uint64, words)
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[i] = false
+		for w := range out {
+			out[w] = inSet[i][w] | gen[i][w]
+		}
+		for _, s := range succs(i) {
+			changed := false
+			for w := range out {
+				if nv := inSet[s][w] & out[w]; nv != inSet[s][w] {
+					inSet[s][w] = nv
+					changed = true
+				}
+			}
+			if changed && !inWork[s] {
+				work = append(work, s)
+				inWork[s] = true
+			}
+		}
+	}
+
+	// Exit set: meet of definitely-written sets over every non-discarding
+	// exit. RET exits contribute their in-set; instructions whose
+	// fall-through leaves the program contribute their out-set. Unreachable
+	// exits stay at top and do not weaken the meet.
+	exit := make([]uint64, words)
+	for w := range exit {
+		exit[w] = ^uint64(0)
+	}
+	for i := range p.Insts {
+		switch p.Insts[i].Op {
+		case OpRET:
+			for w := range exit {
+				exit[w] &= inSet[i][w]
+			}
+		case OpBR:
+			// never falls through
+		default:
+			if i+1 == n {
+				for w := range exit {
+					exit[w] &= inSet[i][w] | gen[i][w]
+				}
+			}
+		}
+	}
+	outAlways = true
+	for r := 0; r < p.NumOutputs && outAlways; r++ {
+		for c := 0; c < 4; c++ {
+			b := bitOf(FileOutput, uint16(r), c)
+			if exit[b/64]&(1<<uint(b%64)) == 0 {
+				outAlways = false
+				break
+			}
+		}
+	}
+
+	// Check every read against the definitely-written set at its
+	// instruction. Only post-swizzle lanes that influence the result count
+	// as reads: componentwise ops consume the lanes the destination mask
+	// keeps, reductions and special forms consume fixed lanes.
+	checkSrc := func(i int, s Src, lanes uint8) bool {
+		if s.File != FileTemp && s.File != FileOutput {
+			return true
+		}
+		for l := 0; l < 4; l++ {
+			if lanes&(1<<uint(l)) == 0 {
+				continue
+			}
+			b := bitOf(s.File, s.Reg, int(s.Swiz[l]&3))
+			if inSet[i][b/64]&(1<<uint(b%64)) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		var lanesA, lanesBC uint8
+		switch in.Op {
+		case OpNOP, OpRET, OpBR:
+			continue
+		case OpKIL, OpBRZ:
+			lanesA = 1 // read1: lane x only
+		case OpTEX:
+			lanesA = 0b0011 // (u, v)
+		case OpDP2:
+			lanesA, lanesBC = 0b0011, 0b0011
+		case OpDP3:
+			lanesA, lanesBC = 0b0111, 0b0111
+		case OpDP4:
+			lanesA, lanesBC = 0b1111, 0b1111
+		default:
+			lanesA, lanesBC = in.Dst.Mask, in.Dst.Mask
+		}
+		if !checkSrc(i, in.A, lanesA) {
+			return false, outAlways
+		}
+		switch in.Op {
+		case OpADD, OpSUB, OpMUL, OpDIV, OpMIN, OpMAX, OpPOW, OpATAN2,
+			OpSLT, OpSLE, OpSGT, OpSGE, OpSEQ, OpSNE,
+			OpDP2, OpDP3, OpDP4, OpMUL24:
+			if !checkSrc(i, in.B, lanesBC) {
+				return false, outAlways
+			}
+		case OpMAD, OpCLAMP, OpSEL:
+			if !checkSrc(i, in.B, lanesBC) || !checkSrc(i, in.C, lanesBC) {
+				return false, outAlways
+			}
+		}
+	}
+	return true, outAlways
+}

@@ -3,6 +3,7 @@ package shader
 import (
 	"fmt"
 	"math"
+	"os"
 )
 
 // Vec4 is one register value.
@@ -30,6 +31,10 @@ type Env struct {
 
 	// consts is installed by Run from the executing program.
 	consts [][4]float32
+
+	// prog is the program this Env was sized for; Reset consults its
+	// liveness flag to skip redundant temp zeroing.
+	prog *Program
 }
 
 // NewEnv returns an environment sized for p.
@@ -39,6 +44,7 @@ func NewEnv(p *Program) *Env {
 		Inputs:   make([]Vec4, maxi(p.NumInputs, 1)),
 		Outputs:  make([]Vec4, maxi(p.NumOutputs, 1)),
 		Temps:    make([]Vec4, maxi(p.NumTemps, 1)),
+		prog:     p,
 	}
 }
 
@@ -49,14 +55,27 @@ func maxi(a, b int) int {
 	return b
 }
 
+// DebugClearTemps forces Reset to zero all Temps even for programs proven
+// to write each temp before reading it. Set it (or the
+// GLES2GPGPU_CLEAR_TEMPS environment variable, read at init) when
+// debugging suspected liveness-analysis bugs.
+var DebugClearTemps = os.Getenv("GLES2GPGPU_CLEAR_TEMPS") != ""
+
 // Reset prepares the Env for another invocation of the same program.
+// Outputs are always zeroed (they are read externally — gl_Position,
+// varyings — even when the program does not write them); Temps are only
+// zeroed when the program could observe stale values, i.e. when the
+// compiler could not prove every temp is written before read.
 func (e *Env) Reset() {
 	e.Discarded = false
-	for i := range e.Temps {
-		e.Temps[i] = Vec4{}
-	}
 	for i := range e.Outputs {
 		e.Outputs[i] = Vec4{}
+	}
+	if e.prog != nil && e.prog.WritesBeforeReads && !DebugClearTemps {
+		return
+	}
+	for i := range e.Temps {
+		e.Temps[i] = Vec4{}
 	}
 }
 
