@@ -9,9 +9,12 @@
 //	glesbench -fig 3        # one figure: 3, vbo, 4a, 4b, 5a, 5b
 //	glesbench -size 1024    # matrix dimension of the timing runs
 //	glesbench -iters 100    # repetitions per configuration
+//	glesbench -nojit        # reference interpreter instead of the compiled engine
+//	glesbench -benchjson f  # machine-readable host-time results to f
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +24,25 @@ import (
 
 	"gles2gpgpu/internal/bench"
 	"gles2gpgpu/internal/core"
+	"gles2gpgpu/internal/shader"
 )
+
+// benchJSON is the -benchjson output document. Schema documented in
+// README.md ("Machine-readable host times").
+type benchJSON struct {
+	Schema      string       `json:"schema"`
+	GoVersion   string       `json:"go_version"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Workers     int          `json:"workers"`
+	JIT         bool         `json:"jit"`
+	Figures     []figureTime `json:"figures"`
+	TotalHostMS float64      `json:"total_host_ms"`
+}
+
+type figureTime struct {
+	Figure string  `json:"figure"`
+	HostMS float64 `json:"host_ms"`
+}
 
 func main() {
 	fig := flag.String("fig", "all", "figure to reproduce: 3, vbo, 4a, 4b, 5a, 5b or all")
@@ -29,6 +50,8 @@ func main() {
 	calib := flag.Int("calib", 64, "matrix dimension for the functional validation run")
 	iters := flag.Int("iters", 100, "measured benchmark-body repetitions")
 	workers := flag.Int("workers", 0, "host fragment-shading workers (0: GLES2GPGPU_WORKERS or GOMAXPROCS, 1: serial); virtual-time results are identical at any setting")
+	nojit := flag.Bool("nojit", false, "run shaders on the reference interpreter instead of the closure-compiled engine (A/B escape hatch; results are bit-identical, only host time changes)")
+	benchjson := flag.String("benchjson", "", "write machine-readable per-figure host times (JSON) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -61,10 +84,25 @@ func main() {
 		}
 	}()
 
-	o := bench.Opts{PaperSize: *size, CalibSize: *calib, Iters: *iters, Workers: *workers}
+	o := bench.Opts{PaperSize: *size, CalibSize: *calib, Iters: *iters, Workers: *workers, NoJIT: *nojit}
 	devs := bench.Devices()
-	// Host wall-clock reporting goes to stderr so stdout stays
-	// byte-comparable with the recorded reference output.
+	report := benchJSON{
+		Schema:     "gles2gpgpu.bench/1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    *workers,
+		JIT:        !*nojit && shader.DefaultJIT(),
+	}
+	recordHost := func(name string, d time.Duration) {
+		fmt.Fprintf(os.Stderr, "glesbench: figure %s: host %v\n", name, d.Round(time.Millisecond))
+		report.Figures = append(report.Figures, figureTime{
+			Figure: name, HostMS: float64(d.Microseconds()) / 1000,
+		})
+		report.TotalHostMS += float64(d.Microseconds()) / 1000
+	}
+	// Host wall-clock reporting goes to stderr (and, with -benchjson, to
+	// the JSON document) so stdout stays byte-comparable with the recorded
+	// reference output.
 	run := func(name string, f func() (interface{ Table() *bench.Table }, error)) {
 		if *fig != "all" && *fig != name {
 			return
@@ -75,7 +113,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "glesbench: figure %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "glesbench: figure %s: host %v\n", name, time.Since(hostStart).Round(time.Millisecond))
+		recordHost(name, time.Since(hostStart))
 		if err := r.Table().Write(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -99,6 +137,7 @@ func main() {
 		return bench.Fig5(devs, core.TargetFramebuffer, o)
 	})
 	if *fig == "all" || *fig == "journey" {
+		hostStart := time.Now()
 		for _, dev := range devs {
 			for _, spec := range []bench.Spec{{Workload: bench.WSum}, {Workload: bench.WSgemm, Block: 16}} {
 				r, err := bench.Incremental(dev, spec, o)
@@ -112,8 +151,10 @@ func main() {
 				}
 			}
 		}
+		recordHost("journey", time.Since(hostStart))
 	}
 	if *fig == "all" || *fig == "ablation" {
+		hostStart := time.Now()
 		for _, dev := range devs {
 			r, err := bench.Ablation(dev, o)
 			if err != nil {
@@ -124,6 +165,18 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+		}
+		recordHost("ablation", time.Since(hostStart))
+	}
+	if *benchjson != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "glesbench: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchjson, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "glesbench: benchjson: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -41,6 +41,7 @@ func main() {
 	stage := flag.String("stage", "fragment", "shader stage: fragment or vertex")
 	dev := flag.String("device", "generic", "device profile for limits and cycle costs: vc4, sgx or generic")
 	cycles := flag.Bool("cycles", true, "print the static cycle estimate")
+	compiled := flag.Bool("compiled", false, "dump the closure-compiled form: per-op specialization decisions (fast-path swizzle/mask hits, f32/f64 lanes, precomputed cycle blocks)")
 	defines := defineFlags{}
 	flag.Var(defines, "D", "preprocessor define NAME=VALUE (repeatable)")
 	flag.Parse()
@@ -95,6 +96,13 @@ func main() {
 	if *cycles {
 		fmt.Printf("; static cycles per invocation on %s: %d\n",
 			prof.Name, prof.CostModel.StaticCycles(prog))
+	}
+	if *compiled {
+		if c := prog.Compiled(&prof.CostModel); c != nil {
+			c.Dump(os.Stdout)
+		} else {
+			fmt.Println("; jit: program not compilable, interpreter fallback")
+		}
 	}
 	if err := prog.CheckLimits(prof.Limits); err != nil {
 		fmt.Fprintf(os.Stderr, "glslc: %s: %v\n", prof.Name, err)

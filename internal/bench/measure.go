@@ -74,6 +74,10 @@ type Opts struct {
 	// long the calibration takes on the host, never the virtual-time
 	// measurements.
 	Workers int
+	// NoJIT runs the functional calibration on the reference shader
+	// interpreter instead of the closure-compiled engine. Like Workers it
+	// changes host time only, never the virtual-time measurements.
+	NoJIT bool
 }
 
 func (o Opts) withDefaults() Opts {
@@ -189,6 +193,9 @@ func Measure(cfg core.Config, spec Spec, o Opts) (Result, error) {
 	// Functional calibration + validation.
 	if o.Workers != 0 {
 		cfg.Workers = o.Workers
+	}
+	if o.NoJIT {
+		cfg.NoJIT = true
 	}
 	hostStart := time.Now()
 	cal, err := build(cfg, spec, o.CalibSize, o.Seed, false)

@@ -129,6 +129,12 @@ type Config struct {
 	// internal/gles/parallel.go). 0 means the GLES2GPGPU_WORKERS
 	// environment variable, or GOMAXPROCS; 1 forces serial shading.
 	Workers int
+
+	// NoJIT forces the reference shader interpreter instead of the
+	// closure-compiled execution engine (the library equivalent of
+	// GLES2GPGPU_NO_JIT=1). Like Workers it changes host wall-clock time
+	// only: results and virtual-time figures are bit-identical either way.
+	NoJIT bool
 }
 
 func boolPtr(b bool) *bool { return &b }
@@ -198,6 +204,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.gl = gles.NewContext(e.ectx)
 	if cfg.Workers != 0 {
 		e.gl.SetWorkers(cfg.Workers)
+	}
+	if cfg.NoJIT {
+		e.gl.SetJIT(false)
 	}
 	e.gl.Viewport(0, 0, cfg.Width, cfg.Height)
 	e.vsSource = kernels.VertexShader

@@ -218,6 +218,11 @@ type Context struct {
 	fsEnvPool    *shader.EnvPool
 	coverScratch []uint64
 
+	// jit selects the closure-compiled shader backend for draws; the
+	// interpreter remains the reference semantics and both produce
+	// bit-identical results (see internal/shader/jit.go).
+	jit bool
+
 	// progCache memoises shader compilation by (stage, source hash) so
 	// multi-pass kernels that rebuild identical programs every pass (the
 	// reduction ladder, sgemm's per-level shaders) compile once per
@@ -252,6 +257,7 @@ func NewContext(ec *egl.Context) *Context {
 		statCache:    make(map[statKey]drawStats),
 		progCache:    make(map[shaderCacheKey]shaderCacheEntry),
 		workers:      defaultWorkers(),
+		jit:          shader.DefaultJIT(),
 	}
 	c.colorMask = [4]bool{true, true, true, true}
 	c.blendSrc, c.blendDst = ONE, ZERO
@@ -297,6 +303,16 @@ func (c *Context) SetTimingOnly(on bool) { c.timingOnly = on }
 
 // TimingOnly reports the replay-mode state.
 func (c *Context) TimingOnly() bool { return c.timingOnly }
+
+// SetJIT selects the shader execution backend: true runs draws on the
+// closure-compiled engine, false on the reference interpreter. Framebuffer
+// bytes, Cycles/TexFetches and every virtual-time figure are bit-identical
+// either way; only host wall-clock time changes. The default comes from
+// shader.DefaultJIT (on, unless GLES2GPGPU_NO_JIT is set).
+func (c *Context) SetJIT(on bool) { c.jit = on }
+
+// JIT reports whether the closure-compiled shader backend is selected.
+func (c *Context) JIT() bool { return c.jit }
 
 // setErr records the first error since the last GetError.
 func (c *Context) setErr(e Enum) {

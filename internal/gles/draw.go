@@ -173,6 +173,8 @@ func (c *Context) executeDraw(p *Program, tgt renderTarget, mode Enum, first, co
 	}
 
 	cost := &c.prof.CostModel
+	execVS := shader.Executor(vp, cost, c.jit)
+	execFS := shader.Executor(fp, cost, c.jit)
 
 	// Vertex stage.
 	posOut, hasPos := vp.LookupOutput("gl_Position")
@@ -196,7 +198,7 @@ func (c *Context) executeDraw(p *Program, tgt renderTarget, mode Enum, first, co
 			}
 			vsEnv.Inputs[in.Reg] = shader.Vec4(val)
 		}
-		if err := shader.Run(vp, vsEnv, cost); err != nil {
+		if err := execVS(vsEnv); err != nil {
 			c.setErr(INVALID_OPERATION)
 			return drawStats{}
 		}
@@ -293,7 +295,7 @@ func (c *Context) executeDraw(p *Program, tgt renderTarget, mode Enum, first, co
 			if fcReg >= 0 {
 				fsEnv.Inputs[fcReg] = fc
 			}
-			if err := shader.Run(fp, fsEnv, cost); err != nil {
+			if err := execFS(fsEnv); err != nil {
 				return
 			}
 			st.fragments++
@@ -321,6 +323,7 @@ func (c *Context) rasterizePoints(p *Program, tgt renderTarget, verts []raster.V
 	fp := p.fsProg
 	fsEnv := c.fsEnv
 	cost := &c.prof.CostModel
+	execFS := shader.Executor(fp, cost, c.jit)
 	vpX, vpY, vpW, vpH := c.viewport[0], c.viewport[1], c.viewport[2], c.viewport[3]
 	if vpW == 0 || vpH == 0 {
 		vpW, vpH = tgt.w, tgt.h
@@ -394,7 +397,7 @@ func (c *Context) rasterizePoints(p *Program, tgt renderTarget, verts []raster.V
 						0, 0,
 					}
 				}
-				if err := shader.Run(fp, fsEnv, cost); err != nil {
+				if err := execFS(fsEnv); err != nil {
 					return st
 				}
 				st.fragments++

@@ -1,0 +1,131 @@
+package gles
+
+import (
+	"bytes"
+	"testing"
+
+	"gles2gpgpu/internal/device"
+)
+
+// runScenarioJIT is runScenario with an explicit execution-backend choice:
+// the closure-compiled engine or the reference interpreter.
+func runScenarioJIT(t *testing.T, workers int, jit bool, w, h int, scenario func(gl *Context) uint32) drawOutcome {
+	t.Helper()
+	env := newEnv(t, device.Generic(), w, h, false)
+	gl := env.gl
+	gl.SetWorkers(workers)
+	gl.SetJIT(jit)
+	defer gl.Destroy()
+	prog := scenario(gl)
+	if e := gl.GetError(); e != NO_ERROR {
+		t.Fatalf("scenario error: %s", ErrName(e))
+	}
+	out := drawOutcome{pixels: make([]byte, w*h*4)}
+	gl.ReadPixels(0, 0, w, h, RGBA, UNSIGNED_BYTE, out.pixels)
+	var ok bool
+	out.fragments, out.cycles, out.texFetches, ok = gl.DrawStatsFor(prog, w, h)
+	if !ok {
+		t.Fatal("no draw stats recorded")
+	}
+	return out
+}
+
+// expectJITParity demands identical framebuffers and identical
+// virtual-time counters across the full execution-strategy matrix:
+// {interpreter, compiled} × {serial, 4 workers}.
+func expectJITParity(t *testing.T, w, h int, scenario func(gl *Context) uint32) {
+	t.Helper()
+	ref := runScenarioJIT(t, 1, false, w, h, scenario)
+	for _, cfg := range []struct {
+		name    string
+		workers int
+		jit     bool
+	}{
+		{"jit-serial", 1, true},
+		{"jit-parallel", 4, true},
+		{"interp-parallel", 4, false},
+	} {
+		got := runScenarioJIT(t, cfg.workers, cfg.jit, w, h, scenario)
+		if !bytes.Equal(ref.pixels, got.pixels) {
+			for i := range ref.pixels {
+				if ref.pixels[i] != got.pixels[i] {
+					t.Fatalf("%s: framebuffers diverge at byte %d (pixel %d): interp-serial %d, %s %d",
+						cfg.name, i, i/4, ref.pixels[i], cfg.name, got.pixels[i])
+				}
+			}
+		}
+		if ref.fragments != got.fragments {
+			t.Errorf("%s: fragments: %d vs %d", cfg.name, ref.fragments, got.fragments)
+		}
+		if ref.cycles != got.cycles {
+			t.Errorf("%s: cycles: %d vs %d", cfg.name, ref.cycles, got.cycles)
+		}
+		if ref.texFetches != got.texFetches {
+			t.Errorf("%s: tex fetches: %d vs %d", cfg.name, ref.texFetches, got.texFetches)
+		}
+	}
+}
+
+// TestJITParityTexturedQuad: a texturing, loop-unrolled fragment shader —
+// the shape of every GPGPU kernel — through both vertex and fragment
+// stages on both backends.
+func TestJITParityTexturedQuad(t *testing.T) {
+	const n = 64
+	expectJITParity(t, n, n, func(gl *Context) uint32 {
+		checkerTexture(gl, n, n)
+		p := buildProgram(t, gl, quadVS, `
+precision mediump float;
+varying vec2 v_tex;
+uniform sampler2D u_tex;
+void main() {
+	vec4 s = texture2D(u_tex, v_tex);
+	float acc = 0.0;
+	for (int i = 0; i < 4; i++) {
+		acc += s.x * 0.3 + v_tex.y * 0.1;
+	}
+	gl_FragColor = vec4(fract(acc), s.yz, 1.0);
+}`)
+		gl.UseProgram(p)
+		gl.Uniform1i(gl.GetUniformLocation(p, "u_tex"), 0)
+		drawQuad(t, gl, p)
+		return p
+	})
+}
+
+// TestJITParityDiscard: the discard path (branchy compilation, fragments
+// killed) must agree on pixels and on the cycle cost of killed fragments.
+func TestJITParityDiscard(t *testing.T) {
+	const n = 64
+	expectJITParity(t, n, n, func(gl *Context) uint32 {
+		p := buildProgram(t, gl, quadVS, `
+precision mediump float;
+varying vec2 v_tex;
+void main() {
+	if (v_tex.x > 0.5) discard;
+	gl_FragColor = vec4(v_tex, 0.5, 1.0);
+}`)
+		gl.UseProgram(p)
+		drawQuad(t, gl, p)
+		return p
+	})
+}
+
+// TestJITParityTranscendental: float64-lane ops (sin, pow, inversesqrt)
+// must round identically through both backends.
+func TestJITParityTranscendental(t *testing.T) {
+	const n = 64
+	expectJITParity(t, n, n, func(gl *Context) uint32 {
+		p := buildProgram(t, gl, quadVS, `
+precision mediump float;
+varying vec2 v_tex;
+void main() {
+	float a = sin(v_tex.x * 6.28) * 0.5 + 0.5;
+	float b = pow(v_tex.y + 0.1, 2.2);
+	float c = inversesqrt(v_tex.x + 1.0);
+	gl_FragColor = vec4(a, fract(b), fract(c), 1.0);
+}`)
+		gl.UseProgram(p)
+		drawQuad(t, gl, p)
+		return p
+	})
+}

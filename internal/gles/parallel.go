@@ -181,6 +181,7 @@ func (c *Context) shadeTrianglesParallel(p *Program, tgt renderTarget, setups []
 	fcReg := p.fragCoordReg
 	mask := c.colorMask
 	cost := &c.prof.CostModel
+	execFS := shader.Executor(fp, cost, c.jit)
 	pool := c.fsPool(fp)
 	sample := envSampler(samplers)
 
@@ -210,7 +211,7 @@ func (c *Context) shadeTrianglesParallel(p *Program, tgt renderTarget, setups []
 					if fcReg >= 0 {
 						env.Inputs[fcReg] = fc
 					}
-					if err := shader.Run(fp, env, cost); err != nil {
+					if err := execFS(env); err != nil {
 						return
 					}
 					frags++
@@ -285,6 +286,7 @@ func (c *Context) shadePointsParallel(p *Program, tgt renderTarget, verts []rast
 	out, hasOut := fp.LookupOutput("gl_FragColor")
 	mask := c.colorMask
 	cost := &c.prof.CostModel
+	execFS := shader.Executor(fp, cost, c.jit)
 	pool := c.fsPool(fp)
 	sample := envSampler(samplers)
 
@@ -334,7 +336,7 @@ func (c *Context) shadePointsParallel(p *Program, tgt renderTarget, verts []rast
 								0, 0,
 							}
 						}
-						if err := shader.Run(fp, env, cost); err != nil {
+						if err := execFS(env); err != nil {
 							break points // VM bug: abort this worker's share
 						}
 						frags++

@@ -21,6 +21,7 @@ package shader
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"gles2gpgpu/internal/glsl"
 )
@@ -279,6 +280,10 @@ type Program struct {
 	// previous fragment's colour; parallel shading requires this flag (in
 	// addition to WritesBeforeReads) to rule that channel out.
 	OutputsAlwaysWritten bool
+
+	// jit caches the closure-compiled form of the program (see jit.go),
+	// built lazily on first execution and keyed by cost-model identity.
+	jit atomic.Pointer[Compiled]
 }
 
 // InstructionCount returns the static instruction count after unrolling.

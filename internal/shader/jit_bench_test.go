@@ -1,0 +1,57 @@
+package shader
+
+import (
+	"testing"
+
+	"gles2gpgpu/internal/glsl"
+	"gles2gpgpu/internal/kernels"
+)
+
+// BenchmarkShaderExec measures one fragment-shader invocation of the
+// paper's kernels on both execution backends. The compiled/interp ratio at
+// workers=1 is the host-time speedup the closure backend delivers (the
+// acceptance floor for this optimisation is 2×).
+func BenchmarkShaderExec(b *testing.B) {
+	cost := DefaultCostModel()
+	benchKernel := func(name, src string) {
+		cs, err := glsl.Frontend(src, glsl.CompileOptions{Stage: glsl.StageFragment})
+		if err != nil {
+			b.Fatalf("%s: frontend: %v", name, err)
+		}
+		p, err := Compile(cs)
+		if err != nil {
+			b.Fatalf("%s: compile: %v", name, err)
+		}
+		run := func(b *testing.B, exec func(*Env) error) {
+			env := NewEnv(p)
+			env.Sample = func(idx int, u, v float32) Vec4 {
+				return Vec4{u, v, u * v, 1}
+			}
+			for i := range env.Inputs {
+				env.Inputs[i] = Vec4{0.421875, 0.734375, 0, 1}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env.Reset()
+				if err := exec(env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.Run(name+"/interp", func(b *testing.B) {
+			run(b, Executor(p, &cost, false))
+		})
+		b.Run(name+"/compiled", func(b *testing.B) {
+			run(b, Executor(p, &cost, true))
+		})
+	}
+
+	benchKernel("sum", kernels.Sum(kernels.DefaultOptions))
+	sgemm, err := kernels.SgemmPass(1024, 16, kernels.DefaultOptions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchKernel("sgemm16", sgemm)
+	benchKernel("conv3x3", kernels.Conv3x3(1024, 1024, kernels.DefaultOptions))
+}

@@ -1,0 +1,475 @@
+package shader
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gles2gpgpu/internal/glsl"
+	"gles2gpgpu/internal/kernels"
+)
+
+// Differential testing of the closure-compiled backend against the
+// reference interpreter: on fuzzed random IR programs and on the full
+// generated kernel suite, both backends must produce bit-equal register
+// state and equal Cycles/TexFetches/Discarded.
+
+// diffSampler is the deterministic texture fetch both backends share.
+func diffSampler(idx int, u, v float32) Vec4 {
+	return Vec4{u + float32(idx), v * 0.5, u * v, 1}
+}
+
+// runDiff executes p on both backends with identical environments and
+// fails the test on any observable divergence. Returns the interpreter Env
+// for further inspection.
+func runDiff(t *testing.T, p *Program, cost *CostModel, fill func(e *Env)) *Env {
+	t.Helper()
+	e1, e2 := NewEnv(p), NewEnv(p)
+	e1.Sample, e2.Sample = diffSampler, diffSampler
+	fill(e1)
+	copy(e2.Uniforms, e1.Uniforms)
+	copy(e2.Inputs, e1.Inputs)
+	copy(e2.Temps, e1.Temps)
+	copy(e2.Outputs, e1.Outputs)
+
+	err1 := Run(p, e1, cost)
+	c := p.Compiled(cost)
+	if c == nil {
+		t.Fatalf("program did not compile:\n%s", p.Disassemble())
+	}
+	err2 := c.Run(e2)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("error divergence: interp %v, compiled %v\n%s", err1, err2, p.Disassemble())
+	}
+	if e1.Discarded != e2.Discarded {
+		t.Fatalf("Discarded divergence: interp %v, compiled %v\n%s",
+			e1.Discarded, e2.Discarded, p.Disassemble())
+	}
+	if e1.Cycles != e2.Cycles {
+		t.Fatalf("Cycles divergence: interp %d, compiled %d\n%s",
+			e1.Cycles, e2.Cycles, p.Disassemble())
+	}
+	if e1.TexFetches != e2.TexFetches {
+		t.Fatalf("TexFetches divergence: interp %d, compiled %d\n%s",
+			e1.TexFetches, e2.TexFetches, p.Disassemble())
+	}
+	diffBank(t, p, "output", e1.Outputs, e2.Outputs)
+	diffBank(t, p, "temp", e1.Temps, e2.Temps)
+	return e1
+}
+
+// diffBank compares a register bank bitwise, zero signs included. The one
+// exception is NaN: which operand's NaN payload propagates through a
+// float32 multiply depends on the Go compiler's operand ordering at each
+// compilation site (x86 MULSS keeps the first NaN), so payload bits are
+// codegen-defined even between two builds of the interpreter itself. All
+// NaNs form one equivalence class; NaN-ness is closed under every IR op
+// (comparisons, SGN, BRZ/KIL conditions ignore the payload), so no
+// non-NaN value can diverge downstream of this allowance.
+func diffBank(t *testing.T, p *Program, bank string, a, b []Vec4) {
+	t.Helper()
+	for r := range a {
+		for c := 0; c < 4; c++ {
+			if a[r][c] != a[r][c] && b[r][c] != b[r][c] {
+				continue // both NaN: equivalent
+			}
+			if math.Float32bits(a[r][c]) != math.Float32bits(b[r][c]) {
+				t.Fatalf("%s %d.%d divergence: interp %g (%#08x), compiled %g (%#08x)\n%s",
+					bank, r, c, a[r][c], math.Float32bits(a[r][c]),
+					b[r][c], math.Float32bits(b[r][c]), p.Disassemble())
+			}
+		}
+	}
+}
+
+// fuzzValue produces register contents that exercise the numeric edge
+// cases: zeros of both signs, infinities, exact integers, and ordinary
+// fractions (0/0 divisions, comparisons at equality, quant24 truncation).
+func fuzzValue(rng *rand.Rand) float32 {
+	switch rng.Intn(10) {
+	case 0:
+		return 0
+	case 1:
+		return float32(math.Copysign(0, -1))
+	case 2:
+		return float32(math.Inf(1 - 2*rng.Intn(2)))
+	case 3:
+		return float32(rng.Intn(9) - 4)
+	default:
+		return float32(rng.Intn(2001)-1000) / 1000
+	}
+}
+
+var fuzzALUOps = []Op{
+	OpMOV, OpADD, OpSUB, OpMUL, OpDIV, OpMAD, OpMUL24,
+	OpDP2, OpDP3, OpDP4, OpMIN, OpMAX, OpCLAMP,
+	OpABS, OpSGN, OpFLR, OpCEIL, OpFRC, OpRCP, OpRSQ, OpSQRT,
+	OpEX2, OpLG2, OpPOW, OpEXP, OpLOG,
+	OpSIN, OpCOS, OpTAN, OpASIN, OpACOS, OpATAN, OpATAN2,
+	OpSLT, OpSLE, OpSGT, OpSGE, OpSEQ, OpSNE, OpSEL, OpTEX,
+}
+
+// randomSrc builds a source operand over p's register banks; const-pool
+// reads occasionally index past the pool to cover the zero-fill path.
+func randomSrc(rng *rand.Rand, p *Program) Src {
+	var s Src
+	switch rng.Intn(6) {
+	case 0:
+		s.File, s.Reg = FileUniform, uint16(rng.Intn(p.NumUniform))
+	case 1:
+		s.File, s.Reg = FileInput, uint16(rng.Intn(p.NumInputs))
+	case 2:
+		s.File, s.Reg = FileOutput, uint16(rng.Intn(p.NumOutputs))
+	case 3:
+		s.File, s.Reg = FileConst, uint16(rng.Intn(len(p.Consts)+2))
+	default:
+		s.File, s.Reg = FileTemp, uint16(rng.Intn(p.NumTemps))
+	}
+	if rng.Intn(2) == 0 {
+		s.Swiz = IdentitySwiz
+	} else {
+		for i := range s.Swiz {
+			s.Swiz[i] = uint8(rng.Intn(4))
+		}
+	}
+	s.Neg = rng.Intn(4) == 0
+	return s
+}
+
+func randomDst(rng *rand.Rand, p *Program) Dst {
+	var d Dst
+	switch rng.Intn(8) {
+	case 0:
+		d.File, d.Reg = FileOutput, uint16(rng.Intn(p.NumOutputs))
+	case 1:
+		// Write to a read-only file: must be dropped by both backends.
+		d.File, d.Reg = FileUniform, uint16(rng.Intn(p.NumUniform))
+	default:
+		d.File, d.Reg = FileTemp, uint16(rng.Intn(p.NumTemps))
+	}
+	d.Mask = uint8(rng.Intn(16)) // 0 (no-op write) through full
+	return d
+}
+
+// randomProgram builds a random but always-terminating IR program.
+// Branches only go forward (targets in (pc, n]), so every program halts;
+// withCtl=false produces straight-line programs that exercise the
+// precomputed-cycle-block path.
+func randomProgram(rng *rand.Rand, withCtl bool) *Program {
+	p := &Program{
+		NumTemps:   1 + rng.Intn(4),
+		NumInputs:  1 + rng.Intn(2),
+		NumOutputs: 1 + rng.Intn(2),
+		NumUniform: 1 + rng.Intn(2),
+	}
+	for i, nc := 0, rng.Intn(3); i < nc; i++ {
+		p.Consts = append(p.Consts, [4]float32{
+			fuzzValue(rng), fuzzValue(rng), fuzzValue(rng), fuzzValue(rng),
+		})
+	}
+	n := 5 + rng.Intn(28)
+	for i := 0; i < n; i++ {
+		var in Inst
+		r := rng.Intn(20)
+		switch {
+		case withCtl && r == 0:
+			in.Op = OpBR
+			in.Target = int32(i + 1 + rng.Intn(n-i))
+		case withCtl && r == 1:
+			in.Op = OpBRZ
+			in.A = randomSrc(rng, p)
+			in.Target = int32(i + 1 + rng.Intn(n-i))
+		case withCtl && r == 2:
+			in.Op = OpKIL
+			in.A = randomSrc(rng, p)
+		case withCtl && r == 3:
+			in.Op = OpRET
+		case r == 4:
+			in.Op = OpNOP
+		default:
+			in.Op = fuzzALUOps[rng.Intn(len(fuzzALUOps))]
+			in.Dst = randomDst(rng, p)
+			in.A = randomSrc(rng, p)
+			in.B = randomSrc(rng, p)
+			in.C = randomSrc(rng, p)
+			if in.Op == OpTEX {
+				in.SamplerIdx = uint8(rng.Intn(2))
+			}
+		}
+		p.Insts = append(p.Insts, in)
+	}
+	return p
+}
+
+// TestDifferentialJITFuzz drives quick-generated seeds through random IR
+// programs on both backends. Half the programs are straight-line (the
+// whole-program cycle-block path), half contain forward branches, KIL and
+// early RET (the pc-threaded path).
+func TestDifferentialJITFuzz(t *testing.T) {
+	cost := DefaultCostModel()
+	trial := 0
+	check := func(seed int64) bool {
+		trial++
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng, trial%2 == 0)
+		for probe := 0; probe < 3; probe++ {
+			runDiff(t, p, &cost, func(e *Env) {
+				for i := range e.Uniforms {
+					e.Uniforms[i] = Vec4{fuzzValue(rng), fuzzValue(rng), fuzzValue(rng), fuzzValue(rng)}
+				}
+				for i := range e.Inputs {
+					e.Inputs[i] = Vec4{fuzzValue(rng), fuzzValue(rng), fuzzValue(rng), fuzzValue(rng)}
+				}
+			})
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 400,
+		// Deterministic seeds: quick's default Rand is time-seeded, which
+		// would make any divergence unreproducible.
+		Rand: rand.New(rand.NewSource(20170327)),
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJITStraightLineDetection pins the compile-mode split: generated
+// GPGPU kernels (fully unrolled) take the precomputed-cycles path, and
+// programs with control flow do not.
+func TestJITStraightLineDetection(t *testing.T) {
+	cost := DefaultCostModel()
+	straight := &Program{NumTemps: 1, NumOutputs: 1, Insts: []Inst{
+		{Op: OpMOV, Dst: DstReg(FileOutput, 0, 4), A: SrcReg(FileTemp, 0)},
+		{Op: OpRET},
+	}}
+	c := straight.Compiled(&cost)
+	if c == nil || !c.Straight() {
+		t.Fatal("trailing-RET program should compile straight-line")
+	}
+	if want := cost.StaticCycles(straight); c.PrecomputedCycles() != want {
+		t.Fatalf("precomputed cycles %d, want StaticCycles %d", c.PrecomputedCycles(), want)
+	}
+	branchy := &Program{NumTemps: 1, NumOutputs: 1, Insts: []Inst{
+		{Op: OpBRZ, A: SrcReg(FileTemp, 0), Target: 2},
+		{Op: OpMOV, Dst: DstReg(FileOutput, 0, 4), A: SrcReg(FileTemp, 0)},
+		{Op: OpRET},
+	}}
+	if c := branchy.Compiled(&cost); c == nil || c.Straight() {
+		t.Fatal("branchy program must not take the straight-line path")
+	}
+	midRet := &Program{NumTemps: 1, NumOutputs: 1, Insts: []Inst{
+		{Op: OpRET},
+		{Op: OpMOV, Dst: DstReg(FileOutput, 0, 4), A: SrcReg(FileTemp, 0)},
+	}}
+	if c := midRet.Compiled(&cost); c == nil || c.Straight() {
+		t.Fatal("mid-program RET is an early exit, not straight-line")
+	}
+}
+
+// TestJITCompiledCache pins the lazy one-entry cache: same cost model
+// returns the same Compiled, a different cost model recompiles.
+func TestJITCompiledCache(t *testing.T) {
+	cost1, cost2 := DefaultCostModel(), DefaultCostModel()
+	cost2.Costs[OpMOV] = 9
+	p := &Program{NumTemps: 1, NumOutputs: 1, Insts: []Inst{
+		{Op: OpMOV, Dst: DstReg(FileOutput, 0, 4), A: SrcReg(FileTemp, 0)},
+	}}
+	a := p.Compiled(&cost1)
+	if a == nil || p.Compiled(&cost1) != a {
+		t.Fatal("same cost model must return the cached Compiled")
+	}
+	b := p.Compiled(&cost2)
+	if b == a {
+		t.Fatal("different cost model must recompile")
+	}
+	if a.PrecomputedCycles() == b.PrecomputedCycles() {
+		t.Fatal("recompile must pick up the new costs")
+	}
+}
+
+// kernelSuite compiles every generated kernel source (both encoding
+// options) through the full front end.
+func kernelSuite(t *testing.T) map[string]*Program {
+	t.Helper()
+	progs := make(map[string]*Program)
+	addSrc := func(name, src string, stage glsl.ShaderStage) {
+		cs, err := glsl.Frontend(src, glsl.CompileOptions{Stage: stage})
+		if err != nil {
+			t.Fatalf("%s: frontend: %v", name, err)
+		}
+		p, err := Compile(cs)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		progs[name] = p
+	}
+	for _, o := range []struct {
+		tag  string
+		opts kernels.Options
+	}{{"fp32", kernels.DefaultOptions}, {"fp24", kernels.FP24Options}} {
+		addSrc("sum/"+o.tag, kernels.Sum(o.opts), glsl.StageFragment)
+		addSrc("sumdep/"+o.tag, kernels.SumDep(o.opts), glsl.StageFragment)
+		sgemm, err := kernels.SgemmPass(64, 16, o.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addSrc("sgemm16/"+o.tag, sgemm, glsl.StageFragment)
+		addSrc("saxpy/"+o.tag, kernels.Saxpy(o.opts), glsl.StageFragment)
+		addSrc("conv3x3/"+o.tag, kernels.Conv3x3(16, 16, o.opts), glsl.StageFragment)
+		addSrc("transpose/"+o.tag, kernels.Transpose(o.opts), glsl.StageFragment)
+		reduce, err := kernels.Reduce2x2(16, o.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addSrc("reduce2x2/"+o.tag, reduce, glsl.StageFragment)
+		addSrc("jacobi/"+o.tag, kernels.Jacobi(16, 16, o.opts), glsl.StageFragment)
+	}
+	addSrc("quadvs", kernels.VertexShader, glsl.StageVertex)
+	return progs
+}
+
+// TestDifferentialJITKernelSuite runs every generated kernel on both
+// backends with randomised register files: bit-equal outputs and equal
+// counters across the whole suite.
+func TestDifferentialJITKernelSuite(t *testing.T) {
+	cost := DefaultCostModel()
+	rng := rand.New(rand.NewSource(20170327))
+	for name, p := range kernelSuite(t) {
+		t.Run(name, func(t *testing.T) {
+			for probe := 0; probe < 4; probe++ {
+				runDiff(t, p, &cost, func(e *Env) {
+					for i := range e.Uniforms {
+						e.Uniforms[i] = Vec4{
+							rng.Float32(), rng.Float32(), rng.Float32(), rng.Float32(),
+						}
+					}
+					for i := range e.Inputs {
+						e.Inputs[i] = Vec4{
+							rng.Float32() * 16, rng.Float32() * 16, 0.5, 1,
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestJITKernelsCompileStraightLine asserts the perf-critical property the
+// closure backend was built for: the fully-unrolled GPGPU kernels compile
+// to the branch-free path with the whole per-invocation cycle cost
+// precomputed. jacobi is the deliberate exception — its Dirichlet boundary
+// ternary lowers to real data-dependent branches — and must take the
+// pc-threaded path instead.
+func TestJITKernelsCompileStraightLine(t *testing.T) {
+	cost := DefaultCostModel()
+	for name, p := range kernelSuite(t) {
+		c := p.Compiled(&cost)
+		if c == nil {
+			t.Fatalf("%s: did not compile", name)
+		}
+		branchy := name == "jacobi/fp32" || name == "jacobi/fp24"
+		if branchy {
+			if c.Straight() {
+				t.Errorf("%s: boundary branches should preclude straight-line compilation", name)
+			}
+			continue
+		}
+		if !c.Straight() {
+			t.Errorf("%s: expected straight-line compilation", name)
+		}
+		if want := cost.StaticCycles(p); c.PrecomputedCycles() != want {
+			t.Errorf("%s: precomputed cycles %d, want %d", name, c.PrecomputedCycles(), want)
+		}
+	}
+}
+
+// TestJITDiscardParity covers the KIL path end to end: a discarding
+// program must set Discarded, stop charging cycles at the KIL, and agree
+// between backends on both the taken and not-taken branches.
+func TestJITDiscardParity(t *testing.T) {
+	cost := DefaultCostModel()
+	src := `precision mediump float;
+varying vec2 v;
+void main() {
+	if (v.x > 0.5) discard;
+	gl_FragColor = vec4(v.y);
+}`
+	cs, err := glsl.Frontend(src, glsl.CompileOptions{Stage: glsl.StageFragment})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float32{0.1, 0.9} {
+		e := runDiff(t, p, &cost, func(e *Env) {
+			e.Inputs[0] = Vec4{x, 0.25, 0, 0}
+		})
+		if want := x > 0.5; e.Discarded != want {
+			t.Fatalf("x=%g: Discarded=%v, want %v", x, e.Discarded, want)
+		}
+	}
+}
+
+// TestExecutorFallback pins the escape hatches: with useJIT=false the
+// Executor is the interpreter, and both functions produce identical
+// results for the same program.
+func TestExecutorFallback(t *testing.T) {
+	cost := DefaultCostModel()
+	p := &Program{NumTemps: 1, NumOutputs: 1, Consts: [][4]float32{{2, 3, 4, 5}}, Insts: []Inst{
+		{Op: OpADD, Dst: DstReg(FileOutput, 0, 4),
+			A: SrcReg(FileConst, 0), B: SrcReg(FileConst, 0)},
+	}}
+	for _, jit := range []bool{false, true} {
+		e := NewEnv(p)
+		if err := Executor(p, &cost, jit)(e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Outputs[0] != (Vec4{4, 6, 8, 10}) {
+			t.Fatalf("jit=%v: got %v", jit, e.Outputs[0])
+		}
+		if e.Cycles != cost.StaticCycles(p) {
+			t.Fatalf("jit=%v: cycles %d", jit, e.Cycles)
+		}
+	}
+}
+
+// TestJITDumpMentionsDecisions smoke-tests the glslc -compiled dump.
+func TestJITDumpMentionsDecisions(t *testing.T) {
+	cost := DefaultCostModel()
+	p := &Program{NumTemps: 1, NumOutputs: 1, Insts: []Inst{
+		{Op: OpMOV, Dst: DstReg(FileOutput, 0, 4), A: SrcReg(FileTemp, 0)},
+		{Op: OpSIN, Dst: Dst{File: FileTemp, Reg: 0, Mask: 0x3}, A: SrcReg(FileTemp, 0)},
+	}}
+	c := p.Compiled(&cost)
+	var sb stringsBuilder
+	c.Dump(&sb)
+	out := sb.String()
+	for _, want := range []string{"straight-line", "lane=f32", "lane=f64", "dst=full", "dst=mask", "a=direct"} {
+		if !containsStr(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// tiny local helpers to avoid importing strings/bytes just for the dump test
+type stringsBuilder struct{ b []byte }
+
+func (s *stringsBuilder) Write(p []byte) (int, error) { s.b = append(s.b, p...); return len(p), nil }
+func (s *stringsBuilder) String() string              { return string(s.b) }
+
+func containsStr(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}
+
+var _ = fmt.Sprintf // keep fmt for debug convenience in failures

@@ -62,16 +62,23 @@ func maxi(a, b int) int {
 var DebugClearTemps = os.Getenv("GLES2GPGPU_CLEAR_TEMPS") != ""
 
 // Reset prepares the Env for another invocation of the same program.
-// Outputs are always zeroed (they are read externally — gl_Position,
-// varyings — even when the program does not write them); Temps are only
-// zeroed when the program could observe stale values, i.e. when the
-// compiler could not prove every temp is written before read.
+// Outputs are read externally (gl_Position, varyings, gl_FragColor) even
+// when the program does not write them, so they are zeroed — unless the
+// compiler proved every output component is written on every
+// non-discarding exit (OutputsAlwaysWritten; discarded invocations'
+// outputs are never read). Temps are only zeroed when the program could
+// observe stale values, i.e. when the compiler could not prove every temp
+// is written before read. DebugClearTemps disables both liveness-based
+// skips.
 func (e *Env) Reset() {
 	e.Discarded = false
-	for i := range e.Outputs {
-		e.Outputs[i] = Vec4{}
+	proofs := e.prog != nil && !DebugClearTemps
+	if !(proofs && e.prog.OutputsAlwaysWritten) {
+		for i := range e.Outputs {
+			e.Outputs[i] = Vec4{}
+		}
 	}
-	if e.prog != nil && e.prog.WritesBeforeReads && !DebugClearTemps {
+	if proofs && e.prog.WritesBeforeReads {
 		return
 	}
 	for i := range e.Temps {
