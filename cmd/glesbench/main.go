@@ -10,6 +10,8 @@
 //	glesbench -size 1024    # matrix dimension of the timing runs
 //	glesbench -iters 100    # repetitions per configuration
 //	glesbench -nojit        # reference interpreter instead of the compiled engine
+//	glesbench -nopasses     # disable the host shader optimisation passes
+//	glesbench -micro        # add shader-exec microbenchmarks (passes on vs off)
 //	glesbench -benchjson f  # machine-readable host-time results to f
 package main
 
@@ -35,6 +37,7 @@ type benchJSON struct {
 	GOMAXPROCS  int          `json:"gomaxprocs"`
 	Workers     int          `json:"workers"`
 	JIT         bool         `json:"jit"`
+	Passes      bool         `json:"passes"`
 	Figures     []figureTime `json:"figures"`
 	TotalHostMS float64      `json:"total_host_ms"`
 }
@@ -51,6 +54,8 @@ func main() {
 	iters := flag.Int("iters", 100, "measured benchmark-body repetitions")
 	workers := flag.Int("workers", 0, "host fragment-shading workers (0: GLES2GPGPU_WORKERS or GOMAXPROCS, 1: serial); virtual-time results are identical at any setting")
 	nojit := flag.Bool("nojit", false, "run shaders on the reference interpreter instead of the closure-compiled engine (A/B escape hatch; results are bit-identical, only host time changes)")
+	nopasses := flag.Bool("nopasses", false, "disable the host shader optimisation passes (A/B escape hatch; the passes are cycle-neutral, so results are bit-identical, only host time changes)")
+	micro := flag.Bool("micro", false, "also run the shader-execution microbenchmarks ({interp,jit} x {passes on,off}); results go to stderr and -benchjson, never stdout")
 	benchjson := flag.String("benchjson", "", "write machine-readable per-figure host times (JSON) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -84,7 +89,7 @@ func main() {
 		}
 	}()
 
-	o := bench.Opts{PaperSize: *size, CalibSize: *calib, Iters: *iters, Workers: *workers, NoJIT: *nojit}
+	o := bench.Opts{PaperSize: *size, CalibSize: *calib, Iters: *iters, Workers: *workers, NoJIT: *nojit, NoPasses: *nopasses}
 	devs := bench.Devices()
 	report := benchJSON{
 		Schema:     "gles2gpgpu.bench/1",
@@ -92,6 +97,7 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    *workers,
 		JIT:        !*nojit && shader.DefaultJIT(),
+		Passes:     !*nopasses && shader.DefaultPasses(),
 	}
 	recordHost := func(name string, d time.Duration) {
 		fmt.Fprintf(os.Stderr, "glesbench: figure %s: host %v\n", name, d.Round(time.Millisecond))
@@ -167,6 +173,22 @@ func main() {
 			}
 		}
 		recordHost("ablation", time.Since(hostStart))
+	}
+	if *micro {
+		// Microbenchmark output bypasses stdout entirely: the figure tables
+		// above must stay byte-comparable with the recorded reference.
+		results, err := bench.Micro(0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "glesbench: micro: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			name := r.Name()
+			fmt.Fprintf(os.Stderr, "glesbench: %s: %d invocations, %d cycles, host %.3fms\n",
+				name, r.Invocations, r.Cycles, r.HostMS)
+			report.Figures = append(report.Figures, figureTime{Figure: name, HostMS: r.HostMS})
+			report.TotalHostMS += r.HostMS
+		}
 	}
 	if *benchjson != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	glslc [-stage fragment|vertex] [-device vc4|sgx|generic]
-//	      [-D NAME=VALUE]... [-cycles] file.glsl
+//	      [-D NAME=VALUE]... [-cycles] [-lint] [-passes]
+//	      [-limits vc4|sgx|generic|all] file.glsl
 //
 // With no file, the source is read from standard input.
 package main
@@ -22,6 +23,7 @@ import (
 	"gles2gpgpu/internal/device"
 	"gles2gpgpu/internal/glsl"
 	"gles2gpgpu/internal/shader"
+	"gles2gpgpu/internal/shader/analysis"
 )
 
 type defineFlags map[string]string
@@ -42,6 +44,9 @@ func main() {
 	dev := flag.String("device", "generic", "device profile for limits and cycle costs: vc4, sgx or generic")
 	cycles := flag.Bool("cycles", true, "print the static cycle estimate")
 	compiled := flag.Bool("compiled", false, "dump the closure-compiled form: per-op specialization decisions (fast-path swizzle/mask hits, f32/f64 lanes, precomputed cycle blocks)")
+	lint := flag.Bool("lint", false, "run the static-analysis diagnostics (same rules as glslint)")
+	passes := flag.Bool("passes", false, "run the host optimisation passes and report what they did")
+	limits := flag.String("limits", "", "check dataflow-derived resource usage against a device profile: vc4, sgx, generic or all")
 	defines := defineFlags{}
 	flag.Var(defines, "D", "preprocessor define NAME=VALUE (repeatable)")
 	flag.Parse()
@@ -109,4 +114,59 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("; within %s implementation limits\n", prof.Name)
+
+	name := "<stdin>"
+	if flag.NArg() == 1 {
+		name = flag.Arg(0)
+	}
+	var profiles []analysis.LimitProfile
+	if *limits != "" {
+		if *limits == "all" {
+			profiles = analysis.LimitProfiles()
+		} else {
+			lp, ok := analysis.LimitProfileFor(*limits)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "glslc: unknown limits profile %q\n", *limits)
+				os.Exit(2)
+			}
+			profiles = []analysis.LimitProfile{lp}
+		}
+	}
+	failed := false
+	if *passes {
+		if o := analysis.Optimize(prog); o != nil {
+			fmt.Printf("; passes: %d dead instructions, %d operands folded to constants, %d copies propagated\n",
+				o.DeadInsts, o.FoldedConsts, o.PropagatedSrcs)
+		} else {
+			fmt.Println("; passes: empty program, nothing to do")
+		}
+	}
+	if *limits != "" {
+		res := analysis.CountResources(analysis.BuildCFG(prog))
+		exact := "longest path"
+		if !res.PathExact {
+			exact = "static count (cyclic control flow)"
+		}
+		fmt.Printf("; resources: %d instructions, %d texture accesses (%s: %d/%d), dependent-read depth %d, temp pressure %d\n",
+			res.StaticInsts, res.StaticTex, exact, res.PathInsts, res.PathTex, res.DepTexDepth, res.TempPressure)
+		for _, lp := range profiles {
+			for _, f := range analysis.CheckLimits(prog, res, lp) {
+				fmt.Printf("%s: %s: %s\n", name, lp.Name, f)
+				if f.Sev == analysis.SevError {
+					failed = true
+				}
+			}
+		}
+	}
+	if *lint {
+		for _, f := range analysis.Lint(prog, profiles) {
+			fmt.Printf("%s:%s\n", name, f)
+			if f.Sev == analysis.SevError {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,119 @@
+// Command glslint runs the shader static-analysis diagnostics over GLSL
+// ES 1.00 sources and prints compiler-style findings: arithmetic that
+// misses the free MAD fusion, expanded code with a single-instruction
+// builtin equivalent (dot, clamp), possibly-uninitialised reads,
+// always-discarded fragments, and per-device implementation-limit
+// headroom — the static view of the paper's Fig. 4b compile cliff.
+//
+// Usage:
+//
+//	glslint [-stage fragment|vertex] [-limits vc4|sgx|generic|all|none]
+//	        [-D NAME=VALUE]... [file.glsl ...]
+//
+// With no files, the source is read from standard input. Findings are
+// printed as "file:line:col: severity: [code] message". The exit status
+// is 1 when any source fails to compile or produces an error-severity
+// finding (an exceeded device limit), and 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gles2gpgpu/internal/glsl"
+	"gles2gpgpu/internal/shader"
+	"gles2gpgpu/internal/shader/analysis"
+)
+
+type defineFlags map[string]string
+
+func (d defineFlags) String() string { return "" }
+
+func (d defineFlags) Set(v string) error {
+	name, val, ok := strings.Cut(v, "=")
+	if !ok {
+		val = "1"
+	}
+	d[name] = val
+	return nil
+}
+
+func main() {
+	stage := flag.String("stage", "fragment", "shader stage: fragment or vertex")
+	limits := flag.String("limits", "all", "device profiles for the limit section: vc4, sgx, generic, all or none")
+	info := flag.Bool("info", true, "print info-severity findings (limit headroom)")
+	defines := defineFlags{}
+	flag.Var(defines, "D", "preprocessor define NAME=VALUE (repeatable)")
+	flag.Parse()
+
+	st := glsl.StageFragment
+	if *stage == "vertex" {
+		st = glsl.StageVertex
+	} else if *stage != "fragment" {
+		fmt.Fprintf(os.Stderr, "glslint: unknown stage %q\n", *stage)
+		os.Exit(2)
+	}
+	var profiles []analysis.LimitProfile
+	switch *limits {
+	case "none":
+	case "all":
+		profiles = analysis.LimitProfiles()
+	default:
+		lp, ok := analysis.LimitProfileFor(*limits)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "glslint: unknown limits profile %q\n", *limits)
+			os.Exit(2)
+		}
+		profiles = []analysis.LimitProfile{lp}
+	}
+
+	exit := 0
+	lintOne := func(name string, src []byte) {
+		prog, err := compile(string(src), st, defines)
+		if err != nil {
+			fmt.Printf("%s: %v\n", name, err)
+			exit = 1
+			return
+		}
+		for _, f := range analysis.Lint(prog, profiles) {
+			if f.Sev == analysis.SevInfo && !*info {
+				continue
+			}
+			fmt.Printf("%s:%s\n", name, f)
+			if f.Sev == analysis.SevError {
+				exit = 1
+			}
+		}
+	}
+
+	if flag.NArg() == 0 {
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "glslint: %v\n", err)
+			os.Exit(1)
+		}
+		lintOne("<stdin>", src)
+	}
+	for _, name := range flag.Args() {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "glslint: %v\n", err)
+			exit = 1
+			continue
+		}
+		lintOne(name, src)
+	}
+	os.Exit(exit)
+}
+
+// compile runs the front end and back end on one source.
+func compile(src string, st glsl.ShaderStage, defines map[string]string) (*shader.Program, error) {
+	cs, err := glsl.Frontend(src, glsl.CompileOptions{Stage: st, Defines: defines})
+	if err != nil {
+		return nil, err
+	}
+	return shader.Compile(cs)
+}

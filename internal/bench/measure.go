@@ -78,6 +78,10 @@ type Opts struct {
 	// interpreter instead of the closure-compiled engine. Like Workers it
 	// changes host time only, never the virtual-time measurements.
 	NoJIT bool
+	// NoPasses disables the host-side shader optimisation passes for the
+	// functional calibration. Like NoJIT it changes host time only: the
+	// passes are cycle-neutral, so virtual-time figures are identical.
+	NoPasses bool
 }
 
 func (o Opts) withDefaults() Opts {
@@ -196,6 +200,9 @@ func Measure(cfg core.Config, spec Spec, o Opts) (Result, error) {
 	}
 	if o.NoJIT {
 		cfg.NoJIT = true
+	}
+	if o.NoPasses {
+		cfg.NoPasses = true
 	}
 	hostStart := time.Now()
 	cal, err := build(cfg, spec, o.CalibSize, o.Seed, false)

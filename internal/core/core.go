@@ -135,6 +135,19 @@ type Config struct {
 	// GLES2GPGPU_NO_JIT=1). Like Workers it changes host wall-clock time
 	// only: results and virtual-time figures are bit-identical either way.
 	NoJIT bool
+
+	// NoPasses disables the host-side shader optimisation passes (dead-code
+	// elimination, copy/constant propagation — the library equivalent of
+	// GLES2GPGPU_NO_PASSES=1). Like NoJIT it changes host wall-clock time
+	// only: the passes are cycle-neutral, so results and virtual-time
+	// figures are bit-identical either way.
+	NoPasses bool
+
+	// StrictLinkLimits makes glLinkProgram additionally enforce the
+	// dataflow-derived device limits (dependent-texture-read depth, live
+	// temporary pressure) that compile-time counting cannot see, the way
+	// real mobile drivers defer some rejections to link time.
+	StrictLinkLimits bool
 }
 
 func boolPtr(b bool) *bool { return &b }
@@ -207,6 +220,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if cfg.NoJIT {
 		e.gl.SetJIT(false)
+	}
+	if cfg.NoPasses {
+		e.gl.SetPasses(false)
+	}
+	if cfg.StrictLinkLimits {
+		e.gl.SetStrictLimits(true)
 	}
 	e.gl.Viewport(0, 0, cfg.Width, cfg.Height)
 	e.vsSource = kernels.VertexShader

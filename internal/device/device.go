@@ -149,6 +149,10 @@ func VideoCoreIV() *Profile {
 			MaxUniformVectors:  128,
 			MaxVaryingVectors:  8,
 			MaxAttributes:      8,
+			// The QPU issues texture lookups through a small request FIFO;
+			// deep result→coordinate chains stall it and the blob compiler
+			// rejects them.
+			MaxDependentTexReads: 4,
 		},
 		TileW: 64, TileH: 64,
 		Deferred:               true,
@@ -208,6 +212,9 @@ func PowerVRSGX545() *Profile {
 			MaxUniformVectors:  64,
 			MaxVaryingVectors:  8,
 			MaxAttributes:      8,
+			// USSE pre-schedules texture iterations; dependent reads fall
+			// back to in-shader fetches with a bounded chain depth.
+			MaxDependentTexReads: 8,
 		},
 		TileW: 16, TileH: 16,
 		Deferred:               true,

@@ -11,6 +11,7 @@ package gles
 
 import (
 	"fmt"
+	"os"
 
 	"gles2gpgpu/internal/device"
 	"gles2gpgpu/internal/egl"
@@ -223,12 +224,30 @@ type Context struct {
 	// bit-identical results (see internal/shader/jit.go).
 	jit bool
 
+	// passes selects the optimised program form (DCE + copy/constant
+	// propagation, attached at CompileShader time) for draws. The
+	// OptProgram contract (internal/shader/opt.go) keeps framebuffer
+	// bytes and virtual time bit-identical; only host work changes.
+	passes bool
+
+	// strictLimits makes LinkProgram reject programs whose analysis-based
+	// resource counts (worst-path instructions/tex fetches,
+	// dependent-read depth, linear-scan register pressure) exceed the
+	// device profile — the paper's compile cliff, enforced at link time
+	// instead of silently mis-emulating. Off by default: the simulator
+	// normally wants to run over-limit programs to measure them.
+	strictLimits bool
+
 	// progCache memoises shader compilation by (stage, source hash) so
 	// multi-pass kernels that rebuild identical programs every pass (the
 	// reduction ladder, sgemm's per-level shaders) compile once per
 	// context. Evicted by Destroy.
 	progCache map[shaderCacheKey]shaderCacheEntry
 }
+
+// defaultStrictLimits reads the GLES2GPGPU_STRICT_LIMITS environment
+// toggle for new contexts.
+func defaultStrictLimits() bool { return os.Getenv("GLES2GPGPU_STRICT_LIMITS") != "" }
 
 // Framebuffer is a framebuffer object with a colour attachment.
 type Framebuffer struct {
@@ -258,6 +277,8 @@ func NewContext(ec *egl.Context) *Context {
 		progCache:    make(map[shaderCacheKey]shaderCacheEntry),
 		workers:      defaultWorkers(),
 		jit:          shader.DefaultJIT(),
+		passes:       shader.DefaultPasses(),
+		strictLimits: defaultStrictLimits(),
 	}
 	c.colorMask = [4]bool{true, true, true, true}
 	c.blendSrc, c.blendDst = ONE, ZERO
@@ -313,6 +334,29 @@ func (c *Context) SetJIT(on bool) { c.jit = on }
 
 // JIT reports whether the closure-compiled shader backend is selected.
 func (c *Context) JIT() bool { return c.jit }
+
+// SetPasses selects whether draws execute the optimised program form
+// produced by the analysis pass pipeline (DCE + copy/constant
+// propagation). Results are bit-identical either way — the OptProgram
+// contract charges dead instructions their cycle cost and counts dead
+// texture fetches — so this is an A/B escape hatch like SetJIT. The
+// default comes from shader.DefaultPasses (on, unless GLES2GPGPU_NO_PASSES
+// is set).
+func (c *Context) SetPasses(on bool) { c.passes = on }
+
+// Passes reports whether the optimised program form is selected.
+func (c *Context) Passes() bool { return c.passes }
+
+// SetStrictLimits toggles analysis-based device-limit enforcement at
+// LinkProgram time: when on, programs whose worst-path resource counts
+// exceed the device profile fail to link with a diagnostic, reproducing
+// the paper's "block >16 fails compilation" behaviour. Defaults to off
+// (or GLES2GPGPU_STRICT_LIMITS in the environment) so measurement runs
+// can still execute over-limit programs.
+func (c *Context) SetStrictLimits(on bool) { c.strictLimits = on }
+
+// StrictLimits reports whether link-time limit enforcement is on.
+func (c *Context) StrictLimits() bool { return c.strictLimits }
 
 // setErr records the first error since the last GetError.
 func (c *Context) setErr(e Enum) {

@@ -173,8 +173,8 @@ func (c *Context) executeDraw(p *Program, tgt renderTarget, mode Enum, first, co
 	}
 
 	cost := &c.prof.CostModel
-	execVS := shader.Executor(vp, cost, c.jit)
-	execFS := shader.Executor(fp, cost, c.jit)
+	execVS := shader.Executor(vp, cost, c.jit, c.passes)
+	execFS := shader.Executor(fp, cost, c.jit, c.passes)
 
 	// Vertex stage.
 	posOut, hasPos := vp.LookupOutput("gl_Position")
@@ -323,7 +323,7 @@ func (c *Context) rasterizePoints(p *Program, tgt renderTarget, verts []raster.V
 	fp := p.fsProg
 	fsEnv := c.fsEnv
 	cost := &c.prof.CostModel
-	execFS := shader.Executor(fp, cost, c.jit)
+	execFS := shader.Executor(fp, cost, c.jit, c.passes)
 	vpX, vpY, vpW, vpH := c.viewport[0], c.viewport[1], c.viewport[2], c.viewport[3]
 	if vpW == 0 || vpH == 0 {
 		vpW, vpH = tgt.w, tgt.h

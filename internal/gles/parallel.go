@@ -181,7 +181,7 @@ func (c *Context) shadeTrianglesParallel(p *Program, tgt renderTarget, setups []
 	fcReg := p.fragCoordReg
 	mask := c.colorMask
 	cost := &c.prof.CostModel
-	execFS := shader.Executor(fp, cost, c.jit)
+	execFS := shader.Executor(fp, cost, c.jit, c.passes)
 	pool := c.fsPool(fp)
 	sample := envSampler(samplers)
 
@@ -286,7 +286,7 @@ func (c *Context) shadePointsParallel(p *Program, tgt renderTarget, verts []rast
 	out, hasOut := fp.LookupOutput("gl_FragColor")
 	mask := c.colorMask
 	cost := &c.prof.CostModel
-	execFS := shader.Executor(fp, cost, c.jit)
+	execFS := shader.Executor(fp, cost, c.jit, c.passes)
 	pool := c.fsPool(fp)
 	sample := envSampler(samplers)
 

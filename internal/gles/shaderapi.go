@@ -7,6 +7,7 @@ import (
 
 	"gles2gpgpu/internal/glsl"
 	"gles2gpgpu/internal/shader"
+	"gles2gpgpu/internal/shader/analysis"
 )
 
 // shaderCacheKey identifies a compiled shader by stage and source hash.
@@ -89,6 +90,16 @@ func (c *Context) CompileShader(name uint32) {
 		return
 	}
 	prog.Source = s.source
+	// Attach the host-side optimisation passes (dead-code elimination,
+	// copy/constant propagation). They are cycle-neutral by contract —
+	// SetOptimized validates the instruction shapes and the differential
+	// tests prove bit-exact outputs — so a validation failure just means
+	// executing the unoptimised form.
+	if c.passes {
+		if o := analysis.Optimize(prog); o != nil {
+			_ = prog.SetOptimized(o)
+		}
+	}
 	s.checked = cs
 	s.compiled = prog
 	c.progCache[key] = shaderCacheEntry{checked: cs, compiled: prog}
@@ -240,6 +251,21 @@ func (c *Context) LinkProgram(prog uint32) {
 	}
 	for _, u := range fp.Uniforms {
 		addUniform(u, false)
+	}
+
+	// Strict link-time limit checking (opt-in): the dataflow-derived
+	// constraints — dependent-texture-read depth, live temp pressure —
+	// that the cheap compile-time counters in Program.CheckLimits cannot
+	// see. Mirrors drivers that defer such rejections to link.
+	if c.strictLimits {
+		lp := analysis.LimitProfile{Name: c.prof.Name, Limits: c.prof.Limits}
+		for _, sp := range []*shader.Program{vp, fp} {
+			res := analysis.CountResources(analysis.BuildCFG(sp))
+			if err := analysis.CheckLimitsError(sp, res, lp); err != nil {
+				p.linkErr = fmt.Errorf("link: %w", err)
+				return
+			}
+		}
 	}
 
 	p.vsProg, p.fsProg = vp, fp

@@ -1,0 +1,116 @@
+package glsl
+
+import (
+	"errors"
+	"testing"
+)
+
+// Source-span propagation: every diagnostic the front end produces must
+// carry the line:column of the offending construct in the ORIGINAL source,
+// including when the construct reaches the compiler through preprocessor
+// macro expansion (the expansion re-stamps tokens with the use site's
+// position, the way C compilers attribute macro-expanded errors).
+
+// fragErrPos compiles expecting failure and returns the error position.
+func fragErrPos(t *testing.T, src string) Pos {
+	t.Helper()
+	_, err := Frontend(src, CompileOptions{Stage: StageFragment})
+	if err == nil {
+		t.Fatalf("expected a compile error")
+	}
+	var e *Error
+	if !errors.As(err, &e) {
+		t.Fatalf("error %v (%T) carries no source position", err, err)
+	}
+	return e.Pos
+}
+
+func TestSemaErrorSpanPlain(t *testing.T) {
+	pos := fragErrPos(t, `precision mediump float;
+void main() {
+	float x = 1.0;
+	x = missing;
+	gl_FragColor = vec4(x);
+}
+`)
+	if pos.Line != 4 {
+		t.Errorf("undefined identifier reported at %v, want line 4", pos)
+	}
+	if pos.Col < 6 || pos.Col > 7 {
+		t.Errorf("undefined identifier reported at column %d, want the identifier (6-7)", pos.Col)
+	}
+}
+
+func TestSemaErrorSpanThroughDefine(t *testing.T) {
+	// The faulty expression lives in a macro body on line 2; the use site
+	// is line 4. The diagnostic must point at the use site: that is the
+	// only position the shader author can act on in the expanded stream.
+	pos := fragErrPos(t, `precision mediump float;
+#define BAD (missing + 1.0)
+void main() {
+	float x = BAD;
+	gl_FragColor = vec4(x);
+}
+`)
+	if pos.Line != 4 {
+		t.Errorf("macro-expanded error reported at %v, want the use site on line 4", pos)
+	}
+}
+
+func TestSemaErrorSpanThroughFuncMacro(t *testing.T) {
+	pos := fragErrPos(t, `precision mediump float;
+#define MIX(a, b) ((a) * (b) + nope)
+void main() {
+	float x = MIX(1.0, 2.0);
+	gl_FragColor = vec4(x);
+}
+`)
+	if pos.Line != 4 {
+		t.Errorf("function-macro error reported at %v, want the use site on line 4", pos)
+	}
+}
+
+func TestSemaErrorSpanTypeMismatch(t *testing.T) {
+	pos := fragErrPos(t, `precision mediump float;
+uniform vec2 u;
+void main() {
+	float x = 1.0;
+	x = u;
+	gl_FragColor = vec4(x);
+}
+`)
+	if pos.Line != 5 {
+		t.Errorf("type mismatch reported at %v, want line 5", pos)
+	}
+}
+
+func TestPreprocessorErrorSpan(t *testing.T) {
+	pos := fragErrPos(t, `precision mediump float;
+#if UNDEFINED_THING(
+void main() {}
+#endif
+`)
+	if pos.Line != 2 {
+		t.Errorf("preprocessor error reported at %v, want line 2", pos)
+	}
+}
+
+// TestTokenSpansSurviveExpansion checks the raw token stream: object-like
+// and function-like macro bodies are re-stamped with the invocation
+// position, and passed-through tokens keep their own.
+func TestTokenSpansSurviveExpansion(t *testing.T) {
+	pp := NewPreprocessor()
+	res, err := pp.Process(`#define K 2.0
+#define SQ(x) ((x) * (x))
+float a = K;
+float b = SQ(a);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range res.Tokens {
+		if tok.Pos.Line < 3 || tok.Pos.Line > 4 {
+			t.Errorf("token %v stamped with line %d, want only use-site lines 3-4", tok, tok.Pos.Line)
+		}
+	}
+}

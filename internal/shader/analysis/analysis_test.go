@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"testing"
+
+	"gles2gpgpu/internal/glsl"
+	"gles2gpgpu/internal/shader"
+)
+
+// compileGLSL compiles fragment-shader source through the real frontend.
+func compileGLSL(t *testing.T, src string) *shader.Program {
+	t.Helper()
+	cs, err := glsl.Frontend(src, glsl.CompileOptions{Stage: glsl.StageFragment})
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	p, err := shader.Compile(cs)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+// mov builds a MOV instruction writing n leading components.
+func mov(dst shader.Dst, src shader.Src) shader.Inst {
+	return shader.Inst{Op: shader.OpMOV, Dst: dst, A: src}
+}
+
+func temp(r int) shader.Src  { return shader.SrcReg(shader.FileTemp, r) }
+func cnst(r int) shader.Src  { return shader.SrcReg(shader.FileConst, r) }
+func dtemp(r int) shader.Dst { return shader.DstReg(shader.FileTemp, r, 4) }
+
+// diamond is the canonical two-armed CFG used by several tests:
+//
+//	0: mov r0, c0        ; condition
+//	1: brz r0, 4
+//	2: mov r1, c1        ; then-arm
+//	3: br 5
+//	4: mov r1, c2        ; else-arm
+//	5: mov o0, r1        ; join + exit
+func diamond() *shader.Program {
+	return &shader.Program{
+		Insts: []shader.Inst{
+			mov(dtemp(0), cnst(0)),
+			{Op: shader.OpBRZ, A: temp(0), Target: 4},
+			mov(dtemp(1), cnst(1)),
+			{Op: shader.OpBR, Target: 5},
+			mov(dtemp(1), cnst(2)),
+			mov(shader.DstReg(shader.FileOutput, 0, 4), temp(1)),
+		},
+		Consts:     [][4]float32{{1, 1, 1, 1}, {2, 2, 2, 2}, {3, 3, 3, 3}},
+		NumTemps:   2,
+		NumOutputs: 1,
+	}
+}
+
+func TestBuildCFGDiamond(t *testing.T) {
+	c := BuildCFG(diamond())
+	if len(c.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4: %+v", len(c.Blocks), c.Blocks)
+	}
+	wantRanges := [][2]int{{0, 2}, {2, 4}, {4, 5}, {5, 6}}
+	for b, w := range wantRanges {
+		if c.Blocks[b].Start != w[0] || c.Blocks[b].End != w[1] {
+			t.Errorf("block %d = [%d,%d), want [%d,%d)",
+				b, c.Blocks[b].Start, c.Blocks[b].End, w[0], w[1])
+		}
+	}
+	wantSuccs := [][]int{{1, 2}, {3}, {3}, nil}
+	for b, w := range wantSuccs {
+		got := c.Blocks[b].Succs
+		if len(got) != len(w) {
+			t.Fatalf("block %d succs = %v, want %v", b, got, w)
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Errorf("block %d succs = %v, want %v", b, got, w)
+			}
+		}
+	}
+	doms := c.Dominators()
+	for b := 0; b < 4; b++ {
+		if !doms[b].Get(0) {
+			t.Errorf("entry should dominate block %d", b)
+		}
+	}
+	if doms[3].Get(1) || doms[3].Get(2) {
+		t.Errorf("neither arm should dominate the join")
+	}
+	exits := c.ExitBlocks()
+	if len(exits) != 1 || exits[0] != 3 {
+		t.Errorf("exits = %v, want [3]", exits)
+	}
+	if topo, ok := c.Acyclic(); !ok || topo[0] != 0 {
+		t.Errorf("acyclic = %v topo = %v", ok, topo)
+	}
+}
+
+func TestDefUseDiamond(t *testing.T) {
+	p := diamond()
+	du := SolveDefUse(BuildCFG(p))
+	// The BRZ reads r0.x defined at instruction 0.
+	if got := du.DefOf[1][0][0]; got != 0 {
+		t.Errorf("brz cond def = %d, want 0", got)
+	}
+	// The join read of r1 sees both arms.
+	if got := du.DefOf[5][0][0]; got != DefMany {
+		t.Errorf("join read def = %d, want DefMany", got)
+	}
+	// Ambiguous reads are attributed to both definitions.
+	for _, d := range []int{2, 4} {
+		found := false
+		for _, u := range du.Uses[d] {
+			if u.Inst == 5 && u.Operand == 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("def %d is missing the join use: %+v", d, du.Uses[d])
+		}
+	}
+	if got := du.OperandDef(5, 0); got != -1 {
+		t.Errorf("OperandDef at join = %d, want -1", got)
+	}
+	if got := du.OperandDef(1, 0); got != 0 {
+		t.Errorf("OperandDef of cond = %d, want 0", got)
+	}
+}
+
+func TestDefUseUninitialisedRead(t *testing.T) {
+	p := &shader.Program{
+		Insts: []shader.Inst{
+			mov(shader.DstReg(shader.FileOutput, 0, 4), temp(0)),
+		},
+		NumTemps:   1,
+		NumOutputs: 1,
+	}
+	du := SolveDefUse(BuildCFG(p))
+	if got := du.DefOf[0][0][0]; got != DefExternal {
+		t.Errorf("uninitialised read def = %d, want DefExternal", got)
+	}
+}
+
+func TestSCCPPrunesConstantBranch(t *testing.T) {
+	p := diamond() // condition c0 = 1: BRZ never taken, else-arm dead
+	s := SolveSCCP(BuildCFG(p))
+	if !s.Reachable[2] || !s.Reachable[3] {
+		t.Errorf("then-arm should be reachable")
+	}
+	if s.Reachable[4] {
+		t.Errorf("else-arm should be pruned (condition is constant non-zero)")
+	}
+	// The join read of r1 is constant: only the then-arm (c1 = 2) reaches.
+	oc := s.Operand[5][0]
+	if !oc.OK {
+		t.Fatalf("join operand should be constant after pruning")
+	}
+	for l := 0; l < 4; l++ {
+		if oc.V[l] != 2 {
+			t.Errorf("lane %d = %g, want 2", l, oc.V[l])
+		}
+	}
+}
+
+func TestSCCPBothArmsJoinToBottom(t *testing.T) {
+	p := diamond()
+	// Make the condition a uniform: both arms feasible, join not constant.
+	p.Insts[0] = mov(dtemp(0), shader.SrcReg(shader.FileUniform, 0))
+	p.NumUniform = 1
+	s := SolveSCCP(BuildCFG(p))
+	if !s.Reachable[2] || !s.Reachable[4] {
+		t.Fatalf("both arms should be reachable")
+	}
+	if s.Operand[5][0].OK {
+		t.Errorf("join operand should not be constant (arms assign 2 and 3)")
+	}
+	// But each arm's own operand is a constant.
+	if !s.Operand[2][0].OK || s.Operand[2][0].V[0] != 2 {
+		t.Errorf("then-arm const = %+v, want 2", s.Operand[2][0])
+	}
+}
+
+func TestSCCPConstFoldArithmetic(t *testing.T) {
+	// add r0, c0, c1 ; mul o0, r0, r0 — SCCP must fold through the ADD
+	// with bit-exact VM arithmetic.
+	p := &shader.Program{
+		Insts: []shader.Inst{
+			{Op: shader.OpADD, Dst: dtemp(0), A: cnst(0), B: cnst(1)},
+			{Op: shader.OpMUL, Dst: shader.DstReg(shader.FileOutput, 0, 4), A: temp(0), B: temp(0)},
+		},
+		Consts:     [][4]float32{{1, 2, 3, 4}, {10, 20, 30, 40}},
+		NumTemps:   1,
+		NumOutputs: 1,
+	}
+	s := SolveSCCP(BuildCFG(p))
+	oc := s.Operand[1][0]
+	if !oc.OK {
+		t.Fatalf("mul operand should be constant")
+	}
+	want := shader.Vec4{11, 22, 33, 44}
+	if oc.V != want {
+		t.Errorf("folded value = %v, want %v", oc.V, want)
+	}
+}
+
+func TestSCCPAlwaysDiscard(t *testing.T) {
+	p := compileGLSL(t, `
+precision mediump float;
+void main() {
+	discard;
+}
+`)
+	s := SolveSCCP(BuildCFG(p))
+	if len(s.AlwaysDiscards) == 0 {
+		t.Fatalf("bare discard should be detected as always discarding")
+	}
+}
+
+func TestResourcesDependentTex(t *testing.T) {
+	// tex r0 <- i0 ; tex r1 <- r0 ; tex r2 <- i0 : chain depth 2.
+	p := &shader.Program{
+		Insts: []shader.Inst{
+			{Op: shader.OpTEX, Dst: dtemp(0), A: shader.SrcReg(shader.FileInput, 0)},
+			{Op: shader.OpTEX, Dst: dtemp(1), A: temp(0)},
+			{Op: shader.OpTEX, Dst: dtemp(2), A: shader.SrcReg(shader.FileInput, 0)},
+			mov(shader.DstReg(shader.FileOutput, 0, 4), temp(1)),
+		},
+		NumTemps:        3,
+		NumOutputs:      1,
+		NumInputs:       1,
+		TexInstructions: 3,
+	}
+	r := CountResources(BuildCFG(p))
+	if r.DepTexDepth != 2 {
+		t.Errorf("DepTexDepth = %d, want 2", r.DepTexDepth)
+	}
+	if r.StaticTex != 3 || r.PathTex != 3 {
+		t.Errorf("tex counts = %d/%d, want 3/3", r.StaticTex, r.PathTex)
+	}
+	if !r.PathExact || r.PathInsts != 4 {
+		t.Errorf("PathInsts = %d (exact=%v), want 4 exact", r.PathInsts, r.PathExact)
+	}
+}
+
+func TestResourcesLongestPath(t *testing.T) {
+	// The diamond: then-arm has 2 insts (mov+br), else-arm 1. Longest path
+	// runs entry(2) + then(2) + join(1) = 5 of the 6 instructions.
+	r := CountResources(BuildCFG(diamond()))
+	if r.StaticInsts != 6 {
+		t.Errorf("StaticInsts = %d, want 6", r.StaticInsts)
+	}
+	if !r.PathExact || r.PathInsts != 5 {
+		t.Errorf("PathInsts = %d (exact=%v), want 5 exact", r.PathInsts, r.PathExact)
+	}
+}
+
+func TestResourcesKernelStraightLine(t *testing.T) {
+	p := compileGLSL(t, `
+precision mediump float;
+uniform sampler2D text0;
+varying vec2 v_tex;
+void main() {
+	gl_FragColor = texture2D(text0, v_tex);
+}
+`)
+	r := CountResources(BuildCFG(p))
+	if r.StaticInsts != r.PathInsts || !r.PathExact {
+		t.Errorf("straight-line kernel: path %d static %d exact %v",
+			r.PathInsts, r.StaticInsts, r.PathExact)
+	}
+	if r.DepTexDepth != 1 {
+		t.Errorf("independent fetch depth = %d, want 1", r.DepTexDepth)
+	}
+	if r.TempPressure < 1 {
+		t.Errorf("TempPressure = %d, want >= 1", r.TempPressure)
+	}
+}

@@ -1,0 +1,246 @@
+package analysis
+
+import "gles2gpgpu/internal/shader"
+
+// Reaching definitions and def-use chains.
+//
+// The IR is not SSA, so a use can see several definitions at a join. The
+// analyses here only exploit facts that are safe in that setting: for
+// every source-operand lane we compute the *unique* reaching definition
+// when one exists on all paths (a "last definition" forward dataflow whose
+// meet is equal-or-bottom), and for every definition the conservative set
+// of instructions that may use its value. Copy propagation requires the
+// former; the MAD/built-in lint patterns require both.
+
+// Sentinel values for DefUse.DefOf.
+const (
+	// DefExternal marks a read whose value does not come from a tracked
+	// instruction: uniform/input/constant-file operands, or a temp/output
+	// component that may be uninitialised at this point.
+	DefExternal = -1
+	// DefMany marks a read reached by different definitions on different
+	// paths.
+	DefMany = -2
+	// DefNone marks a lane the instruction does not read.
+	DefNone = -3
+)
+
+// defTop is the optimistic pre-fixpoint lattice top (internal only).
+const defTop = -4
+
+// Use records one read of a definition's value.
+type Use struct {
+	Inst    int // reading instruction
+	Operand int // 0 = A, 1 = B, 2 = C
+	Lane    int // post-swizzle lane
+}
+
+// DefUse holds the solved reaching-definition facts for one program.
+type DefUse struct {
+	// DefOf[i][k][l] is the instruction defining the value operand k
+	// (0=A, 1=B, 2=C) of instruction i reads in post-swizzle lane l, or a
+	// sentinel (DefExternal, DefMany, DefNone).
+	DefOf [][3][4]int32
+	// Uses[d] lists the reads that may observe instruction d's result
+	// (reads whose reaching definition is ambiguous are attributed to
+	// every definition of the component, so the list over-approximates).
+	Uses [][]Use
+
+	cfg      *CFG
+	numTemps int
+}
+
+func (du *DefUse) comp(file shader.RegFile, reg uint16, c int) int {
+	if file == shader.FileTemp {
+		return int(reg)*4 + c
+	}
+	return (du.numTemps+int(reg))*4 + c
+}
+
+// meetDef combines two reaching-definition facts.
+func meetDef(a, b int32) int32 {
+	switch {
+	case a == defTop:
+		return b
+	case b == defTop:
+		return a
+	case a == b:
+		return a
+	default:
+		return DefMany
+	}
+}
+
+// UseInsts returns the distinct instructions among uses.
+func UseInsts(uses []Use) []int {
+	var insts []int
+	for _, u := range uses {
+		found := false
+		for _, x := range insts {
+			if x == u.Inst {
+				found = true
+				break
+			}
+		}
+		if !found {
+			insts = append(insts, u.Inst)
+		}
+	}
+	return insts
+}
+
+// SolveDefUse computes reaching definitions and def-use chains over c.
+func SolveDefUse(c *CFG) *DefUse {
+	p := c.Prog
+	n := len(p.Insts)
+	du := &DefUse{
+		DefOf:    make([][3][4]int32, n),
+		Uses:     make([][]Use, n),
+		cfg:      c,
+		numTemps: p.NumTemps,
+	}
+	for i := range du.DefOf {
+		for k := 0; k < 3; k++ {
+			for l := 0; l < 4; l++ {
+				du.DefOf[i][k][l] = DefNone
+			}
+		}
+	}
+	if n == 0 {
+		return du
+	}
+	comps := 4 * (p.NumTemps + p.NumOutputs)
+
+	// applyWrites advances the last-definition state across instruction i.
+	applyWrites := func(state []int32, i int) {
+		in := &p.Insts[i]
+		mask := in.WriteMask()
+		if mask == 0 || (in.Dst.File != shader.FileTemp && in.Dst.File != shader.FileOutput) {
+			return
+		}
+		for cc := 0; cc < 4; cc++ {
+			if mask&(1<<uint(cc)) != 0 {
+				state[du.comp(in.Dst.File, in.Dst.Reg, cc)] = int32(i)
+			}
+		}
+	}
+
+	// Block-level fixpoint on the last-definition state.
+	nb := len(c.Blocks)
+	blockIn := make([][]int32, nb)
+	for b := range blockIn {
+		blockIn[b] = make([]int32, comps)
+		for j := range blockIn[b] {
+			if b == 0 {
+				blockIn[b][j] = DefExternal
+			} else {
+				blockIn[b][j] = defTop
+			}
+		}
+	}
+	work := make([]int, 0, nb)
+	inWork := make([]bool, nb)
+	for b := nb - 1; b >= 0; b-- {
+		work = append(work, b)
+		inWork[b] = true
+	}
+	state := make([]int32, comps)
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[b] = false
+		copy(state, blockIn[b])
+		for i := c.Blocks[b].Start; i < c.Blocks[b].End; i++ {
+			applyWrites(state, i)
+		}
+		for _, s := range c.Blocks[b].Succs {
+			changed := false
+			for j := range state {
+				if nv := meetDef(blockIn[s][j], state[j]); nv != blockIn[s][j] {
+					blockIn[s][j] = nv
+					changed = true
+				}
+			}
+			if changed && !inWork[s] {
+				work = append(work, s)
+				inWork[s] = true
+			}
+		}
+	}
+
+	// Record per-read facts with the solved states; ambiguous reads are
+	// attributed to every definition of the component.
+	defsOfComp := make([][]int32, comps)
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		mask := in.WriteMask()
+		if mask == 0 || (in.Dst.File != shader.FileTemp && in.Dst.File != shader.FileOutput) {
+			continue
+		}
+		for cc := 0; cc < 4; cc++ {
+			if mask&(1<<uint(cc)) != 0 {
+				j := du.comp(in.Dst.File, in.Dst.Reg, cc)
+				defsOfComp[j] = append(defsOfComp[j], int32(i))
+			}
+		}
+	}
+	recordRead := func(state []int32, i, k int, s shader.Src, lanes uint8) {
+		for l := 0; l < 4; l++ {
+			if lanes&(1<<uint(l)) == 0 {
+				continue
+			}
+			if s.File != shader.FileTemp && s.File != shader.FileOutput {
+				du.DefOf[i][k][l] = DefExternal
+				continue
+			}
+			j := du.comp(s.File, s.Reg, int(s.Swiz[l]&3))
+			d := state[j]
+			if d == defTop {
+				d = DefExternal // unreachable code; value immaterial
+			}
+			du.DefOf[i][k][l] = d
+			switch {
+			case d >= 0:
+				du.Uses[d] = append(du.Uses[d], Use{Inst: i, Operand: k, Lane: l})
+			case d == DefMany:
+				for _, dd := range defsOfComp[j] {
+					du.Uses[dd] = append(du.Uses[dd], Use{Inst: i, Operand: k, Lane: l})
+				}
+			}
+		}
+	}
+	for b := range c.Blocks {
+		copy(state, blockIn[b])
+		for i := c.Blocks[b].Start; i < c.Blocks[b].End; i++ {
+			in := &p.Insts[i]
+			la, lb, lc := in.SrcLanes()
+			recordRead(state, i, 0, in.A, la)
+			recordRead(state, i, 1, in.B, lb)
+			recordRead(state, i, 2, in.C, lc)
+			applyWrites(state, i)
+		}
+	}
+	return du
+}
+
+// OperandDef returns the unique defining instruction for all read lanes of
+// operand k of instruction i, or -1 when the lanes disagree, are not
+// uniquely defined, or the operand is not read.
+func (du *DefUse) OperandDef(i, k int) int {
+	d := int32(DefNone)
+	for l := 0; l < 4; l++ {
+		v := du.DefOf[i][k][l]
+		if v == DefNone {
+			continue
+		}
+		if d == DefNone {
+			d = v
+		} else if d != v {
+			return -1
+		}
+	}
+	if d < 0 {
+		return -1
+	}
+	return int(d)
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"testing"
+
+	"gles2gpgpu/internal/glsl"
+	"gles2gpgpu/internal/shader"
+)
+
+// Lint findings must point into the ORIGINAL GLSL source even when the
+// offending construct reaches the IR through preprocessor expansion: the
+// preprocessor re-stamps macro-body tokens with the use site's position,
+// the back end threads that position onto every emitted instruction, and
+// the linter reports it.
+
+func TestLintSpanThroughDefine(t *testing.T) {
+	p := compileGLSL(t, `precision mediump float;
+#define SCALE(v) (u_a * (v))
+uniform float u_a;
+uniform float u_b;
+uniform float u_c;
+void main() {
+	float t = SCALE(u_b);
+	float r = t + u_c;
+	gl_FragColor = vec4(r);
+}
+`)
+	fs := findByCode(Lint(p, nil), "mad-fusion")
+	if len(fs) == 0 {
+		t.Fatalf("macro-built mul/add should still trigger mad-fusion; findings: %v", Lint(p, nil))
+	}
+	if fs[0].Pos.Line != 8 {
+		t.Errorf("finding at %v, want line 8 (the addition, in original source)", fs[0].Pos)
+	}
+}
+
+func TestLintSpanWithDriverDefines(t *testing.T) {
+	// Configuration constants injected the -D way (how the kernels pass
+	// BLOCK_SIZE) shift nothing: positions stay those of the source text.
+	cs, err := glsl.Frontend(`precision mediump float;
+uniform float u_x;
+void main() {
+	float r = min(max(u_x, LO), HI);
+	gl_FragColor = vec4(r);
+}
+`, glsl.CompileOptions{Stage: glsl.StageFragment, Defines: map[string]string{"LO": "0.0", "HI": "1.0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := shader.Compile(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := findByCode(Lint(p, nil), "builtin-clamp")
+	if len(fs) == 0 {
+		t.Fatalf("min(max(..)..) with -D bounds should trigger builtin-clamp")
+	}
+	if fs[0].Pos.Line != 4 {
+		t.Errorf("finding at %v, want line 4", fs[0].Pos)
+	}
+}

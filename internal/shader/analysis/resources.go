@@ -1,0 +1,258 @@
+package analysis
+
+import "gles2gpgpu/internal/shader"
+
+// Per-path resource counting.
+//
+// The paper's compile cliff (§V-B Fig. 4b) is driven by post-unroll static
+// program size, but the finer device constraints — dependent-texture-read
+// depth on SGX-class hardware, live temporary pressure — are path
+// properties. The CFGs the compiler emits are DAGs (loops are fully
+// unrolled), so worst-case path counts are exact longest-path computations
+// rather than estimates; PathExact records when that held.
+
+// Resources summarises the statically-derived resource usage of a program.
+type Resources struct {
+	// StaticInsts and StaticTex are whole-program totals after unrolling
+	// (what MaxInstructions/MaxTexInstructions meter).
+	StaticInsts int
+	StaticTex   int
+	// PathInsts and PathTex are worst-case single-invocation execution
+	// counts: the longest path through the CFG. On straight-line programs
+	// they equal the static totals.
+	PathInsts int
+	PathTex   int
+	// PathExact reports that the CFG was acyclic so the Path* values are
+	// exact; otherwise they fall back to the static totals.
+	PathExact bool
+	// DepTexDepth is the maximum dependent-texture-read chain depth: a
+	// fetch whose coordinates derive from another fetch's result deepens
+	// the chain. Independent fetches have depth 1; zero means no fetches.
+	DepTexDepth int
+	// TempPressure is a linear-scan estimate of simultaneously-live temp
+	// registers: the maximum overlap of [first reference, last reference]
+	// intervals per temp register.
+	TempPressure int
+}
+
+// CountResources computes the resource summary for c's program.
+func CountResources(c *CFG) Resources {
+	p := c.Prog
+	r := Resources{StaticInsts: len(p.Insts), StaticTex: p.TexInstructions}
+	if len(p.Insts) == 0 {
+		return r
+	}
+
+	// Longest path over the block DAG, weighted by per-block instruction
+	// and TEX counts. A discard (KIL) exits mid-block and so is dominated
+	// by the full block's cost.
+	topo, acyclic := c.Acyclic()
+	r.PathExact = acyclic
+	if acyclic {
+		const unreached = -1
+		distI := make([]int, len(c.Blocks))
+		distT := make([]int, len(c.Blocks))
+		for b := range distI {
+			distI[b], distT[b] = unreached, unreached
+		}
+		blockTex := func(b int) int {
+			t := 0
+			for i := c.Blocks[b].Start; i < c.Blocks[b].End; i++ {
+				if p.Insts[i].Op == shader.OpTEX {
+					t++
+				}
+			}
+			return t
+		}
+		distI[0], distT[0] = 0, 0
+		for _, b := range topo {
+			if distI[b] == unreached {
+				continue // not reachable from entry
+			}
+			wi := c.Blocks[b].End - c.Blocks[b].Start
+			wt := blockTex(b)
+			if distI[b]+wi > r.PathInsts {
+				r.PathInsts = distI[b] + wi
+			}
+			if distT[b]+wt > r.PathTex {
+				r.PathTex = distT[b] + wt
+			}
+			for _, sb := range c.Blocks[b].Succs {
+				if distI[b]+wi > distI[sb] {
+					distI[sb] = distI[b] + wi
+				}
+				if distT[b]+wt > distT[sb] {
+					distT[sb] = distT[b] + wt
+				}
+			}
+		}
+	} else {
+		r.PathInsts, r.PathTex = r.StaticInsts, r.StaticTex
+	}
+
+	r.DepTexDepth = depTexDepth(c)
+	r.TempPressure = tempPressure(p)
+	return r
+}
+
+// depTexDepth solves a forward max-lattice problem: each register
+// component carries the depth of the deepest texture-fetch chain its value
+// derives from. Values are capped at StaticTex (no chain can be longer),
+// which also bounds the fixpoint if the CFG were ever cyclic.
+func depTexDepth(c *CFG) int {
+	p := c.Prog
+	if p.TexInstructions == 0 {
+		return 0
+	}
+	capDepth := p.TexInstructions
+	comps := 4 * (p.NumTemps + p.NumOutputs)
+	compOf := func(file shader.RegFile, reg uint16, cc int) int {
+		if file == shader.FileTemp {
+			return int(reg)*4 + cc
+		}
+		return (p.NumTemps+int(reg))*4 + cc
+	}
+	laneDepth := func(state []int, src shader.Src, l int) int {
+		if src.File != shader.FileTemp && src.File != shader.FileOutput {
+			return 0
+		}
+		return state[compOf(src.File, src.Reg, int(src.Swiz[l]&3))]
+	}
+
+	maxDepth := 0
+	step := func(state []int, i int) {
+		in := &p.Insts[i]
+		la, lb, lc := in.SrcLanes()
+		lanes := [3]uint8{la, lb, lc}
+		srcs := [3]shader.Src{in.A, in.B, in.C}
+		mask := in.WriteMask()
+		if mask == 0 || (in.Dst.File != shader.FileTemp && in.Dst.File != shader.FileOutput) {
+			return
+		}
+		if in.Op == shader.OpTEX {
+			d := 0
+			for l := 0; l < 2; l++ {
+				if v := laneDepth(state, in.A, l); v > d {
+					d = v
+				}
+			}
+			d++
+			if d > capDepth {
+				d = capDepth
+			}
+			if d > maxDepth {
+				maxDepth = d
+			}
+			for cc := 0; cc < 4; cc++ {
+				if mask&(1<<uint(cc)) != 0 {
+					state[compOf(in.Dst.File, in.Dst.Reg, cc)] = d
+				}
+			}
+			return
+		}
+		reduction := in.Op == shader.OpDP2 || in.Op == shader.OpDP3 || in.Op == shader.OpDP4
+		all := 0
+		if reduction {
+			for k := 0; k < 3; k++ {
+				for l := 0; l < 4; l++ {
+					if lanes[k]&(1<<uint(l)) != 0 {
+						if v := laneDepth(state, srcs[k], l); v > all {
+							all = v
+						}
+					}
+				}
+			}
+		}
+		for cc := 0; cc < 4; cc++ {
+			if mask&(1<<uint(cc)) == 0 {
+				continue
+			}
+			d := all
+			if !reduction {
+				for k := 0; k < 3; k++ {
+					if lanes[k]&(1<<uint(cc)) != 0 {
+						if v := laneDepth(state, srcs[k], cc); v > d {
+							d = v
+						}
+					}
+				}
+			}
+			state[compOf(in.Dst.File, in.Dst.Reg, cc)] = d
+		}
+	}
+
+	nb := len(c.Blocks)
+	blockIn := make([][]int, nb)
+	for b := range blockIn {
+		blockIn[b] = make([]int, comps)
+	}
+	work := []int{0}
+	inWork := make([]bool, nb)
+	inWork[0] = true
+	state := make([]int, comps)
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[b] = false
+		copy(state, blockIn[b])
+		for i := c.Blocks[b].Start; i < c.Blocks[b].End; i++ {
+			step(state, i)
+		}
+		for _, sb := range c.Blocks[b].Succs {
+			changed := false
+			for j := range state {
+				if state[j] > blockIn[sb][j] {
+					blockIn[sb][j] = state[j]
+					changed = true
+				}
+			}
+			if changed && !inWork[sb] {
+				work = append(work, sb)
+				inWork[sb] = true
+			}
+		}
+	}
+	return maxDepth
+}
+
+// tempPressure runs the classic linear-scan interval estimate: each temp
+// register is live from its first reference to its last, and pressure is
+// the maximum interval overlap.
+func tempPressure(p *shader.Program) int {
+	type iv struct{ first, last int }
+	intervals := map[uint16]*iv{}
+	touch := func(reg uint16, i int) {
+		v := intervals[reg]
+		if v == nil {
+			intervals[reg] = &iv{first: i, last: i}
+			return
+		}
+		v.last = i
+	}
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		la, lb, lc := in.SrcLanes()
+		for k, s := range [3]shader.Src{in.A, in.B, in.C} {
+			lanes := [3]uint8{la, lb, lc}[k]
+			if lanes != 0 && s.File == shader.FileTemp {
+				touch(s.Reg, i)
+			}
+		}
+		if in.WriteMask() != 0 && in.Dst.File == shader.FileTemp {
+			touch(in.Dst.Reg, i)
+		}
+	}
+	pressure, peak := 0, 0
+	events := make([]int, len(p.Insts)+1)
+	for _, v := range intervals {
+		events[v.first]++
+		events[v.last+1]--
+	}
+	for _, e := range events {
+		pressure += e
+		if pressure > peak {
+			peak = pressure
+		}
+	}
+	return peak
+}

@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"math"
+
+	"gles2gpgpu/internal/shader"
+)
+
+// Sparse conditional constant propagation.
+//
+// The lattice per register component is {CONST(bits), BOT}: a component is
+// constant only when every reaching path assigns it the same 32-bit value
+// originating from the program's constant pool. There is no optimistic
+// "undefined" entry state for temps — a program compiled with
+// WritesBeforeReads proven may skip Env.Reset zeroing, so an unwritten
+// temp's entry value is genuinely unknown and must start at BOT.
+//
+// The "conditional" part is block reachability with edge pruning: a BRZ
+// whose condition is constant propagates state only along the taken edge,
+// and unreached blocks contribute nothing to joins. Constants are folded
+// with shader.EvalInst — the analysis-time value is computed by the same
+// VM that would compute it at runtime, so folding is bit-exact by
+// construction (including NaN payloads, denormals and division by zero).
+
+// constVal is one lattice element: a known 32-bit value or BOT.
+type constVal struct {
+	known bool
+	bits  uint32
+}
+
+func (v constVal) neg() constVal {
+	if !v.known {
+		return v
+	}
+	return constVal{known: true, bits: v.bits ^ 0x80000000}
+}
+
+func meetConst(a, b constVal) constVal {
+	if a.known && b.known && a.bits == b.bits {
+		return a
+	}
+	return constVal{}
+}
+
+// OperandConst is the constness verdict for one source operand: OK when
+// every lane the instruction reads is a known constant, with V holding the
+// post-swizzle, post-negation lane values (unread lanes are zero).
+type OperandConst struct {
+	OK bool
+	V  shader.Vec4
+}
+
+// SCCP holds the solved constant-propagation facts for one program.
+type SCCP struct {
+	// Reachable[i] reports that instruction i can execute (its block is
+	// reachable from entry under constant-condition edge pruning).
+	Reachable []bool
+	// Operand[i][k] is the constness of operand k (0=A, 1=B, 2=C) of
+	// instruction i; OK is always false for operands the opcode ignores.
+	Operand [][3]OperandConst
+	// AlwaysDiscards lists reachable KIL instructions whose condition is a
+	// non-zero constant: every fragment reaching them is discarded.
+	AlwaysDiscards []int
+
+	cfg *CFG
+}
+
+// SolveSCCP runs the analysis over c.
+func SolveSCCP(c *CFG) *SCCP {
+	p := c.Prog
+	n := len(p.Insts)
+	s := &SCCP{
+		Reachable: make([]bool, n),
+		Operand:   make([][3]OperandConst, n),
+		cfg:       c,
+	}
+	if n == 0 {
+		return s
+	}
+	comps := 4 * (p.NumTemps + p.NumOutputs)
+	compOf := func(file shader.RegFile, reg uint16, cc int) int {
+		if file == shader.FileTemp {
+			return int(reg)*4 + cc
+		}
+		return (p.NumTemps+int(reg))*4 + cc
+	}
+
+	// laneVal returns the post-swizzle, pre-negation value operand src
+	// delivers in lane l under state.
+	laneVal := func(state []constVal, src shader.Src, l int) constVal {
+		cc := int(src.Swiz[l] & 3)
+		switch src.File {
+		case shader.FileConst:
+			if int(src.Reg) < len(p.Consts) {
+				return constVal{known: true, bits: math.Float32bits(p.Consts[src.Reg][cc])}
+			}
+			return constVal{}
+		case shader.FileTemp, shader.FileOutput:
+			return state[compOf(src.File, src.Reg, cc)]
+		default: // uniforms and inputs vary per draw/invocation
+			return constVal{}
+		}
+	}
+
+	// evalStep advances state across instruction i and returns the
+	// post-negation constness of A's x lane (the BRZ/KIL condition).
+	evalStep := func(state []constVal, i int) (cond constVal) {
+		in := &p.Insts[i]
+		la, lb, lc := in.SrcLanes()
+		lanes := [3]uint8{la, lb, lc}
+		srcs := [3]shader.Src{in.A, in.B, in.C}
+		var known [3][4]bool
+		var base [3]shader.Vec4
+		for k := 0; k < 3; k++ {
+			for l := 0; l < 4; l++ {
+				if lanes[k]&(1<<uint(l)) == 0 {
+					continue
+				}
+				v := laneVal(state, srcs[k], l)
+				known[k][l] = v.known
+				if v.known {
+					// Store at the pre-swizzle position so EvalInst's own
+					// swizzle application lands it back in lane l.
+					base[k][srcs[k].Swiz[l]&3] = math.Float32frombits(v.bits)
+				}
+			}
+		}
+		if in.Op == shader.OpBRZ || in.Op == shader.OpKIL {
+			if known[0][0] {
+				cond = laneVal(state, in.A, 0)
+				if in.A.Neg {
+					cond = cond.neg()
+				}
+			}
+			return cond
+		}
+		mask := in.WriteMask()
+		if mask == 0 || (in.Dst.File != shader.FileTemp && in.Dst.File != shader.FileOutput) {
+			return cond
+		}
+		// Which dst lanes have all their dependencies constant?
+		reduction := in.Op == shader.OpDP2 || in.Op == shader.OpDP3 || in.Op == shader.OpDP4
+		allDepsKnown := true
+		for k := 0; k < 3; k++ {
+			for l := 0; l < 4; l++ {
+				if lanes[k]&(1<<uint(l)) != 0 && !known[k][l] {
+					allDepsKnown = false
+				}
+			}
+		}
+		var result shader.Vec4
+		evaluated := false
+		for cc := 0; cc < 4; cc++ {
+			if mask&(1<<uint(cc)) == 0 {
+				continue
+			}
+			j := compOf(in.Dst.File, in.Dst.Reg, cc)
+			laneOK := allDepsKnown
+			if !reduction && !laneOK {
+				// Componentwise: lane cc depends only on lane cc of each
+				// read operand.
+				laneOK = true
+				for k := 0; k < 3; k++ {
+					if lanes[k]&(1<<uint(cc)) != 0 && !known[k][cc] {
+						laneOK = false
+					}
+				}
+			}
+			if !laneOK || in.Op == shader.OpTEX {
+				state[j] = constVal{}
+				continue
+			}
+			if !evaluated {
+				var ok bool
+				result, ok = shader.EvalInst(*in, base[0], base[1], base[2])
+				if !ok {
+					state[j] = constVal{}
+					continue
+				}
+				evaluated = true
+			}
+			state[j] = constVal{known: true, bits: math.Float32bits(result[cc])}
+		}
+		return cond
+	}
+
+	// Block-level fixpoint with reachability and BRZ edge pruning.
+	nb := len(c.Blocks)
+	blockIn := make([][]constVal, nb)
+	reached := make([]bool, nb)
+	blockIn[0] = make([]constVal, comps) // entry: all BOT
+	reached[0] = true
+	work := []int{0}
+	inWork := make([]bool, nb)
+	inWork[0] = true
+	state := make([]constVal, comps)
+	propagate := func(sb int, state []constVal) bool {
+		if !reached[sb] {
+			reached[sb] = true
+			blockIn[sb] = append([]constVal(nil), state...)
+			return true
+		}
+		changed := false
+		for j := range state {
+			if nv := meetConst(blockIn[sb][j], state[j]); nv != blockIn[sb][j] {
+				blockIn[sb][j] = nv
+				changed = true
+			}
+		}
+		return changed
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[b] = false
+		copy(state, blockIn[b])
+		var cond constVal
+		for i := c.Blocks[b].Start; i < c.Blocks[b].End; i++ {
+			cond = evalStep(state, i)
+		}
+		last := c.Blocks[b].End - 1
+		for _, sb := range c.Blocks[b].Succs {
+			if p.Insts[last].Op == shader.OpBRZ && cond.known {
+				// Constant condition: only the taken edge is feasible.
+				taken := c.BlockOf[int(p.Insts[last].Target)]
+				if math.Float32frombits(cond.bits) != 0 {
+					taken = c.BlockOf[last+1]
+				}
+				if sb != taken {
+					continue
+				}
+			}
+			if propagate(sb, state) && !inWork[sb] {
+				work = append(work, sb)
+				inWork[sb] = true
+			}
+		}
+	}
+
+	// Record per-instruction facts under the solved states.
+	for b := range c.Blocks {
+		if !reached[b] {
+			continue
+		}
+		copy(state, blockIn[b])
+		for i := c.Blocks[b].Start; i < c.Blocks[b].End; i++ {
+			s.Reachable[i] = true
+			in := &p.Insts[i]
+			la, lb, lc := in.SrcLanes()
+			lanes := [3]uint8{la, lb, lc}
+			srcs := [3]shader.Src{in.A, in.B, in.C}
+			for k := 0; k < 3; k++ {
+				if lanes[k] == 0 {
+					continue
+				}
+				oc := OperandConst{OK: true}
+				for l := 0; l < 4; l++ {
+					if lanes[k]&(1<<uint(l)) == 0 {
+						continue
+					}
+					v := laneVal(state, srcs[k], l)
+					if srcs[k].Neg {
+						v = v.neg()
+					}
+					if !v.known {
+						oc.OK = false
+						break
+					}
+					oc.V[l] = math.Float32frombits(v.bits)
+				}
+				if oc.OK {
+					s.Operand[i][k] = oc
+				}
+			}
+			cond := evalStep(state, i)
+			if in.Op == shader.OpKIL && cond.known && math.Float32frombits(cond.bits) != 0 {
+				s.AlwaysDiscards = append(s.AlwaysDiscards, i)
+			}
+		}
+	}
+	return s
+}

@@ -99,6 +99,11 @@ type cgen struct {
 	loopCtx []*loopCtx
 
 	inlineDepth int
+
+	// curPos is the GLSL source position attributed to emitted
+	// instructions: the statement being lowered, refined to the
+	// expression node while inside genExpr.
+	curPos glsl.Pos
 }
 
 type inlineCtx struct {
@@ -273,6 +278,7 @@ func (g *cgen) allocScratch(n int) int {
 func (g *cgen) resetScratch() { g.scratch = g.persistWM }
 
 func (g *cgen) emit(in Inst) int {
+	in.SrcPos = g.curPos
 	g.prog.Insts = append(g.prog.Insts, in)
 	return len(g.prog.Insts) - 1
 }
@@ -338,6 +344,9 @@ func (g *cgen) genBlock(b *glsl.Block) error {
 
 func (g *cgen) genStmt(s glsl.Stmt) error {
 	g.resetScratch()
+	if p := s.Pos(); p.Line != 0 {
+		g.curPos = p
+	}
 	switch s := s.(type) {
 	case *glsl.Block:
 		return g.genBlock(s)

@@ -12,6 +12,19 @@ func (g *cgen) genExpr(e glsl.Expr) (value, error) {
 	if cv := e.ConstVal(); cv != nil && !cv.T.IsMatrix() {
 		return value{typ: e.Type(), cval: cv, samplerIdx: -1}, nil
 	}
+	// Instructions emitted for this node carry its source position;
+	// restoring on exit re-attributes the parent's later emits (e.g. the
+	// combining op of a binary expression) to the parent node.
+	saved := g.curPos
+	if p := e.Pos(); p.Line != 0 {
+		g.curPos = p
+	}
+	v, err := g.genExprNode(e)
+	g.curPos = saved
+	return v, err
+}
+
+func (g *cgen) genExprNode(e glsl.Expr) (value, error) {
 	switch e := e.(type) {
 	case *glsl.Ident:
 		return g.genIdent(e)

@@ -87,6 +87,12 @@ type Limits struct {
 	MaxUniformVectors  int
 	MaxVaryingVectors  int
 	MaxAttributes      int
+	// MaxDependentTexReads bounds the dependent-texture-read chain depth
+	// (a fetch whose coordinates derive from a previous fetch's result).
+	// TBDR drivers schedule fetches ahead of the ALU program; chains defeat
+	// that and deep ones fail compilation. Zero means unlimited. Checked by
+	// internal/shader/analysis (depth needs dataflow, not a counter).
+	MaxDependentTexReads int
 }
 
 // DefaultLimits returns permissive limits for tests.
@@ -96,8 +102,9 @@ func DefaultLimits() Limits {
 		MaxTexInstructions: 256,
 		MaxTemps:           256,
 		MaxUniformVectors:  128,
-		MaxVaryingVectors:  8,
-		MaxAttributes:      8,
+		MaxVaryingVectors:    8,
+		MaxAttributes:        8,
+		MaxDependentTexReads: 8,
 	}
 }
 

@@ -196,6 +196,50 @@ type Inst struct {
 	A, B, C    Src
 	SamplerIdx uint8 // for OpTEX: index into Program.Samplers
 	Target     int32 // for OpBR/OpBRZ: absolute instruction index
+	// SrcPos is the GLSL source position the instruction was lowered
+	// from (zero when synthesised without one), so analysis diagnostics
+	// can point at source lines.
+	SrcPos glsl.Pos
+}
+
+// SrcLanes reports which post-swizzle lanes of each source operand
+// influence the instruction's result: componentwise ops consume the lanes
+// the destination mask keeps, reductions and special forms consume fixed
+// lanes, and operands an opcode does not read report zero. This is the
+// single definition of "what counts as a read" shared by the liveness
+// proof, the optimisation passes and the lint diagnostics.
+func (in *Inst) SrcLanes() (a, b, c uint8) {
+	switch in.Op {
+	case OpNOP, OpRET, OpBR:
+		return 0, 0, 0
+	case OpKIL, OpBRZ:
+		return 1, 0, 0 // read1: lane x only
+	case OpTEX:
+		return 0b0011, 0, 0 // (u, v)
+	case OpDP2:
+		return 0b0011, 0b0011, 0
+	case OpDP3:
+		return 0b0111, 0b0111, 0
+	case OpDP4:
+		return 0b1111, 0b1111, 0
+	case OpADD, OpSUB, OpMUL, OpDIV, OpMIN, OpMAX, OpPOW, OpATAN2,
+		OpSLT, OpSLE, OpSGT, OpSGE, OpSEQ, OpSNE, OpMUL24:
+		return in.Dst.Mask, in.Dst.Mask, 0
+	case OpMAD, OpCLAMP, OpSEL:
+		return in.Dst.Mask, in.Dst.Mask, in.Dst.Mask
+	default: // unary componentwise, incl. MOV
+		return in.Dst.Mask, 0, 0
+	}
+}
+
+// WriteMask reports which destination components the instruction writes
+// (zero for control flow and KIL, which have no destination).
+func (in *Inst) WriteMask() uint8 {
+	switch in.Op {
+	case OpNOP, OpRET, OpBR, OpBRZ, OpKIL:
+		return 0
+	}
+	return in.Dst.Mask
 }
 
 func (in Inst) String() string {
@@ -284,10 +328,49 @@ type Program struct {
 	// jit caches the closure-compiled form of the program (see jit.go),
 	// built lazily on first execution and keyed by cost-model identity.
 	jit atomic.Pointer[Compiled]
+	// jitOpt caches the closure-compiled form of the optimised program
+	// (the OptProgram attached via SetOptimized).
+	jitOpt atomic.Pointer[Compiled]
+	// opt holds the pass-pipeline result attached by SetOptimized
+	// (computed in internal/shader/analysis, which this package cannot
+	// import).
+	opt atomic.Pointer[OptProgram]
 }
 
 // InstructionCount returns the static instruction count after unrolling.
 func (p *Program) InstructionCount() int { return len(p.Insts) }
+
+// InstSuccs returns the control-flow successors of instruction i:
+// fall-through for ordinary instructions, branch targets for BR/BRZ,
+// nothing for RET or a fall-off-the-end. KIL's discard edge leaves the
+// program and is not a successor. This is the single successor function
+// shared by the liveness proof and the analysis framework's CFG.
+func (p *Program) InstSuccs(i int) []int {
+	n := len(p.Insts)
+	switch p.Insts[i].Op {
+	case OpRET:
+		return nil
+	case OpBR:
+		if t := int(p.Insts[i].Target); t >= 0 && t < n {
+			return []int{t}
+		}
+		return nil
+	case OpBRZ:
+		s := []int{}
+		if i+1 < n {
+			s = append(s, i+1)
+		}
+		if t := int(p.Insts[i].Target); t >= 0 && t < n {
+			s = append(s, t)
+		}
+		return s
+	default:
+		if i+1 < n {
+			return []int{i + 1}
+		}
+		return nil
+	}
+}
 
 // LookupUniform finds a uniform by name.
 func (p *Program) LookupUniform(name string) (UniformInfo, bool) {

@@ -89,6 +89,10 @@ type OpNote struct {
 	C    string
 	Dst  string // "", "full", "mask", "drop"
 	Cost int64
+	// Dead marks instructions the pass pipeline proved unobservable: the
+	// closure skips the computation but still charges Cost (and counts
+	// the fetch for TEX), so virtual time is unchanged.
+	Dead bool
 }
 
 // Compiled is the closure-compiled form of one Program under one
@@ -97,6 +101,12 @@ type OpNote struct {
 type Compiled struct {
 	prog *Program
 	cost *CostModel
+	// opt is non-nil when the compile ran over an OptProgram's rewritten
+	// instructions (see Program.CompiledOpt); it keys the jitOpt cache.
+	opt *OptProgram
+	// insts is the instruction stream the compile ran over (the
+	// original program's or the OptProgram's), retained for Dump.
+	insts []Inst
 
 	// Straight-line fast path: no control flow, so every closure executes
 	// exactly once and the total cycle cost is a compile-time constant.
@@ -155,7 +165,7 @@ func (p *Program) Compiled(cost *CostModel) *Compiled {
 	if c := p.jit.Load(); c != nil && c.cost == cost {
 		return c
 	}
-	c := compileProgram(p, cost)
+	c := compileFrom(p, p.Insts, p.Consts, nil, cost)
 	if c == nil {
 		return nil
 	}
@@ -163,35 +173,70 @@ func (p *Program) Compiled(cost *CostModel) *Compiled {
 	return c
 }
 
+// CompiledOpt returns the closure-compiled form of p's optimised program
+// (the OptProgram attached by SetOptimized) under cost, caching it in a
+// second slot keyed by (cost, OptProgram) identity. When no OptProgram is
+// attached it falls back to Compiled; it returns nil when the program does
+// not compile (interpreter fallback).
+func (p *Program) CompiledOpt(cost *CostModel) *Compiled {
+	o := p.Optimized()
+	if o == nil {
+		return p.Compiled(cost)
+	}
+	if c := p.jitOpt.Load(); c != nil && c.cost == cost && c.opt == o {
+		return c
+	}
+	c := compileFrom(p, o.Insts, o.Consts, o.Dead, cost)
+	if c == nil {
+		return nil
+	}
+	c.opt = o
+	p.jitOpt.Store(c)
+	return c
+}
+
 // Executor returns the fastest execution function available for p under
 // cost: the closure-compiled backend when useJIT is true and p compiles,
-// else the reference interpreter. The returned function is safe for
-// concurrent use with distinct Envs.
-func Executor(p *Program, cost *CostModel, useJIT bool) func(*Env) error {
+// else the reference interpreter; with usePasses, both backends run the
+// optimised form when one is attached (bit-identical by the OptProgram
+// contract). The returned function is safe for concurrent use with
+// distinct Envs.
+func Executor(p *Program, cost *CostModel, useJIT, usePasses bool) func(*Env) error {
 	if useJIT {
-		if c := p.Compiled(cost); c != nil {
+		var c *Compiled
+		if usePasses {
+			c = p.CompiledOpt(cost)
+		} else {
+			c = p.Compiled(cost)
+		}
+		if c != nil {
 			return c.Run
 		}
+	}
+	if usePasses && p.Optimized() != nil {
+		return func(e *Env) error { return RunOptimized(p, e, cost) }
 	}
 	return func(e *Env) error { return Run(p, e, cost) }
 }
 
-// compileProgram translates p into closures. Returns nil on any opcode the
-// backend cannot prove it executes identically to the interpreter.
-func compileProgram(p *Program, cost *CostModel) *Compiled {
-	c := &Compiled{prog: p, cost: cost}
-	n := len(p.Insts)
+// compileFrom translates an instruction stream (the program's own, or an
+// OptProgram's rewritten one with its extended constant pool and dead
+// flags) into closures. Returns nil on any opcode the backend cannot prove
+// it executes identically to the interpreter.
+func compileFrom(p *Program, insts []Inst, consts [][4]float32, dead []bool, cost *CostModel) *Compiled {
+	c := &Compiled{prog: p, cost: cost, insts: insts}
+	n := len(insts)
 
 	c.straight = true
-	for i := range p.Insts {
-		switch p.Insts[i].Op {
+	for i := range insts {
+		switch insts[i].Op {
 		case OpBR, OpBRZ:
 			// The if-lowering in the GLSL back end emits fall-through
 			// branches (target = next instruction). Those are no-ops aside
 			// from their cycle cost — reading the BRZ condition has no side
 			// effect — so they keep the program straight-line. Any real
 			// jump does not.
-			if int(p.Insts[i].Target) != i+1 {
+			if int(insts[i].Target) != i+1 {
 				c.straight = false
 			}
 		case OpKIL:
@@ -207,8 +252,8 @@ func compileProgram(p *Program, cost *CostModel) *Compiled {
 
 	if c.straight {
 		c.line = make([]func(*Env), 0, n)
-		for i := range p.Insts {
-			in := &p.Insts[i]
+		for i := range insts {
+			in := &insts[i]
 			ic := cost.InstCost(in)
 			c.lineCycles += ic
 			note := OpNote{PC: i, Cost: ic}
@@ -223,7 +268,19 @@ func compileProgram(p *Program, cost *CostModel) *Compiled {
 				c.notes = append(c.notes, note)
 				continue
 			}
-			fn := compileInst(p, in, &note)
+			if dead != nil && dead[i] {
+				// Cost is already folded into lineCycles; a dead TEX
+				// still counts its fetch.
+				note.Dead = true
+				note.Lane = "none"
+				if in.Op == OpTEX {
+					note.Lane = "tex"
+					c.line = append(c.line, func(e *Env) { e.TexFetches++ })
+				}
+				c.notes = append(c.notes, note)
+				continue
+			}
+			fn := compileInst(consts, in, &note)
 			if fn == nil {
 				return nil
 			}
@@ -234,26 +291,37 @@ func compileProgram(p *Program, cost *CostModel) *Compiled {
 	}
 
 	c.ops = make([]compiledOp, n)
-	for i := range p.Insts {
-		in := &p.Insts[i]
+	for i := range insts {
+		in := &insts[i]
 		ic := cost.InstCost(in)
 		next := i + 1
 		note := OpNote{PC: i, Cost: ic}
-		switch in.Op {
-		case OpNOP:
+		switch {
+		case dead != nil && dead[i]:
+			// Control flow and KIL are never dead (SetOptimized enforces
+			// it), so charging cost and falling through is exact.
+			note.Dead = true
+			note.Lane = "none"
+			if in.Op == OpTEX {
+				note.Lane = "tex"
+				c.ops[i] = func(e *Env) int { e.Cycles += ic; e.TexFetches++; return next }
+			} else {
+				c.ops[i] = func(e *Env) int { e.Cycles += ic; return next }
+			}
+		case in.Op == OpNOP:
 			note.Lane = "none"
 			c.ops[i] = func(e *Env) int { e.Cycles += ic; return next }
-		case OpRET:
+		case in.Op == OpRET:
 			note.Lane = "ctl"
 			c.ops[i] = func(e *Env) int { e.Cycles += ic; return -1 }
-		case OpBR:
+		case in.Op == OpBR:
 			note.Lane = "ctl"
 			target := int(in.Target)
 			c.ops[i] = func(e *Env) int { e.Cycles += ic; return target }
-		case OpBRZ:
+		case in.Op == OpBRZ:
 			note.Lane = "ctl"
 			target := int(in.Target)
-			ra := compileSrc1(p, in.A, &note.A)
+			ra := compileSrc1(consts, in.A, &note.A)
 			c.ops[i] = func(e *Env) int {
 				e.Cycles += ic
 				if ra(e) == 0 {
@@ -261,9 +329,9 @@ func compileProgram(p *Program, cost *CostModel) *Compiled {
 				}
 				return next
 			}
-		case OpKIL:
+		case in.Op == OpKIL:
 			note.Lane = "ctl"
-			ra := compileSrc1(p, in.A, &note.A)
+			ra := compileSrc1(consts, in.A, &note.A)
 			c.ops[i] = func(e *Env) int {
 				e.Cycles += ic
 				if ra(e) != 0 {
@@ -273,7 +341,7 @@ func compileProgram(p *Program, cost *CostModel) *Compiled {
 				return next
 			}
 		default:
-			fn := compileInst(p, in, &note)
+			fn := compileInst(consts, in, &note)
 			if fn == nil {
 				return nil
 			}
@@ -334,12 +402,12 @@ func max32(x, y float32) float32 {
 // compileInst builds the closure for one non-control-flow instruction,
 // recording specialization decisions in note. Returns nil for opcodes the
 // backend does not support.
-func compileInst(p *Program, in *Inst, note *OpNote) func(*Env) {
+func compileInst(consts [][4]float32, in *Inst, note *OpNote) func(*Env) {
 	wr := compileDst(in.Dst, &note.Dst)
 	switch in.Op {
 	case OpTEX:
 		note.Lane = "tex"
-		ra := compileSrc(p, in.A, &note.A)
+		ra := compileSrc(consts, in.A, &note.A)
 		sampler := int(in.SamplerIdx)
 		return func(e *Env) {
 			e.TexFetches++
@@ -352,12 +420,12 @@ func compileInst(p *Program, in *Inst, note *OpNote) func(*Env) {
 		}
 	case OpMOV:
 		note.Lane = "f32"
-		ra := compileSrc(p, in.A, &note.A)
+		ra := compileSrc(consts, in.A, &note.A)
 		return func(e *Env) { wr(e, ra(e)) }
 	case OpDP2, OpDP3, OpDP4:
 		note.Lane = "f32"
-		ra := compileSrc(p, in.A, &note.A)
-		rb := compileSrc(p, in.B, &note.B)
+		ra := compileSrc(consts, in.A, &note.A)
+		rb := compileSrc(consts, in.B, &note.B)
 		lanes := 2 + int(in.Op) - int(OpDP2)
 		return func(e *Env) {
 			a, b := ra(e), rb(e)
@@ -369,9 +437,9 @@ func compileInst(p *Program, in *Inst, note *OpNote) func(*Env) {
 		}
 	case OpMAD:
 		note.Lane = "f32"
-		ra := compileSrc(p, in.A, &note.A)
-		rb := compileSrc(p, in.B, &note.B)
-		rc := compileSrc(p, in.C, &note.C)
+		ra := compileSrc(consts, in.A, &note.A)
+		rb := compileSrc(consts, in.B, &note.B)
+		rc := compileSrc(consts, in.C, &note.C)
 		return func(e *Env) {
 			a, b, c := ra(e), rb(e), rc(e)
 			wr(e, Vec4{
@@ -381,8 +449,8 @@ func compileInst(p *Program, in *Inst, note *OpNote) func(*Env) {
 		}
 	case OpMUL24:
 		note.Lane = "f32"
-		ra := compileSrc(p, in.A, &note.A)
-		rb := compileSrc(p, in.B, &note.B)
+		ra := compileSrc(consts, in.A, &note.A)
+		rb := compileSrc(consts, in.B, &note.B)
 		return func(e *Env) {
 			a, b := ra(e), rb(e)
 			var r Vec4
@@ -393,9 +461,9 @@ func compileInst(p *Program, in *Inst, note *OpNote) func(*Env) {
 		}
 	case OpCLAMP:
 		note.Lane = "f32"
-		ra := compileSrc(p, in.A, &note.A)
-		rb := compileSrc(p, in.B, &note.B)
-		rc := compileSrc(p, in.C, &note.C)
+		ra := compileSrc(consts, in.A, &note.A)
+		rb := compileSrc(consts, in.B, &note.B)
+		rc := compileSrc(consts, in.C, &note.C)
 		return func(e *Env) {
 			a, lo, hi := ra(e), rb(e), rc(e)
 			var r Vec4
@@ -413,9 +481,9 @@ func compileInst(p *Program, in *Inst, note *OpNote) func(*Env) {
 		}
 	case OpSEL:
 		note.Lane = "f32"
-		ra := compileSrc(p, in.A, &note.A)
-		rb := compileSrc(p, in.B, &note.B)
-		rc := compileSrc(p, in.C, &note.C)
+		ra := compileSrc(consts, in.A, &note.A)
+		rb := compileSrc(consts, in.B, &note.B)
+		rc := compileSrc(consts, in.C, &note.C)
 		return func(e *Env) {
 			a, b, c := ra(e), rb(e), rc(e)
 			var r Vec4
@@ -430,56 +498,56 @@ func compileInst(p *Program, in *Inst, note *OpNote) func(*Env) {
 		}
 	case OpADD:
 		note.Lane = "f32"
-		ra, rb := compileSrc(p, in.A, &note.A), compileSrc(p, in.B, &note.B)
+		ra, rb := compileSrc(consts, in.A, &note.A), compileSrc(consts, in.B, &note.B)
 		return func(e *Env) {
 			a, b := ra(e), rb(e)
 			wr(e, Vec4{a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]})
 		}
 	case OpSUB:
 		note.Lane = "f32"
-		ra, rb := compileSrc(p, in.A, &note.A), compileSrc(p, in.B, &note.B)
+		ra, rb := compileSrc(consts, in.A, &note.A), compileSrc(consts, in.B, &note.B)
 		return func(e *Env) {
 			a, b := ra(e), rb(e)
 			wr(e, Vec4{a[0] - b[0], a[1] - b[1], a[2] - b[2], a[3] - b[3]})
 		}
 	case OpMUL:
 		note.Lane = "f32"
-		ra, rb := compileSrc(p, in.A, &note.A), compileSrc(p, in.B, &note.B)
+		ra, rb := compileSrc(consts, in.A, &note.A), compileSrc(consts, in.B, &note.B)
 		return func(e *Env) {
 			a, b := ra(e), rb(e)
 			wr(e, Vec4{a[0] * b[0], a[1] * b[1], a[2] * b[2], a[3] * b[3]})
 		}
 	case OpDIV:
 		note.Lane = "f32"
-		ra, rb := compileSrc(p, in.A, &note.A), compileSrc(p, in.B, &note.B)
+		ra, rb := compileSrc(consts, in.A, &note.A), compileSrc(consts, in.B, &note.B)
 		return func(e *Env) {
 			a, b := ra(e), rb(e)
 			wr(e, Vec4{a[0] / b[0], a[1] / b[1], a[2] / b[2], a[3] / b[3]})
 		}
 	case OpMIN:
 		note.Lane = "f32"
-		ra, rb := compileSrc(p, in.A, &note.A), compileSrc(p, in.B, &note.B)
+		ra, rb := compileSrc(consts, in.A, &note.A), compileSrc(consts, in.B, &note.B)
 		return func(e *Env) {
 			a, b := ra(e), rb(e)
 			wr(e, Vec4{min32(a[0], b[0]), min32(a[1], b[1]), min32(a[2], b[2]), min32(a[3], b[3])})
 		}
 	case OpMAX:
 		note.Lane = "f32"
-		ra, rb := compileSrc(p, in.A, &note.A), compileSrc(p, in.B, &note.B)
+		ra, rb := compileSrc(consts, in.A, &note.A), compileSrc(consts, in.B, &note.B)
 		return func(e *Env) {
 			a, b := ra(e), rb(e)
 			wr(e, Vec4{max32(a[0], b[0]), max32(a[1], b[1]), max32(a[2], b[2]), max32(a[3], b[3])})
 		}
 	case OpRCP:
 		note.Lane = "f32"
-		ra := compileSrc(p, in.A, &note.A)
+		ra := compileSrc(consts, in.A, &note.A)
 		return func(e *Env) {
 			a := ra(e)
 			wr(e, Vec4{1 / a[0], 1 / a[1], 1 / a[2], 1 / a[3]})
 		}
 	case OpSGN:
 		note.Lane = "f32"
-		ra := compileSrc(p, in.A, &note.A)
+		ra := compileSrc(consts, in.A, &note.A)
 		sgn := func(x float32) float32 {
 			if x > 0 {
 				return 1
@@ -495,7 +563,7 @@ func compileInst(p *Program, in *Inst, note *OpNote) func(*Env) {
 		}
 	case OpSLT, OpSLE, OpSGT, OpSGE, OpSEQ, OpSNE:
 		note.Lane = "f32"
-		ra, rb := compileSrc(p, in.A, &note.A), compileSrc(p, in.B, &note.B)
+		ra, rb := compileSrc(consts, in.A, &note.A), compileSrc(consts, in.B, &note.B)
 		var cmp func(x, y float32) bool
 		switch in.Op {
 		case OpSLT:
@@ -524,7 +592,7 @@ func compileInst(p *Program, in *Inst, note *OpNote) func(*Env) {
 	case OpABS, OpFLR, OpCEIL, OpFRC, OpRSQ, OpSQRT, OpEX2, OpLG2,
 		OpEXP, OpLOG, OpSIN, OpCOS, OpTAN, OpASIN, OpACOS, OpATAN:
 		note.Lane = "f64"
-		ra := compileSrc(p, in.A, &note.A)
+		ra := compileSrc(consts, in.A, &note.A)
 		var f func(float64) float64
 		switch in.Op {
 		case OpABS:
@@ -569,7 +637,7 @@ func compileInst(p *Program, in *Inst, note *OpNote) func(*Env) {
 		}
 	case OpPOW, OpATAN2:
 		note.Lane = "f64"
-		ra, rb := compileSrc(p, in.A, &note.A), compileSrc(p, in.B, &note.B)
+		ra, rb := compileSrc(consts, in.A, &note.A), compileSrc(consts, in.B, &note.B)
 		f := math.Pow
 		if in.Op == OpATAN2 {
 			f = math.Atan2
@@ -589,10 +657,10 @@ func compileInst(p *Program, in *Inst, note *OpNote) func(*Env) {
 
 // compileSrc resolves one source operand into a reader closure with the
 // swizzle, negation and constant lookup folded away where possible.
-func compileSrc(p *Program, s Src, note *string) srcFn {
+func compileSrc(consts [][4]float32, s Src, note *string) srcFn {
 	if s.File == FileConst {
 		*note = "const"
-		v := resolveConst(p, s)
+		v := resolveConst(consts, s)
 		return func(e *Env) Vec4 { return v }
 	}
 	identity := s.Swiz == IdentitySwiz
@@ -626,11 +694,11 @@ func compileSrc(p *Program, s Src, note *string) srcFn {
 
 // compileSrc1 resolves the scalar (lane-x) read used by BRZ and KIL,
 // matching Env.read1: swizzle lane 0 selects the component, then negation.
-func compileSrc1(p *Program, s Src, note *string) func(e *Env) float32 {
+func compileSrc1(consts [][4]float32, s Src, note *string) func(e *Env) float32 {
 	lane := s.Swiz[0] & 3
 	if s.File == FileConst {
 		*note = "const"
-		v := resolveConst(p, s)[0]
+		v := resolveConst(consts, s)[0]
 		return func(e *Env) float32 { return v }
 	}
 	base := baseReader(s.File, s.Reg)
@@ -645,10 +713,10 @@ func compileSrc1(p *Program, s Src, note *string) func(e *Env) float32 {
 // resolveConst folds a constant-pool operand (with swizzle and negation)
 // into a value at compile time; out-of-range pool indices read zero,
 // exactly as constAt does.
-func resolveConst(p *Program, s Src) Vec4 {
+func resolveConst(consts [][4]float32, s Src) Vec4 {
 	var base Vec4
-	if int(s.Reg) < len(p.Consts) {
-		base = Vec4(p.Consts[s.Reg])
+	if int(s.Reg) < len(consts) {
+		base = Vec4(consts[s.Reg])
 	}
 	r := Vec4{base[s.Swiz[0]&3], base[s.Swiz[1]&3], base[s.Swiz[2]&3], base[s.Swiz[3]&3]}
 	if s.Neg {
@@ -758,6 +826,6 @@ func (c *Compiled) Dump(w io.Writer) {
 			}
 		}
 		fmt.Fprintf(w, "%4d: %-40s ; %s cost=%d\n",
-			n.PC, c.prog.Insts[n.PC].String(), detail, n.Cost)
+			n.PC, c.insts[n.PC].String(), detail, n.Cost)
 	}
 }

@@ -40,10 +40,10 @@ func BenchmarkShaderExec(b *testing.B) {
 			}
 		}
 		b.Run(name+"/interp", func(b *testing.B) {
-			run(b, Executor(p, &cost, false))
+			run(b, Executor(p, &cost, false, false))
 		})
 		b.Run(name+"/compiled", func(b *testing.B) {
-			run(b, Executor(p, &cost, true))
+			run(b, Executor(p, &cost, true, false))
 		})
 	}
 

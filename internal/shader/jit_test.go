@@ -427,7 +427,7 @@ func TestExecutorFallback(t *testing.T) {
 	}}
 	for _, jit := range []bool{false, true} {
 		e := NewEnv(p)
-		if err := Executor(p, &cost, jit)(e); err != nil {
+		if err := Executor(p, &cost, jit, false)(e); err != nil {
 			t.Fatal(err)
 		}
 		if e.Outputs[0] != (Vec4{4, 6, 8, 10}) {

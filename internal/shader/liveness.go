@@ -10,212 +10,172 @@ package shader
 // parallel shading (fresh or pooled Envs) would diverge from serial. The
 // same property lets Env.Reset skip zeroing Temps entirely.
 //
-// analyzeLiveness proves the property with a forward must-write dataflow
-// over the instruction CFG: a register component is "definitely written"
-// at an instruction if it is written on every path from the entry point.
-// Reads are then checked against the definitely-written set. The analysis
-// is path-insensitive but exact at joins, which handles the
-// if/ternary/short-circuit branches the compiler emits; generated GPGPU
-// kernels are fully unrolled and straight-line anyway.
+// The proof is a forward must-write dataflow over the instruction CFG: a
+// register component is "definitely written" at an instruction if it is
+// written on every path from the entry point. Reads are then checked
+// against the definitely-written set. The analysis is path-insensitive but
+// exact at joins, which handles the if/ternary/short-circuit branches the
+// compiler emits; generated GPGPU kernels are fully unrolled and
+// straight-line anyway.
+//
+// The fixpoint itself runs on the shared solver in internal/dataflow; the
+// same MustWrite result is reused by internal/shader/analysis for its
+// uninitialized-read diagnostics, so the lint findings and the execution
+// engine's gating provably agree on what "written before read" means.
 //
 // The same fixpoint yields outputsAlwaysWritten: the meet of the
 // definitely-written sets at every non-discarding program exit (RET and
 // fall-off-the-end; KIL exits are excluded because discarded fragments'
 // outputs are never read) must cover all output register components.
 
-// analyzeLiveness reports (writesBeforeReads, outputsAlwaysWritten) for p.
-func analyzeLiveness(p *Program) (wbr, outAlways bool) {
-	n := len(p.Insts)
-	if n == 0 {
-		return true, p.NumOutputs == 0
-	}
-	// One bit per writable register component: temps first, then outputs.
-	nTemps := p.NumTemps
-	bits := 4 * (nTemps + p.NumOutputs)
-	words := (bits + 63) / 64
-	if words == 0 {
-		words = 1
-	}
-	bitOf := func(file RegFile, reg uint16, comp int) int {
-		if file == FileTemp {
-			return int(reg)*4 + comp
-		}
-		return (nTemps+int(reg))*4 + comp
-	}
+import "gles2gpgpu/internal/dataflow"
 
+// MustWriteInfo is the solved must-write lattice of a program: for every
+// instruction, the set of temp/output register components definitely
+// written on every path from entry to that instruction (exclusive of the
+// instruction's own writes). Unreachable instructions report top (all
+// components written) — they never execute, so any fact holds vacuously.
+type MustWriteInfo struct {
+	// In[i] is the definitely-written set on entry to instruction i.
+	In []dataflow.BitSet
+	// numTemps fixes the bit layout: temps first, then outputs.
+	numTemps int
+}
+
+// bit maps a register component to its lattice bit. Only FileTemp and
+// FileOutput components are tracked.
+func (m *MustWriteInfo) bit(file RegFile, reg uint16, comp int) int {
+	if file == FileTemp {
+		return int(reg)*4 + comp
+	}
+	return (m.numTemps+int(reg))*4 + comp
+}
+
+// WrittenAt reports whether the given register component is definitely
+// written on every path reaching instruction i. Components in read-only
+// files (uniforms, inputs, constants) are trivially "written".
+func (m *MustWriteInfo) WrittenAt(i int, file RegFile, reg uint16, comp int) bool {
+	if file != FileTemp && file != FileOutput {
+		return true
+	}
+	return m.In[i].Get(m.bit(file, reg, comp))
+}
+
+// SrcWrittenAt reports whether every post-swizzle lane in lanes of source
+// operand s is definitely written when instruction i executes.
+func (m *MustWriteInfo) SrcWrittenAt(i int, s Src, lanes uint8) bool {
+	if s.File != FileTemp && s.File != FileOutput {
+		return true
+	}
+	for l := 0; l < 4; l++ {
+		if lanes&(1<<uint(l)) == 0 {
+			continue
+		}
+		if !m.In[i].Get(m.bit(s.File, s.Reg, int(s.Swiz[l]&3))) {
+			return false
+		}
+	}
+	return true
+}
+
+// MustWrite solves the must-write dataflow for p. The result is
+// deterministic and side-effect free; callers may cache it.
+func (p *Program) MustWrite() *MustWriteInfo {
+	n := len(p.Insts)
+	bits := 4 * (p.NumTemps + p.NumOutputs)
+	m := &MustWriteInfo{numTemps: p.NumTemps}
+	if n == 0 {
+		return m
+	}
 	// gen[i] = components instruction i writes.
-	gen := make([][]uint64, n)
+	gen := make([]dataflow.BitSet, n)
 	for i := range p.Insts {
-		g := make([]uint64, words)
+		g := dataflow.NewBitSet(bits)
 		in := &p.Insts[i]
-		switch in.Op {
-		case OpNOP, OpRET, OpBR, OpBRZ, OpKIL:
-		default:
-			if in.Dst.File == FileTemp || in.Dst.File == FileOutput {
-				for c := 0; c < 4; c++ {
-					if in.Dst.Mask&(1<<uint(c)) != 0 {
-						b := bitOf(in.Dst.File, in.Dst.Reg, c)
-						g[b/64] |= 1 << uint(b%64)
-					}
+		if mask := in.WriteMask(); mask != 0 &&
+			(in.Dst.File == FileTemp || in.Dst.File == FileOutput) {
+			for c := 0; c < 4; c++ {
+				if mask&(1<<uint(c)) != 0 {
+					g.Set(m.bit(in.Dst.File, in.Dst.Reg, c))
 				}
 			}
 		}
 		gen[i] = g
 	}
+	prob := &dataflow.Problem{
+		N: n, Bits: bits, Entry: 0, Must: true,
+		Succs: p.InstSuccs,
+		Transfer: func(i int, in, out dataflow.BitSet) {
+			out.CopyFrom(in)
+			out.Or(gen[i])
+		},
+	}
+	m.In = prob.Forward()
+	return m
+}
 
-	succs := func(i int) []int {
-		switch p.Insts[i].Op {
-		case OpRET:
-			return nil
-		case OpBR:
-			if t := int(p.Insts[i].Target); t >= 0 && t < n {
-				return []int{t}
-			}
-			return nil
-		case OpBRZ:
-			s := []int{}
-			if i+1 < n {
-				s = append(s, i+1)
-			}
-			if t := int(p.Insts[i].Target); t >= 0 && t < n {
-				s = append(s, t)
-			}
-			return s
-		default:
-			if i+1 < n {
-				return []int{i + 1}
-			}
-			return nil
-		}
-	}
-
-	// Must-write fixpoint: inSet[i] = intersection over predecessors of
-	// (inSet[pred] | gen[pred]). Initialise to top (all written) except the
-	// entry; unreachable instructions stay at top, which is fine — they
-	// never execute.
-	inSet := make([][]uint64, n)
-	for i := range inSet {
-		inSet[i] = make([]uint64, words)
-		if i != 0 {
-			for w := range inSet[i] {
-				inSet[i][w] = ^uint64(0)
-			}
-		}
-	}
-	work := make([]int, 0, n)
-	inWork := make([]bool, n)
-	work = append(work, 0)
-	inWork[0] = true
-	out := make([]uint64, words)
-	for len(work) > 0 {
-		i := work[len(work)-1]
-		work = work[:len(work)-1]
-		inWork[i] = false
-		for w := range out {
-			out[w] = inSet[i][w] | gen[i][w]
-		}
-		for _, s := range succs(i) {
-			changed := false
-			for w := range out {
-				if nv := inSet[s][w] & out[w]; nv != inSet[s][w] {
-					inSet[s][w] = nv
-					changed = true
-				}
-			}
-			if changed && !inWork[s] {
-				work = append(work, s)
-				inWork[s] = true
-			}
-		}
-	}
-
-	// Exit set: meet of definitely-written sets over every non-discarding
-	// exit. RET exits contribute their in-set; instructions whose
-	// fall-through leaves the program contribute their out-set. Unreachable
-	// exits stay at top and do not weaken the meet.
-	exit := make([]uint64, words)
-	for w := range exit {
-		exit[w] = ^uint64(0)
-	}
+// exitMustWrite returns the meet of the definitely-written sets over every
+// non-discarding exit: RET exits contribute their in-set; instructions
+// whose fall-through leaves the program contribute their out-set.
+// Unreachable exits stay at top and do not weaken the meet.
+func exitMustWrite(p *Program, m *MustWriteInfo) dataflow.BitSet {
+	n := len(p.Insts)
+	exit := dataflow.NewBitSet(4 * (p.NumTemps + p.NumOutputs))
+	exit.Fill()
 	for i := range p.Insts {
 		switch p.Insts[i].Op {
 		case OpRET:
-			for w := range exit {
-				exit[w] &= inSet[i][w]
-			}
+			exit.IntersectWith(m.In[i])
 		case OpBR:
 			// never falls through
 		default:
 			if i+1 == n {
-				for w := range exit {
-					exit[w] &= inSet[i][w] | gen[i][w]
+				out := m.In[i].Clone()
+				in := &p.Insts[i]
+				if mask := in.WriteMask(); mask != 0 &&
+					(in.Dst.File == FileTemp || in.Dst.File == FileOutput) {
+					for c := 0; c < 4; c++ {
+						if mask&(1<<uint(c)) != 0 {
+							out.Set(m.bit(in.Dst.File, in.Dst.Reg, c))
+						}
+					}
 				}
+				exit.IntersectWith(out)
 			}
 		}
 	}
+	return exit
+}
+
+// analyzeLiveness reports (writesBeforeReads, outputsAlwaysWritten) for p.
+func analyzeLiveness(p *Program) (wbr, outAlways bool) {
+	if len(p.Insts) == 0 {
+		return true, p.NumOutputs == 0
+	}
+	m := p.MustWrite()
+
+	exit := exitMustWrite(p, m)
 	outAlways = true
-	for r := 0; r < p.NumOutputs && outAlways; r++ {
+outer:
+	for r := 0; r < p.NumOutputs; r++ {
 		for c := 0; c < 4; c++ {
-			b := bitOf(FileOutput, uint16(r), c)
-			if exit[b/64]&(1<<uint(b%64)) == 0 {
+			if !exit.Get(m.bit(FileOutput, uint16(r), c)) {
 				outAlways = false
-				break
+				break outer
 			}
 		}
 	}
 
 	// Check every read against the definitely-written set at its
 	// instruction. Only post-swizzle lanes that influence the result count
-	// as reads: componentwise ops consume the lanes the destination mask
-	// keeps, reductions and special forms consume fixed lanes.
-	checkSrc := func(i int, s Src, lanes uint8) bool {
-		if s.File != FileTemp && s.File != FileOutput {
-			return true
-		}
-		for l := 0; l < 4; l++ {
-			if lanes&(1<<uint(l)) == 0 {
-				continue
-			}
-			b := bitOf(s.File, s.Reg, int(s.Swiz[l]&3))
-			if inSet[i][b/64]&(1<<uint(b%64)) == 0 {
-				return false
-			}
-		}
-		return true
-	}
+	// as reads (Inst.SrcLanes).
 	for i := range p.Insts {
 		in := &p.Insts[i]
-		var lanesA, lanesBC uint8
-		switch in.Op {
-		case OpNOP, OpRET, OpBR:
-			continue
-		case OpKIL, OpBRZ:
-			lanesA = 1 // read1: lane x only
-		case OpTEX:
-			lanesA = 0b0011 // (u, v)
-		case OpDP2:
-			lanesA, lanesBC = 0b0011, 0b0011
-		case OpDP3:
-			lanesA, lanesBC = 0b0111, 0b0111
-		case OpDP4:
-			lanesA, lanesBC = 0b1111, 0b1111
-		default:
-			lanesA, lanesBC = in.Dst.Mask, in.Dst.Mask
-		}
-		if !checkSrc(i, in.A, lanesA) {
+		la, lb, lc := in.SrcLanes()
+		if !m.SrcWrittenAt(i, in.A, la) ||
+			!m.SrcWrittenAt(i, in.B, lb) ||
+			!m.SrcWrittenAt(i, in.C, lc) {
 			return false, outAlways
-		}
-		switch in.Op {
-		case OpADD, OpSUB, OpMUL, OpDIV, OpMIN, OpMAX, OpPOW, OpATAN2,
-			OpSLT, OpSLE, OpSGT, OpSGE, OpSEQ, OpSNE,
-			OpDP2, OpDP3, OpDP4, OpMUL24:
-			if !checkSrc(i, in.B, lanesBC) {
-				return false, outAlways
-			}
-		case OpMAD, OpCLAMP, OpSEL:
-			if !checkSrc(i, in.B, lanesBC) || !checkSrc(i, in.C, lanesBC) {
-				return false, outAlways
-			}
 		}
 	}
 	return true, outAlways

@@ -108,8 +108,16 @@ const maxSteps = 1 << 22
 // Run executes p in env, accounting cycles with cost. The env must have
 // been created by NewEnv(p) (or have at least as many registers).
 func Run(p *Program, env *Env, cost *CostModel) error {
-	env.consts = p.Consts
-	insts := p.Insts
+	return runInsts(p.Insts, p.Consts, nil, env, cost)
+}
+
+// runInsts is the interpreter core, shared by Run (the original program)
+// and RunOptimized (an OptProgram's rewritten instructions). A non-nil
+// dead slice marks instructions whose computation is skipped — their cycle
+// cost is still charged and a dead TEX still counts a fetch, preserving
+// the virtual-time model exactly (see opt.go).
+func runInsts(insts []Inst, consts [][4]float32, dead []bool, env *Env, cost *CostModel) error {
+	env.consts = consts
 	steps := 0
 	for pc := 0; pc < len(insts); pc++ {
 		steps++
@@ -118,6 +126,12 @@ func Run(p *Program, env *Env, cost *CostModel) error {
 		}
 		in := &insts[pc]
 		env.Cycles += cost.InstCost(in)
+		if dead != nil && dead[pc] {
+			if in.Op == OpTEX {
+				env.TexFetches++
+			}
+			continue
+		}
 		switch in.Op {
 		case OpNOP:
 		case OpRET:
