@@ -8,6 +8,7 @@ package gpgpu_test
 // are the reported custom metrics (virtual-time ratios).
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -33,7 +34,7 @@ func fig5Opts() bench.Opts {
 // reports the headline combined speedup (paper: >16x).
 func BenchmarkFig3Vsync(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := bench.Fig3(bench.Devices(), benchOpts())
+		r, err := bench.Fig3(context.Background(), bench.Devices(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -46,7 +47,7 @@ func BenchmarkFig3Vsync(b *testing.B) {
 // BenchmarkVBOHints regenerates the §V-B VBO text result.
 func BenchmarkVBOHints(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := bench.FigVBO(bench.Devices(), benchOpts())
+		r, err := bench.FigVBO(context.Background(), bench.Devices(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func BenchmarkVBOHints(b *testing.B) {
 // rendering).
 func BenchmarkFig4aRenderTarget(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := bench.Fig4a(bench.Devices(), benchOpts())
+		r, err := bench.Fig4a(context.Background(), bench.Devices(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func BenchmarkFig4bBlocking(b *testing.B) {
 	o := benchOpts()
 	o.Iters = 10
 	for i := 0; i < b.N; i++ {
-		r, err := bench.Fig4b(bench.Devices(), o)
+		r, err := bench.Fig4b(context.Background(), bench.Devices(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -88,7 +89,7 @@ func BenchmarkFig4bBlocking(b *testing.B) {
 // rendering).
 func BenchmarkFig5aReuseTexture(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := bench.Fig5(bench.Devices(), core.TargetTexture, fig5Opts())
+		r, err := bench.Fig5(context.Background(), bench.Devices(), core.TargetTexture, fig5Opts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +128,7 @@ func BenchmarkParallelShading(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := r.RunOnce(); err != nil {
+			if err := r.RunOnce(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -140,7 +141,7 @@ func BenchmarkParallelShading(b *testing.B) {
 // rendering).
 func BenchmarkFig5bReuseFB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := bench.Fig5(bench.Devices(), core.TargetFramebuffer, fig5Opts())
+		r, err := bench.Fig5(context.Background(), bench.Devices(), core.TargetFramebuffer, fig5Opts())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,66 @@
+// Command gles2gpgpud is the GPGPU compute daemon: it serves the paper's
+// framework over HTTP/JSON with one worker pool per simulated device,
+// batching compatible jobs onto warm kernels and recycling texture
+// allocations through per-engine residency pools.
+//
+// Usage:
+//
+//	gles2gpgpud                         # serve vc4 + sgx on :7433
+//	gles2gpgpud -addr :0               # ephemeral port (printed on stdout)
+//	gles2gpgpud -devices vc4 -workers 2 -queue 128
+//
+// Endpoints: POST /v1/jobs, GET /v1/devices, GET /metrics, GET /healthz.
+// SIGINT/SIGTERM drain: admission returns 503, queued and in-flight jobs
+// complete, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gles2gpgpu/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":7433", "listen address (\":0\" picks an ephemeral port)")
+	devices := flag.String("devices", "vc4,sgx", "comma-separated device pools: vc4, sgx, generic")
+	workers := flag.Int("workers", 1, "worker goroutines per device pool")
+	queue := flag.Int("queue", 64, "bounded queue depth per device (full queue = 429)")
+	maxBatch := flag.Int("maxbatch", 8, "max compatible jobs coalesced into one batch")
+	poolBytes := flag.Int("poolbytes", 32<<20, "tensor residency pool budget per engine, bytes (negative disables)")
+	runners := flag.Int("runners", 4, "warm-runner cache size per worker")
+	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "max time to finish queued jobs on shutdown")
+	flag.Parse()
+
+	s, err := serve.New(serve.Config{
+		Devices:         strings.Split(*devices, ","),
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		MaxBatch:        *maxBatch,
+		TensorPoolBytes: *poolBytes,
+		MaxRunners:      *runners,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gles2gpgpud: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ready := make(chan string, 1)
+	go func() {
+		fmt.Printf("gles2gpgpud: listening on %s (devices %s)\n", <-ready, *devices)
+	}()
+	if err := serve.ListenAndServe(ctx, *addr, s, *drainTimeout, ready); err != nil {
+		fmt.Fprintf(os.Stderr, "gles2gpgpud: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("gles2gpgpud: drained, bye")
+}

@@ -16,12 +16,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"gles2gpgpu/internal/bench"
@@ -48,7 +51,7 @@ type figureTime struct {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 3, vbo, 4a, 4b, 5a, 5b or all")
+	fig := flag.String("fig", "all", "figure to reproduce: 3, vbo, 4a, 4b, 5a, 5b or all; also journey, ablation, or service (service is opt-in only, never part of all)")
 	size := flag.Int("size", 1024, "matrix dimension for timing runs (paper: 1024)")
 	calib := flag.Int("calib", 64, "matrix dimension for the functional validation run")
 	iters := flag.Int("iters", 100, "measured benchmark-body repetitions")
@@ -89,6 +92,11 @@ func main() {
 		}
 	}()
 
+	// Interrupts cancel between measurement iterations instead of killing
+	// the process mid-figure, so profiles and -benchjson still flush.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	o := bench.Opts{PaperSize: *size, CalibSize: *calib, Iters: *iters, Workers: *workers, NoJIT: *nojit, NoPasses: *nopasses}
 	devs := bench.Devices()
 	report := benchJSON{
@@ -127,26 +135,26 @@ func main() {
 	}
 
 	run("3", func() (interface{ Table() *bench.Table }, error) {
-		r, err := bench.Fig3(devs, o)
+		r, err := bench.Fig3(ctx, devs, o)
 		if err == nil {
 			defer fmt.Printf("Headline: best sum speedup over the ES2-best-practices baseline: %.1fx (paper: >16x)\n\n", r.Headline)
 		}
 		return r, err
 	})
-	run("vbo", func() (interface{ Table() *bench.Table }, error) { return bench.FigVBO(devs, o) })
-	run("4a", func() (interface{ Table() *bench.Table }, error) { return bench.Fig4a(devs, o) })
-	run("4b", func() (interface{ Table() *bench.Table }, error) { return bench.Fig4b(devs, o) })
+	run("vbo", func() (interface{ Table() *bench.Table }, error) { return bench.FigVBO(ctx, devs, o) })
+	run("4a", func() (interface{ Table() *bench.Table }, error) { return bench.Fig4a(ctx, devs, o) })
+	run("4b", func() (interface{ Table() *bench.Table }, error) { return bench.Fig4b(ctx, devs, o) })
 	run("5a", func() (interface{ Table() *bench.Table }, error) {
-		return bench.Fig5(devs, core.TargetTexture, o)
+		return bench.Fig5(ctx, devs, core.TargetTexture, o)
 	})
 	run("5b", func() (interface{ Table() *bench.Table }, error) {
-		return bench.Fig5(devs, core.TargetFramebuffer, o)
+		return bench.Fig5(ctx, devs, core.TargetFramebuffer, o)
 	})
 	if *fig == "all" || *fig == "journey" {
 		hostStart := time.Now()
 		for _, dev := range devs {
 			for _, spec := range []bench.Spec{{Workload: bench.WSum}, {Workload: bench.WSgemm, Block: 16}} {
-				r, err := bench.Incremental(dev, spec, o)
+				r, err := bench.Incremental(ctx, dev, spec, o)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "glesbench: journey: %v\n", err)
 					os.Exit(1)
@@ -162,7 +170,7 @@ func main() {
 	if *fig == "all" || *fig == "ablation" {
 		hostStart := time.Now()
 		for _, dev := range devs {
-			r, err := bench.Ablation(dev, o)
+			r, err := bench.Ablation(ctx, dev, o)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "glesbench: ablation: %v\n", err)
 				os.Exit(1)
@@ -174,10 +182,23 @@ func main() {
 		}
 		recordHost("ablation", time.Since(hostStart))
 	}
+	if *fig == "service" {
+		// Service-layer reuse comparison (gles2gpgpud's residency pool and
+		// batch coalescing). Opt-in only: its table is not part of the
+		// recorded reference output.
+		hostStart := time.Now()
+		results, err := bench.Service(ctx, bench.ServiceOpts{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "glesbench: service: %v\n", err)
+			os.Exit(1)
+		}
+		bench.WriteServiceTable(os.Stdout, results)
+		recordHost("service", time.Since(hostStart))
+	}
 	if *micro {
 		// Microbenchmark output bypasses stdout entirely: the figure tables
 		// above must stay byte-comparable with the recorded reference.
-		results, err := bench.Micro(0)
+		results, err := bench.Micro(ctx, 0)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "glesbench: micro: %v\n", err)
 			os.Exit(1)

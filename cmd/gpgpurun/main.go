@@ -6,19 +6,29 @@
 //
 //	gpgpurun -kernel sum   -device vc4 -size 256 -iters 100 -swap none -target texture
 //	gpgpurun -kernel sgemm -device sgx -size 256 -block 16 -fp24
+//
+// With -serve it becomes a client of a gles2gpgpud daemon instead of
+// running in-process, and -load turns it into a load generator:
+//
+//	gpgpurun -serve http://127.0.0.1:7433 -kernel sgemm -device sgx -size 64
+//	gpgpurun -serve http://127.0.0.1:7433 -load -jobs 128 -concurrency 8 -benchjson load.json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"gles2gpgpu/internal/codec"
 	"gles2gpgpu/internal/core"
 	"gles2gpgpu/internal/device"
 	"gles2gpgpu/internal/kernels"
 	"gles2gpgpu/internal/ref"
+	"gles2gpgpu/internal/serve"
 	"gles2gpgpu/internal/timing"
 )
 
@@ -34,19 +44,33 @@ func main() {
 	vbo := flag.Bool("vbo", true, "use vertex buffer objects")
 	seed := flag.Int64("seed", 1, "input random seed")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the pipeline to this file")
+	serveURL := flag.String("serve", "", "submit to a gles2gpgpud daemon at this base URL instead of running in-process")
+	load := flag.Bool("load", false, "load-generator mode: drive the -serve daemon with a mixed job stream")
+	jobs := flag.Int("jobs", 64, "load mode: total jobs to submit")
+	concurrency := flag.Int("concurrency", 8, "load mode: in-flight request cap")
+	loadDevices := flag.String("load-devices", "vc4,sgx", "load mode: comma-separated devices to cycle jobs across")
+	benchJSON := flag.String("benchjson", "", "load mode: write the load report JSON to this file")
 	flag.Parse()
 
-	cfg := core.Config{Width: *size, Height: *size, UseVBO: *vbo}
-	switch *dev {
-	case "vc4":
-		cfg.Device = device.VideoCoreIV()
-	case "sgx":
-		cfg.Device = device.PowerVRSGX545()
-	case "generic":
-		cfg.Device = device.Generic()
-	default:
-		fatal("unknown device %q", *dev)
+	if *load && *serveURL == "" {
+		fatal("-load requires -serve URL")
 	}
+	if *serveURL != "" {
+		client := &serve.Client{Base: strings.TrimRight(*serveURL, "/")}
+		if *load {
+			runLoad(client, *jobs, *concurrency, *loadDevices, *size, *seed, *benchJSON)
+		} else {
+			runRemote(client, *kernel, *dev, *size, *block, *seed)
+		}
+		return
+	}
+
+	cfg := core.Config{Width: *size, Height: *size, UseVBO: *vbo}
+	profile, err := device.ByName(*dev)
+	if err != nil {
+		fatal("%v", err)
+	}
+	cfg.Device = profile
 	switch *swap {
 	case "vsync":
 		cfg.Swap = core.SwapVsync
@@ -146,7 +170,7 @@ func main() {
 
 	// First iteration functional (validates the numerics), remaining
 	// iterations replay timing.
-	if err := runner.RunOnce(); err != nil {
+	if err := runner.RunOnce(context.Background()); err != nil {
 		fatal("%v", err)
 	}
 	var result *codec.Matrix
@@ -159,7 +183,7 @@ func main() {
 	e.SetTimingOnly(true)
 	start := e.Now()
 	for i := 1; i < *iters; i++ {
-		if err := runner.RunOnce(); err != nil {
+		if err := runner.RunOnce(context.Background()); err != nil {
 			fatal("%v", err)
 		}
 	}
@@ -191,6 +215,70 @@ func main() {
 			fatal("%v", err)
 		}
 		fmt.Printf("pipeline trace written to %s (open in chrome://tracing)\n", *tracePath)
+	}
+}
+
+// runRemote submits one job to the daemon and validates the returned
+// matrix against the CPU reference for the same deterministic inputs.
+func runRemote(client *serve.Client, kernel, dev string, n, block int, seed int64) {
+	p := serve.Params{Device: dev, Kernel: kernel, N: n, Block: block, Seed: seed}
+	if kernel == "saxpy" {
+		p.Alpha = 0.5
+	}
+	res, err := client.Do(context.Background(), p)
+	if err != nil {
+		fatal("%v", err)
+	}
+	a, b := p.Inputs()
+	want := make([]float64, n*n)
+	switch kernel {
+	case "sum":
+		ref.Sum(a.Data, b.Data, want)
+	case "sgemm":
+		ref.Sgemm(n, a.Data, b.Data, want)
+	case "saxpy":
+		copy(want, b.Data)
+		ref.Saxpy(0.5, a.Data, want)
+	default:
+		fatal("kernel %q is not served by gles2gpgpud (sum, sgemm, saxpy)", kernel)
+	}
+	fmt.Printf("device:   %s (remote %s)\n", res.Device, client.Base)
+	fmt.Printf("workload: %s %dx%d (batch %d/%d)\n", res.Kernel, n, n, res.BatchIndex+1, res.BatchSize)
+	fmt.Printf("max abs error vs CPU reference: %.3g\n", ref.MaxAbsDiff(want, res.Out))
+	fmt.Printf("virtual time: %v  host time: %.3f ms\n",
+		res.VirtualTime, float64(res.HostNanos)/1e6)
+}
+
+// runLoad drives the daemon with the shared load generator and prints (and
+// optionally writes) the throughput/latency report.
+func runLoad(client *serve.Client, jobs, concurrency int, devices string, n int, seed int64, benchJSON string) {
+	rep, err := client.RunLoad(context.Background(), serve.LoadOpts{
+		Jobs:        jobs,
+		Concurrency: concurrency,
+		Devices:     strings.Split(devices, ","),
+		N:           n,
+		Seed:        seed,
+	})
+	if rep != nil {
+		fmt.Printf("load: %d jobs (%d completed, %d rejected-then-retried, %d failed) at concurrency %d\n",
+			rep.Jobs, rep.Completed, rep.Rejected, rep.Failed, rep.Concurrency)
+		fmt.Printf("host: %.1f ms total, %.1f jobs/s; latency p50=%.2fms p90=%.2fms p99=%.2fms\n",
+			rep.HostMS, rep.ThroughputS, rep.P50MS, rep.P90MS, rep.P99MS)
+		fmt.Printf("virtual device time consumed: %.3f ms\n", rep.VirtualMS)
+		if benchJSON != "" {
+			data, merr := json.MarshalIndent(rep, "", "  ")
+			if merr != nil {
+				fatal("%v", merr)
+			}
+			data = append(data, '\n')
+			if werr := os.WriteFile(benchJSON, data, 0o644); werr != nil {
+				fatal("%v", werr)
+			}
+			fmt.Printf("load report written to %s\n", benchJSON)
+		}
+	}
+	if err != nil {
+		fatal("%v", err)
 	}
 }
 

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -57,7 +58,7 @@ func runFilter(target gpgpu.RenderTarget, passes int) (*gpgpu.Matrix, gpgpu.Time
 		if err != nil {
 			return nil, 0, err
 		}
-		if err := f.RunOnce(); err != nil {
+		if err := f.RunOnce(context.Background()); err != nil {
 			return nil, 0, err
 		}
 		out, err = f.Result()

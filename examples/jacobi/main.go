@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -43,7 +44,7 @@ func solveOn(profile *gpgpu.DeviceProfile, steps int) (*gpgpu.Matrix, gpgpu.Time
 		return nil, 0, err
 	}
 	for i := 0; i < steps; i++ {
-		if err := solver.RunOnce(); err != nil {
+		if err := solver.RunOnce(context.Background()); err != nil {
 			return nil, 0, err
 		}
 	}

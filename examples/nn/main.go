@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -27,7 +28,7 @@ func layerGPU(engine *gpgpu.Engine, x, w *gpgpu.Matrix) (*gpgpu.Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := mm.RunOnce(); err != nil {
+	if err := mm.RunOnce(context.Background()); err != nil {
 		return nil, err
 	}
 	return mm.Result()

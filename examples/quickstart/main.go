@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -44,7 +45,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sum.RunOnce(); err != nil {
+	if err := sum.RunOnce(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 	c, err := sum.Result()

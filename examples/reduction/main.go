@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -45,7 +46,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := red.RunOnce(); err != nil {
+	if err := red.RunOnce(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 	total, err := red.Total()

@@ -4,6 +4,7 @@ package gpgpu_test
 // reachable through the root package alone.
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -48,7 +49,7 @@ func TestFacadeSum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.RunOnce(); err != nil {
+	if err := r.RunOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	c, err := r.Result()
@@ -78,7 +79,7 @@ func TestFacadeSgemmWithFP24(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.RunOnce(); err != nil {
+	if err := r.RunOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	c, err := r.Result()
@@ -152,7 +153,7 @@ func TestFacadeTimeFlowsPerDevice(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; i < 5; i++ {
-			if err := r.RunOnce(); err != nil {
+			if err := r.RunOnce(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -16,18 +16,23 @@
 //	}
 //	e, _ := gpgpu.NewEngine(cfg)
 //	r, _ := gpgpu.NewSum(e, a, b) // a, b: *gpgpu.Matrix
-//	_ = r.RunOnce()
+//	_ = r.RunOnce(context.Background())
 //	c, _ := r.Result()
 //
 // Every implementation choice the paper evaluates is a Config field; see
 // Config, SwapMode, RenderTarget and KernelOptions. Virtual execution time
 // accumulates on Engine.Now().
+//
+// For long-lived serving (shared compiled kernels, tensor residency pools,
+// batching, backpressure) see internal/serve and the cmd/gles2gpgpud
+// daemon.
 package gpgpu
 
 import (
 	"gles2gpgpu/internal/codec"
 	"gles2gpgpu/internal/core"
 	"gles2gpgpu/internal/device"
+	"gles2gpgpu/internal/gles"
 	"gles2gpgpu/internal/kernels"
 	"gles2gpgpu/internal/timing"
 )
@@ -44,6 +49,17 @@ type (
 	Tensor = core.Tensor
 	// Runner is a benchmark workload.
 	Runner = core.Runner
+	// Releaser is implemented by runners whose tensors can be returned to
+	// the engine's residency pool.
+	Releaser = core.Releaser
+	// TensorPool recycles texture allocations across runner lifetimes
+	// (enable with Config.TensorPoolBytes).
+	TensorPool = core.TensorPool
+	// PoolStats snapshots a TensorPool's hit/miss/eviction counters.
+	PoolStats = core.PoolStats
+	// SharedProgramCache shares compiled shader programs between engines
+	// built from one DeviceProfile instance (Config.ProgramCache).
+	SharedProgramCache = gles.SharedProgramCache
 	// SumRunner runs c = a + b.
 	SumRunner = core.SumRunner
 	// SgemmRunner runs the multi-pass blocked C = A·B.
@@ -124,6 +140,14 @@ var (
 	PowerVRSGX545 = device.PowerVRSGX545
 	// GenericDevice is a fast permissive profile for experimentation.
 	GenericDevice = device.Generic
+	// DeviceByName resolves "vc4", "sgx" or "generic" to a fresh profile.
+	DeviceByName = device.ByName
+	// DeviceNames lists the DeviceByName vocabulary.
+	DeviceNames = device.Names
+
+	// NewSharedProgramCache builds a compiled-program cache for sharing
+	// across engines (see Config.ProgramCache).
+	NewSharedProgramCache = gles.NewSharedProgramCache
 
 	// UnitRange is the identity encoding range [0,1).
 	UnitRange = codec.Unit

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"gles2gpgpu/internal/core"
@@ -30,12 +31,12 @@ type AblationResult struct {
 }
 
 // Ablation runs the mechanism study on a copy of the given profile.
-func Ablation(dev *device.Profile, o Opts) (*AblationResult, error) {
+func Ablation(ctx context.Context, dev *device.Profile, o Opts) (*AblationResult, error) {
 	res := &AblationResult{Device: dev.Name}
 
 	run := func(p *device.Profile, cfg core.Config, spec Spec) (timing.Time, error) {
 		cfg.Device = p
-		r, err := Measure(cfg, spec, o)
+		r, err := Measure(ctx, cfg, spec, o)
 		if err != nil {
 			return 0, err
 		}

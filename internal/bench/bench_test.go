@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -17,7 +18,7 @@ func testOpts() Opts {
 
 func TestMeasureValidates(t *testing.T) {
 	cfg := core.Config{Device: device.Generic(), Swap: core.SwapNone, Target: core.TargetTexture, UseVBO: true}
-	r, err := Measure(cfg, Spec{Workload: WSum}, testOpts())
+	r, err := Measure(context.Background(), cfg, Spec{Workload: WSum}, testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestMeasureValidates(t *testing.T) {
 
 func TestMeasureSgemmWorkload(t *testing.T) {
 	cfg := core.Config{Device: device.Generic(), Swap: core.SwapNone, Target: core.TargetTexture, UseVBO: true}
-	r, err := Measure(cfg, Spec{Workload: WSgemm, Block: 8}, testOpts())
+	r, err := Measure(context.Background(), cfg, Spec{Workload: WSgemm, Block: 8}, testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestMeasureSgemmWorkload(t *testing.T) {
 
 func TestFig3QualitativeShape(t *testing.T) {
 	o := testOpts()
-	r, err := Fig3(Devices(), o)
+	r, err := Fig3(context.Background(), Devices(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestFig3QualitativeShape(t *testing.T) {
 }
 
 func TestFig4aQualitativeShape(t *testing.T) {
-	r, err := Fig4a(Devices(), testOpts())
+	r, err := Fig4a(context.Background(), Devices(), testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestFig4aQualitativeShape(t *testing.T) {
 func TestFig4bQualitativeShape(t *testing.T) {
 	o := testOpts()
 	o.Iters = 10
-	r, err := Fig4b(Devices(), o)
+	r, err := Fig4b(context.Background(), Devices(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestFig5QualitativeShape(t *testing.T) {
 	o := testOpts()
 	o.PaperSize = 1024
 	// 5a: texture rendering.
-	ra, err := Fig5(Devices(), core.TargetTexture, o)
+	ra, err := Fig5(context.Background(), Devices(), core.TargetTexture, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestFig5QualitativeShape(t *testing.T) {
 	}
 	// 5b: framebuffer rendering — no improvement anywhere; SGX sgemm
 	// degrades notably (false sharing).
-	rb, err := Fig5(Devices(), core.TargetFramebuffer, o)
+	rb, err := Fig5(context.Background(), Devices(), core.TargetFramebuffer, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestFig5QualitativeShape(t *testing.T) {
 }
 
 func TestVBOExperiment(t *testing.T) {
-	r, err := FigVBO(Devices(), testOpts())
+	r, err := FigVBO(context.Background(), Devices(), testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestIncrementalJourney(t *testing.T) {
 	o.Iters = 10
 	// VideoCore sum: the journey must at least recover the vsync gate and
 	// end far faster than the naive port.
-	r, err := Incremental(device.VideoCoreIV(), Spec{Workload: WSum}, o)
+	r, err := Incremental(context.Background(), device.VideoCoreIV(), Spec{Workload: WSum}, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestIncrementalJourney(t *testing.T) {
 	}
 	// VideoCore sgemm: texture rendering must be REJECTED (Fig. 4a: FB
 	// wins on VideoCore for the multi-pass kernel).
-	r2, err := Incremental(device.VideoCoreIV(), Spec{Workload: WSgemm, Block: 16}, o)
+	r2, err := Incremental(context.Background(), device.VideoCoreIV(), Spec{Workload: WSgemm, Block: 16}, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestIncrementalJourney(t *testing.T) {
 func TestAblationStudy(t *testing.T) {
 	o := testOpts()
 	o.Iters = 10
-	r, err := Ablation(device.VideoCoreIV(), o)
+	r, err := Ablation(context.Background(), device.VideoCoreIV(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +311,7 @@ func TestAblationStudy(t *testing.T) {
 
 func TestMeasureRejectsBadWorkload(t *testing.T) {
 	cfg := core.Config{Device: device.Generic(), Swap: core.SwapNone, Target: core.TargetTexture}
-	if _, err := Measure(cfg, Spec{Workload: Workload(99)}, testOpts()); err == nil {
+	if _, err := Measure(context.Background(), cfg, Spec{Workload: Workload(99)}, testOpts()); err == nil {
 		t.Error("unknown workload accepted")
 	}
 }

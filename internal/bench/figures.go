@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"gles2gpgpu/internal/core"
@@ -54,7 +55,7 @@ type Fig3Result struct {
 
 // Fig3 reproduces "Effect of Vsync for sum and sgemm": baseline →
 // eglSwapInterval(0) → no eglSwapBuffers → no swap + fp24 kernel.
-func Fig3(devs []*device.Profile, o Opts) (*Fig3Result, error) {
+func Fig3(ctx context.Context, devs []*device.Profile, o Opts) (*Fig3Result, error) {
 	res := &Fig3Result{
 		Configs: []string{"baseline", "eglSwapInterval(0)", "No eglSwapBuffers", "No eglSwapBuffers and fp24 kernel"},
 		Speedup: map[string][]float64{},
@@ -76,7 +77,7 @@ func Fig3(devs []*device.Profile, o Opts) (*Fig3Result, error) {
 			for _, mut := range steps {
 				cfg := bestPractices(dev)
 				mut(&cfg)
-				r, err := Measure(cfg, spec, o)
+				r, err := Measure(ctx, cfg, spec, o)
 				if err != nil {
 					return nil, fmt.Errorf("fig3 %s: %w", series, err)
 				}
@@ -126,7 +127,7 @@ type VBOResult struct {
 
 // FigVBO reproduces the Vertex Buffer Object result: sum with client-side
 // arrays versus VBOs under each usage hint (paper: up to 1.5%).
-func FigVBO(devs []*device.Profile, o Opts) (*VBOResult, error) {
+func FigVBO(ctx context.Context, devs []*device.Profile, o Opts) (*VBOResult, error) {
 	res := &VBOResult{
 		Labels:  []string{"client arrays", "VBO STATIC_DRAW", "VBO STREAM_DRAW", "VBO DYNAMIC_DRAW"},
 		Speedup: map[string][]float64{},
@@ -143,7 +144,7 @@ func FigVBO(devs []*device.Profile, o Opts) (*VBOResult, error) {
 			cfg := bestPractices(dev)
 			cfg.Swap = core.SwapNone
 			mut(&cfg)
-			r, err := Measure(cfg, Spec{Workload: WSum}, o)
+			r, err := Measure(ctx, cfg, Spec{Workload: WSum}, o)
 			if err != nil {
 				return nil, fmt.Errorf("vbo: %w", err)
 			}
@@ -191,7 +192,7 @@ type Fig4aResult struct {
 
 // Fig4a reproduces "FB vs Texture Rendering" on the optimised versions:
 // sum, sum with an artificial dependency, and sgemm (block 16).
-func Fig4a(devs []*device.Profile, o Opts) (*Fig4aResult, error) {
+func Fig4a(ctx context.Context, devs []*device.Profile, o Opts) (*Fig4aResult, error) {
 	res := &Fig4aResult{Times: map[string]timing.Time{}, TexOverFB: map[string]map[string]float64{}}
 	specs := []Spec{{Workload: WSum}, {Workload: WSumDep}, {Workload: WSgemm, Block: 16}}
 	for _, dev := range devs {
@@ -204,7 +205,7 @@ func Fig4a(devs []*device.Profile, o Opts) (*Fig4aResult, error) {
 				// Optimised versions: no presentation in either mode (the
 				// best Fig. 3 configuration carries over).
 				cfg.Swap = core.SwapNone
-				r, err := Measure(cfg, spec, o)
+				r, err := Measure(ctx, cfg, spec, o)
 				if err != nil {
 					return nil, fmt.Errorf("fig4a %s %s: %w", dev.Name, spec.Workload, err)
 				}
@@ -245,7 +246,7 @@ type Fig4bResult struct {
 
 // Fig4b reproduces "Blocking in sgemm": block sizes 1..16 under both
 // rendering targets, plus the >16 compile failures.
-func Fig4b(devs []*device.Profile, o Opts) (*Fig4bResult, error) {
+func Fig4b(ctx context.Context, devs []*device.Profile, o Opts) (*Fig4bResult, error) {
 	res := &Fig4bResult{
 		Blocks:      []int{1, 2, 4, 8, 16},
 		Times:       map[string]map[string][]timing.Time{},
@@ -260,7 +261,7 @@ func Fig4b(devs []*device.Profile, o Opts) (*Fig4bResult, error) {
 				cfg := bestPractices(dev)
 				cfg.Target = target
 				cfg.Swap = core.SwapNone
-				r, err := Measure(cfg, Spec{Workload: WSgemm, Block: block}, o)
+				r, err := Measure(ctx, cfg, Spec{Workload: WSgemm, Block: block}, o)
 				if err != nil {
 					return nil, fmt.Errorf("fig4b %s block %d: %w", dev.Name, block, err)
 				}
@@ -272,7 +273,7 @@ func Fig4b(devs []*device.Profile, o Opts) (*Fig4bResult, error) {
 		for _, block := range []int{32, 64} {
 			cfg := bestPractices(dev)
 			cfg.Swap = core.SwapNone
-			if _, err := Measure(cfg, Spec{Workload: WSgemm, Block: block}, o); err != nil {
+			if _, err := Measure(ctx, cfg, Spec{Workload: WSgemm, Block: block}, o); err != nil {
 				res.CompileFail[dn] = append(res.CompileFail[dn], block)
 			}
 		}
@@ -317,7 +318,7 @@ type Fig5Result struct {
 // Fig5 reproduces "Performance improvement with texture memory reuse" for
 // the given rendering target (Fig. 5a: texture rendering, Fig. 5b:
 // framebuffer rendering), block size 16, streaming inputs.
-func Fig5(devs []*device.Profile, target core.RenderTarget, o Opts) (*Fig5Result, error) {
+func Fig5(ctx context.Context, devs []*device.Profile, target core.RenderTarget, o Opts) (*Fig5Result, error) {
 	res := &Fig5Result{Target: target, Speedup: map[string]map[string]float64{}}
 	for _, dev := range devs {
 		dn := shortName(dev)
@@ -333,7 +334,7 @@ func Fig5(devs []*device.Profile, target core.RenderTarget, o Opts) (*Fig5Result
 					cfg.ReuseOutputTextures = reuse
 				}
 				cfg.ReuseInputTextures = reuse
-				r, err := Measure(cfg, spec, o)
+				r, err := Measure(ctx, cfg, spec, o)
 				if err != nil {
 					return nil, fmt.Errorf("fig5 %s %s reuse=%v: %w", dev.Name, spec.Workload, reuse, err)
 				}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"gles2gpgpu/internal/core"
@@ -103,11 +104,11 @@ func incrementalSteps() []struct {
 }
 
 // Incremental runs the journey for one device and workload.
-func Incremental(dev *device.Profile, spec Spec, o Opts) (*IncrementalResult, error) {
+func Incremental(ctx context.Context, dev *device.Profile, spec Spec, o Opts) (*IncrementalResult, error) {
 	res := &IncrementalResult{Device: shortName(dev), Workload: spec.Workload.String()}
 
 	best := naiveConfig(dev)
-	r, err := Measure(best, spec, o)
+	r, err := Measure(ctx, best, spec, o)
 	if err != nil {
 		return nil, fmt.Errorf("incremental naive: %w", err)
 	}
@@ -117,7 +118,7 @@ func Incremental(dev *device.Profile, spec Spec, o Opts) (*IncrementalResult, er
 	for _, step := range incrementalSteps() {
 		cfg := best
 		step.mut(&cfg)
-		r, err := Measure(cfg, spec, o)
+		r, err := Measure(ctx, cfg, spec, o)
 		if err != nil {
 			return nil, fmt.Errorf("incremental step %q: %w", step.name, err)
 		}

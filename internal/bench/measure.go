@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -189,8 +190,10 @@ func build(cfg core.Config, spec Spec, n int, seed int64, timingOnly bool) (*bui
 	return br, nil
 }
 
-// Measure runs one configuration per the package methodology.
-func Measure(cfg core.Config, spec Spec, o Opts) (Result, error) {
+// Measure runs one configuration per the package methodology. ctx cancels
+// the measurement between iterations (and between the passes of multi-pass
+// workloads, via Runner.RunOnce).
+func Measure(ctx context.Context, cfg core.Config, spec Spec, o Opts) (Result, error) {
 	o = o.withDefaults()
 	var res Result
 
@@ -209,7 +212,7 @@ func Measure(cfg core.Config, spec Spec, o Opts) (Result, error) {
 	if err != nil {
 		return res, fmt.Errorf("bench: calibration: %w", err)
 	}
-	if err := cal.runner.RunOnce(); err != nil {
+	if err := cal.runner.RunOnce(ctx); err != nil {
 		return res, fmt.Errorf("bench: calibration run: %w", err)
 	}
 	res.HostTime = time.Since(hostStart)
@@ -238,13 +241,13 @@ func Measure(cfg core.Config, spec Spec, o Opts) (Result, error) {
 	paper.engine.GL().PrimeStats(paper.kernel.Program(), o.PaperSize, o.PaperSize,
 		n2, cycles*n2/frags, tex*n2/frags)
 	for i := 0; i < o.Warm; i++ {
-		if err := paper.runner.RunOnce(); err != nil {
+		if err := paper.runner.RunOnce(ctx); err != nil {
 			return res, err
 		}
 	}
 	t0 := paper.engine.Now()
 	for i := 0; i < o.Iters; i++ {
-		if err := paper.runner.RunOnce(); err != nil {
+		if err := paper.runner.RunOnce(ctx); err != nil {
 			return res, err
 		}
 	}

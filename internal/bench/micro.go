@@ -9,6 +9,7 @@ package bench
 // must be bit-identical.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -73,8 +74,9 @@ func microKernels() ([]struct {
 }
 
 // Micro measures every kernel under all four executor configurations,
-// running invocations invocations per configuration (0 means 4096).
-func Micro(invocations int) ([]MicroResult, error) {
+// running invocations invocations per configuration (0 means 4096). ctx
+// cancels between kernels.
+func Micro(ctx context.Context, invocations int) ([]MicroResult, error) {
 	if invocations <= 0 {
 		invocations = 4096
 	}
@@ -85,6 +87,9 @@ func Micro(invocations int) ([]MicroResult, error) {
 	cost := device.Generic().CostModel
 	var out []MicroResult
 	for _, k := range kset {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cs, err := glsl.Frontend(k.src, glsl.CompileOptions{Stage: glsl.StageFragment})
 		if err != nil {
 			return nil, fmt.Errorf("micro %s: %w", k.name, err)

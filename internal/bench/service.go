@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"gles2gpgpu/internal/serve"
+	"gles2gpgpu/internal/timing"
+)
+
+// ServiceOpts sizes the service-layer benchmark.
+type ServiceOpts struct {
+	// Jobs is the job count per configuration (default 48).
+	Jobs int
+	// N is the matrix dimension (default 64).
+	N int
+	// Device is the pool to benchmark (default vc4).
+	Device string
+}
+
+func (o ServiceOpts) withDefaults() ServiceOpts {
+	if o.Jobs <= 0 {
+		o.Jobs = 48
+	}
+	if o.N <= 0 {
+		o.N = 64
+	}
+	if o.Device == "" {
+		o.Device = "vc4"
+	}
+	return o
+}
+
+// ServiceResult compares one scheduler configuration's cost for the same
+// job stream.
+type ServiceResult struct {
+	Name        string
+	Jobs        int
+	VirtualTime timing.Time // summed simulated device time
+	HostTime    time.Duration
+	PoolHitRate float64
+	Coalesced   int64
+}
+
+// Service measures what the serving layer's reuse machinery is worth: it
+// pushes an identical mixed sum/sgemm job stream through three scheduler
+// configurations — cold (no tensor pool, single-job batches, no warm-runner
+// cache), pooled (residency pool, still unbatched), and batched (pool +
+// coalescing) — and reports the virtual device time each one pays. This is
+// the service-level rerun of the paper's Fig. 5 argument: allocation work,
+// not arithmetic, dominates repeated small kernels.
+func Service(ctx context.Context, o ServiceOpts) ([]ServiceResult, error) {
+	o = o.withDefaults()
+	configs := []struct {
+		name string
+		cfg  serve.Config
+	}{
+		{"cold", serve.Config{Devices: []string{o.Device}, QueueDepth: o.Jobs + 1, MaxBatch: 1, TensorPoolBytes: -1, MaxRunners: 1}},
+		{"pooled", serve.Config{Devices: []string{o.Device}, QueueDepth: o.Jobs + 1, MaxBatch: 1, MaxRunners: 1}},
+		{"batched", serve.Config{Devices: []string{o.Device}, QueueDepth: o.Jobs + 1, MaxBatch: 8, MaxRunners: 4}},
+	}
+	var out []ServiceResult
+	for _, c := range configs {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		s, err := serve.New(c.cfg)
+		if err != nil {
+			return out, err
+		}
+		var jobs []*serve.Job
+		enqueue := func(p serve.Params) error {
+			j, err := s.Submit(ctx, p)
+			if err != nil {
+				return err
+			}
+			jobs = append(jobs, j)
+			return nil
+		}
+		// The stream alternates runs of sums with sgemm interruptions, so
+		// the warm-runner cache and the residency pool both see traffic.
+		for i := 0; i < o.Jobs; i++ {
+			p := serve.Params{Device: o.Device, Kernel: "sum", N: o.N, Seed: int64(i%4) + 1}
+			if i%6 == 5 {
+				p = serve.Params{Device: o.Device, Kernel: "sgemm", N: o.N, Block: 16, Seed: 1}
+			}
+			if err := enqueue(p); err != nil {
+				return out, err
+			}
+		}
+		hostStart := time.Now()
+		s.Start()
+		res := ServiceResult{Name: c.name, Jobs: o.Jobs}
+		for i, j := range jobs {
+			r, err := j.Wait(ctx)
+			if err != nil {
+				s.Stop()
+				return out, fmt.Errorf("bench: service %s job %d: %w", c.name, i, err)
+			}
+			res.VirtualTime += r.VirtualTime
+		}
+		if err := s.Drain(ctx); err != nil {
+			return out, err
+		}
+		res.HostTime = time.Since(hostStart)
+		res.PoolHitRate = s.Metrics().PoolHitRate(o.Device)
+		res.Coalesced = s.Metrics().CoalescedBatches(o.Device)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// WriteServiceTable renders Service results as the familiar fixed-width
+// report block.
+func WriteServiceTable(w io.Writer, results []ServiceResult) {
+	fmt.Fprintf(w, "service-layer reuse (virtual device time for an identical job stream)\n")
+	fmt.Fprintf(w, "%-8s %12s %12s %10s %10s\n", "config", "virtual", "host", "pool-hit", "coalesced")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-8s %12v %12v %9.0f%% %10d\n",
+			r.Name, r.VirtualTime, r.HostTime.Round(time.Millisecond), r.PoolHitRate*100, r.Coalesced)
+	}
+}

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+func TestServiceBench(t *testing.T) {
+	results, err := Service(context.Background(), ServiceOpts{Jobs: 12, N: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d configs, want 3", len(results))
+	}
+	byName := map[string]ServiceResult{}
+	for _, r := range results {
+		if r.VirtualTime <= 0 {
+			t.Errorf("%s: virtual time %v, want > 0", r.Name, r.VirtualTime)
+		}
+		byName[r.Name] = r
+	}
+	if byName["cold"].PoolHitRate != 0 {
+		t.Errorf("cold config pool hit rate = %v, want 0 (pool disabled)", byName["cold"].PoolHitRate)
+	}
+	if byName["pooled"].PoolHitRate <= 0 {
+		t.Errorf("pooled config pool hit rate = %v, want > 0", byName["pooled"].PoolHitRate)
+	}
+	if byName["batched"].Coalesced < 1 {
+		t.Errorf("batched config coalesced = %d, want >= 1", byName["batched"].Coalesced)
+	}
+	if byName["cold"].Coalesced != 0 {
+		t.Errorf("cold config coalesced = %d, want 0 (MaxBatch=1)", byName["cold"].Coalesced)
+	}
+	var buf bytes.Buffer
+	WriteServiceTable(&buf, results)
+	if buf.Len() == 0 {
+		t.Error("empty service table")
+	}
+}

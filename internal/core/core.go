@@ -148,6 +148,22 @@ type Config struct {
 	// temporary pressure) that compile-time counting cannot see, the way
 	// real mobile drivers defer some rejections to link time.
 	StrictLinkLimits bool
+
+	// ProgramCache, when non-nil, shares compiled shaders across engines:
+	// a serving worker pool attaches one cache per device so each kernel
+	// compiles once per pool instead of once per engine. All engines
+	// sharing a cache must share one *device.Profile instance and one
+	// NoPasses setting (see gles.SharedProgramCache).
+	ProgramCache *gles.SharedProgramCache
+
+	// TensorPoolBytes, when positive, enables the engine's tensor
+	// residency pool with that byte budget: NewTensor recycles released
+	// texture allocations of matching shape, and re-uploads into recycled
+	// storage take the glTexSubImage2D path — the paper's Fig. 5 reuse
+	// optimisation applied across jobs instead of across iterations.
+	// Results are bit-identical with the pool on or off; only allocation
+	// work (and therefore virtual time) changes. See TensorPool.
+	TensorPoolBytes int
 }
 
 func boolPtr(b bool) *bool { return &b }
@@ -166,6 +182,13 @@ type Engine struct {
 	vsSource string
 
 	scratchBuf []byte // reused dummy payload for timing-only uploads
+
+	// pool is the tensor residency pool (nil unless Config.TensorPoolBytes
+	// is positive or EnableTensorPool was called).
+	pool *TensorPool
+	// kernelCache memoises BuildKernel by fragment source for long-lived
+	// engines that rebuild the same workloads across jobs.
+	kernelCache map[string]*Kernel
 }
 
 // scratch returns a reusable byte buffer of length n.
@@ -226,6 +249,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if cfg.StrictLinkLimits {
 		e.gl.SetStrictLimits(true)
+	}
+	if cfg.ProgramCache != nil {
+		e.gl.SetSharedProgramCache(cfg.ProgramCache)
+	}
+	if cfg.TensorPoolBytes > 0 {
+		e.EnableTensorPool(cfg.TensorPoolBytes)
 	}
 	e.gl.Viewport(0, 0, cfg.Width, cfg.Height)
 	e.vsSource = kernels.VertexShader

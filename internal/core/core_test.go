@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -46,7 +47,7 @@ func checkSum(t *testing.T, cfg Config, iters int, tol float64) {
 		t.Fatal(err)
 	}
 	for i := 0; i < iters; i++ {
-		if err := r.RunOnce(); err != nil {
+		if err := r.RunOnce(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -112,7 +113,7 @@ func checkSgemm(t *testing.T, cfg Config, block int, tol float64) {
 	if r.Passes() != n/block {
 		t.Fatalf("passes = %d, want %d", r.Passes(), n/block)
 	}
-	if err := r.RunOnce(); err != nil {
+	if err := r.RunOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	got, err := r.Result()
@@ -163,7 +164,7 @@ func TestSgemmRepeatedRunsStayCorrect(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if err := r.RunOnce(); err != nil {
+		if err := r.RunOnce(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -214,7 +215,7 @@ func TestSaxpy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.RunOnce(); err != nil {
+	if err := r.RunOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	got, err := r.Result()
@@ -248,7 +249,7 @@ func TestJacobiMatchesReference(t *testing.T) {
 	}
 	const steps = 10
 	for i := 0; i < steps; i++ {
-		if err := r.RunOnce(); err != nil {
+		if err := r.RunOnce(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -283,7 +284,7 @@ func TestConv3x3MatchesReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.RunOnce(); err != nil {
+	if err := r.RunOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	got, err := r.Result()
@@ -343,7 +344,7 @@ func TestTimingAdvancesAndVsyncGates(t *testing.T) {
 		}
 		start := e.Now()
 		for i := 0; i < 5; i++ {
-			if err := r.RunOnce(); err != nil {
+			if err := r.RunOnce(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -372,7 +373,7 @@ func TestTranspose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.RunOnce(); err != nil {
+	if err := r.RunOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	got, err := r.Result()
@@ -433,7 +434,7 @@ func TestSumConfigFuzzProperty(t *testing.T) {
 			return false
 		}
 		for i := 0; i < 2; i++ {
-			if err := r.RunOnce(); err != nil {
+			if err := r.RunOnce(context.Background()); err != nil {
 				return false
 			}
 		}
@@ -482,7 +483,7 @@ func TestSumParallelParityFuzzProperty(t *testing.T) {
 				return nil, 0, err
 			}
 			for i := 0; i < 2; i++ {
-				if err := r.RunOnce(); err != nil {
+				if err := r.RunOnce(context.Background()); err != nil {
 					return nil, 0, err
 				}
 			}
@@ -535,7 +536,7 @@ func TestReducePyramid(t *testing.T) {
 		if r.Levels() != 5 { // 32 -> 16 -> 8 -> 4 -> 2 -> 1
 			t.Fatalf("levels = %d, want 5", r.Levels())
 		}
-		if err := r.RunOnce(); err != nil {
+		if err := r.RunOnce(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		got, err := r.Total()
@@ -576,7 +577,7 @@ func TestEngineReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if err := r.RunOnce(); err != nil {
+		if err := r.RunOnce(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -620,7 +621,7 @@ func TestDiscardExtensionMatchesClearTiming(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; i < 5; i++ {
-			if err := r.RunOnce(); err != nil {
+			if err := r.RunOnce(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -648,12 +649,12 @@ func TestTimingOnlyReplayKeepsResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.RunOnce(); err != nil {
+	if err := r.RunOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	e.SetTimingOnly(true)
 	for i := 0; i < 10; i++ {
-		if err := r.RunOnce(); err != nil {
+		if err := r.RunOnce(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -684,48 +685,48 @@ func TestAllKernelsParallelShadingIdentity(t *testing.T) {
 	runners := []struct {
 		name  string
 		build func(e *Engine) (interface {
-			RunOnce() error
+			RunOnce(context.Context) error
 			Result() (*codec.Matrix, error)
 		}, error)
 	}{
 		{"sum", func(e *Engine) (interface {
-			RunOnce() error
+			RunOnce(context.Context) error
 			Result() (*codec.Matrix, error)
 		}, error) {
 			return NewSum(e, randMatrix(n, 41), randMatrix(n, 42))
 		}},
 		{"sgemm", func(e *Engine) (interface {
-			RunOnce() error
+			RunOnce(context.Context) error
 			Result() (*codec.Matrix, error)
 		}, error) {
 			return NewSgemm(e, randMatrix(n, 43), randMatrix(n, 44), 8)
 		}},
 		{"saxpy", func(e *Engine) (interface {
-			RunOnce() error
+			RunOnce(context.Context) error
 			Result() (*codec.Matrix, error)
 		}, error) {
 			return NewSaxpy(e, 0.5, randMatrix(n, 45), randMatrix(n, 46))
 		}},
 		{"jacobi", func(e *Engine) (interface {
-			RunOnce() error
+			RunOnce(context.Context) error
 			Result() (*codec.Matrix, error)
 		}, error) {
 			return NewJacobi(e, randMatrix(n, 47))
 		}},
 		{"transpose", func(e *Engine) (interface {
-			RunOnce() error
+			RunOnce(context.Context) error
 			Result() (*codec.Matrix, error)
 		}, error) {
 			return NewTranspose(e, randMatrix(n, 48))
 		}},
 		{"reduce", func(e *Engine) (interface {
-			RunOnce() error
+			RunOnce(context.Context) error
 			Result() (*codec.Matrix, error)
 		}, error) {
 			return NewReduce(e, randMatrix(n, 49))
 		}},
 		{"conv3x3", func(e *Engine) (interface {
-			RunOnce() error
+			RunOnce(context.Context) error
 			Result() (*codec.Matrix, error)
 		}, error) {
 			return NewConv3x3(e, randMatrix(n, 50), [9]float32{0.1, 0.1, 0.1, 0.1, 0.2, 0.1, 0.1, 0.1, 0.1})
@@ -745,7 +746,7 @@ func TestAllKernelsParallelShadingIdentity(t *testing.T) {
 					t.Fatal(err)
 				}
 				for i := 0; i < 2; i++ {
-					if err := r.RunOnce(); err != nil {
+					if err := r.RunOnce(context.Background()); err != nil {
 						t.Fatal(err)
 					}
 				}

@@ -53,6 +53,28 @@ func (e *Engine) BuildKernel(fragSource string) (*Kernel, error) {
 	return k, nil
 }
 
+// CachedKernel returns the engine's compiled kernel for fragSource,
+// building and memoising it on first use. Long-lived engines (serving
+// workers) rebuild the same workloads across jobs; the cache skips even the
+// program-object and link work that the context-level shader cache cannot.
+// Only successful builds are cached, so failures (over-limit block sizes)
+// keep their diagnostics. Kernels from the cache are shared: callers must
+// re-set uniforms and bindings before each dispatch, which all runners do.
+func (e *Engine) CachedKernel(fragSource string) (*Kernel, error) {
+	if k, ok := e.kernelCache[fragSource]; ok {
+		return k, nil
+	}
+	k, err := e.BuildKernel(fragSource)
+	if err != nil {
+		return nil, err
+	}
+	if e.kernelCache == nil {
+		e.kernelCache = make(map[string]*Kernel)
+	}
+	e.kernelCache[fragSource] = k
+	return k, nil
+}
+
 // Program returns the GL program object name (for stat priming and
 // diagnostics).
 func (k *Kernel) Program() uint32 { return k.prog }
@@ -139,7 +161,7 @@ func (k *Kernel) Dispatch(out *Tensor) error {
 		gl.DrawArrays(gles.TRIANGLES, 0, 6)
 		prev := gl.BoundTexture()
 		gl.BindTexture(gles.TEXTURE_2D, out.tex)
-		if cfg.ReuseOutputTextures && out.allocated {
+		if (cfg.ReuseOutputTextures || out.pooled) && out.allocated {
 			gl.CopyTexSubImage2D(gles.TEXTURE_2D, 0, 0, 0, 0, 0, out.Cols, out.Rows)
 		} else {
 			gl.CopyTexImage2D(gles.TEXTURE_2D, 0, gles.RGBA, 0, 0, out.Cols, out.Rows, 0)

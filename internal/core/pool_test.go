@@ -1,0 +1,165 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"gles2gpgpu/internal/codec"
+	"gles2gpgpu/internal/ref"
+)
+
+// runCycle builds a runner, executes it, reads the result back, and
+// releases its tensors — the lifecycle a serving worker drives on every
+// runner-cache eviction/rebuild.
+func runCycle(t *testing.T, e *Engine, kernel string, n int, seed int64) []float64 {
+	t.Helper()
+	a, b := randMatrix(n, seed), randMatrix(n, seed+1)
+	var (
+		r   Runner
+		err error
+	)
+	switch kernel {
+	case "sum":
+		r, err = NewSum(e, a, b)
+	case "sgemm":
+		r, err = NewSgemm(e, a, b, 16)
+	default:
+		t.Fatalf("runCycle: kernel %q", kernel)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RunOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	e.Finish()
+	out, err := r.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([]float64(nil), out.Data...)
+	r.(Releaser).Release()
+	return got
+}
+
+// TestTensorPoolBitIdentical pins the pool's correctness contract: a
+// build/run/release sequence produces bit-for-bit the same matrices with
+// the residency pool on and off — pooling may only change allocation work.
+func TestTensorPoolBitIdentical(t *testing.T) {
+	const n = 32
+	mkEngine := func(poolBytes int) *Engine {
+		cfg := baseConfig(n)
+		cfg.TensorPoolBytes = poolBytes
+		e, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	plain := mkEngine(0)
+	pooled := mkEngine(32 << 20)
+
+	steps := []struct {
+		kernel string
+		seed   int64
+	}{
+		{"sum", 1}, {"sgemm", 3}, {"sum", 5}, {"sgemm", 7}, {"sum", 1},
+	}
+	for i, st := range steps {
+		want := runCycle(t, plain, st.kernel, n, st.seed)
+		got := runCycle(t, pooled, st.kernel, n, st.seed)
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("step %d (%s seed %d): out[%d] = %v pooled vs %v plain — pool must be bit-invisible",
+					i, st.kernel, st.seed, k, got[k], want[k])
+			}
+		}
+	}
+
+	st := pooled.TensorPool().Stats()
+	if st.Hits == 0 {
+		t.Errorf("pool hits = 0 after %d rebuild cycles, want > 0", len(steps))
+	}
+	if st.Released == 0 {
+		t.Error("pool released = 0, want > 0")
+	}
+	if plain.TensorPool() != nil {
+		t.Error("pool disabled engine unexpectedly has a pool")
+	}
+}
+
+// TestTensorPoolEviction drives the pool over a tiny byte budget and checks
+// the FIFO eviction accounting: LiveBytes stays within budget, evictions
+// are counted, and recycled-after-eviction runs stay correct.
+func TestTensorPoolEviction(t *testing.T) {
+	const n = 16
+	cfg := baseConfig(n)
+	// Budget for exactly two n×n tensors: releasing a runner's three or
+	// more tensors must evict the oldest.
+	budget := 2 * n * n * 4
+	cfg.TensorPoolBytes = budget
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := runCycle(t, e, "sum", n, 1)
+	a, b := randMatrix(n, 1), randMatrix(n, 2)
+	want := make([]float64, n*n)
+	ref.Sum(a.Data, b.Data, want)
+	if d := ref.MaxAbsDiff(want, got); d > 1e-3 {
+		t.Fatalf("sum before eviction: max error %g", d)
+	}
+	st := e.TensorPool().Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions with a %d-byte budget after releasing a runner: %+v", budget, st)
+	}
+	if st.LiveBytes > budget {
+		t.Fatalf("pool holds %d bytes, budget %d", st.LiveBytes, budget)
+	}
+
+	// Rebuild after eviction: some tensors recycle, some re-allocate;
+	// numbers must be unchanged either way.
+	got2 := runCycle(t, e, "sum", n, 1)
+	for k := range got {
+		if got2[k] != got[k] {
+			t.Fatalf("post-eviction rerun: out[%d] = %v, first run %v", k, got2[k], got[k])
+		}
+	}
+	st = e.TensorPool().Stats()
+	if st.Hits == 0 {
+		t.Errorf("no pool hits on rebuild: %+v", st)
+	}
+	if st.LiveBytes > budget {
+		t.Errorf("pool holds %d bytes after rerun, budget %d", st.LiveBytes, budget)
+	}
+}
+
+// TestTensorPoolShapeMiss: a pooled tensor only serves its exact shape.
+func TestTensorPoolShapeMiss(t *testing.T) {
+	cfg := baseConfig(16)
+	cfg.TensorPoolBytes = 1 << 20
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := e.NewTensor(16, 16, codec.Unit)
+	if err := t1.Upload(randMatrix(16, 1), false); err != nil {
+		t.Fatal(err)
+	}
+	t1.Release()
+	if st := e.TensorPool().Stats(); st.Released != 1 {
+		t.Fatalf("released = %d, want 1", st.Released)
+	}
+	t2 := e.NewTensor(8, 8, codec.Unit) // different shape: miss
+	t3 := e.NewTensor(16, 16, codec.Unit)
+	_ = t2
+	_ = t3
+	st := e.TensorPool().Stats()
+	if st.Hits != 1 {
+		t.Errorf("hits = %d, want 1 (only the 16x16 reacquire)", st.Hits)
+	}
+	if st.Misses < 1 {
+		t.Errorf("misses = %d, want >= 1 (the 8x8 request)", st.Misses)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gles2gpgpu/internal/codec"
@@ -9,10 +10,18 @@ import (
 
 // Runner is one benchmark workload: RunOnce executes the benchmark body
 // (the unit the paper repeats 10 000 times) and Result reads the output
-// back.
+// back. RunOnce honours ctx: cancellation and deadlines are checked before
+// the body and between the passes of multi-pass workloads, so a serving
+// layer can abandon work mid-job without tearing the engine down.
 type Runner interface {
-	RunOnce() error
+	RunOnce(ctx context.Context) error
 	Result() (*codec.Matrix, error)
+}
+
+// Releaser is implemented by runners that can return their GPU tensors to
+// the engine's residency pool when the runner is retired (see TensorPool).
+type Releaser interface {
+	Release()
 }
 
 // SumRunner is the paper's streaming matrix-addition benchmark.
@@ -42,7 +51,7 @@ func NewSum(e *Engine, a, b *codec.Matrix) (*SumRunner, error) {
 	if e.cfg.ArtificialDependency {
 		src = kernels.SumDep(e.cfg.Kernel)
 	}
-	k, err := e.BuildKernel(src)
+	k, err := e.CachedKernel(src)
 	if err != nil {
 		return nil, err
 	}
@@ -71,8 +80,29 @@ func NewSum(e *Engine, a, b *codec.Matrix) (*SumRunner, error) {
 	return r, nil
 }
 
+// SetInputs rebinds the runner to new input matrices of the same shape and
+// range, re-uploading them into the live textures (the sub-image path). It
+// lets a serving layer run many jobs through one warm runner, amortising
+// kernel and tensor setup the way the paper amortises per-iteration work.
+func (r *SumRunner) SetInputs(a, b *codec.Matrix) error {
+	if a.Rows != r.a.Rows || a.Cols != r.a.Cols || b.Rows != r.b.Rows || b.Cols != r.b.Cols {
+		return fmt.Errorf("core: sum rebind shape mismatch")
+	}
+	if a.Range != r.a.Range || b.Range != r.b.Range {
+		return fmt.Errorf("core: sum rebind range mismatch")
+	}
+	r.a, r.b = a, b
+	if err := r.tA.Upload(a, true); err != nil {
+		return err
+	}
+	return r.tB.Upload(b, true)
+}
+
 // RunOnce executes one benchmark-body iteration.
-func (r *SumRunner) RunOnce() error {
+func (r *SumRunner) RunOnce(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	e := r.e
 	if e.cfg.StreamInputs && !r.first {
 		if err := r.tA.Upload(r.a, e.cfg.ReuseInputTextures); err != nil {
@@ -114,6 +144,14 @@ func (r *SumRunner) Result() (*codec.Matrix, error) {
 	return r.out[idx].Read()
 }
 
+// Release returns the runner's tensors to the engine pool.
+func (r *SumRunner) Release() {
+	r.tA.Release()
+	r.tB.Release()
+	r.out[0].Release()
+	r.out[1].Release()
+}
+
 // SgemmRunner is the paper's multi-pass blocked matrix-multiply benchmark
 // (§III/§IV, Fig. 2): RunOnce performs one full C = A·B, i.e. M/block
 // kernel passes with double-buffered intermediate textures.
@@ -149,7 +187,7 @@ func NewSgemm(e *Engine, a, b *codec.Matrix, block int) (*SgemmRunner, error) {
 	if err != nil {
 		return nil, err
 	}
-	k, err := e.BuildKernel(src)
+	k, err := e.CachedKernel(src)
 	if err != nil {
 		return nil, err
 	}
@@ -182,8 +220,28 @@ func (r *SgemmRunner) Passes() int { return r.passes }
 // Kernel returns the compiled kernel (for stat priming).
 func (r *SgemmRunner) Kernel() *Kernel { return r.k }
 
-// RunOnce performs one complete multiplication (all passes).
-func (r *SgemmRunner) RunOnce() error {
+// SetInputs rebinds the runner to new unit-range n×n input matrices,
+// re-uploading them into the live textures (the sub-image path).
+func (r *SgemmRunner) SetInputs(a, b *codec.Matrix) error {
+	if a.Rows != r.n || a.Cols != r.n || b.Rows != r.n || b.Cols != r.n {
+		return fmt.Errorf("core: sgemm rebind requires %dx%d matrices", r.n, r.n)
+	}
+	if a.Range != codec.Unit || b.Range != codec.Unit {
+		return fmt.Errorf("core: sgemm rebind inputs must use the unit range")
+	}
+	r.a, r.b = a, b
+	if err := r.tA.Upload(a, true); err != nil {
+		return err
+	}
+	return r.tB.Upload(b, true)
+}
+
+// RunOnce performs one complete multiplication (all passes), checking ctx
+// between passes so cancellation takes effect mid-multiplication.
+func (r *SgemmRunner) RunOnce(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	e := r.e
 	if e.cfg.StreamInputs && !r.first {
 		if err := r.tA.Upload(r.a, e.cfg.ReuseInputTextures); err != nil {
@@ -196,6 +254,9 @@ func (r *SgemmRunner) RunOnce() error {
 	r.first = false
 	cur := 0
 	for p := 0; p < r.passes; p++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		in := r.interm[cur]
 		if p == 0 {
 			in = r.zero
@@ -222,6 +283,15 @@ func (r *SgemmRunner) Result() (*codec.Matrix, error) {
 	return r.interm[r.last].Read()
 }
 
+// Release returns the runner's tensors to the engine pool.
+func (r *SgemmRunner) Release() {
+	r.tA.Release()
+	r.tB.Release()
+	r.interm[0].Release()
+	r.interm[1].Release()
+	r.zero.Release()
+}
+
 // SaxpyRunner computes y' = alpha·x + y.
 type SaxpyRunner struct {
 	e      *Engine
@@ -241,7 +311,7 @@ func NewSaxpy(e *Engine, alpha float32, x, y *codec.Matrix) (*SaxpyRunner, error
 	if alpha < 0 || alpha > 1 {
 		return nil, fmt.Errorf("core: saxpy alpha %g outside [0,1] (encoded domain)", alpha)
 	}
-	k, err := e.BuildKernel(kernels.Saxpy(e.cfg.Kernel))
+	k, err := e.CachedKernel(kernels.Saxpy(e.cfg.Kernel))
 	if err != nil {
 		return nil, err
 	}
@@ -259,8 +329,31 @@ func NewSaxpy(e *Engine, alpha float32, x, y *codec.Matrix) (*SaxpyRunner, error
 	return r, nil
 }
 
+// SetInputs rebinds the runner to a new alpha and new input matrices of the
+// same shape and range, re-uploading through the sub-image path.
+func (r *SaxpyRunner) SetInputs(alpha float32, x, y *codec.Matrix) error {
+	if x.Rows != r.x.Rows || x.Cols != r.x.Cols || y.Rows != r.y.Rows || y.Cols != r.y.Cols {
+		return fmt.Errorf("core: saxpy rebind shape mismatch")
+	}
+	if x.Range != r.x.Range || y.Range != r.y.Range {
+		return fmt.Errorf("core: saxpy rebind range mismatch")
+	}
+	if alpha < 0 || alpha > 1 {
+		return fmt.Errorf("core: saxpy alpha %g outside [0,1] (encoded domain)", alpha)
+	}
+	r.alpha = alpha
+	r.x, r.y = x, y
+	if err := r.tX.Upload(x, true); err != nil {
+		return err
+	}
+	return r.tY.Upload(y, true)
+}
+
 // RunOnce executes one iteration.
-func (r *SaxpyRunner) RunOnce() error {
+func (r *SaxpyRunner) RunOnce(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	e := r.e
 	if e.cfg.StreamInputs && !r.first {
 		if err := r.tX.Upload(r.x, e.cfg.ReuseInputTextures); err != nil {
@@ -283,6 +376,13 @@ func (r *SaxpyRunner) RunOnce() error {
 // Result reads back y'.
 func (r *SaxpyRunner) Result() (*codec.Matrix, error) { return r.out.Read() }
 
+// Release returns the runner's tensors to the engine pool.
+func (r *SaxpyRunner) Release() {
+	r.tX.Release()
+	r.tY.Release()
+	r.out.Release()
+}
+
 // JacobiRunner iterates the Jacobi relaxation kernel with double-buffered
 // grids (a multi-pass numerical solver, one of the application domains the
 // paper motivates).
@@ -295,7 +395,7 @@ type JacobiRunner struct {
 
 // NewJacobi prepares the solver with the given initial grid.
 func NewJacobi(e *Engine, initial *codec.Matrix) (*JacobiRunner, error) {
-	k, err := e.BuildKernel(kernels.Jacobi(initial.Cols, initial.Rows, e.cfg.Kernel))
+	k, err := e.CachedKernel(kernels.Jacobi(initial.Cols, initial.Rows, e.cfg.Kernel))
 	if err != nil {
 		return nil, err
 	}
@@ -310,7 +410,10 @@ func NewJacobi(e *Engine, initial *codec.Matrix) (*JacobiRunner, error) {
 }
 
 // RunOnce performs one relaxation step.
-func (r *JacobiRunner) RunOnce() error {
+func (r *JacobiRunner) RunOnce(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	in := r.grid[r.cur]
 	out := r.grid[1-r.cur]
 	r.k.BindInput("text0", 0, in)
@@ -323,6 +426,12 @@ func (r *JacobiRunner) RunOnce() error {
 
 // Result reads the current grid.
 func (r *JacobiRunner) Result() (*codec.Matrix, error) { return r.grid[r.cur].Read() }
+
+// Release returns the runner's tensors to the engine pool.
+func (r *JacobiRunner) Release() {
+	r.grid[0].Release()
+	r.grid[1].Release()
+}
 
 // TransposeRunner computes the matrix transpose — a pure data-movement
 // kernel whose cost is entirely texture traffic.
@@ -340,7 +449,7 @@ func NewTranspose(e *Engine, m *codec.Matrix) (*TransposeRunner, error) {
 	if m.Rows != m.Cols || m.Rows != e.cfg.Width || m.Rows != e.cfg.Height {
 		return nil, fmt.Errorf("core: transpose requires a square matrix matching the engine grid")
 	}
-	k, err := e.BuildKernel(kernels.Transpose(e.cfg.Kernel))
+	k, err := e.CachedKernel(kernels.Transpose(e.cfg.Kernel))
 	if err != nil {
 		return nil, err
 	}
@@ -353,8 +462,21 @@ func NewTranspose(e *Engine, m *codec.Matrix) (*TransposeRunner, error) {
 	return r, nil
 }
 
+// SetInput rebinds the runner to a new same-shape input matrix.
+func (r *TransposeRunner) SetInput(m *codec.Matrix) error {
+	if m.Rows != r.in.Rows || m.Cols != r.in.Cols || m.Range != r.in.Range {
+		return fmt.Errorf("core: transpose rebind shape or range mismatch")
+	}
+	r.in = m
+	r.out.Range = m.Range
+	return r.tIn.Upload(m, true)
+}
+
 // RunOnce performs the transpose.
-func (r *TransposeRunner) RunOnce() error {
+func (r *TransposeRunner) RunOnce(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if r.e.cfg.StreamInputs && !r.first {
 		if err := r.tIn.Upload(r.in, r.e.cfg.ReuseInputTextures); err != nil {
 			return err
@@ -370,6 +492,12 @@ func (r *TransposeRunner) RunOnce() error {
 
 // Result reads the transposed matrix.
 func (r *TransposeRunner) Result() (*codec.Matrix, error) { return r.out.Read() }
+
+// Release returns the runner's tensors to the engine pool.
+func (r *TransposeRunner) Release() {
+	r.tIn.Release()
+	r.out.Release()
+}
 
 // ReduceRunner computes the sum of all matrix elements with a 2×2 pyramid
 // reduction — log2(N) passes over shrinking grids, the standard GPGPU
@@ -404,7 +532,7 @@ func NewReduce(e *Engine, m *codec.Matrix) (*ReduceRunner, error) {
 		if err != nil {
 			return nil, err
 		}
-		k, err := e.BuildKernel(src)
+		k, err := e.CachedKernel(src)
 		if err != nil {
 			return nil, err
 		}
@@ -417,8 +545,12 @@ func NewReduce(e *Engine, m *codec.Matrix) (*ReduceRunner, error) {
 // Levels returns the number of reduction passes.
 func (r *ReduceRunner) Levels() int { return len(r.levels) }
 
-// RunOnce performs the full reduction (all pyramid levels).
-func (r *ReduceRunner) RunOnce() error {
+// RunOnce performs the full reduction (all pyramid levels), checking ctx
+// between levels.
+func (r *ReduceRunner) RunOnce(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	e := r.e
 	if e.cfg.StreamInputs && !r.first {
 		if err := r.grids[0].Upload(r.input, e.cfg.ReuseInputTextures); err != nil {
@@ -427,6 +559,9 @@ func (r *ReduceRunner) RunOnce() error {
 	}
 	r.first = false
 	for i, k := range r.levels {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		k.BindInput("text0", 0, r.grids[i])
 		if err := k.Dispatch(r.grids[i+1]); err != nil {
 			return err
@@ -452,6 +587,13 @@ func (r *ReduceRunner) Total() (float64, error) {
 	return m.At(0, 0) * float64(r.n) * float64(r.n), nil
 }
 
+// Release returns the runner's tensors to the engine pool.
+func (r *ReduceRunner) Release() {
+	for _, g := range r.grids {
+		g.Release()
+	}
+}
+
 // Conv3x3Runner applies a 3×3 convolution (computer-vision workload).
 type Conv3x3Runner struct {
 	e     *Engine
@@ -466,7 +608,7 @@ type Conv3x3Runner struct {
 // NewConv3x3 prepares the filter; weights should be normalised so outputs
 // stay in the unit range.
 func NewConv3x3(e *Engine, img *codec.Matrix, weights [9]float32) (*Conv3x3Runner, error) {
-	k, err := e.BuildKernel(kernels.Conv3x3(img.Cols, img.Rows, e.cfg.Kernel))
+	k, err := e.CachedKernel(kernels.Conv3x3(img.Cols, img.Rows, e.cfg.Kernel))
 	if err != nil {
 		return nil, err
 	}
@@ -479,8 +621,21 @@ func NewConv3x3(e *Engine, img *codec.Matrix, weights [9]float32) (*Conv3x3Runne
 	return r, nil
 }
 
+// SetInputs rebinds the runner to a new same-shape image and weights.
+func (r *Conv3x3Runner) SetInputs(img *codec.Matrix, weights [9]float32) error {
+	if img.Rows != r.img.Rows || img.Cols != r.img.Cols || img.Range != r.img.Range {
+		return fmt.Errorf("core: conv rebind shape or range mismatch")
+	}
+	r.img = img
+	r.wts = weights
+	return r.tIn.Upload(img, true)
+}
+
 // RunOnce applies the filter once.
-func (r *Conv3x3Runner) RunOnce() error {
+func (r *Conv3x3Runner) RunOnce(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if r.e.cfg.StreamInputs && !r.first {
 		if err := r.tIn.Upload(r.img, r.e.cfg.ReuseInputTextures); err != nil {
 			return err
@@ -497,3 +652,9 @@ func (r *Conv3x3Runner) RunOnce() error {
 
 // Result reads the filtered image.
 func (r *Conv3x3Runner) Result() (*codec.Matrix, error) { return r.out.Read() }
+
+// Release returns the runner's tensors to the engine pool.
+func (r *Conv3x3Runner) Release() {
+	r.tIn.Release()
+	r.out.Release()
+}

@@ -14,11 +14,24 @@ type Tensor struct {
 	Rows, Cols int
 	Range      codec.Range
 	allocated  bool
+	// pooled marks tensors recycled through the engine's TensorPool:
+	// their storage is live, so uploads take the glTexSubImage2D path
+	// even when the engine configuration does not opt into reuse.
+	pooled bool
 }
 
 // NewTensor creates an empty tensor (texture storage is allocated lazily on
-// the first Upload, AllocateStorage or framebuffer copy).
+// the first Upload, AllocateStorage or framebuffer copy). With the engine's
+// tensor pool enabled, a released allocation of matching shape is recycled
+// instead — already-live storage whose next upload is a sub-image write.
 func (e *Engine) NewTensor(rows, cols int, rng codec.Range) *Tensor {
+	if e.pool != nil {
+		if t := e.pool.get(rows, cols); t != nil {
+			t.Range = rng
+			t.pooled = true
+			return t
+		}
+	}
 	t := &Tensor{e: e, tex: e.gl.GenTexture(), Rows: rows, Cols: cols, Range: rng}
 	gl := e.gl
 	gl.BindTexture(gles.TEXTURE_2D, t.tex)
@@ -62,7 +75,7 @@ func (t *Tensor) Upload(m *codec.Matrix, reuse bool) error {
 	gl := t.e.gl
 	prev := gl.BoundTexture()
 	gl.BindTexture(gles.TEXTURE_2D, t.tex)
-	if reuse && t.allocated {
+	if (reuse || t.pooled) && t.allocated {
 		gl.TexSubImage2D(gles.TEXTURE_2D, 0, 0, 0, t.Cols, t.Rows, gles.RGBA, gles.UNSIGNED_BYTE, data)
 	} else {
 		gl.TexImage2D(gles.TEXTURE_2D, 0, gles.RGBA, t.Cols, t.Rows, gles.RGBA, gles.UNSIGNED_BYTE, data)
@@ -77,7 +90,7 @@ func (t *Tensor) UploadEncoded(data []byte, reuse bool) error {
 	gl := t.e.gl
 	prev := gl.BoundTexture()
 	gl.BindTexture(gles.TEXTURE_2D, t.tex)
-	if reuse && t.allocated {
+	if (reuse || t.pooled) && t.allocated {
 		gl.TexSubImage2D(gles.TEXTURE_2D, 0, 0, 0, t.Cols, t.Rows, gles.RGBA, gles.UNSIGNED_BYTE, data)
 	} else {
 		gl.TexImage2D(gles.TEXTURE_2D, 0, gles.RGBA, t.Cols, t.Rows, gles.RGBA, gles.UNSIGNED_BYTE, data)
@@ -120,4 +133,19 @@ func (t *Tensor) Read() (*codec.Matrix, error) {
 func (t *Tensor) Free() {
 	t.e.gl.DeleteTexture(t.tex)
 	t.allocated = false
+	t.pooled = false
+}
+
+// Release returns the tensor to the engine's residency pool for reuse by a
+// later NewTensor of the same shape; without a pool it frees the texture.
+// The tensor must not be used after Release.
+func (t *Tensor) Release() {
+	if t == nil {
+		return
+	}
+	if t.e.pool != nil {
+		t.e.pool.put(t)
+		return
+	}
+	t.Free()
 }

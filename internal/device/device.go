@@ -10,6 +10,8 @@
 package device
 
 import (
+	"fmt"
+
 	"gles2gpgpu/internal/mem"
 	"gles2gpgpu/internal/shader"
 	"gles2gpgpu/internal/timing"
@@ -242,6 +244,25 @@ func PowerVRSGX545() *Profile {
 		SwapBookkeeping:     3500 * timing.Microsecond,
 	}
 }
+
+// ByName returns a fresh profile for a short device name: "vc4", "sgx" or
+// "generic" (matching the cmd flag vocabulary), or the profile's full Name.
+// Every call constructs a new *Profile; callers that need engines to share
+// compiled programs must share the returned instance, not call ByName twice.
+func ByName(name string) (*Profile, error) {
+	switch name {
+	case "vc4", VideoCoreIV().Name:
+		return VideoCoreIV(), nil
+	case "sgx", PowerVRSGX545().Name:
+		return PowerVRSGX545(), nil
+	case "generic", Generic().Name:
+		return Generic(), nil
+	}
+	return nil, fmt.Errorf("device: unknown device %q (want vc4, sgx or generic)", name)
+}
+
+// Names lists the short names ByName accepts, in presentation order.
+func Names() []string { return []string{"vc4", "sgx", "generic"} }
 
 // Generic returns a fast, permissive profile for unit tests: negligible
 // driver costs, no vsync gating, huge limits.

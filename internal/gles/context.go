@@ -243,6 +243,11 @@ type Context struct {
 	// reduction ladder, sgemm's per-level shaders) compile once per
 	// context. Evicted by Destroy.
 	progCache map[shaderCacheKey]shaderCacheEntry
+
+	// sharedCache, when attached, memoises compilations across contexts
+	// (one per device worker pool in the serving layer). Consulted before
+	// progCache; see SharedProgramCache for the sharing conditions.
+	sharedCache *SharedProgramCache
 }
 
 // defaultStrictLimits reads the GLES2GPGPU_STRICT_LIMITS environment

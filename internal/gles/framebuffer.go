@@ -292,5 +292,6 @@ func (c *Context) CopyTexSubImage2D(target Enum, level, xoff, yoff, x, y, w, h i
 			copy(t.data[dst:dst+w*4], tgt.pixels[src:src+w*4])
 		}
 	}
+	c.alloc.NoteSubUpdate(size)
 	c.m.Copy(tgt.res, t.res, size, true)
 }

@@ -72,6 +72,16 @@ func (c *Context) CompileShader(name uint32) {
 		s.checked, s.compiled = e.checked, e.compiled
 		return
 	}
+	// Cross-context cache (worker pools sharing kernels): entries are
+	// published fully built, so a hit needs no further work beyond copying
+	// it into the per-context cache.
+	if c.sharedCache != nil {
+		if e, ok := c.sharedCache.lookup(key, c.passes); ok {
+			s.checked, s.compiled = e.checked, e.compiled
+			c.progCache[key] = e
+			return
+		}
+	}
 	cs, err := glsl.Frontend(s.source, glsl.CompileOptions{Stage: stage})
 	if err != nil {
 		s.compileErr = err
@@ -103,6 +113,13 @@ func (c *Context) CompileShader(name uint32) {
 	s.checked = cs
 	s.compiled = prog
 	c.progCache[key] = shaderCacheEntry{checked: cs, compiled: prog}
+	if c.sharedCache != nil {
+		// Publish only after the program is fully built (limits checked,
+		// passes attached): other contexts execute it as-is. A concurrent
+		// first compile in two contexts at worst compiles twice; last
+		// store wins and both artefacts are individually correct.
+		c.sharedCache.store(key, c.passes, shaderCacheEntry{checked: cs, compiled: prog})
+	}
 }
 
 // GetShaderiv queries COMPILE_STATUS (1/0).

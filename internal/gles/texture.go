@@ -180,6 +180,7 @@ func (c *Context) TexSubImage2D(target Enum, level, x, y, w, h int, format, xtyp
 			copy(t.data[dst:dst+w*4], data[src:src+w*4])
 		}
 	}
+	c.alloc.NoteSubUpdate(size)
 	c.m.Upload(t.res, size, true)
 }
 

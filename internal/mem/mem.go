@@ -80,6 +80,12 @@ type Allocator struct {
 	TotalFrees    int64
 	TotalBytes    int64
 	PeakLiveBytes int
+	// SubUpdates/SubUpdateBytes count in-place writes into live
+	// allocations (glTexSubImage2D / glCopyTexSubImage2D) — each one is a
+	// reallocation the paper's Fig. 5 reuse optimisation avoided, so
+	// SubUpdates/(SubUpdates+TotalAllocs) is the storage-reuse rate.
+	SubUpdates     int64
+	SubUpdateBytes int64
 }
 
 // NewAllocator returns an empty allocator using the given cost model.
@@ -118,6 +124,16 @@ func (al *Allocator) Free(a Allocation) error {
 	return nil
 }
 
+// NoteSubUpdate records an in-place update of n bytes into a live
+// allocation (the reuse path that skips Alloc entirely).
+func (al *Allocator) NoteSubUpdate(n int) {
+	if n < 0 {
+		n = 0
+	}
+	al.SubUpdates++
+	al.SubUpdateBytes += int64(n)
+}
+
 // LiveBytes reports the currently allocated GPU-managed bytes.
 func (al *Allocator) LiveBytes() int { return al.liveSize }
 
@@ -127,6 +143,7 @@ func (al *Allocator) LiveCount() int { return len(al.live) }
 // ResetStats zeroes the counters but keeps live allocations.
 func (al *Allocator) ResetStats() {
 	al.TotalAllocs, al.TotalFrees, al.TotalBytes = 0, 0, 0
+	al.SubUpdates, al.SubUpdateBytes = 0, 0
 	al.PeakLiveBytes = al.liveSize
 }
 

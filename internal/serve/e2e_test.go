@@ -1,0 +1,243 @@
+package serve_test
+
+// End-to-end test of the gles2gpgpud service stack: a real HTTP daemon on
+// an ephemeral port, 64 concurrent jobs across both device profiles, and a
+// bit-identical comparison of every returned matrix against direct engine
+// execution — the service layer (queueing, batching, warm runners,
+// residency pools) must be invisible in the numbers.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gles2gpgpu/internal/core"
+	"gles2gpgpu/internal/device"
+	"gles2gpgpu/internal/serve"
+)
+
+const e2eN = 32
+
+// directRun executes one job's kernel on a fresh engine with no service
+// machinery (no shared program cache, no tensor pool) and returns the
+// result matrix.
+func directRun(t *testing.T, dev, kernel string, seed int64) []float64 {
+	t.Helper()
+	prof, err := device.ByName(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(core.Config{
+		Device: prof,
+		Width:  e2eN, Height: e2eN,
+		Swap:   core.SwapNone,
+		Target: core.TargetTexture,
+		UseVBO: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := serve.Params{Device: dev, Kernel: kernel, N: e2eN, Block: 16, Seed: seed}
+	a, b := p.Inputs()
+	var r core.Runner
+	switch kernel {
+	case "sum":
+		r, err = core.NewSum(e, a, b)
+	case "sgemm":
+		r, err = core.NewSgemm(e, a, b, 16)
+	default:
+		t.Fatalf("directRun: kernel %q", kernel)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RunOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	e.Finish()
+	out, err := r.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Data
+}
+
+// metricValue sums the values of all samples of one metric family in a
+// Prometheus text exposition, optionally filtered by a label substring.
+func metricValue(text, name, labelSub string) (float64, bool) {
+	var sum float64
+	found := false
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if rest == "" || (rest[0] != '{' && rest[0] != ' ') {
+			continue // longer metric name sharing the prefix
+		}
+		if labelSub != "" && !strings.Contains(rest, labelSub) {
+			continue
+		}
+		i := strings.LastIndexByte(rest, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(rest[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		sum += v
+		found = true
+	}
+	return sum, found
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	devices := []string{"vc4", "sgx"}
+	s, err := serve.New(serve.Config{
+		Devices:    devices,
+		QueueDepth: 128,
+		MaxBatch:   8,
+		MaxRunners: 1, // force sum<->sgemm evictions so the tensor pool gets traffic
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-enqueue a deterministic warm-up per device before the workers
+	// start: three same-key sums coalesce into one batch, and the
+	// sgemm/sum alternation under MaxRunners=1 makes the rebuilt runner
+	// recycle pooled tensors.
+	bg := context.Background()
+	var warmup []*serve.Job
+	for _, dev := range devices {
+		for i := 0; i < 3; i++ {
+			j, err := s.Submit(bg, serve.Params{Device: dev, Kernel: "sum", N: e2eN, Seed: int64(i + 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			warmup = append(warmup, j)
+		}
+		j, err := s.Submit(bg, serve.Params{Device: dev, Kernel: "sgemm", N: e2eN, Block: 16, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmup = append(warmup, j)
+		j, err = s.Submit(bg, serve.Params{Device: dev, Kernel: "sum", N: e2eN, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmup = append(warmup, j)
+	}
+
+	ctx, cancel := context.WithCancel(bg)
+	ready := make(chan string, 1)
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- serve.ListenAndServe(ctx, "127.0.0.1:0", s, 30*time.Second, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not come up")
+	}
+	client := &serve.Client{Base: "http://" + addr}
+
+	for i, j := range warmup {
+		if _, err := j.Wait(bg); err != nil {
+			t.Fatalf("warmup job %d: %v", i, err)
+		}
+	}
+
+	// 64 concurrent jobs over HTTP, mixed kernels, both devices. Seeds
+	// repeat so the warm runners see rebinds, and every result is checked
+	// bit-for-bit against direct execution.
+	const jobs = 64
+	type jobSpec struct {
+		dev, kernel string
+		seed        int64
+	}
+	specs := make([]jobSpec, jobs)
+	direct := map[jobSpec][]float64{}
+	for i := range specs {
+		sp := jobSpec{dev: devices[i%2], kernel: "sum", seed: int64(i%4) + 1}
+		if i%4 == 3 {
+			sp.kernel = "sgemm"
+		}
+		specs[i] = sp
+		if _, ok := direct[sp]; !ok {
+			direct[sp] = directRun(t, sp.dev, sp.kernel, sp.seed)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs)
+	for i, sp := range specs {
+		wg.Add(1)
+		go func(i int, sp jobSpec) {
+			defer wg.Done()
+			p := serve.Params{Device: sp.dev, Kernel: sp.kernel, N: e2eN, Seed: sp.seed}
+			if sp.kernel == "sgemm" {
+				p.Block = 16
+			}
+			res, err := client.Do(bg, p)
+			if err != nil {
+				errs <- fmt.Errorf("job %d (%+v): %w", i, sp, err)
+				return
+			}
+			want := direct[sp]
+			if len(res.Out) != len(want) {
+				errs <- fmt.Errorf("job %d: got %d values, want %d", i, len(res.Out), len(want))
+				return
+			}
+			for k := range want {
+				if res.Out[k] != want[k] {
+					errs <- fmt.Errorf("job %d (%+v): out[%d] = %v, direct = %v (must be bit-identical)",
+						i, sp, k, res.Out[k], want[k])
+					return
+				}
+			}
+		}(i, sp)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	text, err := client.Metrics(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range devices {
+		label := fmt.Sprintf(`device=%q`, dev)
+		if v, ok := metricValue(text, "gles2gpgpud_tensor_pool_hit_rate", label); !ok || v <= 0 {
+			t.Errorf("%s: tensor pool hit rate = %v (found=%v), want > 0", dev, v, ok)
+		}
+		if v, ok := metricValue(text, "gles2gpgpud_coalesced_batches_total", label); !ok || v < 1 {
+			t.Errorf("%s: coalesced batches = %v (found=%v), want >= 1", dev, v, ok)
+		}
+		if v, ok := metricValue(text, "gles2gpgpud_jobs_completed_total", label); !ok || v < jobs/2 {
+			t.Errorf("%s: completed jobs = %v (found=%v), want >= %d", dev, v, ok, jobs/2)
+		}
+	}
+	if v, ok := metricValue(text, "gles2gpgpud_jobs_failed_total", ""); ok && v != 0 {
+		t.Errorf("failed jobs = %v, want 0", v)
+	}
+
+	// Shutdown drains cleanly.
+	cancel()
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler builds the daemon's HTTP API over a scheduler:
+//
+//	POST /v1/jobs     submit a job (Params JSON), respond with Result JSON
+//	GET  /v1/devices  served devices with live queue depths
+//	GET  /metrics     Prometheus text exposition
+//	GET  /healthz     liveness
+func Handler(s *Scheduler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var p Params
+		if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+			http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+			return
+		}
+		res, err := s.Do(r.Context(), p)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, res)
+		case errors.Is(err, ErrOverloaded):
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.RetryAfter(p.Device).Seconds())))
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		case errors.Is(err, ErrDraining), errors.Is(err, ErrStopped):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// Client went away; the status is never seen but close the
+			// exchange cleanly.
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		default:
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+	})
+	mux.HandleFunc("/v1/devices", func(w http.ResponseWriter, r *http.Request) {
+		type devInfo struct {
+			Name       string `json:"name"`
+			QueueDepth int    `json:"queue_depth"`
+		}
+		var out []devInfo
+		for _, d := range s.Devices() {
+			out = append(out, devInfo{Name: d, QueueDepth: s.QueueDepth(d)})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Serve runs the HTTP API on l until ctx is canceled, then drains: new
+// submissions get 503 while queued and in-flight jobs complete, and the
+// HTTP server shuts down once the queues are empty (bounded by
+// drainTimeout). The scheduler must not be started yet; Serve starts it.
+func Serve(ctx context.Context, l net.Listener, s *Scheduler, drainTimeout time.Duration) error {
+	s.Start()
+	srv := &http.Server{Handler: Handler(s)}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		s.Stop()
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := s.Drain(drainCtx)
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel2()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	<-errc
+	if drainErr != nil {
+		return fmt.Errorf("serve: drain: %w", drainErr)
+	}
+	return nil
+}
+
+// ListenAndServe is Serve on a fresh TCP listener. ready, when non-nil,
+// receives the bound address (useful with ":0") before requests are
+// accepted.
+func ListenAndServe(ctx context.Context, addr string, s *Scheduler, drainTimeout time.Duration, ready chan<- string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- l.Addr().String()
+	}
+	return Serve(ctx, l, s, drainTimeout)
+}

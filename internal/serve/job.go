@@ -1,0 +1,152 @@
+// Package serve is the GPGPU compute service built on the paper's
+// framework: a per-device scheduler that owns long-lived core Engines,
+// batches compatible jobs so kernel and tensor setup amortises across
+// requests, recycles texture allocations through the engines' residency
+// pools (the Fig. 5 reuse optimisation applied across jobs), and pushes
+// back under load with bounded queues. cmd/gles2gpgpud exposes it over
+// HTTP/JSON; gpgpurun -serve/-load embed the same scheduler and client.
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gles2gpgpu/internal/codec"
+	"gles2gpgpu/internal/timing"
+)
+
+// MaxJobSize is the largest matrix dimension the service admits — the
+// paper's evaluation size. Larger grids are rejected at validation, before
+// any engine work.
+const MaxJobSize = 1024
+
+// Params describes one compute job. Inputs are either carried inline (A/B,
+// flat row-major) or generated deterministically from Seed, so a client can
+// reproduce any job's inputs — and its exact result — offline.
+type Params struct {
+	// Device is the target platform: "vc4", "sgx" or "generic"
+	// (device.ByName vocabulary). Defaults to "vc4".
+	Device string `json:"device,omitempty"`
+	// Kernel is the workload: "sum", "sgemm" or "saxpy".
+	Kernel string `json:"kernel"`
+	// N is the matrix dimension (N×N inputs and output).
+	N int `json:"n"`
+	// Block is the sgemm block size; defaults to 16. Must divide N, and
+	// sgemm additionally needs a power-of-two N (the kernel's addressing
+	// arithmetic assumes it).
+	Block int `json:"block,omitempty"`
+	// Alpha is the saxpy scale factor, in [0,1] (the encoded domain).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Seed generates the inputs when A/B are absent: A gets seed, B gets
+	// seed+1, values uniform in [0, 0.999) like the benchmark harness.
+	Seed int64 `json:"seed,omitempty"`
+	// A and B are optional explicit inputs, flat row-major length N*N,
+	// values in [0,1) (the unit encoding range).
+	A []float64 `json:"a,omitempty"`
+	B []float64 `json:"b,omitempty"`
+}
+
+// Result is one completed job.
+type Result struct {
+	// Out is the output matrix, flat row-major length N*N. Go's JSON
+	// encoding round-trips float64 exactly, so equality against a local
+	// core run is bit-exact even through the HTTP daemon.
+	Out []float64 `json:"out"`
+	N   int       `json:"n"`
+	// Device and Kernel echo the placement.
+	Device string `json:"device"`
+	Kernel string `json:"kernel"`
+	// VirtualTime is the simulated device time the job consumed
+	// (picoseconds, timing.Time); HostNanos is wall-clock execution time on
+	// the worker, excluding queueing.
+	VirtualTime timing.Time `json:"virtual_time_ps"`
+	HostNanos   int64       `json:"host_nanos"`
+	// BatchSize is the size of the coalesced batch this job ran in (1 when
+	// it ran alone); BatchIndex is the job's position in it.
+	BatchSize  int `json:"batch_size"`
+	BatchIndex int `json:"batch_index"`
+}
+
+// kernelKey identifies the compiled-runner compatibility class: jobs with
+// equal keys can share one warm runner (and therefore one batch).
+type kernelKey struct {
+	kernel string
+	n      int
+	block  int
+	alpha  float64
+}
+
+func (k kernelKey) String() string {
+	if k.kernel == "sgemm" {
+		return fmt.Sprintf("sgemm/n=%d/b=%d", k.n, k.block)
+	}
+	return fmt.Sprintf("%s/n=%d", k.kernel, k.n)
+}
+
+// normalize validates p, applies defaults and returns its batching key.
+func (p *Params) normalize() (kernelKey, error) {
+	if p.Device == "" {
+		p.Device = "vc4"
+	}
+	if p.N <= 0 || p.N > MaxJobSize {
+		return kernelKey{}, fmt.Errorf("serve: n=%d outside [1, %d]", p.N, MaxJobSize)
+	}
+	for _, in := range [][]float64{p.A, p.B} {
+		if in == nil {
+			continue
+		}
+		if len(in) != p.N*p.N {
+			return kernelKey{}, fmt.Errorf("serve: inline input length %d, want %d", len(in), p.N*p.N)
+		}
+		for _, v := range in {
+			if v < 0 || v >= 1 {
+				return kernelKey{}, fmt.Errorf("serve: inline input value %g outside [0,1)", v)
+			}
+		}
+	}
+	key := kernelKey{kernel: p.Kernel, n: p.N}
+	switch p.Kernel {
+	case "sum":
+	case "sgemm":
+		if p.Block == 0 {
+			p.Block = 16
+		}
+		if p.N&(p.N-1) != 0 {
+			return kernelKey{}, fmt.Errorf("serve: sgemm needs a power-of-two n, got %d", p.N)
+		}
+		if p.Block < 1 || p.N%p.Block != 0 {
+			return kernelKey{}, fmt.Errorf("serve: sgemm block %d must divide n=%d", p.Block, p.N)
+		}
+		key.block = p.Block
+	case "saxpy":
+		if p.Alpha < 0 || p.Alpha > 1 {
+			return kernelKey{}, fmt.Errorf("serve: saxpy alpha %g outside [0,1]", p.Alpha)
+		}
+		key.alpha = p.Alpha
+	default:
+		return kernelKey{}, fmt.Errorf("serve: unknown kernel %q (want sum, sgemm or saxpy)", p.Kernel)
+	}
+	return key, nil
+}
+
+// Inputs materialises the job's input matrices: the inline ones when
+// present, otherwise deterministic Seed-derived values. Exported so tests
+// and clients can reproduce a job's exact inputs.
+func (p *Params) Inputs() (a, b *codec.Matrix) {
+	a = inputMatrix(p.N, p.A, p.Seed)
+	b = inputMatrix(p.N, p.B, p.Seed+1)
+	return a, b
+}
+
+func inputMatrix(n int, inline []float64, seed int64) *codec.Matrix {
+	m := codec.NewMatrix(n, n)
+	if inline != nil {
+		copy(m.Data, inline)
+		return m
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.Data {
+		m.Data[i] = rng.Float64() * 0.999
+	}
+	return m
+}

@@ -21,6 +21,7 @@ package shader
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"gles2gpgpu/internal/glsl"
@@ -327,7 +328,11 @@ type Program struct {
 
 	// jit caches the closure-compiled form of the program (see jit.go),
 	// built lazily on first execution and keyed by cost-model identity.
-	jit atomic.Pointer[Compiled]
+	// jitMu serialises cache fills so concurrent engines sharing one
+	// Program (a serving worker pool) compile it exactly once; reads stay
+	// lock-free through the atomic pointers.
+	jitMu sync.Mutex
+	jit   atomic.Pointer[Compiled]
 	// jitOpt caches the closure-compiled form of the optimised program
 	// (the OptProgram attached via SetOptimized).
 	jitOpt atomic.Pointer[Compiled]

@@ -159,9 +159,16 @@ func (c *Compiled) Run(env *Env) error {
 // It returns nil when p contains an opcode the closure backend does not
 // handle (callers fall back to the interpreter, which reports the error).
 // The one-entry cache is keyed by the CostModel pointer: a Program belongs
-// to one GLES context and therefore one device profile, so the key never
-// thrashes in practice; a racing first use at worst compiles twice.
+// to one device profile — serving pools share Programs across engines, but
+// all engines of a pool share one Profile — so the key never thrashes in
+// practice. Reads are lock-free; fills are serialised under jitMu so
+// concurrent engines racing on a cold shared kernel compile it once.
 func (p *Program) Compiled(cost *CostModel) *Compiled {
+	if c := p.jit.Load(); c != nil && c.cost == cost {
+		return c
+	}
+	p.jitMu.Lock()
+	defer p.jitMu.Unlock()
 	if c := p.jit.Load(); c != nil && c.cost == cost {
 		return c
 	}
@@ -183,6 +190,11 @@ func (p *Program) CompiledOpt(cost *CostModel) *Compiled {
 	if o == nil {
 		return p.Compiled(cost)
 	}
+	if c := p.jitOpt.Load(); c != nil && c.cost == cost && c.opt == o {
+		return c
+	}
+	p.jitMu.Lock()
+	defer p.jitMu.Unlock()
 	if c := p.jitOpt.Load(); c != nil && c.cost == cost && c.opt == o {
 		return c
 	}
