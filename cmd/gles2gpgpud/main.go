@@ -36,6 +36,8 @@ func main() {
 	poolBytes := flag.Int("poolbytes", 32<<20, "tensor residency pool budget per engine, bytes (negative disables)")
 	runners := flag.Int("runners", 4, "warm-runner cache size per worker")
 	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "max time to finish queued jobs on shutdown")
+	notile := flag.Bool("notile", false, "shade in horizontal bands instead of the tile-binned fragment engine (host time only; results are bit-identical)")
+	tilesize := flag.Int("tilesize", 0, "tile edge length of the tiled fragment engine (0: default 32)")
 	flag.Parse()
 
 	s, err := serve.New(serve.Config{
@@ -45,6 +47,8 @@ func main() {
 		MaxBatch:        *maxBatch,
 		TensorPoolBytes: *poolBytes,
 		MaxRunners:      *runners,
+		NoTiling:        *notile,
+		TileSize:        *tilesize,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gles2gpgpud: %v\n", err)

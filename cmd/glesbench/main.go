@@ -11,7 +11,9 @@
 //	glesbench -iters 100    # repetitions per configuration
 //	glesbench -nojit        # reference interpreter instead of the compiled engine
 //	glesbench -nopasses     # disable the host shader optimisation passes
-//	glesbench -micro        # add shader-exec microbenchmarks (passes on vs off)
+//	glesbench -notile       # band shading instead of the tile-binned engine
+//	glesbench -tilesize 16  # tile edge length of the tiled engine
+//	glesbench -micro        # add shader-exec and sampling microbenchmarks
 //	glesbench -benchjson f  # machine-readable host-time results to f
 package main
 
@@ -29,6 +31,8 @@ import (
 
 	"gles2gpgpu/internal/bench"
 	"gles2gpgpu/internal/core"
+	"gles2gpgpu/internal/gles"
+	"gles2gpgpu/internal/raster"
 	"gles2gpgpu/internal/shader"
 )
 
@@ -41,6 +45,9 @@ type benchJSON struct {
 	Workers     int          `json:"workers"`
 	JIT         bool         `json:"jit"`
 	Passes      bool         `json:"passes"`
+	Tiling      bool         `json:"tiling"`
+	TileSize    int          `json:"tile_size"`
+	QuadFast    bool         `json:"quad_fast"`
 	Figures     []figureTime `json:"figures"`
 	TotalHostMS float64      `json:"total_host_ms"`
 }
@@ -58,7 +65,9 @@ func main() {
 	workers := flag.Int("workers", 0, "host fragment-shading workers (0: GLES2GPGPU_WORKERS or GOMAXPROCS, 1: serial); virtual-time results are identical at any setting")
 	nojit := flag.Bool("nojit", false, "run shaders on the reference interpreter instead of the closure-compiled engine (A/B escape hatch; results are bit-identical, only host time changes)")
 	nopasses := flag.Bool("nopasses", false, "disable the host shader optimisation passes (A/B escape hatch; the passes are cycle-neutral, so results are bit-identical, only host time changes)")
-	micro := flag.Bool("micro", false, "also run the shader-execution microbenchmarks ({interp,jit} x {passes on,off}); results go to stderr and -benchjson, never stdout")
+	notile := flag.Bool("notile", false, "shade in horizontal bands instead of the tile-binned fragment engine (A/B escape hatch; results are bit-identical, only host time changes)")
+	tilesize := flag.Int("tilesize", 0, "tile edge length of the tiled fragment engine (0: default 32)")
+	micro := flag.Bool("micro", false, "also run the shader-execution and texture-sampling microbenchmarks; results go to stderr and -benchjson, never stdout")
 	benchjson := flag.String("benchjson", "", "write machine-readable per-figure host times (JSON) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -97,8 +106,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	o := bench.Opts{PaperSize: *size, CalibSize: *calib, Iters: *iters, Workers: *workers, NoJIT: *nojit, NoPasses: *nopasses}
+	o := bench.Opts{
+		PaperSize: *size, CalibSize: *calib, Iters: *iters, Workers: *workers,
+		NoJIT: *nojit, NoPasses: *nopasses, NoTiling: *notile, TileSize: *tilesize,
+	}
 	devs := bench.Devices()
+	tileSize := *tilesize
+	if tileSize == 0 {
+		tileSize = gles.DefaultTileSize
+	}
 	report := benchJSON{
 		Schema:     "gles2gpgpu.bench/1",
 		GoVersion:  runtime.Version(),
@@ -106,6 +122,9 @@ func main() {
 		Workers:    *workers,
 		JIT:        !*nojit && shader.DefaultJIT(),
 		Passes:     !*nopasses && shader.DefaultPasses(),
+		Tiling:     !*notile && gles.DefaultTiling(),
+		TileSize:   tileSize,
+		QuadFast:   raster.QuadFast(),
 	}
 	recordHost := func(name string, d time.Duration) {
 		fmt.Fprintf(os.Stderr, "glesbench: figure %s: host %v\n", name, d.Round(time.Millisecond))
@@ -207,6 +226,29 @@ func main() {
 			name := r.Name()
 			fmt.Fprintf(os.Stderr, "glesbench: %s: %d invocations, %d cycles, host %.3fms\n",
 				name, r.Invocations, r.Cycles, r.HostMS)
+			report.Figures = append(report.Figures, figureTime{Figure: name, HostMS: r.HostMS})
+			report.TotalHostMS += r.HostMS
+		}
+		sampling, err := bench.SamplingMicro(ctx, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "glesbench: micro: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range sampling {
+			name := r.Name()
+			fmt.Fprintf(os.Stderr, "glesbench: %s: %d fetches, host %.3fms\n", name, r.Fetches, r.HostMS)
+			report.Figures = append(report.Figures, figureTime{Figure: name, HostMS: r.HostMS})
+			report.TotalHostMS += r.HostMS
+		}
+		fragpath, err := bench.FragMicro(ctx, 0, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "glesbench: micro: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range fragpath {
+			name := r.Name()
+			fmt.Fprintf(os.Stderr, "glesbench: %s: %d fragments x %d draws, host %.3fms\n",
+				name, r.Fragments, r.Draws, r.HostMS)
 			report.Figures = append(report.Figures, figureTime{Figure: name, HostMS: r.HostMS})
 			report.TotalHostMS += r.HostMS
 		}

@@ -1,0 +1,125 @@
+package bench
+
+// Fragment-path microbenchmark: the host cost of the per-fragment pipeline
+// around the shader core — rasterisation, varying interpolation and the
+// sum kernel's two texel fetches — on the canonical GPGPU geometry, a
+// full-viewport quad at n=1024. This isolates exactly what PR 5 optimises
+// (the paper's thesis is that this plumbing, not kernel arithmetic,
+// dominates): the "fast" configuration runs the quad fast path with
+// draw-time-specialized samplers, the "baseline" configuration disables
+// the quad fast path and fetches through the generic per-fetch sampler —
+// the per-fragment machinery exactly as it was before the tiled engine.
+// Both configurations fold every fetched texel into a checksum that must
+// agree bit-for-bit, and must cover the same fragment count.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"gles2gpgpu/internal/gles"
+	"gles2gpgpu/internal/raster"
+	"gles2gpgpu/internal/shader"
+)
+
+// FragPathResult is one fragment-path measurement.
+type FragPathResult struct {
+	Config    string // "fast" or "baseline"
+	N         int    // viewport edge length
+	Fragments int    // fragments shaded per draw (n*n over the two triangles)
+	Draws     int
+	HostMS    float64
+	Checksum  uint32
+}
+
+// Name is the stable figure label, e.g. "micro/fragpath/sum1024/fast".
+func (r FragPathResult) Name() string {
+	return fmt.Sprintf("micro/fragpath/sum%d/%s", r.N, r.Config)
+}
+
+// fullQuad builds the two viewport-filling triangles every kernel in this
+// repository draws, with one varying carrying the 0..1 texcoord.
+func fullQuad(n int) [2]raster.Triangle {
+	mk := func(x, y float32) raster.Vertex {
+		v := raster.Vertex{Pos: shader.Vec4{x, y, 0, 1}, NumVar: 1}
+		v.Varyings[0] = shader.Vec4{x*0.5 + 0.5, y*0.5 + 0.5, 0, 0}
+		return v
+	}
+	bl, br, tl, tr := mk(-1, -1), mk(1, -1), mk(-1, 1), mk(1, 1)
+	t0, ok0 := raster.Setup(&bl, &br, &tl, n, n)
+	t1, ok1 := raster.Setup(&br, &tr, &tl, n, n)
+	if !ok0 || !ok1 {
+		panic("bench: fragpath quad setup failed")
+	}
+	return [2]raster.Triangle{t0, t1}
+}
+
+// FragMicro measures the sum-kernel fragment path at n×n (0 means 1024),
+// draws times per configuration (0 means 4). The shader core is replaced
+// by the cheapest possible consumer so the measurement is the pipeline
+// itself; the real end-to-end effect appears in the dispatch figures of
+// BENCH_PR5.json.
+func FragMicro(ctx context.Context, n, draws int) ([]FragPathResult, error) {
+	if n <= 0 {
+		n = 1024
+	}
+	if draws <= 0 {
+		draws = 4
+	}
+	rng := rand.New(rand.NewSource(7))
+	mkTexData := func() []byte {
+		d := make([]byte, n*n*4)
+		rng.Read(d)
+		return d
+	}
+	texA := gles.NewBenchTexture(n, n, gles.NEAREST, gles.CLAMP_TO_EDGE, gles.CLAMP_TO_EDGE, mkTexData())
+	texB := gles.NewBenchTexture(n, n, gles.NEAREST, gles.CLAMP_TO_EDGE, gles.CLAMP_TO_EDGE, mkTexData())
+	tris := fullQuad(n)
+
+	wasFast := raster.QuadFast()
+	defer raster.SetQuadFast(wasFast)
+
+	configs := []struct {
+		name string
+		fast bool
+		a, b shader.TexFunc
+	}{
+		{"fast", true, texA.SpecializedSampler(), texB.SpecializedSampler()},
+		{"baseline", false, texA.GenericSampler(), texB.GenericSampler()},
+	}
+	var out []FragPathResult
+	for _, cfg := range configs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		raster.SetQuadFast(cfg.fast)
+		var sum uint32
+		frags := 0
+		emit := func(x, y int, fc shader.Vec4, varyings []shader.Vec4) {
+			uv := varyings[0]
+			ta := cfg.a(uv[0], uv[1])
+			tb := cfg.b(uv[0], uv[1])
+			sum = sum*31 + math.Float32bits(ta[0]+tb[0]) + math.Float32bits(ta[3]+tb[3])
+			frags++
+		}
+		start := time.Now()
+		for d := 0; d < draws; d++ {
+			for i := range tris {
+				tris[i].RasterizeRect(0, 0, n-1, n-1, emit)
+			}
+		}
+		host := time.Since(start)
+		out = append(out, FragPathResult{
+			Config: cfg.name, N: n, Fragments: frags / draws, Draws: draws,
+			HostMS:   float64(host.Microseconds()) / 1000,
+			Checksum: sum,
+		})
+	}
+	if out[0].Checksum != out[1].Checksum || out[0].Fragments != out[1].Fragments {
+		return nil, fmt.Errorf("bench: fragpath: fast %d frags checksum %08x != baseline %d frags checksum %08x (bit-identity broken)",
+			out[0].Fragments, out[0].Checksum, out[1].Fragments, out[1].Checksum)
+	}
+	return out, nil
+}

@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+// TestSamplingMicroBitIdentity runs every sampler configuration with a small
+// fetch budget; SamplingMicro itself errors if the specialized and generic
+// checksums ever diverge.
+func TestSamplingMicroBitIdentity(t *testing.T) {
+	results, err := SamplingMicro(context.Background(), 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("got %d results, want 8 (4 configs x spec/generic)", len(results))
+	}
+}
+
+// TestFragMicroBitIdentity runs the fragment-path measurement on a small
+// grid; FragMicro errors if the fast and baseline pipelines disagree on
+// fragment count or any fetched texel bit.
+func TestFragMicroBitIdentity(t *testing.T) {
+	results, err := FragMicro(context.Background(), 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.Fragments != 64*64 {
+			t.Errorf("%s: covered %d fragments, want %d", r.Name(), r.Fragments, 64*64)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package bench
+
+// Texture-sampling microbenchmarks: how fast the host serves one texel
+// fetch, across {nearest, bilinear} × {clamp, repeat} × {specialized,
+// generic}. Draw-time sampler specialization's entire effect is host time
+// — the returned texels are bit-identical by contract — so this is where
+// its speedup is visible in isolation, mirroring what the Micro
+// measurements do for the optimisation passes. Each configuration folds
+// its outputs into a checksum and the generic/specialized pair must agree
+// exactly, cross-checking the bit-identity contract on every run.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"gles2gpgpu/internal/gles"
+	"gles2gpgpu/internal/shader"
+)
+
+// SamplingResult is one sampling microbenchmark measurement.
+type SamplingResult struct {
+	Config      string // e.g. "nearest-clamp"
+	Specialized bool
+	Fetches     int
+	HostMS      float64
+	// Checksum folds every returned texel bit pattern; identical between
+	// the specialized and generic run of a configuration by contract.
+	Checksum uint32
+}
+
+// Name is the stable figure label, e.g. "micro/sample/nearest-clamp/spec".
+func (r SamplingResult) Name() string {
+	mode := "generic"
+	if r.Specialized {
+		mode = "spec"
+	}
+	return fmt.Sprintf("micro/sample/%s/%s", r.Config, mode)
+}
+
+// SamplingMicro measures every filter/wrap configuration with both the
+// specialized and the generic fetch path, fetches fetches per run (0 means
+// 1<<20). The coordinate stream is deterministic and shared by both paths;
+// mismatched checksums (a bit-identity violation) are an error.
+func SamplingMicro(ctx context.Context, fetches int) ([]SamplingResult, error) {
+	if fetches <= 0 {
+		fetches = 1 << 20
+	}
+	const texN = 256
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, texN*texN*4)
+	rng.Read(data)
+
+	// Coordinate stream: mostly in-range with a tail of out-of-range and
+	// far-negative values so wrapping code runs on its real distribution.
+	coords := make([][2]float32, 4096)
+	for i := range coords {
+		switch i % 8 {
+		case 6:
+			coords[i] = [2]float32{rng.Float32()*8 - 4, rng.Float32()*8 - 4}
+		case 7:
+			coords[i] = [2]float32{rng.Float32() - 1000, rng.Float32() + 1000}
+		default:
+			coords[i] = [2]float32{rng.Float32(), rng.Float32()}
+		}
+	}
+
+	configs := []struct {
+		name      string
+		magFilter gles.Enum
+		wrap      gles.Enum
+	}{
+		{"nearest-clamp", gles.NEAREST, gles.CLAMP_TO_EDGE},
+		{"nearest-repeat", gles.NEAREST, gles.REPEAT},
+		{"bilinear-clamp", gles.LINEAR, gles.CLAMP_TO_EDGE},
+		{"bilinear-repeat", gles.LINEAR, gles.REPEAT},
+	}
+	var out []SamplingResult
+	for _, cfg := range configs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		tex := gles.NewBenchTexture(texN, texN, cfg.magFilter, cfg.wrap, cfg.wrap, data)
+		var pair [2]SamplingResult
+		for i, fn := range []shader.TexFunc{tex.SpecializedSampler(), tex.GenericSampler()} {
+			var sum uint32
+			start := time.Now()
+			for f := 0; f < fetches; f++ {
+				c := coords[f&(len(coords)-1)]
+				texel := fn(c[0], c[1])
+				sum = sum*31 + math.Float32bits(texel[0]) + math.Float32bits(texel[3])
+			}
+			host := time.Since(start)
+			pair[i] = SamplingResult{
+				Config: cfg.name, Specialized: i == 0, Fetches: fetches,
+				HostMS:   float64(host.Microseconds()) / 1000,
+				Checksum: sum,
+			}
+		}
+		if pair[0].Checksum != pair[1].Checksum {
+			return nil, fmt.Errorf("bench: sampling %s: specialized checksum %08x != generic %08x (bit-identity broken)",
+				cfg.name, pair[0].Checksum, pair[1].Checksum)
+		}
+		out = append(out, pair[0], pair[1])
+	}
+	return out, nil
+}

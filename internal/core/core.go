@@ -143,6 +143,16 @@ type Config struct {
 	// figures are bit-identical either way.
 	NoPasses bool
 
+	// NoTiling disables the tile-binned fragment engine, shading eligible
+	// parallel draws in horizontal bands instead (the library equivalent
+	// of GLES2GPGPU_NO_TILING=1). Like NoJIT it changes host wall-clock
+	// time only: results and virtual-time figures are bit-identical.
+	NoTiling bool
+
+	// TileSize overrides the edge length of the square screen tiles the
+	// tiled fragment engine bins into. 0 means gles.DefaultTileSize.
+	TileSize int
+
 	// StrictLinkLimits makes glLinkProgram additionally enforce the
 	// dataflow-derived device limits (dependent-texture-read depth, live
 	// temporary pressure) that compile-time counting cannot see, the way
@@ -246,6 +256,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if cfg.NoPasses {
 		e.gl.SetPasses(false)
+	}
+	if cfg.NoTiling {
+		e.gl.SetTiling(false)
+	}
+	if cfg.TileSize != 0 {
+		e.gl.SetTileSize(cfg.TileSize)
 	}
 	if cfg.StrictLinkLimits {
 		e.gl.SetStrictLimits(true)

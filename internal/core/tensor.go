@@ -115,7 +115,9 @@ func (t *Tensor) Read() (*codec.Matrix, error) {
 		gl.BindFramebuffer(gles.FRAMEBUFFER, 0)
 		return nil, fmt.Errorf("core: readback FBO incomplete (0x%04X)", uint32(st))
 	}
-	buf := make([]byte, t.Rows*t.Cols*4)
+	// The engine scratch buffer is safe here: DecodeTexture copies the
+	// bytes out into the matrix before the next engine call can reuse it.
+	buf := t.e.scratch(t.Rows * t.Cols * 4)
 	gl.ReadPixels(0, 0, t.Cols, t.Rows, gles.RGBA, gles.UNSIGNED_BYTE, buf)
 	gl.BindFramebuffer(gles.FRAMEBUFFER, 0)
 	if err := t.e.glErr("tensor read"); err != nil {

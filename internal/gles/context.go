@@ -230,6 +230,14 @@ type Context struct {
 	// bytes and virtual time bit-identical; only host work changes.
 	passes bool
 
+	// tiling selects the tile-binned fragment engine for eligible parallel
+	// draws (see tiled.go): triangles are binned into tileSize×tileSize
+	// screen tiles and tiles become the parallel work unit, the traversal
+	// order of the tile-based GPUs the simulator models. Results are
+	// bit-identical to band or serial shading; only host scheduling changes.
+	tiling   bool
+	tileSize int
+
 	// strictLimits makes LinkProgram reject programs whose analysis-based
 	// resource counts (worst-path instructions/tex fetches,
 	// dependent-read depth, linear-scan register pressure) exceed the
@@ -253,6 +261,15 @@ type Context struct {
 // defaultStrictLimits reads the GLES2GPGPU_STRICT_LIMITS environment
 // toggle for new contexts.
 func defaultStrictLimits() bool { return os.Getenv("GLES2GPGPU_STRICT_LIMITS") != "" }
+
+// DefaultTileSize is the edge length of the square screen tiles the tiled
+// fragment engine bins into. 32 matches the binning granularity class of
+// the paper's tile-based parts (VideoCore IV, PowerVR SGX).
+const DefaultTileSize = 32
+
+// DefaultTiling reads the GLES2GPGPU_NO_TILING environment toggle for new
+// contexts: tiling is on unless the variable is set.
+func DefaultTiling() bool { return os.Getenv("GLES2GPGPU_NO_TILING") == "" }
 
 // Framebuffer is a framebuffer object with a colour attachment.
 type Framebuffer struct {
@@ -283,6 +300,8 @@ func NewContext(ec *egl.Context) *Context {
 		workers:      defaultWorkers(),
 		jit:          shader.DefaultJIT(),
 		passes:       shader.DefaultPasses(),
+		tiling:       DefaultTiling(),
+		tileSize:     DefaultTileSize,
 		strictLimits: defaultStrictLimits(),
 	}
 	c.colorMask = [4]bool{true, true, true, true}
@@ -351,6 +370,29 @@ func (c *Context) SetPasses(on bool) { c.passes = on }
 
 // Passes reports whether the optimised program form is selected.
 func (c *Context) Passes() bool { return c.passes }
+
+// SetTiling selects the tile-binned fragment engine for eligible parallel
+// draws: triangles are binned into screen tiles (SetTileSize) and shaded
+// tile-by-tile with dynamic work distribution, instead of in fixed
+// horizontal bands. Framebuffer bytes and all virtual-time figures are
+// bit-identical either way; only host scheduling changes. The default
+// comes from GLES2GPGPU_NO_TILING (tiling on unless set).
+func (c *Context) SetTiling(on bool) { c.tiling = on }
+
+// Tiling reports whether the tile-binned fragment engine is selected.
+func (c *Context) Tiling() bool { return c.tiling }
+
+// SetTileSize sets the square tile edge length of the tiled fragment
+// engine. n <= 0 restores DefaultTileSize.
+func (c *Context) SetTileSize(n int) {
+	if n <= 0 {
+		n = DefaultTileSize
+	}
+	c.tileSize = n
+}
+
+// TileSize returns the configured tile edge length.
+func (c *Context) TileSize() int { return c.tileSize }
 
 // SetStrictLimits toggles analysis-based device-limit enforcement at
 // LinkProgram time: when on, programs whose worst-path resource counts

@@ -165,12 +165,11 @@ func (c *Context) executeDraw(p *Program, tgt renderTarget, mode Enum, first, co
 	vsEnv, fsEnv := c.vsEnv, c.fsEnv
 	vsEnv.Uniforms = p.vsUniforms
 	fsEnv.Uniforms = p.fsUniforms
-	fsEnv.Sample = func(idx int, u, v float32) shader.Vec4 {
-		if idx < 0 || idx >= len(samplers) {
-			return shader.Vec4{0, 0, 0, 1}
-		}
-		return shader.Vec4(sampleTexture(samplers[idx], u, v))
-	}
+	// Draw-time sampler specialization: per-slot fetch functions resolved
+	// once, with the generic closure retained for out-of-range slots.
+	texFns := specializeSamplers(samplers)
+	fsEnv.Samplers = texFns
+	fsEnv.Sample = envSampler(samplers)
 
 	cost := &c.prof.CostModel
 	execVS := shader.Executor(vp, cost, c.jit, c.passes)
@@ -271,7 +270,12 @@ func (c *Context) executeDraw(p *Program, tgt renderTarget, mode Enum, first, co
 		setups = append(setups, t)
 	}
 	if c.parallelEligible(fp, estFrags) {
-		if st, ok := c.shadeTrianglesParallel(p, tgt, setups, vpX, vpY, samplers); ok {
+		if c.tiling {
+			if st, ok := c.shadeTrianglesTiled(p, tgt, setups, vpX, vpY, samplers, texFns); ok {
+				return st
+			}
+		}
+		if st, ok := c.shadeTrianglesParallel(p, tgt, setups, vpX, vpY, samplers, texFns); ok {
 			return st
 		}
 	}
@@ -281,6 +285,9 @@ func (c *Context) executeDraw(p *Program, tgt renderTarget, mode Enum, first, co
 	startTex := fsEnv.TexFetches
 	fcReg := p.fragCoordReg
 	mask := c.colorMask
+	// The gl_FragColor register is draw-invariant: resolve the map lookup
+	// once instead of per fragment.
+	out, hasOut := fp.LookupOutput("gl_FragColor")
 
 	for ti := range setups {
 		setups[ti].Rasterize(func(x, y int, fc shader.Vec4, varyings []shader.Vec4) {
@@ -299,11 +306,7 @@ func (c *Context) executeDraw(p *Program, tgt renderTarget, mode Enum, first, co
 				return
 			}
 			st.fragments++
-			if fsEnv.Discarded {
-				return
-			}
-			out, ok := fp.LookupOutput("gl_FragColor")
-			if !ok {
+			if fsEnv.Discarded || !hasOut {
 				return
 			}
 			col := fsEnv.Outputs[out.Reg]
@@ -359,7 +362,7 @@ func (c *Context) rasterizePoints(p *Program, tgt renderTarget, verts []raster.V
 	}
 	if c.parallelEligible(fp, estFrags) && len(rects) >= 2 &&
 		c.pointRectsDisjoint(rects, tgt, vpX, vpY, vpW, vpH) {
-		return c.shadePointsParallel(p, tgt, verts, rects, vpX, vpY, vpW, vpH, samplers)
+		return c.shadePointsParallel(p, tgt, verts, rects, vpX, vpY, vpW, vpH, samplers, fsEnv.Samplers)
 	}
 
 	out, hasOut := fp.LookupOutput("gl_FragColor")

@@ -243,7 +243,15 @@ func (c *Context) CopyTexImage2D(target Enum, level int, internalFormat Enum, x,
 	t.W, t.H = w, h
 	t.allocated = true
 	if !c.timingOnly {
-		t.data = make([]byte, size)
+		// The simulated allocation above models the driver cost; host-side,
+		// reuse the texture's previous storage when it still fits — every
+		// byte of [0, size) is overwritten by the row copies below, so stale
+		// contents cannot leak.
+		if cap(t.data) >= size {
+			t.data = t.data[:size]
+		} else {
+			t.data = make([]byte, size)
+		}
 		for row := 0; row < h; row++ {
 			src := ((y+row)*tgt.w + x) * 4
 			copy(t.data[row*w*4:(row+1)*w*4], tgt.pixels[src:src+w*4])

@@ -160,7 +160,7 @@ func envSampler(samplers []*Texture) shader.SampleFunc {
 // than two bands (degenerate row ranges), in which case the caller shades
 // serially. VM errors (compiler bugs) abort the failing band's remaining
 // fragments only, mirroring the serial path's skip-fragment behaviour.
-func (c *Context) shadeTrianglesParallel(p *Program, tgt renderTarget, setups []raster.Triangle, vpX, vpY int, samplers []*Texture) (drawStats, bool) {
+func (c *Context) shadeTrianglesParallel(p *Program, tgt renderTarget, setups []raster.Triangle, vpX, vpY int, samplers []*Texture, texFns []shader.TexFunc) (drawStats, bool) {
 	minY, maxY := int(^uint(0)>>1), -int(^uint(0)>>1)-1
 	for i := range setups {
 		_, y0, _, y1 := setups[i].Bounds()
@@ -194,6 +194,7 @@ func (c *Context) shadeTrianglesParallel(p *Program, tgt renderTarget, setups []
 			env := pool.Get()
 			env.Uniforms = p.fsUniforms
 			env.Sample = sample
+			env.Samplers = texFns
 			startCycles, startTex := env.Cycles, env.TexFetches
 			var frags int64
 			for ti := range setups {
@@ -281,7 +282,7 @@ func (c *Context) pointRectsDisjoint(rects []pointRect, tgt renderTarget, vpX, v
 // partitioning the points across workers. Every pixel is written at most
 // once, so ordering between workers is irrelevant and blending reads a
 // pristine destination exactly as serial execution would.
-func (c *Context) shadePointsParallel(p *Program, tgt renderTarget, verts []raster.Vertex, rects []pointRect, vpX, vpY, vpW, vpH int, samplers []*Texture) drawStats {
+func (c *Context) shadePointsParallel(p *Program, tgt renderTarget, verts []raster.Vertex, rects []pointRect, vpX, vpY, vpW, vpH int, samplers []*Texture, texFns []shader.TexFunc) drawStats {
 	fp := p.fsProg
 	out, hasOut := fp.LookupOutput("gl_FragColor")
 	mask := c.colorMask
@@ -308,6 +309,7 @@ func (c *Context) shadePointsParallel(p *Program, tgt renderTarget, verts []rast
 			env := pool.Get()
 			env.Uniforms = p.fsUniforms
 			env.Sample = sample
+			env.Samplers = texFns
 			startCycles, startTex := env.Cycles, env.TexFetches
 			var frags int64
 		points:

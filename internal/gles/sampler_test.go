@@ -1,0 +1,247 @@
+package gles
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mkTex builds an allocated texture with random contents.
+func mkTex(rng *rand.Rand, w, h int, minF, magF, wrapS, wrapT Enum) *Texture {
+	data := make([]byte, w*h*4)
+	rng.Read(data)
+	return &Texture{
+		W: w, H: h, data: data, allocated: true,
+		minFilter: minF, magFilter: magF, wrapS: wrapS, wrapT: wrapT,
+	}
+}
+
+// refWrap is the straightforward float64 wrap: REPEAT keeps the fractional
+// part in [0,1), CLAMP_TO_EDGE clamps to [0,1].
+func refWrap(mode Enum, x float64) float64 {
+	if mode == REPEAT {
+		return x - math.Floor(x)
+	}
+	return math.Max(0, math.Min(1, x))
+}
+
+// refIndex maps a wrapped coordinate to a texel index, clamped like the
+// spec's edge rule.
+func refIndex(x float64, n int) int {
+	i := int(math.Floor(x * float64(n)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// refNearest is the reference nearest-neighbour sampler.
+func refNearest(t *Texture, u, v float64) (ix, iy int) {
+	return refIndex(refWrap(t.wrapS, u), t.W), refIndex(refWrap(t.wrapT, v), t.H)
+}
+
+// refBilinear is the reference bilinear sampler in float64.
+func refBilinear(t *Texture, u, v float64) [4]float64 {
+	fu := refWrap(t.wrapS, u)*float64(t.W) - 0.5
+	fv := refWrap(t.wrapT, v)*float64(t.H) - 0.5
+	ix, iy := int(math.Floor(fu)), int(math.Floor(fv))
+	ax, ay := fu-math.Floor(fu), fv-math.Floor(fv)
+	tex := func(x, y int) [4]float64 {
+		if x < 0 {
+			x = 0
+		}
+		if y < 0 {
+			y = 0
+		}
+		if x >= t.W {
+			x = t.W - 1
+		}
+		if y >= t.H {
+			y = t.H - 1
+		}
+		off := (y*t.W + x) * 4
+		var out [4]float64
+		for i := 0; i < 4; i++ {
+			out[i] = float64(t.data[off+i]) / 255
+		}
+		return out
+	}
+	c00, c10 := tex(ix, iy), tex(ix+1, iy)
+	c01, c11 := tex(ix, iy+1), tex(ix+1, iy+1)
+	var out [4]float64
+	for i := 0; i < 4; i++ {
+		top := c00[i]*(1-ax) + c10[i]*ax
+		bot := c01[i]*(1-ax) + c11[i]*ax
+		out[i] = top*(1-ay) + bot*ay
+	}
+	return out
+}
+
+// texelMidCoord returns a float32 coordinate aiming at the middle of texel
+// i of n plus an integer period offset, far enough from texel boundaries
+// that float32 rounding cannot change the selected texel.
+func texelMidCoord(rng *rand.Rand, i, n, period int) float32 {
+	r := 0.25 + rng.Float64()*0.5
+	return float32((float64(i)+r)/float64(n) + float64(period))
+}
+
+// TestRepeatWrappingProperty drives nearest sampling with REPEAT against
+// the reference sampler over many periods, including large negative
+// coordinates: for coordinates aimed at texel middles the selected texel
+// must match the mathematical wrap exactly.
+func TestRepeatWrappingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	periods := []int{0, 1, -1, 2, -2, 17, -17, 1000, -1000, 12345, -12345}
+	for trial := 0; trial < 50; trial++ {
+		w, h := 1+rng.Intn(64), 1+rng.Intn(64)
+		tex := mkTex(rng, w, h, NEAREST, NEAREST, REPEAT, REPEAT)
+		for k := 0; k < 40; k++ {
+			ix, iy := rng.Intn(w), rng.Intn(h)
+			u := texelMidCoord(rng, ix, w, periods[rng.Intn(len(periods))])
+			v := texelMidCoord(rng, iy, h, periods[rng.Intn(len(periods))])
+			rx, ry := refNearest(tex, float64(u), float64(v))
+			if rx != ix || ry != iy {
+				// Period offset shifted the reference texel only if float32
+				// rounding of the coordinate moved it; texelMidCoord's
+				// margin forbids that for these magnitudes.
+				t.Fatalf("reference disagrees with construction: (%d,%d) vs (%d,%d)", rx, ry, ix, iy)
+			}
+			got := sampleTexture(tex, u, v)
+			off := (iy*w + ix) * 4
+			const inv = 1.0 / 255.0
+			for c := 0; c < 4; c++ {
+				want := float32(tex.data[off+c]) * inv
+				if got[c] != want {
+					t.Fatalf("w=%d h=%d u=%v v=%v ch%d: got %v want %v (texel %d,%d)",
+						w, h, u, v, c, got[c], want, ix, iy)
+				}
+			}
+		}
+	}
+}
+
+// TestBilinearEdgeClampProperty checks bilinear filtering against the
+// float64 reference (within float32 arithmetic tolerance) with emphasis on
+// the clamped edges, and checks the exact edge-extension property: with
+// CLAMP_TO_EDGE, any coordinate at or beyond an edge samples identically
+// to the edge itself.
+func TestBilinearEdgeClampProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		w, h := 1+rng.Intn(32), 1+rng.Intn(32)
+		tex := mkTex(rng, w, h, LINEAR, LINEAR, CLAMP_TO_EDGE, CLAMP_TO_EDGE)
+		for k := 0; k < 60; k++ {
+			var u, v float32
+			switch k % 3 {
+			case 0: // interior
+				u, v = rng.Float32(), rng.Float32()
+			case 1: // hugging the edges
+				u, v = rng.Float32()*float32(1.5)/float32(w), 1-rng.Float32()*float32(1.5)/float32(h)
+			default: // outside: must clamp
+				u, v = -rng.Float32()*10, 1+rng.Float32()*10
+			}
+			got := sampleTexture(tex, u, v)
+			want := refBilinear(tex, float64(u), float64(v))
+			for c := 0; c < 4; c++ {
+				if math.Abs(float64(got[c])-want[c]) > 4e-6 {
+					t.Fatalf("w=%d h=%d u=%v v=%v ch%d: got %v want %v", w, h, u, v, c, got[c], want[c])
+				}
+			}
+		}
+		// Exact edge extension.
+		for k := 0; k < 20; k++ {
+			v := rng.Float32()
+			lo := sampleTexture(tex, 0, v)
+			for _, u := range []float32{-0.001, -1, -1e6, float32(math.Inf(-1))} {
+				if got := sampleTexture(tex, u, v); got != lo {
+					t.Fatalf("clamp-to-edge u=%v: got %v want %v", u, got, lo)
+				}
+			}
+			hi := sampleTexture(tex, 1, v)
+			for _, u := range []float32{1.001, 2, 1e6, float32(math.Inf(1))} {
+				if got := sampleTexture(tex, u, v); got != hi {
+					t.Fatalf("clamp-to-edge u=%v: got %v want %v", u, got, hi)
+				}
+			}
+		}
+	}
+}
+
+// TestSpecializedSamplerParity is the tentpole's bit-identity guarantee:
+// for every filter/wrap/completeness configuration, the draw-time
+// specialized sampler must return bytes bit-identical to the generic
+// sampleTexture path — including NaN and infinite coordinates, exact texel
+// boundaries and denormals.
+func TestSpecializedSamplerParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	nan := float32(math.NaN())
+	adversarial := []float32{
+		0, 1, -1, 0.5, nan, -nan,
+		float32(math.Inf(1)), float32(math.Inf(-1)),
+		float32(math.Copysign(0, -1)),
+		1e-40, -1e-40, 1e20, -1e20, 1234567, -1234567,
+	}
+	filters := []Enum{NEAREST, LINEAR}
+	wraps := []Enum{CLAMP_TO_EDGE, REPEAT}
+	for _, magF := range filters {
+		for _, wrapS := range wraps {
+			for _, wrapT := range wraps {
+				for _, minF := range []Enum{NEAREST, NEAREST_MIPMAP_LINEAR} {
+					w, h := 1+rng.Intn(16), 1+rng.Intn(16)
+					tex := mkTex(rng, w, h, minF, magF, wrapS, wrapT)
+					fn := specializeSampler(tex)
+					check := func(u, v float32) {
+						got := fn(u, v)
+						want := sampleTexture(tex, u, v)
+						same := true
+						for c := 0; c < 4; c++ {
+							if math.Float32bits(got[c]) != math.Float32bits(want[c]) {
+								same = false
+							}
+						}
+						if !same {
+							t.Fatalf("mag=0x%04X wrapS=0x%04X wrapT=0x%04X min=0x%04X u=%v v=%v: specialized %v generic %v",
+								uint32(magF), uint32(wrapS), uint32(wrapT), uint32(minF), u, v, got, want)
+						}
+					}
+					for _, u := range adversarial {
+						for _, v := range adversarial {
+							check(u, v)
+						}
+					}
+					for k := 0; k < 200; k++ {
+						check(rng.Float32()*3-1, rng.Float32()*3-1)
+					}
+					// Exact texel boundaries k/W, where rounding is most
+					// likely to diverge between implementations.
+					for k := 0; k <= w; k++ {
+						for j := 0; j <= h; j++ {
+							check(float32(k)/float32(w), float32(j)/float32(h))
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Unbound slot and nil texture.
+	if got := specializeSampler(nil)(0.5, 0.5); [4]float32(got) != [4]float32{0, 0, 0, 1} {
+		t.Fatalf("nil texture: got %v, want opaque black", got)
+	}
+	if fns := specializeSamplers(nil); fns != nil {
+		t.Fatalf("no samplers should yield nil slice")
+	}
+}
+
+// TestByteDecodeTableExact pins the decode table to texel()'s expression.
+func TestByteDecodeTableExact(t *testing.T) {
+	const inv = 1.0 / 255.0
+	for i := 0; i < 256; i++ {
+		if byteToF32[i] != float32(i)*inv {
+			t.Fatalf("byteToF32[%d] = %v, want %v", i, byteToF32[i], float32(i)*inv)
+		}
+	}
+}

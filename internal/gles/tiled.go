@@ -1,0 +1,207 @@
+package gles
+
+// Tile-binned fragment shading.
+//
+// The paper's platforms (VideoCore IV, PowerVR SGX) are tile-based
+// deferred renderers: the hardware bins primitives into fixed-size screen
+// tiles and shades tile-by-tile so the working set of framebuffer writes
+// and texture reads stays on-chip. This file gives the host engine the
+// same traversal. Triangles are binned once per draw into tileSize²-pixel
+// tiles, the non-empty tiles are compacted into a work list, and workers
+// claim tiles off an atomic counter — finishing a cheap tile immediately
+// frees a worker for the next, so load balance no longer depends on
+// fragment work being spread evenly across horizontal bands.
+//
+// Bit-identity follows the same argument as band shading (see
+// parallel.go): every pixel belongs to exactly one tile, each tile walks
+// ALL triangles overlapping it in submission order, so the per-pixel
+// sequence of shades and blends is exactly the serial one restricted to
+// that pixel. Fragment ORDER across pixels differs from serial, which is
+// why the tiled path sits behind the same parallelEligible gate
+// (WritesBeforeReads + OutputsAlwaysWritten prove fragments independent).
+// Counters are int64 sums over fragments, so per-worker subtotals merged
+// by addition reproduce the serial totals at any tile size.
+
+import (
+	"sync/atomic"
+
+	"gles2gpgpu/internal/raster"
+	"gles2gpgpu/internal/shader"
+)
+
+// tileBin is one non-empty screen tile: its inclusive pixel rectangle and
+// the indices of the set-up triangles whose bounding boxes overlap it, in
+// submission order.
+type tileBin struct {
+	x0, y0, x1, y1 int
+	tris           []int32
+}
+
+// binTiles bins triangle setups into tileSize-square screen tiles covering
+// their joint bounding box, returning only non-empty tiles in row-major
+// order. The triangle index lists come from one flat backing array sized
+// by a counting pass, so binning allocates O(tiles + overlaps) regardless
+// of triangle count.
+func binTiles(setups []raster.Triangle, tileSize int) []tileBin {
+	minX, minY := int(^uint(0)>>1), int(^uint(0)>>1)
+	maxX, maxY := -minX-1, -minY-1
+	for i := range setups {
+		x0, y0, x1, y1 := setups[i].Bounds()
+		if x0 < minX {
+			minX = x0
+		}
+		if y0 < minY {
+			minY = y0
+		}
+		if x1 > maxX {
+			maxX = x1
+		}
+		if y1 > maxY {
+			maxY = y1
+		}
+	}
+	if minX > maxX || minY > maxY {
+		return nil
+	}
+	tx0g, ty0g := minX/tileSize, minY/tileSize
+	tx1g, ty1g := maxX/tileSize, maxY/tileSize
+	ntx, nty := tx1g-tx0g+1, ty1g-ty0g+1
+
+	// Counting pass: overlaps per tile.
+	counts := make([]int32, ntx*nty)
+	for i := range setups {
+		tx0, ty0, tx1, ty1, ok := setups[i].TileRange(tileSize, tileSize)
+		if !ok {
+			continue
+		}
+		for ty := ty0; ty <= ty1; ty++ {
+			row := (ty - ty0g) * ntx
+			for tx := tx0; tx <= tx1; tx++ {
+				counts[row+tx-tx0g]++
+			}
+		}
+	}
+
+	// Prefix sums into one flat index array.
+	total := int32(0)
+	starts := make([]int32, len(counts)+1)
+	for i, n := range counts {
+		starts[i] = total
+		total += n
+	}
+	starts[len(counts)] = total
+	flat := make([]int32, total)
+	fill := make([]int32, len(counts))
+	for i := range setups {
+		tx0, ty0, tx1, ty1, ok := setups[i].TileRange(tileSize, tileSize)
+		if !ok {
+			continue
+		}
+		for ty := ty0; ty <= ty1; ty++ {
+			row := (ty - ty0g) * ntx
+			for tx := tx0; tx <= tx1; tx++ {
+				cell := row + tx - tx0g
+				flat[starts[cell]+fill[cell]] = int32(i)
+				fill[cell]++
+			}
+		}
+	}
+
+	// Compact the non-empty tiles.
+	tiles := make([]tileBin, 0, len(counts))
+	for ty := 0; ty < nty; ty++ {
+		for tx := 0; tx < ntx; tx++ {
+			cell := ty*ntx + tx
+			if counts[cell] == 0 {
+				continue
+			}
+			px0 := (tx0g + tx) * tileSize
+			py0 := (ty0g + ty) * tileSize
+			tiles = append(tiles, tileBin{
+				x0: px0, y0: py0, x1: px0 + tileSize - 1, y1: py0 + tileSize - 1,
+				tris: flat[starts[cell]:starts[cell+1]],
+			})
+		}
+	}
+	return tiles
+}
+
+// shadeTrianglesTiled shades set-up triangles tile-by-tile, workers
+// claiming tiles off an atomic counter. Returns ok=false when binning
+// yields fewer than two non-empty tiles — there is nothing to balance, so
+// the caller falls through to band or serial shading.
+func (c *Context) shadeTrianglesTiled(p *Program, tgt renderTarget, setups []raster.Triangle, vpX, vpY int, samplers []*Texture, texFns []shader.TexFunc) (drawStats, bool) {
+	tiles := binTiles(setups, c.tileSize)
+	if len(tiles) < 2 {
+		return drawStats{}, false
+	}
+
+	fp := p.fsProg
+	out, hasOut := fp.LookupOutput("gl_FragColor")
+	fcReg := p.fragCoordReg
+	mask := c.colorMask
+	cost := &c.prof.CostModel
+	execFS := shader.Executor(fp, cost, c.jit, c.passes)
+	pool := c.fsPool(fp)
+	sample := envSampler(samplers)
+
+	nw := c.workers
+	if nw > len(tiles) {
+		nw = len(tiles)
+	}
+	var next int64
+	results := make([]bandStats, nw)
+	fns := make([]func(), nw)
+	for wi := 0; wi < nw; wi++ {
+		wi := wi
+		fns[wi] = func() {
+			env := pool.Get()
+			env.Uniforms = p.fsUniforms
+			env.Sample = sample
+			env.Samplers = texFns
+			startCycles, startTex := env.Cycles, env.TexFetches
+			var frags int64
+			for {
+				ti := int(atomic.AddInt64(&next, 1)) - 1
+				if ti >= len(tiles) {
+					break
+				}
+				tile := &tiles[ti]
+				for _, tri := range tile.tris {
+					setups[tri].RasterizeRect(tile.x0, tile.y0, tile.x1, tile.y1, func(x, y int, fc shader.Vec4, varyings []shader.Vec4) {
+						px, py := vpX+x, vpY+y
+						if px < 0 || py < 0 || px >= tgt.w || py >= tgt.h {
+							return
+						}
+						env.Discarded = false
+						for reg, v := range varyings {
+							env.Inputs[reg] = v
+						}
+						if fcReg >= 0 {
+							env.Inputs[fcReg] = fc
+						}
+						if err := execFS(env); err != nil {
+							return
+						}
+						frags++
+						if env.Discarded || !hasOut {
+							return
+						}
+						c.writePixel(tgt.pixels, (py*tgt.w+px)*4, env.Outputs[out.Reg], mask)
+					})
+				}
+			}
+			results[wi] = bandStats{frags, env.Cycles - startCycles, env.TexFetches - startTex}
+			pool.Put(env)
+		}
+	}
+	c.ensurePool().run(fns)
+
+	st := drawStats{valid: true}
+	for _, r := range results {
+		st.fragments += r.fragments
+		st.cycles += r.cycles
+		st.texFetches += r.texFetches
+	}
+	return st, true
+}

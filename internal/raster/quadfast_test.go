@@ -1,0 +1,213 @@
+package raster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gles2gpgpu/internal/shader"
+)
+
+// fragRecord captures one emitted fragment for bit-exact comparison.
+type fragRecord struct {
+	x, y     int
+	fc       shader.Vec4
+	varyings [MaxVaryings]shader.Vec4
+	numVar   int
+}
+
+func collect(t *Triangle, x0, y0, x1, y1 int) []fragRecord {
+	var out []fragRecord
+	t.RasterizeRect(x0, y0, x1, y1, func(x, y int, fc shader.Vec4, varyings []shader.Vec4) {
+		r := fragRecord{x: x, y: y, fc: fc, numVar: len(varyings)}
+		copy(r.varyings[:], varyings)
+		out = append(out, r)
+	})
+	return out
+}
+
+// diffRasterize rasterises the rect with the fast path on and off and
+// fails on any bit difference in fragment set, order, fragCoord or
+// varyings. Returns the fragment count.
+func diffRasterize(t *testing.T, tri *Triangle, x0, y0, x1, y1 int) int {
+	t.Helper()
+	defer SetQuadFast(true)
+	SetQuadFast(false)
+	ref := collect(tri, x0, y0, x1, y1)
+	SetQuadFast(true)
+	got := collect(tri, x0, y0, x1, y1)
+	if len(ref) != len(got) {
+		t.Fatalf("fragment count: fast %d, reference %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("fragment %d differs:\nfast %+v\nref  %+v", i, got[i], ref[i])
+		}
+	}
+	return len(ref)
+}
+
+// fullQuad builds the canonical GPGPU full-viewport quad (two triangles,
+// w == 1, texcoords 0..1) with the given extra varying values.
+func fullQuad(vpW, vpH int, extra [4][4]float32) [2][3]Vertex {
+	mk := func(x, y float32) Vertex {
+		v := Vertex{Pos: shader.Vec4{x, y, 0, 1}, NumVar: 2}
+		v.Varyings[0] = shader.Vec4{(x + 1) / 2, (y + 1) / 2, 0, 0}
+		// Bilinear blend of the extra corner values.
+		u, w := (x+1)/2, (y+1)/2
+		for ci := 0; ci < 4; ci++ {
+			v.Varyings[1][ci] = (1-u)*(1-w)*extra[0][ci] + u*(1-w)*extra[1][ci] +
+				(1-u)*w*extra[2][ci] + u*w*extra[3][ci]
+		}
+		return v
+	}
+	bl, br, tl, tr := mk(-1, -1), mk(1, -1), mk(-1, 1), mk(1, 1)
+	return [2][3]Vertex{{bl, br, tr}, {bl, tr, tl}}
+}
+
+func TestQuadFastCanonicalQuadExact(t *testing.T) {
+	for _, n := range []int{4, 64, 256, 1024} {
+		tris := fullQuad(n, n, [4][4]float32{})
+		covered := 0
+		for ti := range tris {
+			tri, ok := Setup(&tris[ti][0], &tris[ti][1], &tris[ti][2], n, n)
+			if !ok {
+				t.Fatalf("n=%d: setup failed", n)
+			}
+			if !tri.exact {
+				t.Fatalf("n=%d: canonical quad triangle not classified exact", n)
+			}
+			covered += diffRasterize(t, &tri, tri.minX, tri.minY, tri.maxX, tri.maxY)
+		}
+		if covered != n*n {
+			t.Fatalf("n=%d: covered %d pixels, want %d", n, covered, n*n)
+		}
+	}
+}
+
+func TestQuadFastTiledRects(t *testing.T) {
+	const n = 128
+	tris := fullQuad(n, n, [4][4]float32{
+		{1, 0.5, 0.25, 2}, {3, 0.5, 0.125, 2}, {1, 1.5, 0.25, 4}, {2, 0.5, 0.5, 2},
+	})
+	for ti := range tris {
+		tri, ok := Setup(&tris[ti][0], &tris[ti][1], &tris[ti][2], n, n)
+		if !ok {
+			t.Fatal("setup failed")
+		}
+		// Tile-shaped subrects, including partial edge tiles.
+		for y0 := 0; y0 < n; y0 += 48 {
+			for x0 := 0; x0 < n; x0 += 48 {
+				diffRasterize(t, &tri, x0, y0, x0+47, y0+47)
+			}
+		}
+	}
+}
+
+// TestQuadFastRandomGeometry drives random triangles — integer-coordinate
+// quads, arbitrary-coordinate triangles, perspective triangles — through
+// the differential check. Inexact geometry must be rejected by the
+// classifier (making the check trivially pass via the reference path);
+// exact geometry must produce identical bits on both paths.
+func TestQuadFastRandomGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 300; iter++ {
+		vpW := 8 << rng.Intn(5)
+		vpH := 8 << rng.Intn(5)
+		var vs [3]Vertex
+		perspective := iter%3 == 2
+		for i := range vs {
+			x := rng.Float32()*2 - 1
+			y := rng.Float32()*2 - 1
+			if iter%3 == 0 {
+				// Snap to pixel grid: NDC values that map to integers.
+				x = float32(rng.Intn(vpW+1))/float32(vpW)*2 - 1
+				y = float32(rng.Intn(vpH+1))/float32(vpH)*2 - 1
+			}
+			w := float32(1)
+			if perspective {
+				w = 0.5 + rng.Float32()*2
+			}
+			vs[i] = Vertex{Pos: shader.Vec4{x * w, y * w, 0, w}, NumVar: 3}
+			for vi := 0; vi < 3; vi++ {
+				for ci := 0; ci < 4; ci++ {
+					vs[i].Varyings[vi][ci] = float32(rng.NormFloat64())
+				}
+			}
+		}
+		tri, ok := Setup(&vs[0], &vs[1], &vs[2], vpW, vpH)
+		if !ok {
+			continue
+		}
+		if perspective && tri.exact {
+			t.Fatalf("iter %d: perspective triangle classified exact", iter)
+		}
+		t.Run(fmt.Sprintf("iter%d", iter), func(t *testing.T) {
+			diffRasterize(t, &tri, tri.minX, tri.minY, tri.maxX, tri.maxY)
+		})
+	}
+}
+
+// TestQuadFastClassifierRejects checks the individual exactness gates.
+func TestQuadFastClassifierRejects(t *testing.T) {
+	base := func() [3]Vertex {
+		return [3]Vertex{
+			{Pos: shader.Vec4{-1, -1, 0, 1}, NumVar: 1},
+			{Pos: shader.Vec4{1, -1, 0, 1}, NumVar: 1},
+			{Pos: shader.Vec4{1, 1, 0, 1}, NumVar: 1},
+		}
+	}
+
+	vs := base()
+	tri, ok := Setup(&vs[0], &vs[1], &vs[2], 64, 64)
+	if !ok || !tri.exact {
+		t.Fatal("baseline half-quad should classify exact")
+	}
+
+	// Non-unit w.
+	vs = base()
+	vs[0].Pos = shader.Vec4{-2, -2, 0, 2}
+	tri, ok = Setup(&vs[0], &vs[1], &vs[2], 64, 64)
+	if ok && tri.exact {
+		t.Fatal("w != 1 must reject")
+	}
+
+	// Non-integer coordinates (area2 no longer a power of two and
+	// coefficients fractional).
+	vs = base()
+	vs[1].Pos[0] = 0.7313
+	tri, ok = Setup(&vs[0], &vs[1], &vs[2], 64, 64)
+	if ok && tri.exact {
+		t.Fatal("fractional screen coordinates must reject")
+	}
+
+	// Non-power-of-two viewport makes area2 non-pow2 for the full quad.
+	vs = base()
+	tri, ok = Setup(&vs[0], &vs[1], &vs[2], 96, 96)
+	if ok && tri.exact {
+		t.Fatal("area2 = 2*96*96/2 is not a power of two; must reject")
+	}
+	if ok {
+		diffRasterize(t, &tri, tri.minX, tri.minY, tri.maxX, tri.maxY)
+	}
+
+	// Excessive varying exponent spread: 2^40 against 2^-40 cannot keep
+	// the interpolation sums exact.
+	vs = base()
+	vs[0].Varyings[0] = shader.Vec4{float32(1.0 / (1 << 30) / (1 << 10))}
+	vs[1].Varyings[0] = shader.Vec4{float32(int64(1) << 40)}
+	tri, ok = Setup(&vs[0], &vs[1], &vs[2], 64, 64)
+	if ok && tri.exact {
+		t.Fatal("huge varying exponent spread must reject")
+	}
+
+	// Non-finite varying.
+	vs = base()
+	inf := float32(1)
+	inf /= 0
+	vs[2].Varyings[0] = shader.Vec4{inf}
+	tri, ok = Setup(&vs[0], &vs[1], &vs[2], 64, 64)
+	if ok && tri.exact {
+		t.Fatal("non-finite varying must reject")
+	}
+}

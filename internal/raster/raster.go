@@ -39,6 +39,10 @@ type Triangle struct {
 
 	minX, minY, maxX, maxY int // inclusive pixel bounds, clipped to viewport
 	valid                  bool
+
+	// exact is set when Setup proves the dyadic-exactness conditions that
+	// make incremental interpolation bit-identical (see quadfast.go).
+	exact bool
 }
 
 // Setup performs viewport transform and edge setup. It returns ok=false for
@@ -105,6 +109,7 @@ func Setup(v0, v1, v2 *Vertex, vpW, vpH int) (Triangle, bool) {
 	}
 	t.minX, t.minY, t.maxX, t.maxY = minX, minY, maxX, maxY
 	t.valid = true
+	t.exact = t.classifyExact()
 	return t, true
 }
 
@@ -156,6 +161,9 @@ func (t *Triangle) RasterizeRect(x0, y0, x1, y1 int, emit FragmentSink) int {
 	}
 	if x0 > x1 || y0 > y1 {
 		return 0
+	}
+	if t.exact && quadFast {
+		return t.rasterizeRectFast(x0, y0, x1, y1, emit)
 	}
 	var varbuf [MaxVaryings]shader.Vec4
 	count := 0

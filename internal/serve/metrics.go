@@ -62,6 +62,12 @@ type Metrics struct {
 	// (see WritePrometheus) to keep the lock order acyclic.
 	queue  map[string]func() int       // by device: live depth probe
 	gauges map[string]func() PoolGauge // by device: residency/cache probes
+
+	// Engine configuration, set once by New before any worker starts:
+	// whether worker engines shade with the tile-binned fragment engine
+	// and at what tile edge length.
+	tiling   bool
+	tileSize int
 }
 
 // PoolGauge is a point-in-time snapshot of one device pool's reuse state,
@@ -144,6 +150,13 @@ func (m *Metrics) batch(dev string, size int) {
 	if size >= 2 {
 		m.coalesced[dev]++
 	}
+}
+
+// setEngineConfig records the worker engines' fragment-shading setup for
+// the static config gauges. Must happen before Start.
+func (m *Metrics) setEngineConfig(tiling bool, tileSize int) {
+	m.tiling = tiling
+	m.tileSize = tileSize
 }
 
 // registerDevice installs a pool's probes. Must happen before Start.
@@ -230,6 +243,14 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	for _, dev := range sortedKeys(m.batchJobs) {
 		appendf("gles2gpgpud_batched_jobs_total{device=%q} %d\n", dev, m.batchJobs[dev])
 	}
+	appendf("# HELP gles2gpgpud_engine_tiling_enabled Whether worker engines shade with the tile-binned fragment engine (host-time knob; results are bit-identical either way).\n# TYPE gles2gpgpud_engine_tiling_enabled gauge\n")
+	tiling := 0
+	if m.tiling {
+		tiling = 1
+	}
+	appendf("gles2gpgpud_engine_tiling_enabled %d\n", tiling)
+	appendf("# HELP gles2gpgpud_engine_tile_size Tile edge length of the tiled fragment engine in pixels.\n# TYPE gles2gpgpud_engine_tile_size gauge\n")
+	appendf("gles2gpgpud_engine_tile_size %d\n", m.tileSize)
 
 	for _, dev := range sortedKeys(gauges) {
 		g := gauges[dev]

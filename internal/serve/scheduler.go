@@ -44,6 +44,13 @@ type Config struct {
 	// Evicted runners release their tensors into the engine pool, so a
 	// rebuilt runner's allocations are pool hits.
 	MaxRunners int
+	// NoTiling shades worker engines' draws in horizontal bands instead
+	// of the tile-binned fragment engine. Host time only — results and
+	// virtual-time figures are bit-identical either way.
+	NoTiling bool
+	// TileSize overrides the tiled engine's tile edge length for worker
+	// engines (0: gles.DefaultTileSize).
+	TileSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +122,11 @@ type Scheduler struct {
 func New(cfg Config) (*Scheduler, error) {
 	cfg = cfg.withDefaults()
 	s := &Scheduler{cfg: cfg, metrics: newMetrics(), pools: map[string]*devicePool{}}
+	tileSize := cfg.TileSize
+	if tileSize <= 0 {
+		tileSize = gles.DefaultTileSize
+	}
+	s.metrics.setEngineConfig(!cfg.NoTiling && gles.DefaultTiling(), tileSize)
 	for _, name := range cfg.Devices {
 		if _, dup := s.pools[name]; dup {
 			return nil, fmt.Errorf("serve: duplicate device %q", name)
@@ -442,6 +454,8 @@ func (w *worker) engineFor(n int) (*core.Engine, error) {
 		UseVBO:          true,
 		ProgramCache:    w.pool.progs,
 		TensorPoolBytes: w.pool.sched.cfg.TensorPoolBytes,
+		NoTiling:        w.pool.sched.cfg.NoTiling,
+		TileSize:        w.pool.sched.cfg.TileSize,
 	})
 	if err != nil {
 		return nil, err

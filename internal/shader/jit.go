@@ -425,7 +425,9 @@ func compileInst(consts [][4]float32, in *Inst, note *OpNote) func(*Env) {
 			e.TexFetches++
 			a := ra(e)
 			var texel Vec4
-			if e.Sample != nil {
+			if sampler >= 0 && sampler < len(e.Samplers) && e.Samplers[sampler] != nil {
+				texel = e.Samplers[sampler](a[0], a[1])
+			} else if e.Sample != nil {
 				texel = e.Sample(sampler, a[0], a[1])
 			}
 			wr(e, texel)

@@ -13,6 +13,13 @@ type Vec4 [4]float32
 // normalised coordinates (u, v). The GLES layer supplies it.
 type SampleFunc func(samplerIdx int, u, v float32) Vec4
 
+// TexFunc fetches a texel from one specific texture at normalised (u, v):
+// the per-slot specialized form of SampleFunc. The GLES layer resolves each
+// bound texture's filter/wrap/completeness state once per draw and installs
+// one TexFunc per sampler slot, so the per-fetch hot path skips the state
+// re-checks the generic closure pays (see gles: specializeSampler).
+type TexFunc func(u, v float32) Vec4
+
 // Env is the execution environment of one shader invocation. Reuse one Env
 // across invocations to avoid allocations: call Reset between programs.
 type Env struct {
@@ -21,6 +28,10 @@ type Env struct {
 	Outputs  []Vec4
 	Temps    []Vec4
 	Sample   SampleFunc
+	// Samplers, when it covers a fetch's sampler slot with a non-nil entry,
+	// takes precedence over Sample at that fetch site. Entries must be
+	// bit-identical to what Sample would return for the same slot.
+	Samplers []TexFunc
 
 	// Discarded is set when the invocation executed a KIL.
 	Discarded bool
@@ -151,7 +162,9 @@ func runInsts(insts []Inst, consts [][4]float32, dead []bool, env *Env, cost *Co
 			env.TexFetches++
 			a := env.read(in.A)
 			var texel Vec4
-			if env.Sample != nil {
+			if si := int(in.SamplerIdx); si >= 0 && si < len(env.Samplers) && env.Samplers[si] != nil {
+				texel = env.Samplers[si](a[0], a[1])
+			} else if env.Sample != nil {
 				texel = env.Sample(int(in.SamplerIdx), a[0], a[1])
 			}
 			env.write(in.Dst, texel)
