@@ -38,6 +38,8 @@ func main() {
 	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "max time to finish queued jobs on shutdown")
 	notile := flag.Bool("notile", false, "shade in horizontal bands instead of the tile-binned fragment engine (host time only; results are bit-identical)")
 	tilesize := flag.Int("tilesize", 0, "tile edge length of the tiled fragment engine (0: default 32)")
+	nolanes := flag.Bool("nolanes", false, "shade every fragment individually instead of lane-batched SoA execution (host time only; results are bit-identical)")
+	lanewidth := flag.Int("lanewidth", 0, "SoA batch width of the lane-batched shader engine (0: default 8, max 16)")
 	flag.Parse()
 
 	s, err := serve.New(serve.Config{
@@ -49,6 +51,8 @@ func main() {
 		MaxRunners:      *runners,
 		NoTiling:        *notile,
 		TileSize:        *tilesize,
+		NoLanes:         *nolanes,
+		LaneWidth:       *lanewidth,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gles2gpgpud: %v\n", err)

@@ -13,6 +13,8 @@
 //	glesbench -nopasses     # disable the host shader optimisation passes
 //	glesbench -notile       # band shading instead of the tile-binned engine
 //	glesbench -tilesize 16  # tile edge length of the tiled engine
+//	glesbench -nolanes      # per-fragment shading instead of lane-batched SoA
+//	glesbench -lanewidth 8  # SoA batch width of the lane-batched engine
 //	glesbench -micro        # add shader-exec and sampling microbenchmarks
 //	glesbench -benchjson f  # machine-readable host-time results to f
 package main
@@ -47,6 +49,8 @@ type benchJSON struct {
 	Passes      bool         `json:"passes"`
 	Tiling      bool         `json:"tiling"`
 	TileSize    int          `json:"tile_size"`
+	Lanes       bool         `json:"lanes"`
+	LaneWidth   int          `json:"lane_width"`
 	QuadFast    bool         `json:"quad_fast"`
 	Figures     []figureTime `json:"figures"`
 	TotalHostMS float64      `json:"total_host_ms"`
@@ -67,6 +71,8 @@ func main() {
 	nopasses := flag.Bool("nopasses", false, "disable the host shader optimisation passes (A/B escape hatch; the passes are cycle-neutral, so results are bit-identical, only host time changes)")
 	notile := flag.Bool("notile", false, "shade in horizontal bands instead of the tile-binned fragment engine (A/B escape hatch; results are bit-identical, only host time changes)")
 	tilesize := flag.Int("tilesize", 0, "tile edge length of the tiled fragment engine (0: default 32)")
+	nolanes := flag.Bool("nolanes", false, "shade every fragment individually instead of lane-batched SoA execution (A/B escape hatch; results are bit-identical, only host time changes)")
+	lanewidth := flag.Int("lanewidth", 0, "SoA batch width of the lane-batched engine (0: default 8, max 16); results are bit-identical at any width")
 	micro := flag.Bool("micro", false, "also run the shader-execution and texture-sampling microbenchmarks; results go to stderr and -benchjson, never stdout")
 	benchjson := flag.String("benchjson", "", "write machine-readable per-figure host times (JSON) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -109,11 +115,19 @@ func main() {
 	o := bench.Opts{
 		PaperSize: *size, CalibSize: *calib, Iters: *iters, Workers: *workers,
 		NoJIT: *nojit, NoPasses: *nopasses, NoTiling: *notile, TileSize: *tilesize,
+		NoLanes: *nolanes, LaneWidth: *lanewidth,
 	}
 	devs := bench.Devices()
 	tileSize := *tilesize
 	if tileSize == 0 {
 		tileSize = gles.DefaultTileSize
+	}
+	laneWidth := *lanewidth
+	if laneWidth == 0 {
+		laneWidth = shader.DefaultLaneWidth
+	}
+	if laneWidth > shader.MaxLaneWidth {
+		laneWidth = shader.MaxLaneWidth
 	}
 	report := benchJSON{
 		Schema:     "gles2gpgpu.bench/1",
@@ -124,6 +138,8 @@ func main() {
 		Passes:     !*nopasses && shader.DefaultPasses(),
 		Tiling:     !*notile && gles.DefaultTiling(),
 		TileSize:   tileSize,
+		Lanes:      !*nolanes && !*nojit && shader.DefaultLanes(),
+		LaneWidth:  laneWidth,
 		QuadFast:   raster.QuadFast(),
 	}
 	recordHost := func(name string, d time.Duration) {
@@ -249,6 +265,18 @@ func main() {
 			name := r.Name()
 			fmt.Fprintf(os.Stderr, "glesbench: %s: %d fragments x %d draws, host %.3fms\n",
 				name, r.Fragments, r.Draws, r.HostMS)
+			report.Figures = append(report.Figures, figureTime{Figure: name, HostMS: r.HostMS})
+			report.TotalHostMS += r.HostMS
+		}
+		lanes, err := bench.LaneMicro(ctx, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "glesbench: micro: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range lanes {
+			name := r.Name()
+			fmt.Fprintf(os.Stderr, "glesbench: %s: %d invocations, %d cycles, checksum %#x, host %.3fms\n",
+				name, r.Invocations, r.Cycles, r.Checksum, r.HostMS)
 			report.Figures = append(report.Figures, figureTime{Figure: name, HostMS: r.HostMS})
 			report.TotalHostMS += r.HostMS
 		}

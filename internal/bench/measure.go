@@ -88,6 +88,12 @@ type Opts struct {
 	NoTiling bool
 	// TileSize overrides the tiled engine's tile edge length (0: default).
 	TileSize int
+	// NoLanes shades the functional calibration one fragment at a time
+	// instead of lane-batched SoA execution. Host time only, like NoJIT.
+	NoLanes bool
+	// LaneWidth overrides the lane-batched engine's SoA batch width
+	// (0: shader.DefaultLaneWidth). Host time only, like NoJIT.
+	LaneWidth int
 }
 
 func (o Opts) withDefaults() Opts {
@@ -217,6 +223,12 @@ func Measure(ctx context.Context, cfg core.Config, spec Spec, o Opts) (Result, e
 	}
 	if o.TileSize != 0 {
 		cfg.TileSize = o.TileSize
+	}
+	if o.NoLanes {
+		cfg.NoLanes = true
+	}
+	if o.LaneWidth != 0 {
+		cfg.LaneWidth = o.LaneWidth
 	}
 	hostStart := time.Now()
 	cal, err := build(cfg, spec, o.CalibSize, o.Seed, false)

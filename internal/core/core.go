@@ -153,6 +153,20 @@ type Config struct {
 	// tiled fragment engine bins into. 0 means gles.DefaultTileSize.
 	TileSize int
 
+	// NoLanes disables the lane-batched (SoA) shader execution engine,
+	// shading every fragment individually instead (the library equivalent
+	// of GLES2GPGPU_NO_LANES=1). Like NoJIT it changes host wall-clock
+	// time only: framebuffer contents and every virtual-time figure are
+	// bit-identical either way. Branchy or discarding programs fall back
+	// to per-fragment execution regardless of this setting.
+	NoLanes bool
+
+	// LaneWidth overrides how many fragments the lane-batched engine runs
+	// through each instruction at once. 0 means shader.DefaultLaneWidth;
+	// values are clamped to [1, shader.MaxLaneWidth]. Results are
+	// bit-identical at any width.
+	LaneWidth int
+
 	// StrictLinkLimits makes glLinkProgram additionally enforce the
 	// dataflow-derived device limits (dependent-texture-read depth, live
 	// temporary pressure) that compile-time counting cannot see, the way
@@ -262,6 +276,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if cfg.TileSize != 0 {
 		e.gl.SetTileSize(cfg.TileSize)
+	}
+	if cfg.NoLanes {
+		e.gl.SetLanes(false)
+	}
+	if cfg.LaneWidth != 0 {
+		e.gl.SetLaneWidth(cfg.LaneWidth)
 	}
 	if cfg.StrictLinkLimits {
 		e.gl.SetStrictLimits(true)

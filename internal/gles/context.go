@@ -219,6 +219,11 @@ type Context struct {
 	fsEnvPool    *shader.EnvPool
 	coverScratch []uint64
 
+	// fsLanePool pools SoA batch environments for the lane-batched engine
+	// (see lanes.go), recreated when the fragment program or lane width
+	// changes.
+	fsLanePool *shader.LaneEnvPool
+
 	// jit selects the closure-compiled shader backend for draws; the
 	// interpreter remains the reference semantics and both produce
 	// bit-identical results (see internal/shader/jit.go).
@@ -237,6 +242,15 @@ type Context struct {
 	// bit-identical to band or serial shading; only host scheduling changes.
 	tiling   bool
 	tileSize int
+
+	// lanes selects the lane-batched (SoA) shader engine for straight-line
+	// fragment programs (see lanes.go): batches of laneWidth fragments run
+	// through each instruction at once, amortising closure dispatch.
+	// Framebuffer bytes and all virtual-time figures are bit-identical;
+	// only host wall-clock time changes. Branchy/discarding programs fall
+	// back to the per-fragment engine automatically.
+	lanes     bool
+	laneWidth int
 
 	// strictLimits makes LinkProgram reject programs whose analysis-based
 	// resource counts (worst-path instructions/tex fetches,
@@ -302,6 +316,8 @@ func NewContext(ec *egl.Context) *Context {
 		passes:       shader.DefaultPasses(),
 		tiling:       DefaultTiling(),
 		tileSize:     DefaultTileSize,
+		lanes:        shader.DefaultLanes(),
+		laneWidth:    shader.DefaultLaneWidth,
 		strictLimits: defaultStrictLimits(),
 	}
 	c.colorMask = [4]bool{true, true, true, true}
@@ -323,6 +339,7 @@ func (c *Context) Destroy() {
 	}
 	c.progCache = make(map[shaderCacheKey]shaderCacheEntry)
 	c.fsEnvPool = nil
+	c.fsLanePool = nil
 	c.coverScratch = nil
 }
 
@@ -393,6 +410,38 @@ func (c *Context) SetTileSize(n int) {
 
 // TileSize returns the configured tile edge length.
 func (c *Context) TileSize() int { return c.tileSize }
+
+// SetLanes selects the lane-batched (SoA) shader engine for eligible
+// draws: straight-line fragment programs run batches of LaneWidth
+// fragments through each instruction at once (see internal/shader/lanes.go),
+// amortising per-instruction dispatch. Framebuffer bytes, Cycles/TexFetches
+// and every virtual-time figure are bit-identical either way; only host
+// wall-clock time changes. Branchy or discarding programs (jacobi) fall
+// back to the per-fragment engine regardless of this setting, and the lane
+// engine is an extension of the compiled backend, so SetJIT(false)
+// disables it too. The default comes from shader.DefaultLanes (on, unless
+// GLES2GPGPU_NO_LANES is set).
+func (c *Context) SetLanes(on bool) { c.lanes = on }
+
+// Lanes reports whether the lane-batched shader engine is selected.
+func (c *Context) Lanes() bool { return c.lanes }
+
+// SetLaneWidth sets the SoA batch width of the lane-batched engine,
+// clamped to [1, shader.MaxLaneWidth]; n <= 0 restores
+// shader.DefaultLaneWidth. Width 1 effectively disables batching (the
+// per-fragment engine is used). Results are bit-identical at any width.
+func (c *Context) SetLaneWidth(n int) {
+	if n <= 0 {
+		n = shader.DefaultLaneWidth
+	}
+	if n > shader.MaxLaneWidth {
+		n = shader.MaxLaneWidth
+	}
+	c.laneWidth = n
+}
+
+// LaneWidth returns the configured SoA batch width.
+func (c *Context) LaneWidth() int { return c.laneWidth }
 
 // SetStrictLimits toggles analysis-based device-limit enforcement at
 // LinkProgram time: when on, programs whose worst-path resource counts

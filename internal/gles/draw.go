@@ -280,6 +280,25 @@ func (c *Context) executeDraw(p *Program, tgt renderTarget, mode Enum, first, co
 		}
 	}
 
+	// Lane-batched serial shading: straight-line programs gather batches of
+	// laneWidth fragments and run them through the SoA engine (lanes.go).
+	// The rasteriser walk and the scatter order are unchanged, so the
+	// framebuffer bytes and counters are bit-identical to the scalar loop.
+	if lc := c.laneCompiledFor(fp); lc != nil {
+		ls := c.newLaneShader(lc, c.fsLanePoolFor(fp), p, tgt, texFns, fsEnv.Sample)
+		for ti := range setups {
+			setups[ti].Rasterize(func(x, y int, fc shader.Vec4, varyings []shader.Vec4) {
+				px, py := vpX+x, vpY+y
+				if px < 0 || py < 0 || px >= tgt.w || py >= tgt.h {
+					return
+				}
+				ls.add(px, py, fc, varyings)
+			})
+		}
+		bs := ls.finish()
+		return drawStats{valid: true, fragments: bs.fragments, cycles: bs.cycles, texFetches: bs.texFetches}
+	}
+
 	st := drawStats{valid: true}
 	startCycles := fsEnv.Cycles
 	startTex := fsEnv.TexFetches

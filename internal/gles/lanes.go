@@ -1,0 +1,172 @@
+package gles
+
+// Lane-batched fragment shading: the gather/scatter bridge between the
+// rasteriser's per-fragment callbacks and the SoA lane engine in
+// internal/shader/lanes.go.
+//
+// A laneShader buffers up to W covered fragments (their varyings packed
+// into the SoA input banks, their pixel coordinates remembered), runs the
+// whole batch through the lane-compiled program, then scatters the outputs
+// back through writePixel IN GATHER ORDER. That ordering is what preserves
+// bit-identity with per-fragment execution:
+//
+//   - Shading never reads the framebuffer, so deferring a fragment's
+//     writePixel until its batch flushes cannot change what it computes.
+//   - Blending reads the destination pixel at scatter time. Scattering in
+//     gather order means every pixel's sequence of blend reads/writes is
+//     exactly the per-fragment sequence — including two fragments of the
+//     same pixel landing in one batch (both shade independently, then
+//     blend in submission order at flush).
+//   - A batch may therefore span triangles and tiles within one worker's
+//     walk: the walk already visits fragments in the order the serial
+//     engine would for each pixel, and flushing preserves it.
+//
+// Eligibility is gated in laneCompiledFor: the lane engine is an extension
+// of the compiled backend (off when the JIT is off), needs width >= 2 to
+// amortise anything, requires the program to be straight-line (no KIL —
+// so no lane of a gathered batch can diverge; branchy programs like
+// jacobi lane-compile to nil and fall back to the per-fragment JIT), and
+// requires the WritesBeforeReads + OutputsAlwaysWritten proofs because
+// pooled LaneEnvs carry stale register lanes between draws exactly like
+// pooled Envs do between fragments.
+
+import (
+	"gles2gpgpu/internal/shader"
+)
+
+// laneShader batches one worker's fragments through the lane engine.
+// Fields are resolved once per draw so the per-fragment add path touches
+// no maps and allocates nothing.
+type laneShader struct {
+	c    *Context
+	lc   *shader.LaneCompiled
+	env  *shader.LaneEnv
+	pool *shader.LaneEnvPool
+
+	w int // batch width
+	n int // gathered lanes in the current batch
+
+	// Remembered scatter coordinates for the gathered lanes.
+	px, py [shader.MaxLaneWidth]int32
+
+	pixels []byte
+	tgtW   int
+	outReg int
+	hasOut bool
+	mask   [4]bool
+	fcReg  int
+
+	frags                 int64
+	startCycles, startTex int64
+}
+
+// laneCompiledFor returns the lane-batched compiled form this draw's
+// fragment program executes on, or nil when the lane engine does not
+// apply (knob off, JIT off, width < 2, missing liveness proofs, or a
+// branchy/discarding/unsupported program). A nil return means callers
+// shade per-fragment exactly as before.
+func (c *Context) laneCompiledFor(fp *shader.Program) *shader.LaneCompiled {
+	if !c.lanes || !c.jit || c.laneWidth < 2 {
+		return nil
+	}
+	if !fp.WritesBeforeReads || !fp.OutputsAlwaysWritten {
+		return nil
+	}
+	cost := &c.prof.CostModel
+	if c.passes {
+		return fp.LaneCompiledOpt(cost, c.laneWidth)
+	}
+	return fp.LaneCompiled(cost, c.laneWidth)
+}
+
+// fsLanePoolFor returns the LaneEnv pool for the current fragment program
+// at the current width, recreating it when either changes.
+func (c *Context) fsLanePoolFor(fp *shader.Program) *shader.LaneEnvPool {
+	if c.fsLanePool == nil || c.fsLanePool.Program() != fp || c.fsLanePool.Width() != c.laneWidth {
+		c.fsLanePool = shader.NewLaneEnvPool(fp, c.laneWidth)
+	}
+	return c.fsLanePool
+}
+
+// newLaneShader prepares one worker's batcher for a draw: a pooled LaneEnv
+// with the draw's uniforms broadcast across lanes and the samplers
+// installed, plus the scatter state (target, gl_FragColor register, colour
+// mask) resolved once.
+func (c *Context) newLaneShader(lc *shader.LaneCompiled, pool *shader.LaneEnvPool, p *Program, tgt renderTarget, texFns []shader.TexFunc, sample shader.SampleFunc) *laneShader {
+	env := pool.Get()
+	env.SetUniforms(p.fsUniforms)
+	env.Sample = sample
+	env.Samplers = texFns
+	out, hasOut := p.fsProg.LookupOutput("gl_FragColor")
+	return &laneShader{
+		c:           c,
+		lc:          lc,
+		env:         env,
+		pool:        pool,
+		w:           lc.Width(),
+		pixels:      tgt.pixels,
+		tgtW:        tgt.w,
+		outReg:      out.Reg,
+		hasOut:      hasOut,
+		mask:        c.colorMask,
+		fcReg:       p.fragCoordReg,
+		startCycles: env.Cycles,
+		startTex:    env.TexFetches,
+	}
+}
+
+// add gathers one covered fragment into the current batch, flushing when
+// the batch reaches the lane width. Varyings are copied into the SoA banks
+// immediately — the rasteriser reuses its callback slice.
+func (ls *laneShader) add(px, py int, fc shader.Vec4, varyings []shader.Vec4) {
+	lane := ls.n
+	env := ls.env
+	for reg, v := range varyings {
+		env.SetInput(lane, reg, v)
+	}
+	if ls.fcReg >= 0 {
+		env.SetInput(lane, ls.fcReg, fc)
+	}
+	ls.px[lane] = int32(px)
+	ls.py[lane] = int32(py)
+	ls.n++
+	if ls.n == ls.w {
+		ls.flush()
+	}
+}
+
+// flush runs the gathered lanes as one batch and scatters the outputs in
+// gather order (see the ordering argument in the file comment).
+func (ls *laneShader) flush() {
+	n := ls.n
+	if n == 0 {
+		return
+	}
+	ls.n = 0
+	env := ls.env
+	env.N = n
+	ls.lc.Run(env)
+	ls.frags += int64(n)
+	if !ls.hasOut {
+		return
+	}
+	for l := 0; l < n; l++ {
+		col := env.Output(l, ls.outReg)
+		off := (int(ls.py[l])*ls.tgtW + int(ls.px[l])) * 4
+		ls.c.writePixel(ls.pixels, off, col, ls.mask)
+	}
+}
+
+// finish flushes the partial final batch, returns the worker's share of
+// the draw measurement, and puts the LaneEnv back in its pool.
+func (ls *laneShader) finish() bandStats {
+	ls.flush()
+	st := bandStats{
+		fragments:  ls.frags,
+		cycles:     ls.env.Cycles - ls.startCycles,
+		texFetches: ls.env.TexFetches - ls.startTex,
+	}
+	ls.pool.Put(ls.env)
+	ls.env = nil
+	return st
+}

@@ -1,0 +1,205 @@
+package gles
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"gles2gpgpu/internal/device"
+)
+
+// Lane-batched execution parity: the full execution-strategy matrix
+// {interpreter, per-fragment JIT, lane-batched} × {serial, 4 workers} ×
+// {band, tiled} must produce byte-identical framebuffers and bit-identical
+// fragment/cycle/TexFetch counters. The lane engine additionally sweeps
+// non-default widths, including ones that do not divide the fragment count
+// (the partial-final-batch path).
+
+// laneCfg is one cell of the execution-strategy matrix.
+type laneCfg struct {
+	engine  string // "interp", "jit" or "lanes"
+	workers int
+	tiling  bool
+	width   int // lane width; 0 means the default (lanes engine only)
+}
+
+func (c laneCfg) name() string {
+	n := fmt.Sprintf("%s-w%d", c.engine, c.workers)
+	if c.tiling {
+		n += "-tiled"
+	}
+	if c.width != 0 {
+		n += fmt.Sprintf("-lw%d", c.width)
+	}
+	return n
+}
+
+// runScenarioLanes is runScenario with the full engine choice: reference
+// interpreter, per-fragment closure JIT, or lane-batched SoA execution.
+func runScenarioLanes(t *testing.T, c laneCfg, w, h int, scenario func(gl *Context) uint32) drawOutcome {
+	t.Helper()
+	env := newEnv(t, device.Generic(), w, h, false)
+	gl := env.gl
+	gl.SetWorkers(c.workers)
+	gl.SetTiling(c.tiling)
+	switch c.engine {
+	case "interp":
+		gl.SetJIT(false)
+		gl.SetLanes(false)
+	case "jit":
+		gl.SetLanes(false)
+	case "lanes":
+		gl.SetLanes(true)
+		if c.width != 0 {
+			gl.SetLaneWidth(c.width)
+		}
+	default:
+		t.Fatalf("unknown engine %q", c.engine)
+	}
+	defer gl.Destroy()
+	prog := scenario(gl)
+	if e := gl.GetError(); e != NO_ERROR {
+		t.Fatalf("%s: scenario error: %s", c.name(), ErrName(e))
+	}
+	out := drawOutcome{pixels: make([]byte, w*h*4)}
+	gl.ReadPixels(0, 0, w, h, RGBA, UNSIGNED_BYTE, out.pixels)
+	var ok bool
+	out.fragments, out.cycles, out.texFetches, ok = gl.DrawStatsFor(prog, w, h)
+	if !ok {
+		t.Fatal("no draw stats recorded")
+	}
+	return out
+}
+
+// expectLaneParity runs the scenario through every cell of the matrix and
+// demands bit-identity with the serial interpreter.
+func expectLaneParity(t *testing.T, w, h int, scenario func(gl *Context) uint32) {
+	t.Helper()
+	ref := runScenarioLanes(t, laneCfg{engine: "interp", workers: 1}, w, h, scenario)
+	var cfgs []laneCfg
+	for _, engine := range []string{"interp", "jit", "lanes"} {
+		for _, workers := range []int{1, 4} {
+			for _, tiling := range []bool{false, true} {
+				if engine == "interp" && workers == 1 && !tiling {
+					continue // the reference itself
+				}
+				cfgs = append(cfgs, laneCfg{engine: engine, workers: workers, tiling: tiling})
+			}
+		}
+	}
+	// Non-default widths, including ones that do not divide typical
+	// coverage counts so the final batch is partial.
+	for _, width := range []int{2, 5, 16} {
+		cfgs = append(cfgs,
+			laneCfg{engine: "lanes", workers: 1, width: width},
+			laneCfg{engine: "lanes", workers: 4, tiling: true, width: width})
+	}
+	for _, c := range cfgs {
+		got := runScenarioLanes(t, c, w, h, scenario)
+		if !bytes.Equal(ref.pixels, got.pixels) {
+			for i := range ref.pixels {
+				if ref.pixels[i] != got.pixels[i] {
+					t.Fatalf("%s: framebuffers diverge at byte %d (pixel %d): interp-serial %d, %s %d",
+						c.name(), i, i/4, ref.pixels[i], c.name(), got.pixels[i])
+				}
+			}
+		}
+		if ref.fragments != got.fragments {
+			t.Errorf("%s: fragments: %d vs %d", c.name(), ref.fragments, got.fragments)
+		}
+		if ref.cycles != got.cycles {
+			t.Errorf("%s: cycles: %d vs %d", c.name(), ref.cycles, got.cycles)
+		}
+		if ref.texFetches != got.texFetches {
+			t.Errorf("%s: tex fetches: %d vs %d", c.name(), ref.texFetches, got.texFetches)
+		}
+	}
+}
+
+// TestLaneParityTexturedQuad: a texturing straight-line kernel — the shape
+// of every lane-eligible GPGPU kernel — across the whole matrix. 64×64
+// coverage reaches the parallel gate, so band and tiled cells genuinely
+// shade on workers.
+func TestLaneParityTexturedQuad(t *testing.T) {
+	const n = 64
+	expectLaneParity(t, n, n, func(gl *Context) uint32 {
+		checkerTexture(gl, n, n)
+		p := buildProgram(t, gl, quadVS, `
+precision mediump float;
+varying vec2 v_tex;
+uniform sampler2D u_tex;
+void main() {
+	vec4 s = texture2D(u_tex, v_tex);
+	float acc = 0.0;
+	for (int i = 0; i < 4; i++) {
+		acc += s.x * 0.3 + v_tex.y * 0.1;
+	}
+	gl_FragColor = vec4(fract(acc), s.yz, 1.0);
+}`)
+		gl.UseProgram(p)
+		gl.Uniform1i(gl.GetUniformLocation(p, "u_tex"), 0)
+		drawQuad(t, gl, p)
+		return p
+	})
+}
+
+// TestLaneParityPartialBatch: a 13×7 grid (91 fragments) is not a multiple
+// of any lane width in the sweep, so every lane cell ends the draw with a
+// partial final batch.
+func TestLaneParityPartialBatch(t *testing.T) {
+	expectLaneParity(t, 13, 7, func(gl *Context) uint32 {
+		p := buildProgram(t, gl, quadVS, `
+precision mediump float;
+varying vec2 v_tex;
+void main() {
+	float a = v_tex.x * 3.0 + v_tex.y;
+	gl_FragColor = vec4(fract(a), v_tex, 1.0);
+}`)
+		gl.UseProgram(p)
+		drawQuad(t, gl, p)
+		return p
+	})
+}
+
+// TestLaneParityDiscard: discard makes the program lane-ineligible (a
+// batch could diverge), so the lanes cells must silently fall back to
+// per-fragment execution and still match everywhere.
+func TestLaneParityDiscard(t *testing.T) {
+	const n = 64
+	expectLaneParity(t, n, n, func(gl *Context) uint32 {
+		p := buildProgram(t, gl, quadVS, `
+precision mediump float;
+varying vec2 v_tex;
+void main() {
+	if (v_tex.x > 0.5) discard;
+	gl_FragColor = vec4(v_tex, 0.5, 1.0);
+}`)
+		gl.UseProgram(p)
+		drawQuad(t, gl, p)
+		return p
+	})
+}
+
+// TestLaneParityBranchyFallback: a data-dependent if/else (the jacobi
+// shape) compiles to real control flow, so lanes must fall back; pixels
+// and counters still match the interpreter bit-for-bit.
+func TestLaneParityBranchyFallback(t *testing.T) {
+	const n = 32
+	expectLaneParity(t, n, n, func(gl *Context) uint32 {
+		p := buildProgram(t, gl, quadVS, `
+precision mediump float;
+varying vec2 v_tex;
+void main() {
+	float v;
+	if (v_tex.x + v_tex.y > 0.9) {
+		v = v_tex.x * 0.25;
+	} else {
+		v = v_tex.y * 4.0;
+	}
+	gl_FragColor = vec4(fract(v), v_tex, 1.0);
+}`)
+		gl.UseProgram(p)
+		drawQuad(t, gl, p)
+		return p
+	})
+}

@@ -184,6 +184,13 @@ func (c *Context) shadeTrianglesParallel(p *Program, tgt renderTarget, setups []
 	execFS := shader.Executor(fp, cost, c.jit, c.passes)
 	pool := c.fsPool(fp)
 	sample := envSampler(samplers)
+	// Lane-batched band shading: resolved on the draw goroutine (the pool
+	// field is per-Context state), then shared read-only by the workers.
+	lcfg := c.laneCompiledFor(fp)
+	var lanePool *shader.LaneEnvPool
+	if lcfg != nil {
+		lanePool = c.fsLanePoolFor(fp)
+	}
 
 	results := make([]bandStats, len(bands))
 	fns := make([]func(), len(bands))
@@ -191,6 +198,25 @@ func (c *Context) shadeTrianglesParallel(p *Program, tgt renderTarget, setups []
 		bi := bi
 		b := bands[bi]
 		fns[bi] = func() {
+			if lcfg != nil {
+				// Batches may span triangles within this band's walk; scatter
+				// order equals gather order, so each pixel's shade/blend
+				// sequence matches the scalar band path.
+				ls := c.newLaneShader(lcfg, lanePool, p, tgt, texFns, sample)
+				for ti := range setups {
+					t := &setups[ti]
+					tx0, _, tx1, _ := t.Bounds()
+					t.RasterizeRect(tx0, b[0], tx1, b[1], func(x, y int, fc shader.Vec4, varyings []shader.Vec4) {
+						px, py := vpX+x, vpY+y
+						if px < 0 || py < 0 || px >= tgt.w || py >= tgt.h {
+							return
+						}
+						ls.add(px, py, fc, varyings)
+					})
+				}
+				results[bi] = ls.finish()
+				return
+			}
 			env := pool.Get()
 			env.Uniforms = p.fsUniforms
 			env.Sample = sample

@@ -144,6 +144,13 @@ func (c *Context) shadeTrianglesTiled(p *Program, tgt renderTarget, setups []ras
 	execFS := shader.Executor(fp, cost, c.jit, c.passes)
 	pool := c.fsPool(fp)
 	sample := envSampler(samplers)
+	// Lane-batched tile shading: resolved on the draw goroutine (the pool
+	// field is per-Context state), then shared read-only by the workers.
+	lcfg := c.laneCompiledFor(fp)
+	var lanePool *shader.LaneEnvPool
+	if lcfg != nil {
+		lanePool = c.fsLanePoolFor(fp)
+	}
 
 	nw := c.workers
 	if nw > len(tiles) {
@@ -155,6 +162,30 @@ func (c *Context) shadeTrianglesTiled(p *Program, tgt renderTarget, setups []ras
 	for wi := 0; wi < nw; wi++ {
 		wi := wi
 		fns[wi] = func() {
+			if lcfg != nil {
+				// Batches may span triangles and tiles within this worker's
+				// walk; scatter order equals gather order, so each pixel's
+				// shade/blend sequence matches the scalar tiled path.
+				ls := c.newLaneShader(lcfg, lanePool, p, tgt, texFns, sample)
+				for {
+					ti := int(atomic.AddInt64(&next, 1)) - 1
+					if ti >= len(tiles) {
+						break
+					}
+					tile := &tiles[ti]
+					for _, tri := range tile.tris {
+						setups[tri].RasterizeRect(tile.x0, tile.y0, tile.x1, tile.y1, func(x, y int, fc shader.Vec4, varyings []shader.Vec4) {
+							px, py := vpX+x, vpY+y
+							if px < 0 || py < 0 || px >= tgt.w || py >= tgt.h {
+								return
+							}
+							ls.add(px, py, fc, varyings)
+						})
+					}
+				}
+				results[wi] = ls.finish()
+				return
+			}
 			env := pool.Get()
 			env.Uniforms = p.fsUniforms
 			env.Sample = sample

@@ -65,9 +65,12 @@ type Metrics struct {
 
 	// Engine configuration, set once by New before any worker starts:
 	// whether worker engines shade with the tile-binned fragment engine
-	// and at what tile edge length.
-	tiling   bool
-	tileSize int
+	// and at what tile edge length, and whether they use lane-batched SoA
+	// shader execution and at what batch width.
+	tiling    bool
+	tileSize  int
+	lanes     bool
+	laneWidth int
 }
 
 // PoolGauge is a point-in-time snapshot of one device pool's reuse state,
@@ -154,9 +157,11 @@ func (m *Metrics) batch(dev string, size int) {
 
 // setEngineConfig records the worker engines' fragment-shading setup for
 // the static config gauges. Must happen before Start.
-func (m *Metrics) setEngineConfig(tiling bool, tileSize int) {
+func (m *Metrics) setEngineConfig(tiling bool, tileSize int, lanes bool, laneWidth int) {
 	m.tiling = tiling
 	m.tileSize = tileSize
+	m.lanes = lanes
+	m.laneWidth = laneWidth
 }
 
 // registerDevice installs a pool's probes. Must happen before Start.
@@ -251,6 +256,14 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	appendf("gles2gpgpud_engine_tiling_enabled %d\n", tiling)
 	appendf("# HELP gles2gpgpud_engine_tile_size Tile edge length of the tiled fragment engine in pixels.\n# TYPE gles2gpgpud_engine_tile_size gauge\n")
 	appendf("gles2gpgpud_engine_tile_size %d\n", m.tileSize)
+	appendf("# HELP gles2gpgpud_engine_lanes_enabled Whether worker engines use lane-batched SoA shader execution (host-time knob; results are bit-identical either way).\n# TYPE gles2gpgpud_engine_lanes_enabled gauge\n")
+	lanes := 0
+	if m.lanes {
+		lanes = 1
+	}
+	appendf("gles2gpgpud_engine_lanes_enabled %d\n", lanes)
+	appendf("# HELP gles2gpgpud_engine_lane_width SoA batch width of the lane-batched shader engine.\n# TYPE gles2gpgpud_engine_lane_width gauge\n")
+	appendf("gles2gpgpud_engine_lane_width %d\n", m.laneWidth)
 
 	for _, dev := range sortedKeys(gauges) {
 		g := gauges[dev]

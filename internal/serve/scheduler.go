@@ -11,6 +11,7 @@ import (
 	"gles2gpgpu/internal/core"
 	"gles2gpgpu/internal/device"
 	"gles2gpgpu/internal/gles"
+	"gles2gpgpu/internal/shader"
 )
 
 // Sentinel errors the admission path returns. The HTTP layer maps
@@ -51,6 +52,13 @@ type Config struct {
 	// TileSize overrides the tiled engine's tile edge length for worker
 	// engines (0: gles.DefaultTileSize).
 	TileSize int
+	// NoLanes shades worker engines' fragments individually instead of
+	// lane-batched SoA execution. Host time only — results and
+	// virtual-time figures are bit-identical either way.
+	NoLanes bool
+	// LaneWidth overrides the lane-batched engine's SoA batch width for
+	// worker engines (0: shader.DefaultLaneWidth).
+	LaneWidth int
 }
 
 func (c Config) withDefaults() Config {
@@ -126,7 +134,15 @@ func New(cfg Config) (*Scheduler, error) {
 	if tileSize <= 0 {
 		tileSize = gles.DefaultTileSize
 	}
-	s.metrics.setEngineConfig(!cfg.NoTiling && gles.DefaultTiling(), tileSize)
+	laneWidth := cfg.LaneWidth
+	if laneWidth <= 0 {
+		laneWidth = shader.DefaultLaneWidth
+	}
+	if laneWidth > shader.MaxLaneWidth {
+		laneWidth = shader.MaxLaneWidth
+	}
+	s.metrics.setEngineConfig(!cfg.NoTiling && gles.DefaultTiling(), tileSize,
+		!cfg.NoLanes && shader.DefaultLanes() && shader.DefaultJIT(), laneWidth)
 	for _, name := range cfg.Devices {
 		if _, dup := s.pools[name]; dup {
 			return nil, fmt.Errorf("serve: duplicate device %q", name)
@@ -456,6 +472,8 @@ func (w *worker) engineFor(n int) (*core.Engine, error) {
 		TensorPoolBytes: w.pool.sched.cfg.TensorPoolBytes,
 		NoTiling:        w.pool.sched.cfg.NoTiling,
 		TileSize:        w.pool.sched.cfg.TileSize,
+		NoLanes:         w.pool.sched.cfg.NoLanes,
+		LaneWidth:       w.pool.sched.cfg.LaneWidth,
 	})
 	if err != nil {
 		return nil, err

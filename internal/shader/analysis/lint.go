@@ -70,6 +70,7 @@ func Lint(p *shader.Program, profiles []LimitProfile) []Finding {
 		for _, lp := range profiles {
 			fs = append(fs, CheckLimits(p, res, lp)...)
 		}
+		fs = append(fs, lintLaneEligibility(p, cfg)...)
 	}
 	sort.SliceStable(fs, func(i, j int) bool {
 		if fs[i].Sev != fs[j].Sev {
@@ -238,6 +239,42 @@ func lintBuiltins(p *shader.Program, du *DefUse, sccp *SCCP) []Finding {
 		}
 	}
 	return fs
+}
+
+// lintLaneEligibility reports whether the lane-batched SoA engine can run
+// the program (an info note, not a defect): straight-line programs shade
+// batches of fragments through each instruction at once, while branchy or
+// discarding programs fall back to per-fragment execution. The eligibility
+// probe is the executor's own (shader.LaneFallbackAt); the CFG cross-checks
+// it — a single-block CFG is exactly the straight-line property, so the two
+// views disagreeing would mean a compiler bug worth surfacing loudly.
+func lintLaneEligibility(p *shader.Program, cfg *CFG) []Finding {
+	pc, reason := shader.LaneFallbackAt(p)
+	if reason == "" {
+		if len(cfg.Blocks) > 1 {
+			return []Finding{{
+				Code: "lane-eligible",
+				Sev:  SevWarning,
+				Msg: fmt.Sprintf("executor says straight-line but the CFG has %d blocks; "+
+					"eligibility probe and CFG disagree (compiler bug?)", len(cfg.Blocks)),
+			}}
+		}
+		return []Finding{{
+			Code: "lane-eligible",
+			Sev:  SevInfo,
+			Msg: "straight-line program: the lane-batched engine shades batches of " +
+				"fragments through each instruction at once",
+		}}
+	}
+	f := Finding{
+		Code: "lane-fallback",
+		Sev:  SevInfo,
+		Msg:  fmt.Sprintf("per-fragment execution: %s", reason),
+	}
+	if pc >= 0 && pc < len(p.Insts) {
+		f.Pos = p.Insts[pc].SrcPos
+	}
+	return []Finding{f}
 }
 
 // lintUninitReads flags reads of temp or output register components not

@@ -53,3 +53,56 @@ func (pl *EnvPool) Put(e *Env) {
 	pl.free = append(pl.free, e)
 	pl.mu.Unlock()
 }
+
+// LaneEnvPool hands out SoA batch environments (LaneEnv) for one program
+// at one lane width to concurrent shading workers. The same concurrency
+// audit as EnvPool applies: a LaneCompiled is immutable, so any number of
+// goroutines may run it as long as each uses its own LaneEnv. Pooling the
+// SoA register slabs and scratch blocks means the lane executor allocates
+// nothing on the per-tile hot path — workers Get once per draw, batch
+// through the whole tile walk, and Put when done.
+type LaneEnvPool struct {
+	prog  *Program
+	width int
+	mu    sync.Mutex
+	free  []*LaneEnv
+}
+
+// NewLaneEnvPool returns a pool producing batch environments sized for p
+// at the given lane width.
+func NewLaneEnvPool(p *Program, width int) *LaneEnvPool {
+	return &LaneEnvPool{prog: p, width: width}
+}
+
+// Program returns the program the pool serves.
+func (pl *LaneEnvPool) Program() *Program { return pl.prog }
+
+// Width returns the lane width the pool's environments are laid out for.
+func (pl *LaneEnvPool) Width() int { return pl.width }
+
+// Get returns a ready LaneEnv, reusing a previously returned one when
+// available. Reused LaneEnvs keep their accumulated Cycles/TexFetches
+// (callers measure deltas); register slabs may hold stale lanes, which is
+// only trustworthy for programs with WritesBeforeReads — exactly the
+// precondition the GLES layer's lane gate enforces.
+func (pl *LaneEnvPool) Get() *LaneEnv {
+	pl.mu.Lock()
+	if n := len(pl.free); n > 0 {
+		e := pl.free[n-1]
+		pl.free = pl.free[:n-1]
+		pl.mu.Unlock()
+		return e
+	}
+	pl.mu.Unlock()
+	return NewLaneEnv(pl.prog, pl.width)
+}
+
+// Put returns a LaneEnv to the pool for reuse.
+func (pl *LaneEnvPool) Put(e *LaneEnv) {
+	if e == nil {
+		return
+	}
+	pl.mu.Lock()
+	pl.free = append(pl.free, e)
+	pl.mu.Unlock()
+}

@@ -336,6 +336,12 @@ type Program struct {
 	// jitOpt caches the closure-compiled form of the optimised program
 	// (the OptProgram attached via SetOptimized).
 	jitOpt atomic.Pointer[Compiled]
+	// lanes / lanesOpt cache the lane-batched (SoA) compiled forms (see
+	// lanes.go), keyed by (cost, width) and (cost, width, OptProgram)
+	// respectively; ineligible programs cache a sentinel so the
+	// straightness scan is not repeated per draw.
+	lanes    atomic.Pointer[LaneCompiled]
+	lanesOpt atomic.Pointer[LaneCompiled]
 	// opt holds the pass-pipeline result attached by SetOptimized
 	// (computed in internal/shader/analysis, which this package cannot
 	// import).
