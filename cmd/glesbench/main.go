@@ -15,6 +15,7 @@
 //	glesbench -tilesize 16  # tile edge length of the tiled engine
 //	glesbench -nolanes      # per-fragment shading instead of lane-batched SoA
 //	glesbench -lanewidth 8  # SoA batch width of the lane-batched engine
+//	glesbench -nocoherence  # re-shade every tile instead of eliding unchanged ones
 //	glesbench -micro        # add shader-exec and sampling microbenchmarks
 //	glesbench -benchjson f  # machine-readable host-time results to f
 package main
@@ -52,6 +53,7 @@ type benchJSON struct {
 	Lanes       bool         `json:"lanes"`
 	LaneWidth   int          `json:"lane_width"`
 	QuadFast    bool         `json:"quad_fast"`
+	Coherence   bool         `json:"coherence"`
 	Figures     []figureTime `json:"figures"`
 	TotalHostMS float64      `json:"total_host_ms"`
 }
@@ -59,10 +61,14 @@ type benchJSON struct {
 type figureTime struct {
 	Figure string  `json:"figure"`
 	HostMS float64 `json:"host_ms"`
+	// Elided and Shaded are the tile-coherence counters of the coherence
+	// figures (absent elsewhere).
+	Elided int64 `json:"elided,omitempty"`
+	Shaded int64 `json:"shaded,omitempty"`
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 3, vbo, 4a, 4b, 5a, 5b or all; also journey, ablation, or service (service is opt-in only, never part of all)")
+	fig := flag.String("fig", "all", "figure to reproduce: 3, vbo, 4a, 4b, 5a, 5b or all; also journey, ablation, service, or coherence (service and coherence are opt-in only, never part of all)")
 	size := flag.Int("size", 1024, "matrix dimension for timing runs (paper: 1024)")
 	calib := flag.Int("calib", 64, "matrix dimension for the functional validation run")
 	iters := flag.Int("iters", 100, "measured benchmark-body repetitions")
@@ -73,6 +79,7 @@ func main() {
 	tilesize := flag.Int("tilesize", 0, "tile edge length of the tiled fragment engine (0: default 32)")
 	nolanes := flag.Bool("nolanes", false, "shade every fragment individually instead of lane-batched SoA execution (A/B escape hatch; results are bit-identical, only host time changes)")
 	lanewidth := flag.Int("lanewidth", 0, "SoA batch width of the lane-batched engine (0: default 8, max 16); results are bit-identical at any width")
+	nocoherence := flag.Bool("nocoherence", false, "re-shade every tile every draw instead of eliding tiles with unchanged inputs (A/B escape hatch; results are bit-identical, only host time changes)")
 	micro := flag.Bool("micro", false, "also run the shader-execution and texture-sampling microbenchmarks; results go to stderr and -benchjson, never stdout")
 	benchjson := flag.String("benchjson", "", "write machine-readable per-figure host times (JSON) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -115,7 +122,7 @@ func main() {
 	o := bench.Opts{
 		PaperSize: *size, CalibSize: *calib, Iters: *iters, Workers: *workers,
 		NoJIT: *nojit, NoPasses: *nopasses, NoTiling: *notile, TileSize: *tilesize,
-		NoLanes: *nolanes, LaneWidth: *lanewidth,
+		NoLanes: *nolanes, LaneWidth: *lanewidth, NoCoherence: *nocoherence,
 	}
 	devs := bench.Devices()
 	tileSize := *tilesize
@@ -141,6 +148,7 @@ func main() {
 		Lanes:      !*nolanes && !*nojit && shader.DefaultLanes(),
 		LaneWidth:  laneWidth,
 		QuadFast:   raster.QuadFast(),
+		Coherence:  !*nocoherence && gles.DefaultCoherence(),
 	}
 	recordHost := func(name string, d time.Duration) {
 		fmt.Fprintf(os.Stderr, "glesbench: figure %s: host %v\n", name, d.Round(time.Millisecond))
@@ -216,6 +224,28 @@ func main() {
 			}
 		}
 		recordHost("ablation", time.Since(hostStart))
+	}
+	if *fig == "coherence" {
+		// Cross-iteration tile-coherence comparison (state-stepping
+		// workloads with the elision cache on versus off). Opt-in only:
+		// its output goes to stderr and -benchjson, never stdout, so the
+		// recorded reference output is untouched.
+		hostStart := time.Now()
+		results, err := bench.Coherence(ctx, bench.CoherenceOpts{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "glesbench: coherence: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			name := r.Name()
+			fmt.Fprintf(os.Stderr, "glesbench: %s: %d iters, %d elided, %d shaded, checksum %#x, host %.3fms\n",
+				name, r.Iters, r.Elided, r.Shaded, r.Checksum, r.HostMS)
+			report.Figures = append(report.Figures, figureTime{
+				Figure: name, HostMS: r.HostMS, Elided: r.Elided, Shaded: r.Shaded,
+			})
+			report.TotalHostMS += r.HostMS
+		}
+		recordHost("coherence", time.Since(hostStart))
 	}
 	if *fig == "service" {
 		// Service-layer reuse comparison (gles2gpgpud's residency pool and

@@ -1,7 +1,8 @@
 // Jacobi: an iterative PDE solver (steady-state heat diffusion on a plate)
-// — the numerical-solver application domain the paper cites — run as a
-// multi-pass GPGPU algorithm with double-buffered textures, comparing the
-// two simulated devices.
+// — the numerical-solver application domain the paper cites — run to
+// convergence with the state-stepping API: double-buffered textures, a
+// residual-based stopping rule, and the cross-iteration tile-coherence
+// cache eliding tiles that have stopped changing.
 //
 //	go run ./examples/jacobi
 package main
@@ -27,7 +28,11 @@ func plate() *gpgpu.Matrix {
 	return g
 }
 
-func solveOn(profile *gpgpu.DeviceProfile, steps int) (*gpgpu.Matrix, gpgpu.Time, error) {
+// stop is the convergence rule: check the grid every 25 steps and stop once
+// no element moved more than one encoding quantum since the last check.
+var stop = gpgpu.StepOpts{MaxIters: 2000, CheckEvery: 25, Tol: 1.0 / 255}
+
+func solveOn(profile *gpgpu.DeviceProfile) (*gpgpu.Matrix, gpgpu.StepResult, gpgpu.Time, int64, int64, error) {
 	cfg := gpgpu.Config{
 		Device: profile,
 		Width:  n, Height: n,
@@ -37,26 +42,27 @@ func solveOn(profile *gpgpu.DeviceProfile, steps int) (*gpgpu.Matrix, gpgpu.Time
 	}
 	engine, err := gpgpu.NewEngine(cfg)
 	if err != nil {
-		return nil, 0, err
+		return nil, gpgpu.StepResult{}, 0, 0, 0, err
 	}
 	solver, err := gpgpu.NewJacobi(engine, plate())
 	if err != nil {
-		return nil, 0, err
+		return nil, gpgpu.StepResult{}, 0, 0, 0, err
 	}
-	for i := 0; i < steps; i++ {
-		if err := solver.RunOnce(context.Background()); err != nil {
-			return nil, 0, err
-		}
+	res, err := solver.RunToConvergence(context.Background(), stop)
+	if err != nil {
+		return nil, gpgpu.StepResult{}, 0, 0, 0, err
 	}
 	grid, err := solver.Result()
 	if err != nil {
-		return nil, 0, err
+		return nil, gpgpu.StepResult{}, 0, 0, 0, err
 	}
 	engine.Finish()
-	return grid, engine.Now(), nil
+	elided, shaded := engine.CoherenceStats()
+	return grid, res, engine.Now(), elided, shaded, nil
 }
 
-// cpuSolve is the host reference.
+// cpuSolve is the host reference, run for the same number of steps the GPU
+// took to converge.
 func cpuSolve(steps int) *gpgpu.Matrix {
 	cur := plate()
 	nxt := gpgpu.NewMatrix(n, n)
@@ -76,26 +82,26 @@ func cpuSolve(steps int) *gpgpu.Matrix {
 }
 
 func main() {
-	const steps = 200
-	want := cpuSolve(steps)
-
 	for _, profile := range []*gpgpu.DeviceProfile{gpgpu.VideoCoreIV(), gpgpu.PowerVRSGX545()} {
-		grid, vt, err := solveOn(profile, steps)
+		grid, res, vt, elided, shaded, err := solveOn(profile)
 		if err != nil {
 			log.Fatal(err)
 		}
+		want := cpuSolve(res.Iters)
 		var maxErr float64
 		for i := range grid.Data {
 			if d := math.Abs(grid.Data[i] - want.Data[i]); d > maxErr {
 				maxErr = d
 			}
 		}
-		fmt.Printf("%-28s %d Jacobi steps on %dx%d: centre T=%.4f, max err vs CPU %.2g, virtual time %v\n",
-			profile.Name, steps, n, n, grid.At(n/2, n/2), maxErr, vt)
+		fmt.Printf("%-28s converged=%v after %d steps (residual %.2g) on %dx%d: centre T=%.4f, max err vs CPU %.2g, virtual time %v\n",
+			profile.Name, res.Converged, res.Iters, res.Residual, n, n, grid.At(n/2, n/2), maxErr, vt)
+		fmt.Printf("%-28s tile coherence: %d tiles elided, %d shaded (%.0f%% of re-shading skipped)\n",
+			"", elided, shaded, 100*float64(elided)/float64(elided+shaded))
 	}
 
 	// Show the temperature profile along the midline.
-	grid, _, err := solveOn(gpgpu.VideoCoreIV(), steps)
+	grid, _, _, _, _, err := solveOn(gpgpu.VideoCoreIV())
 	if err != nil {
 		log.Fatal(err)
 	}

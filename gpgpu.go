@@ -68,6 +68,19 @@ type (
 	SaxpyRunner = core.SaxpyRunner
 	// JacobiRunner iterates Jacobi relaxation.
 	JacobiRunner = core.JacobiRunner
+	// ParticlesRunner steps a texture-resident particle system.
+	ParticlesRunner = core.ParticlesRunner
+	// ReactionDiffusionRunner steps a Gray-Scott reaction-diffusion
+	// system.
+	ReactionDiffusionRunner = core.ReactionDiffusionRunner
+	// PingPong is a double-buffered tensor pair for state-stepping
+	// workloads.
+	PingPong = core.PingPong
+	// StepOpts controls an Engine.StepLoop run (iteration bound, residual
+	// check cadence, convergence tolerance).
+	StepOpts = core.StepOpts
+	// StepResult reports how a StepLoop ended.
+	StepResult = core.StepResult
 	// ReduceRunner sums all elements via a 2×2 pyramid reduction.
 	ReduceRunner = core.ReduceRunner
 	// TransposeRunner computes matrix transposition.
@@ -127,6 +140,14 @@ var (
 	NewSaxpy = core.NewSaxpy
 	// NewJacobi prepares the Jacobi relaxation solver.
 	NewJacobi = core.NewJacobi
+	// NewParticles prepares the texture-resident particle system.
+	NewParticles = core.NewParticles
+	// NewReactionDiffusion prepares the Gray-Scott reaction-diffusion
+	// system.
+	NewReactionDiffusion = core.NewReactionDiffusion
+	// MaxAbsDiff is the default StepLoop residual (max element change
+	// between residual checks).
+	MaxAbsDiff = core.MaxAbsDiff
 	// NewReduce prepares the pyramid sum reduction.
 	NewReduce = core.NewReduce
 	// NewTranspose prepares out = inᵀ.

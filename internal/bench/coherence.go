@@ -1,0 +1,260 @@
+package bench
+
+// Cross-iteration tile-coherence benchmarks: host wall-clock time of the
+// state-stepping workloads (8-bit jacobi to convergence, particle system,
+// Gray-Scott reaction-diffusion) with the coherence cache on versus off,
+// plus a controlled sweep over the fraction of the grid that changes every
+// iteration (kernels.CoherenceSweep). Elision changes host time only: every
+// on/off pair must reproduce bit-identical final state bytes, identical
+// iteration counts and identical virtual time — the coherence contract,
+// enforced here on every run like the lane benchmarks enforce theirs.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gles2gpgpu/internal/codec"
+	"gles2gpgpu/internal/core"
+	"gles2gpgpu/internal/device"
+	"gles2gpgpu/internal/kernels"
+	"gles2gpgpu/internal/timing"
+)
+
+// CoherenceResult is one coherence benchmark measurement.
+type CoherenceResult struct {
+	// Workload is the figure key, e.g. "jacobi8" or "sweep/f0.25".
+	Workload string
+	// Coherence reports whether the elision cache was enabled.
+	Coherence bool
+	// Iters is the number of state steps executed (identical on/off).
+	Iters int
+	// HostMS is the host wall-clock time of the stepping loop.
+	HostMS float64
+	// Elided and Shaded are the engine's tile-coherence counters.
+	Elided, Shaded int64
+	// Checksum is an FNV-1a hash of the final raw state bytes — identical
+	// on/off by the coherence contract.
+	Checksum uint64
+	// VirtualTime is the engine's virtual clock after the loop — identical
+	// on/off: elision never touches the modelled device.
+	VirtualTime timing.Time
+}
+
+// Name is the stable figure label, e.g. "coherence/jacobi8/on".
+func (r CoherenceResult) Name() string {
+	state := "off"
+	if r.Coherence {
+		state = "on"
+	}
+	return fmt.Sprintf("coherence/%s/%s", r.Workload, state)
+}
+
+// CoherenceOpts controls the coherence benchmarks.
+type CoherenceOpts struct {
+	// Size is the grid edge length (default 128).
+	Size int
+	// Iters is the fixed step count of the particles, reaction-diffusion
+	// and sweep loops (default 200). The jacobi8 workload instead runs to
+	// byte convergence bounded by 20*Iters.
+	Iters int
+}
+
+func (o CoherenceOpts) withDefaults() CoherenceOpts {
+	if o.Size == 0 {
+		o.Size = 128
+	}
+	if o.Iters == 0 {
+		o.Iters = 200
+	}
+	return o
+}
+
+// sweepFractions is the measured changing-fraction sweep.
+var sweepFractions = []float64{0, 0.25, 0.5, 0.75, 1}
+
+// cohChecksum folds raw state bytes into an FNV-1a hash.
+func cohChecksum(state []byte) uint64 {
+	const prime = 1099511628211
+	sum := uint64(14695981039346656037)
+	for _, b := range state {
+		sum = (sum ^ uint64(b)) * prime
+	}
+	return sum
+}
+
+// cohEngine builds a benchmark engine with the coherence cache on or off.
+func cohEngine(size int, coherence bool) (*core.Engine, error) {
+	return core.NewEngine(core.Config{
+		Device: device.Generic(),
+		Width:  size, Height: size,
+		Swap:        core.SwapNone,
+		Target:      core.TargetTexture,
+		UseVBO:      true,
+		NoCoherence: !coherence,
+	})
+}
+
+// cohPlate is the jacobi8 boundary condition: hot left edge.
+func cohPlate(n int) *codec.Matrix {
+	g := codec.NewMatrix(n, n)
+	for y := 0; y < n; y++ {
+		g.Set(y, 0, 0.9)
+	}
+	return g
+}
+
+// cohWorkload steps one workload on a prepared engine and returns the step
+// count and final raw state.
+type cohWorkload struct {
+	name string
+	run  func(ctx context.Context, e *core.Engine, o CoherenceOpts) (int, []byte, error)
+}
+
+func cohWorkloads(o CoherenceOpts) []cohWorkload {
+	fixed := func(mk func(e *core.Engine) (interface {
+		RunOnce(context.Context) error
+		State() ([]byte, error)
+	}, error)) func(ctx context.Context, e *core.Engine, o CoherenceOpts) (int, []byte, error) {
+		return func(ctx context.Context, e *core.Engine, o CoherenceOpts) (int, []byte, error) {
+			r, err := mk(e)
+			if err != nil {
+				return 0, nil, err
+			}
+			for i := 0; i < o.Iters; i++ {
+				if err := r.RunOnce(ctx); err != nil {
+					return 0, nil, err
+				}
+			}
+			state, err := r.State()
+			return o.Iters, state, err
+		}
+	}
+	ws := []cohWorkload{
+		{"jacobi8", func(ctx context.Context, e *core.Engine, o CoherenceOpts) (int, []byte, error) {
+			r, err := core.NewJacobi8(e, cohPlate(o.Size))
+			if err != nil {
+				return 0, nil, err
+			}
+			res, err := r.RunToConvergence(ctx, core.StepOpts{
+				MaxIters: 20 * o.Iters, CheckEvery: o.Iters, Tol: 0,
+			})
+			if err != nil {
+				return 0, nil, err
+			}
+			state, err := r.State()
+			return res.Iters, state, err
+		}},
+		{"particles", fixed(func(e *core.Engine) (interface {
+			RunOnce(context.Context) error
+			State() ([]byte, error)
+		}, error) {
+			return core.NewParticles(e, 42)
+		})},
+		{"reaction-diffusion", fixed(func(e *core.Engine) (interface {
+			RunOnce(context.Context) error
+			State() ([]byte, error)
+		}, error) {
+			return core.NewReactionDiffusion(e)
+		})},
+	}
+	for _, f := range sweepFractions {
+		frac := f
+		ws = append(ws, cohWorkload{
+			fmt.Sprintf("sweep/f%.2g", frac),
+			func(ctx context.Context, e *core.Engine, o CoherenceOpts) (int, []byte, error) {
+				return cohSweep(ctx, e, o, frac)
+			},
+		})
+	}
+	return ws
+}
+
+// cohSweep steps the CoherenceSweep kernel: the bottom frac of the grid
+// inverts every iteration, the rest passes through and elides.
+func cohSweep(ctx context.Context, e *core.Engine, o CoherenceOpts, frac float64) (int, []byte, error) {
+	k, err := e.CachedKernel(kernels.CoherenceSweep(frac, e.Config().Kernel))
+	if err != nil {
+		return 0, nil, err
+	}
+	pp := e.NewPingPong(o.Size, o.Size, codec.Unit)
+	defer pp.Release()
+	rng := rand.New(rand.NewSource(7))
+	state := make([]byte, o.Size*o.Size*4)
+	for i := range state {
+		state[i] = byte(rng.Intn(256))
+	}
+	if err := pp.UploadEncoded(state); err != nil {
+		return 0, nil, err
+	}
+	res, err := e.StepLoop(ctx, pp, core.StepOpts{MaxIters: o.Iters}, func(_ int, in, out *core.Tensor) error {
+		k.BindInput("text0", 0, in)
+		return k.Dispatch(out)
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	final, err := pp.ReadRaw()
+	return res.Iters, final, err
+}
+
+// Coherence measures every coherence workload with the elision cache on and
+// off, enforcing the bit-identity contract between the two runs. ctx
+// cancels between iterations.
+func Coherence(ctx context.Context, o CoherenceOpts) ([]CoherenceResult, error) {
+	o = o.withDefaults()
+	var out []CoherenceResult
+	for _, w := range cohWorkloads(o) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var ref CoherenceResult
+		var refState []byte
+		for _, coherence := range []bool{true, false} {
+			e, err := cohEngine(o.Size, coherence)
+			if err != nil {
+				return nil, fmt.Errorf("coherence %s: %w", w.name, err)
+			}
+			start := time.Now()
+			iters, state, err := w.run(ctx, e, o)
+			if err != nil {
+				return nil, fmt.Errorf("coherence %s: %w", w.name, err)
+			}
+			host := time.Since(start)
+			e.Finish()
+			elided, shaded := e.CoherenceStats()
+			r := CoherenceResult{
+				Workload:    w.name,
+				Coherence:   coherence,
+				Iters:       iters,
+				HostMS:      float64(host.Microseconds()) / 1000,
+				Elided:      elided,
+				Shaded:      shaded,
+				Checksum:    cohChecksum(state),
+				VirtualTime: e.Now(),
+			}
+			if coherence {
+				ref, refState = r, state
+			} else {
+				// The coherence contract: elision may only change host
+				// time, never results, step counts or modelled time.
+				if !bytes.Equal(state, refState) {
+					return nil, fmt.Errorf("coherence %s: final state differs with coherence on vs off (contract broken)", w.name)
+				}
+				if r.Iters != ref.Iters {
+					return nil, fmt.Errorf("coherence %s: %d iters with coherence off, %d on (contract broken)", w.name, r.Iters, ref.Iters)
+				}
+				if r.VirtualTime != ref.VirtualTime {
+					return nil, fmt.Errorf("coherence %s: virtual time %v with coherence off, %v on (contract broken)", w.name, r.VirtualTime, ref.VirtualTime)
+				}
+				if r.Elided != 0 {
+					return nil, fmt.Errorf("coherence %s: %d tiles elided with the cache disabled", w.name, r.Elided)
+				}
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

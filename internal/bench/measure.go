@@ -94,6 +94,10 @@ type Opts struct {
 	// LaneWidth overrides the lane-batched engine's SoA batch width
 	// (0: shader.DefaultLaneWidth). Host time only, like NoJIT.
 	LaneWidth int
+	// NoCoherence disables the cross-iteration tile-coherence cache for
+	// the functional calibration. Host time only, like NoJIT: elided
+	// tiles replay their exact prior bytes and modelled cost.
+	NoCoherence bool
 }
 
 func (o Opts) withDefaults() Opts {
@@ -229,6 +233,9 @@ func Measure(ctx context.Context, cfg core.Config, spec Spec, o Opts) (Result, e
 	}
 	if o.LaneWidth != 0 {
 		cfg.LaneWidth = o.LaneWidth
+	}
+	if o.NoCoherence {
+		cfg.NoCoherence = true
 	}
 	hostStart := time.Now()
 	cal, err := build(cfg, spec, o.CalibSize, o.Seed, false)

@@ -167,6 +167,14 @@ type Config struct {
 	// bit-identical at any width.
 	LaneWidth int
 
+	// NoCoherence disables the cross-iteration tile-coherence cache,
+	// re-shading every tile on every draw (the library equivalent of
+	// GLES2GPGPU_NO_COHERENCE=1). Like NoJIT it changes host wall-clock
+	// time only: elided tiles replay their exact prior output bytes and
+	// modelled cost, so framebuffer contents and every virtual-time
+	// figure are bit-identical either way.
+	NoCoherence bool
+
 	// StrictLinkLimits makes glLinkProgram additionally enforce the
 	// dataflow-derived device limits (dependent-texture-read depth, live
 	// temporary pressure) that compile-time counting cannot see, the way
@@ -283,6 +291,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.LaneWidth != 0 {
 		e.gl.SetLaneWidth(cfg.LaneWidth)
 	}
+	if cfg.NoCoherence {
+		e.gl.SetCoherence(false)
+	}
 	if cfg.StrictLinkLimits {
 		e.gl.SetStrictLimits(true)
 	}
@@ -316,6 +327,10 @@ func (e *Engine) GL() *gles.Context { return e.gl }
 
 // Machine exposes the timing model.
 func (e *Engine) Machine() *gpu.Machine { return e.gl.Machine() }
+
+// CoherenceStats reports how many tiles the cross-iteration coherence
+// cache elided versus shaded since the engine was created.
+func (e *Engine) CoherenceStats() (elided, shaded int64) { return e.gl.CoherenceStats() }
 
 // Now returns the virtual CPU time.
 func (e *Engine) Now() timing.Time { return e.Machine().Now() }

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
+	"math/rand"
 
 	"gles2gpgpu/internal/codec"
 	"gles2gpgpu/internal/kernels"
@@ -383,14 +385,13 @@ func (r *SaxpyRunner) Release() {
 	r.out.Release()
 }
 
-// JacobiRunner iterates the Jacobi relaxation kernel with double-buffered
-// grids (a multi-pass numerical solver, one of the application domains the
-// paper motivates).
+// JacobiRunner iterates the Jacobi relaxation kernel over a ping-pong
+// tensor pair (a multi-pass numerical solver, one of the application
+// domains the paper motivates).
 type JacobiRunner struct {
-	e    *Engine
-	k    *Kernel
-	grid [2]*Tensor
-	cur  int
+	e  *Engine
+	k  *Kernel
+	pp *PingPong
 }
 
 // NewJacobi prepares the solver with the given initial grid.
@@ -399,14 +400,17 @@ func NewJacobi(e *Engine, initial *codec.Matrix) (*JacobiRunner, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &JacobiRunner{e: e, k: k}
-	for i := range r.grid {
-		r.grid[i] = e.NewTensor(initial.Rows, initial.Cols, initial.Range)
-	}
-	if err := r.grid[0].Upload(initial, false); err != nil {
+	r := &JacobiRunner{e: e, k: k, pp: e.NewPingPong(initial.Rows, initial.Cols, initial.Range)}
+	if err := r.pp.Upload(initial); err != nil {
 		return nil, err
 	}
 	return r, nil
+}
+
+// step binds the input grid and relaxes into the output grid.
+func (r *JacobiRunner) step(in, out *Tensor) error {
+	r.k.BindInput("text0", 0, in)
+	return r.k.Dispatch(out)
 }
 
 // RunOnce performs one relaxation step.
@@ -414,23 +418,233 @@ func (r *JacobiRunner) RunOnce(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	in := r.grid[r.cur]
-	out := r.grid[1-r.cur]
-	r.k.BindInput("text0", 0, in)
-	if err := r.k.Dispatch(out); err != nil {
+	if err := r.step(r.pp.Cur(), r.pp.Next()); err != nil {
 		return err
 	}
-	r.cur = 1 - r.cur
+	r.pp.Swap()
 	return r.e.EndIteration()
 }
 
+// RunToConvergence relaxes until the residual between periodic readbacks
+// drops to opts.Tol (or opts.MaxIters is reached) via Engine.StepLoop.
+// Late iterations change little of the grid, so this is where the
+// cross-iteration tile-coherence cache pays off: converged tiles stop
+// re-shading long before the residual check can stop the loop.
+func (r *JacobiRunner) RunToConvergence(ctx context.Context, opts StepOpts) (StepResult, error) {
+	return r.e.StepLoop(ctx, r.pp, opts, func(_ int, in, out *Tensor) error {
+		return r.step(in, out)
+	})
+}
+
 // Result reads the current grid.
-func (r *JacobiRunner) Result() (*codec.Matrix, error) { return r.grid[r.cur].Read() }
+func (r *JacobiRunner) Result() (*codec.Matrix, error) { return r.pp.Read() }
 
 // Release returns the runner's tensors to the engine pool.
-func (r *JacobiRunner) Release() {
-	r.grid[0].Release()
-	r.grid[1].Release()
+func (r *JacobiRunner) Release() { r.pp.Release() }
+
+// Jacobi8Runner iterates the display-precision (8-bit raw state) Jacobi
+// relaxation. Unlike the codec-encoded JacobiRunner — whose low-order
+// state bytes never stop churning — the byte-quantised relaxation reaches
+// an exact fixed point progressively, tile by tile, so late iterations are
+// almost entirely coherence-elided. This is the jacobi-to-convergence
+// workload of the coherence benchmarks.
+type Jacobi8Runner struct {
+	e  *Engine
+	k  *Kernel
+	pp *PingPong
+}
+
+// NewJacobi8 prepares the 8-bit solver, quantising the initial grid (unit
+// range) to bytes.
+func NewJacobi8(e *Engine, initial *codec.Matrix) (*Jacobi8Runner, error) {
+	k, err := e.CachedKernel(kernels.Jacobi8(initial.Cols, initial.Rows, e.cfg.Kernel))
+	if err != nil {
+		return nil, err
+	}
+	r := &Jacobi8Runner{e: e, k: k, pp: e.NewPingPong(initial.Rows, initial.Cols, codec.Unit)}
+	state := make([]byte, initial.Rows*initial.Cols*4)
+	for i, v := range initial.Data {
+		b := byte(math.Round(v * 255))
+		state[i*4+0] = b
+		state[i*4+1] = b
+		state[i*4+2] = b
+		state[i*4+3] = 255
+	}
+	if err := r.pp.UploadEncoded(state); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// RunOnce performs one relaxation step.
+func (r *Jacobi8Runner) RunOnce(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	r.k.BindInput("text0", 0, r.pp.Cur())
+	if err := r.k.Dispatch(r.pp.Next()); err != nil {
+		return err
+	}
+	r.pp.Swap()
+	return r.e.EndIteration()
+}
+
+// RunToConvergence relaxes until the raw state bytes stop changing between
+// periodic readbacks (or opts.MaxIters is reached). A nil opts.ResidualRaw
+// defaults to MaxByteDiff.
+func (r *Jacobi8Runner) RunToConvergence(ctx context.Context, opts StepOpts) (StepResult, error) {
+	if opts.ResidualRaw == nil {
+		opts.ResidualRaw = MaxByteDiff
+	}
+	return r.e.StepLoop(ctx, r.pp, opts, func(_ int, in, out *Tensor) error {
+		r.k.BindInput("text0", 0, in)
+		return r.k.Dispatch(out)
+	})
+}
+
+// State reads the raw RGBA state.
+func (r *Jacobi8Runner) State() ([]byte, error) { return r.pp.ReadRaw() }
+
+// Result decodes the temperatures (the R channel) into a matrix.
+func (r *Jacobi8Runner) Result() (*codec.Matrix, error) { return rawChannelMatrix(r.pp, 0) }
+
+// Release returns the runner's tensors to the engine pool.
+func (r *Jacobi8Runner) Release() { r.pp.Release() }
+
+// ParticlesRunner steps a texture-resident particle system: each texel is
+// one particle (position in RG, velocity in BA) stored as raw RGBA bytes —
+// the gl-gpgpu style of state-stepping workload. Velocities decay to rest
+// and positions settle onto byte fixed points, so tiles progressively stop
+// changing and the coherence cache elides them.
+type ParticlesRunner struct {
+	e  *Engine
+	k  *Kernel
+	pp *PingPong
+}
+
+// NewParticles seeds a particle per texel of the engine grid with
+// deterministic pseudo-random positions and velocities derived from seed.
+func NewParticles(e *Engine, seed int64) (*ParticlesRunner, error) {
+	k, err := e.CachedKernel(kernels.Particles(e.cfg.Kernel))
+	if err != nil {
+		return nil, err
+	}
+	rows, cols := e.cfg.Height, e.cfg.Width
+	r := &ParticlesRunner{e: e, k: k, pp: e.NewPingPong(rows, cols, codec.Unit)}
+	rng := rand.New(rand.NewSource(seed))
+	state := make([]byte, rows*cols*4)
+	for i := 0; i < len(state); i += 4 {
+		state[i+0] = byte(rng.Intn(256)) // pos.x
+		state[i+1] = byte(rng.Intn(256)) // pos.y
+		state[i+2] = byte(rng.Intn(256)) // vel.x around 128
+		state[i+3] = byte(rng.Intn(256)) // vel.y around 128
+	}
+	if err := r.pp.UploadEncoded(state); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// RunOnce advances every particle one step.
+func (r *ParticlesRunner) RunOnce(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	r.k.BindInput("text0", 0, r.pp.Cur())
+	if err := r.k.Dispatch(r.pp.Next()); err != nil {
+		return err
+	}
+	r.pp.Swap()
+	return r.e.EndIteration()
+}
+
+// State reads the raw RGBA particle state.
+func (r *ParticlesRunner) State() ([]byte, error) { return r.pp.ReadRaw() }
+
+// Result decodes the particle x positions (the R channel) into a matrix.
+func (r *ParticlesRunner) Result() (*codec.Matrix, error) { return rawChannelMatrix(r.pp, 0) }
+
+// Release returns the runner's tensors to the engine pool.
+func (r *ParticlesRunner) Release() { r.pp.Release() }
+
+// ReactionDiffusionRunner steps a Gray-Scott reaction-diffusion system
+// (species u in R, v in G, raw byte state). Away from the growing pattern
+// the homogeneous u=1, v=0 state is byte-exact under the update, so most
+// tiles are coherence-elided every iteration.
+type ReactionDiffusionRunner struct {
+	e  *Engine
+	k  *Kernel
+	pp *PingPong
+}
+
+// NewReactionDiffusion seeds the engine grid with the homogeneous u=1, v=0
+// state plus a perturbed square spot in the centre that grows into the
+// pattern front.
+func NewReactionDiffusion(e *Engine) (*ReactionDiffusionRunner, error) {
+	rows, cols := e.cfg.Height, e.cfg.Width
+	k, err := e.CachedKernel(kernels.ReactionDiffusion(cols, rows, e.cfg.Kernel))
+	if err != nil {
+		return nil, err
+	}
+	r := &ReactionDiffusionRunner{e: e, k: k, pp: e.NewPingPong(rows, cols, codec.Unit)}
+	state := make([]byte, rows*cols*4)
+	for i := 0; i < len(state); i += 4 {
+		state[i+0] = 255 // u = 1
+		state[i+3] = 255 // alpha (kernel re-emits 1)
+	}
+	// Central spot: u = 0.5, v = 0.25.
+	const spot = 4
+	for y := rows/2 - spot; y < rows/2+spot; y++ {
+		for x := cols/2 - spot; x < cols/2+spot; x++ {
+			if y < 0 || y >= rows || x < 0 || x >= cols {
+				continue
+			}
+			i := (y*cols + x) * 4
+			state[i+0] = 128
+			state[i+1] = 64
+		}
+	}
+	if err := r.pp.UploadEncoded(state); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// RunOnce advances the system one step.
+func (r *ReactionDiffusionRunner) RunOnce(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	r.k.BindInput("text0", 0, r.pp.Cur())
+	if err := r.k.Dispatch(r.pp.Next()); err != nil {
+		return err
+	}
+	r.pp.Swap()
+	return r.e.EndIteration()
+}
+
+// State reads the raw RGBA species state.
+func (r *ReactionDiffusionRunner) State() ([]byte, error) { return r.pp.ReadRaw() }
+
+// Result decodes the u concentrations (the R channel) into a matrix.
+func (r *ReactionDiffusionRunner) Result() (*codec.Matrix, error) { return rawChannelMatrix(r.pp, 0) }
+
+// Release returns the runner's tensors to the engine pool.
+func (r *ReactionDiffusionRunner) Release() { r.pp.Release() }
+
+// rawChannelMatrix reads a ping-pong pair's raw state and decodes one byte
+// channel as values in [0, 1].
+func rawChannelMatrix(pp *PingPong, ch int) (*codec.Matrix, error) {
+	raw, err := pp.ReadRaw()
+	if err != nil {
+		return nil, err
+	}
+	t := pp.Cur()
+	m := codec.NewMatrix(t.Rows, t.Cols)
+	for i := range m.Data {
+		m.Data[i] = float64(raw[i*4+ch]) / 255
+	}
+	return m, nil
 }
 
 // TransposeRunner computes the matrix transpose — a pure data-movement

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"gles2gpgpu/internal/codec"
+)
+
+// PingPong is a double-buffered tensor pair for state-stepping workloads:
+// each step reads the current tensor and writes the next, then the roles
+// swap. This is the canonical GPGPU-on-GLES2 iteration structure (texture
+// feedback through two FBO-attachable textures), and the access pattern the
+// cross-iteration tile-coherence cache is built for: the step kernel, its
+// uniforms and its geometry are identical every iteration, so tiles whose
+// sampled state bytes stopped changing are elided.
+type PingPong struct {
+	e    *Engine
+	grid [2]*Tensor
+	cur  int
+}
+
+// NewPingPong allocates a double-buffered pair of rows x cols tensors
+// (through the engine's tensor pool when one is enabled).
+func (e *Engine) NewPingPong(rows, cols int, rng codec.Range) *PingPong {
+	return &PingPong{e: e, grid: [2]*Tensor{
+		e.NewTensor(rows, cols, rng),
+		e.NewTensor(rows, cols, rng),
+	}}
+}
+
+// Cur returns the tensor holding the current state (the next step's input).
+func (p *PingPong) Cur() *Tensor { return p.grid[p.cur] }
+
+// Next returns the tensor the next step writes into.
+func (p *PingPong) Next() *Tensor { return p.grid[1-p.cur] }
+
+// Swap makes the most recently written tensor current.
+func (p *PingPong) Swap() { p.cur = 1 - p.cur }
+
+// Upload seeds the current state from a matrix.
+func (p *PingPong) Upload(m *codec.Matrix) error { return p.Cur().Upload(m, false) }
+
+// UploadEncoded seeds the current state from pre-encoded texel bytes.
+func (p *PingPong) UploadEncoded(data []byte) error { return p.Cur().UploadEncoded(data, false) }
+
+// Read decodes the current state into a matrix.
+func (p *PingPong) Read() (*codec.Matrix, error) { return p.Cur().Read() }
+
+// ReadRaw reads the current state's raw RGBA texel bytes.
+func (p *PingPong) ReadRaw() ([]byte, error) { return p.Cur().ReadRaw() }
+
+// Release returns both tensors to the engine's residency pool.
+func (p *PingPong) Release() {
+	p.grid[0].Release()
+	p.grid[1].Release()
+}
+
+// StepOpts controls a StepLoop run.
+type StepOpts struct {
+	// MaxIters bounds the iteration count (required, > 0).
+	MaxIters int
+
+	// CheckEvery is how often (in iterations) the loop reads the state
+	// back and evaluates Residual. 0 means never: the loop runs exactly
+	// MaxIters steps. Readback is the expensive GLES2 sync point, so
+	// convergence-driven workloads amortise it over many steps.
+	CheckEvery int
+
+	// Tol is the convergence threshold: the loop stops once Residual
+	// reports a value <= Tol.
+	Tol float64
+
+	// Residual measures progress between two consecutive residual checks
+	// (prev is nil on the first check). Nil defaults to the maximum
+	// absolute element difference between checks, which reaches 0 exactly
+	// when the encoded state bytes stop changing — the same fixed point
+	// the tile-coherence cache detects per tile.
+	Residual func(prev, cur *codec.Matrix) float64
+
+	// ResidualRaw, when non-nil, takes precedence over Residual: the
+	// loop reads raw RGBA state bytes instead of decoding a matrix.
+	// Raw-state workloads (particles, reaction-diffusion, 8-bit jacobi)
+	// converge in byte space; MaxByteDiff is the usual choice.
+	ResidualRaw func(prev, cur []byte) float64
+}
+
+// StepResult reports how a StepLoop ended.
+type StepResult struct {
+	Iters     int     // steps actually executed
+	Converged bool    // stopped because Residual <= Tol
+	Residual  float64 // last measured residual (NaN if never checked)
+}
+
+// MaxAbsDiff is the default StepLoop residual: the maximum absolute
+// element-wise difference between two matrices (+Inf when prev is nil).
+func MaxAbsDiff(prev, cur *codec.Matrix) float64 {
+	if prev == nil {
+		return math.Inf(1)
+	}
+	var max float64
+	for i := range cur.Data {
+		d := math.Abs(cur.Data[i] - prev.Data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MaxByteDiff is the raw-state analogue of MaxAbsDiff: the maximum
+// absolute byte difference between two raw RGBA states, scaled to [0, 1]
+// (+Inf when prev is nil). It reaches 0 exactly at the byte fixed point
+// where the coherence cache elides every tile.
+func MaxByteDiff(prev, cur []byte) float64 {
+	if prev == nil {
+		return math.Inf(1)
+	}
+	var max int
+	for i := range cur {
+		d := int(cur[i]) - int(prev[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return float64(max) / 255
+}
+
+// StepLoop drives a ping-pong state-stepping iteration: each call to step
+// receives the iteration index, the current input tensor and the output
+// tensor; after it returns the pair swaps and the engine's iteration-end
+// synchronisation runs. With CheckEvery > 0 the loop periodically reads the
+// state back and stops early once the residual drops to Tol. Cancellation
+// via ctx is checked every iteration.
+func (e *Engine) StepLoop(ctx context.Context, p *PingPong, opts StepOpts, step func(i int, in, out *Tensor) error) (StepResult, error) {
+	if opts.MaxIters <= 0 {
+		return StepResult{}, fmt.Errorf("core: StepLoop needs MaxIters > 0")
+	}
+	res := StepResult{Residual: math.NaN()}
+	residual := opts.Residual
+	if residual == nil {
+		residual = MaxAbsDiff
+	}
+	var prevM *codec.Matrix
+	var prevRaw []byte
+	for i := 0; i < opts.MaxIters; i++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		if err := step(i, p.Cur(), p.Next()); err != nil {
+			return res, err
+		}
+		p.Swap()
+		if err := e.EndIteration(); err != nil {
+			return res, err
+		}
+		res.Iters = i + 1
+		if opts.CheckEvery > 0 && (i+1)%opts.CheckEvery == 0 {
+			if opts.ResidualRaw != nil {
+				cur, err := p.ReadRaw()
+				if err != nil {
+					return res, err
+				}
+				res.Residual = opts.ResidualRaw(prevRaw, cur)
+				prevRaw = cur
+			} else {
+				cur, err := p.Read()
+				if err != nil {
+					return res, err
+				}
+				res.Residual = residual(prevM, cur)
+				prevM = cur
+			}
+			if res.Residual <= opts.Tol {
+				res.Converged = true
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}

@@ -131,6 +131,31 @@ func (t *Tensor) Read() (*codec.Matrix, error) {
 	return m, nil
 }
 
+// ReadRaw transfers the tensor's raw RGBA texel bytes back to the host
+// (len rows*cols*4) without decoding them into a matrix. State-stepping
+// workloads that pack arbitrary channel layouts (particle positions and
+// velocities, reaction-diffusion species) read their state this way; the
+// returned slice is freshly allocated and safe to retain.
+func (t *Tensor) ReadRaw() ([]byte, error) {
+	if !t.allocated {
+		return nil, fmt.Errorf("core: reading unallocated tensor")
+	}
+	gl := t.e.gl
+	gl.BindFramebuffer(gles.FRAMEBUFFER, t.e.readFBO)
+	gl.FramebufferTexture2D(gles.FRAMEBUFFER, gles.COLOR_ATTACHMENT0, gles.TEXTURE_2D, t.tex, 0)
+	if st := gl.CheckFramebufferStatus(gles.FRAMEBUFFER); st != gles.FRAMEBUFFER_COMPLETE {
+		gl.BindFramebuffer(gles.FRAMEBUFFER, 0)
+		return nil, fmt.Errorf("core: readback FBO incomplete (0x%04X)", uint32(st))
+	}
+	buf := make([]byte, t.Rows*t.Cols*4)
+	gl.ReadPixels(0, 0, t.Cols, t.Rows, gles.RGBA, gles.UNSIGNED_BYTE, buf)
+	gl.BindFramebuffer(gles.FRAMEBUFFER, 0)
+	if err := t.e.glErr("tensor read"); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
 // Free releases the texture.
 func (t *Tensor) Free() {
 	t.e.gl.DeleteTexture(t.tex)

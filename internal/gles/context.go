@@ -252,6 +252,21 @@ type Context struct {
 	lanes     bool
 	laneWidth int
 
+	// coherence selects the cross-iteration tile-coherence engine (see
+	// coherence.go): eligible draws cache each tile's sampled-texel
+	// footprint and output bytes, and a later draw with the same signature
+	// replays tiles whose inputs are unchanged instead of re-shading them.
+	// Framebuffer bytes and Cycles/TexFetches are bit-identical either way
+	// (elided tiles contribute their cached modelled cost); only host
+	// wall-clock time changes. The CoherenceElided/CoherenceShaded counters
+	// report the win.
+	coherence bool
+	cohCache  map[cohKey]*cohDraw
+	cohGen    uint64
+	cohBytes  int
+	cohElided int64
+	cohShaded int64
+
 	// strictLimits makes LinkProgram reject programs whose analysis-based
 	// resource counts (worst-path instructions/tex fetches,
 	// dependent-read depth, linear-scan register pressure) exceed the
@@ -318,6 +333,8 @@ func NewContext(ec *egl.Context) *Context {
 		tileSize:     DefaultTileSize,
 		lanes:        shader.DefaultLanes(),
 		laneWidth:    shader.DefaultLaneWidth,
+		coherence:    DefaultCoherence(),
+		cohCache:     make(map[cohKey]*cohDraw),
 		strictLimits: defaultStrictLimits(),
 	}
 	c.colorMask = [4]bool{true, true, true, true}
@@ -341,6 +358,8 @@ func (c *Context) Destroy() {
 	c.fsEnvPool = nil
 	c.fsLanePool = nil
 	c.coverScratch = nil
+	c.cohCache = make(map[cohKey]*cohDraw)
+	c.cohBytes = 0
 }
 
 // Machine exposes the timing model (for harnesses and tests).
@@ -442,6 +461,27 @@ func (c *Context) SetLaneWidth(n int) {
 
 // LaneWidth returns the configured SoA batch width.
 func (c *Context) LaneWidth() int { return c.laneWidth }
+
+// SetCoherence selects the cross-iteration tile-coherence engine for
+// eligible draws: tiles of a repeated draw whose sampled inputs are
+// byte-identical to the previous iteration replay their cached output
+// bytes instead of re-shading (see coherence.go). Framebuffer bytes,
+// Cycles/TexFetches and every virtual-time figure are bit-identical either
+// way — elided tiles still contribute their cached modelled cost — so this
+// is a host-time knob like SetTiling. Turning it off also drops the cached
+// snapshots. The default comes from DefaultCoherence (on, unless
+// GLES2GPGPU_NO_COHERENCE is set).
+func (c *Context) SetCoherence(on bool) {
+	c.coherence = on
+	if !on {
+		c.cohCache = make(map[cohKey]*cohDraw)
+		c.cohBytes = 0
+	}
+}
+
+// Coherence reports whether the cross-iteration tile-coherence engine is
+// selected.
+func (c *Context) Coherence() bool { return c.coherence }
 
 // SetStrictLimits toggles analysis-based device-limit enforcement at
 // LinkProgram time: when on, programs whose worst-path resource counts

@@ -269,6 +269,15 @@ func (c *Context) executeDraw(p *Program, tgt renderTarget, mode Enum, first, co
 		estFrags += int64(x1-x0+1) * int64(y1-y0+1)
 		setups = append(setups, t)
 	}
+	// Cross-iteration tile coherence: eligible repeated draws elide tiles
+	// whose sampled inputs are byte-identical to the previous iteration
+	// (see coherence.go). Works at any worker count — unlike the parallel
+	// paths it pays for itself through elision, not load balancing.
+	if c.coherentEligible(fp, tgt, samplers) {
+		if st, ok := c.shadeTrianglesCoherent(p, tgt, setups, vpX, vpY, samplers); ok {
+			return st
+		}
+	}
 	if c.parallelEligible(fp, estFrags) {
 		if c.tiling {
 			if st, ok := c.shadeTrianglesTiled(p, tgt, setups, vpX, vpY, samplers, texFns); ok {

@@ -303,6 +303,116 @@ void main() {
 `, dx, dy)
 }
 
+// Jacobi8 generates the display-precision Jacobi relaxation step: the
+// same 5-point Laplace stencil as Jacobi, but with the temperature stored
+// as one raw byte (replicated across RGB) instead of codec-encoded fixed
+// point. At 8-bit quantisation the relaxation reaches an exact byte fixed
+// point — cold regions freeze first and the frozen region grows — which is
+// the progressive per-tile convergence the cross-iteration tile-coherence
+// cache elides. (The codec-encoded Jacobi never freezes: rounding noise
+// keeps the low-order bytes churning below any useful tolerance, so
+// coherence pays at display precision, as in the frame-coherence
+// literature, not at 24/32-bit state precision.)
+func Jacobi8(w, h int, o Options) string {
+	o = o.normalized()
+	dx := glslFloat(1.0 / float64(w))
+	dy := glslFloat(1.0 / float64(h))
+	return o.header() + fmt.Sprintf(`
+uniform sampler2D text0; // temperature in R (raw byte)
+varying vec2 v_tex;
+void main() {
+	float left  = texture2D(text0, v_tex + vec2(-%[1]s, 0.0)).r;
+	float right = texture2D(text0, v_tex + vec2(%[1]s, 0.0)).r;
+	float down  = texture2D(text0, v_tex + vec2(0.0, -%[2]s)).r;
+	float up    = texture2D(text0, v_tex + vec2(0.0, %[2]s)).r;
+	float here  = texture2D(text0, v_tex).r;
+	float relaxed = (left + right + down + up) * 0.25;
+	// Boundary fragments keep their value (Dirichlet condition).
+	bool interior = v_tex.x > %[1]s && v_tex.x < 1.0 - %[1]s &&
+		v_tex.y > %[2]s && v_tex.y < 1.0 - %[2]s;
+	float t = interior ? relaxed : here;
+	gl_FragColor = vec4(t, t, t, 1.0);
+}
+`, dx, dy)
+}
+
+// Particles generates one step of a texture-resident particle system, a
+// state-stepping workload in the gl-gpgpu mould: each texel is one particle
+// with position packed in RG and velocity in BA (biased around 0.5), stored
+// as raw RGBA bytes rather than codec-encoded floats. Velocities decay
+// toward rest each step and positions integrate them, bouncing off the unit
+// walls; at 8-bit quantisation both eventually freeze to a byte fixed point,
+// which is what lets the cross-iteration tile-coherence cache elide settled
+// tiles. The kernel is straight-line (mix/step/clamp, no branches) so it
+// also exercises the lane-batched engine.
+func Particles(o Options) string {
+	o = o.normalized()
+	return o.header() + `
+uniform sampler2D text0; // particle state: pos.xy in RG, vel in BA
+varying vec2 v_tex;
+void main() {
+	vec4 s = texture2D(text0, v_tex);
+	vec2 vel = s.ba - 0.5;
+	vec2 pos = s.rg + vel * 0.04;
+	vel = vel * 0.95 + 0.5;
+	// Reflect the velocity about rest where the particle left the box.
+	vec2 hit = min(step(pos, vec2(0.0)) + step(vec2(1.0), pos), vec2(1.0));
+	vel = mix(vel, 1.0 - vel, hit);
+	pos = clamp(pos, 0.0, 1.0);
+	gl_FragColor = vec4(pos, vel);
+}
+`
+}
+
+// ReactionDiffusion generates one Gray-Scott reaction-diffusion step over a
+// w×h grid with species u in R and v in G (raw byte state, clamp-to-edge
+// sampling). The homogeneous state u=1, v=0 is byte-exact under the update,
+// so tiles the pattern front has not reached hold identical bytes every
+// iteration — the canonical coherence-friendly workload.
+func ReactionDiffusion(w, h int, o Options) string {
+	o = o.normalized()
+	dx := glslFloat(1.0 / float64(w))
+	dy := glslFloat(1.0 / float64(h))
+	return o.header() + fmt.Sprintf(`
+uniform sampler2D text0; // u in R, v in G
+varying vec2 v_tex;
+void main() {
+	vec2 here  = texture2D(text0, v_tex).rg;
+	vec2 left  = texture2D(text0, v_tex + vec2(-%[1]s, 0.0)).rg;
+	vec2 right = texture2D(text0, v_tex + vec2(%[1]s, 0.0)).rg;
+	vec2 down  = texture2D(text0, v_tex + vec2(0.0, -%[2]s)).rg;
+	vec2 up    = texture2D(text0, v_tex + vec2(0.0, %[2]s)).rg;
+	vec2 lap = left + right + down + up - 4.0 * here;
+	float u = here.r;
+	float v = here.g;
+	float uvv = u * v * v;
+	float du = 0.16 * lap.r - uvv + 0.0545 * (1.0 - u);
+	float dv = 0.08 * lap.g + uvv - 0.1165 * v;
+	gl_FragColor = vec4(clamp(u + du, 0.0, 1.0), clamp(v + dv, 0.0, 1.0), 0.0, 1.0);
+}
+`, dx, dy)
+}
+
+// CoherenceSweep generates the coherence micro-benchmark kernel: fragments
+// in the bottom activeFrac of the grid invert their input byte every step
+// (a period-2 oscillation that never matches the previous iteration), the
+// rest pass their input through unchanged (byte-identical from the second
+// iteration on). The fraction is baked in as a compile-time constant — a
+// uniform would enter the coherence cache's draw-state signature and defeat
+// the elision being measured.
+func CoherenceSweep(activeFrac float64, o Options) string {
+	o = o.normalized()
+	return o.header() + fmt.Sprintf(`
+uniform sampler2D text0;
+varying vec2 v_tex;
+void main() {
+	vec4 t = texture2D(text0, v_tex);
+	vec4 flipped = vec4(1.0) - t;
+	gl_FragColor = v_tex.y < %s ? flipped : t;
+}
+`, glslFloat(activeFrac))
+}
+
 // glslFloat renders a float64 as a GLSL float literal with full precision.
 func glslFloat(v float64) string {
 	s := fmt.Sprintf("%.17g", v)

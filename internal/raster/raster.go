@@ -213,6 +213,52 @@ func (t *Triangle) Rasterize(emit FragmentSink) int {
 	return t.RasterizeRect(t.minX, t.minY, t.maxX, t.maxY, emit)
 }
 
+// AppendFingerprint appends a byte serialisation of every field that
+// determines the triangle's rasterisation output — screen positions, 1/w,
+// varyings, and the clipped pixel bounds — to dst and returns it. Two
+// set-up triangles with equal fingerprints emit identical fragment streams
+// (coordinates, coverage and interpolated varyings, bit for bit): the edge
+// coefficients and exactness classification are pure functions of the
+// serialised positions. The cross-iteration tile-coherence cache uses the
+// fingerprint as part of its draw-state signature.
+func (t *Triangle) AppendFingerprint(dst []byte) []byte {
+	p64 := func(v float64) {
+		u := math.Float64bits(v)
+		dst = append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+	p32 := func(v float32) {
+		u := math.Float32bits(v)
+		dst = append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	}
+	pint := func(v int) {
+		u := uint32(int32(v))
+		dst = append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	}
+	if !t.valid {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	for i := 0; i < 3; i++ {
+		p64(t.sx[i])
+		p64(t.sy[i])
+		p64(t.invW[i])
+	}
+	pint(t.numVar)
+	for vi := 0; vi < 3; vi++ {
+		for r := 0; r < t.numVar; r++ {
+			for ci := 0; ci < 4; ci++ {
+				p32(t.varyings[vi][r][ci])
+			}
+		}
+	}
+	pint(t.minX)
+	pint(t.minY)
+	pint(t.maxX)
+	pint(t.maxY)
+	return dst
+}
+
 // Bands splits the inclusive row range [y0, y1] into at most n contiguous,
 // disjoint, non-empty bands [b0, b1] covering it exactly, balanced to
 // within one row. It is the work-partitioning primitive of the

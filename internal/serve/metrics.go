@@ -65,12 +65,14 @@ type Metrics struct {
 
 	// Engine configuration, set once by New before any worker starts:
 	// whether worker engines shade with the tile-binned fragment engine
-	// and at what tile edge length, and whether they use lane-batched SoA
-	// shader execution and at what batch width.
+	// and at what tile edge length, whether they use lane-batched SoA
+	// shader execution and at what batch width, and whether the
+	// cross-iteration tile-coherence cache is enabled.
 	tiling    bool
 	tileSize  int
 	lanes     bool
 	laneWidth int
+	coherence bool
 }
 
 // PoolGauge is a point-in-time snapshot of one device pool's reuse state,
@@ -82,6 +84,7 @@ type PoolGauge struct {
 	RunnersLive                                       int
 	RunnerEvictions                                   int64
 	SubUploads                                        int64
+	TilesElided, TilesShaded                          int64
 }
 
 func newMetrics() *Metrics {
@@ -157,11 +160,12 @@ func (m *Metrics) batch(dev string, size int) {
 
 // setEngineConfig records the worker engines' fragment-shading setup for
 // the static config gauges. Must happen before Start.
-func (m *Metrics) setEngineConfig(tiling bool, tileSize int, lanes bool, laneWidth int) {
+func (m *Metrics) setEngineConfig(tiling bool, tileSize int, lanes bool, laneWidth int, coherence bool) {
 	m.tiling = tiling
 	m.tileSize = tileSize
 	m.lanes = lanes
 	m.laneWidth = laneWidth
+	m.coherence = coherence
 }
 
 // registerDevice installs a pool's probes. Must happen before Start.
@@ -264,6 +268,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	appendf("gles2gpgpud_engine_lanes_enabled %d\n", lanes)
 	appendf("# HELP gles2gpgpud_engine_lane_width SoA batch width of the lane-batched shader engine.\n# TYPE gles2gpgpud_engine_lane_width gauge\n")
 	appendf("gles2gpgpud_engine_lane_width %d\n", m.laneWidth)
+	appendf("# HELP gles2gpgpud_engine_coherence_enabled Whether worker engines elide tiles with unchanged inputs across iterations (host-time knob; results are bit-identical either way).\n# TYPE gles2gpgpud_engine_coherence_enabled gauge\n")
+	coherence := 0
+	if m.coherence {
+		coherence = 1
+	}
+	appendf("gles2gpgpud_engine_coherence_enabled %d\n", coherence)
 
 	for _, dev := range sortedKeys(gauges) {
 		g := gauges[dev]
@@ -282,6 +292,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		appendf("gles2gpgpud_runners_live{device=%q} %d\n", dev, g.RunnersLive)
 		appendf("gles2gpgpud_runner_evictions_total{device=%q} %d\n", dev, g.RunnerEvictions)
 		appendf("gles2gpgpud_subimage_uploads_total{device=%q} %d\n", dev, g.SubUploads)
+		appendf("gles2gpgpud_tiles_elided_total{device=%q} %d\n", dev, g.TilesElided)
+		appendf("gles2gpgpud_tiles_shaded_total{device=%q} %d\n", dev, g.TilesShaded)
 	}
 
 	appendf("# HELP gles2gpgpud_job_latency_seconds Per-job execution latency; clock=virtual is simulated device time, clock=host is worker wall time.\n# TYPE gles2gpgpud_job_latency_seconds histogram\n")

@@ -59,6 +59,10 @@ type Config struct {
 	// LaneWidth overrides the lane-batched engine's SoA batch width for
 	// worker engines (0: shader.DefaultLaneWidth).
 	LaneWidth int
+	// NoCoherence disables worker engines' cross-iteration tile-coherence
+	// cache, re-shading every tile on every draw. Host time only — results
+	// and virtual-time figures are bit-identical either way.
+	NoCoherence bool
 }
 
 func (c Config) withDefaults() Config {
@@ -142,7 +146,8 @@ func New(cfg Config) (*Scheduler, error) {
 		laneWidth = shader.MaxLaneWidth
 	}
 	s.metrics.setEngineConfig(!cfg.NoTiling && gles.DefaultTiling(), tileSize,
-		!cfg.NoLanes && shader.DefaultLanes() && shader.DefaultJIT(), laneWidth)
+		!cfg.NoLanes && shader.DefaultLanes() && shader.DefaultJIT(), laneWidth,
+		!cfg.NoCoherence && gles.DefaultCoherence())
 	for _, name := range cfg.Devices {
 		if _, dup := s.pools[name]; dup {
 			return nil, fmt.Errorf("serve: duplicate device %q", name)
@@ -415,6 +420,9 @@ func (p *devicePool) gauge() PoolGauge {
 			g.PoolReleased += st.Released
 			g.PoolLiveBytes += st.LiveBytes
 			g.SubUploads += e.GL().Allocator().SubUpdates
+			elided, shaded := e.CoherenceStats()
+			g.TilesElided += elided
+			g.TilesShaded += shaded
 		}
 		g.RunnersLive += len(w.runners)
 		g.RunnerEvictions += int64(w.runnerEvictions)
@@ -474,6 +482,7 @@ func (w *worker) engineFor(n int) (*core.Engine, error) {
 		TileSize:        w.pool.sched.cfg.TileSize,
 		NoLanes:         w.pool.sched.cfg.NoLanes,
 		LaneWidth:       w.pool.sched.cfg.LaneWidth,
+		NoCoherence:     w.pool.sched.cfg.NoCoherence,
 	})
 	if err != nil {
 		return nil, err
