@@ -40,6 +40,7 @@ func main() {
 	tilesize := flag.Int("tilesize", 0, "tile edge length of the tiled fragment engine (0: default 32)")
 	nolanes := flag.Bool("nolanes", false, "shade every fragment individually instead of lane-batched SoA execution (host time only; results are bit-identical)")
 	lanewidth := flag.Int("lanewidth", 0, "SoA batch width of the lane-batched shader engine (0: default 8, max 16)")
+	nomaskedlanes := flag.Bool("nomaskedlanes", false, "shade branchy programs per-fragment instead of divergence-masked lane execution (host time only; results are bit-identical)")
 	nocoherence := flag.Bool("nocoherence", false, "re-shade every tile every draw instead of eliding tiles with unchanged inputs (host time only; results are bit-identical)")
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 		TileSize:        *tilesize,
 		NoLanes:         *nolanes,
 		LaneWidth:       *lanewidth,
+		NoMaskedLanes:   *nomaskedlanes,
 		NoCoherence:     *nocoherence,
 	})
 	if err != nil {

@@ -15,6 +15,7 @@
 //	glesbench -tilesize 16  # tile edge length of the tiled engine
 //	glesbench -nolanes      # per-fragment shading instead of lane-batched SoA
 //	glesbench -lanewidth 8  # SoA batch width of the lane-batched engine
+//	glesbench -nomaskedlanes # branchy programs per-fragment instead of masked lanes
 //	glesbench -nocoherence  # re-shade every tile instead of eliding unchanged ones
 //	glesbench -micro        # add shader-exec and sampling microbenchmarks
 //	glesbench -benchjson f  # machine-readable host-time results to f
@@ -52,6 +53,7 @@ type benchJSON struct {
 	TileSize    int          `json:"tile_size"`
 	Lanes       bool         `json:"lanes"`
 	LaneWidth   int          `json:"lane_width"`
+	MaskedLanes bool         `json:"masked_lanes"`
 	QuadFast    bool         `json:"quad_fast"`
 	Coherence   bool         `json:"coherence"`
 	Figures     []figureTime `json:"figures"`
@@ -65,10 +67,13 @@ type figureTime struct {
 	// figures (absent elsewhere).
 	Elided int64 `json:"elided,omitempty"`
 	Shaded int64 `json:"shaded,omitempty"`
+	// FallbackDraws is the lane-fallback counter of the masked figures
+	// (absent elsewhere).
+	FallbackDraws int64 `json:"fallback_draws,omitempty"`
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 3, vbo, 4a, 4b, 5a, 5b or all; also journey, ablation, service, or coherence (service and coherence are opt-in only, never part of all)")
+	fig := flag.String("fig", "all", "figure to reproduce: 3, vbo, 4a, 4b, 5a, 5b or all; also journey, ablation, service, coherence, or masked (service, coherence and masked are opt-in only, never part of all)")
 	size := flag.Int("size", 1024, "matrix dimension for timing runs (paper: 1024)")
 	calib := flag.Int("calib", 64, "matrix dimension for the functional validation run")
 	iters := flag.Int("iters", 100, "measured benchmark-body repetitions")
@@ -79,6 +84,7 @@ func main() {
 	tilesize := flag.Int("tilesize", 0, "tile edge length of the tiled fragment engine (0: default 32)")
 	nolanes := flag.Bool("nolanes", false, "shade every fragment individually instead of lane-batched SoA execution (A/B escape hatch; results are bit-identical, only host time changes)")
 	lanewidth := flag.Int("lanewidth", 0, "SoA batch width of the lane-batched engine (0: default 8, max 16); results are bit-identical at any width")
+	nomaskedlanes := flag.Bool("nomaskedlanes", false, "shade branchy programs (jacobi) per-fragment instead of divergence-masked lane execution (A/B escape hatch; results are bit-identical, only host time changes)")
 	nocoherence := flag.Bool("nocoherence", false, "re-shade every tile every draw instead of eliding tiles with unchanged inputs (A/B escape hatch; results are bit-identical, only host time changes)")
 	micro := flag.Bool("micro", false, "also run the shader-execution and texture-sampling microbenchmarks; results go to stderr and -benchjson, never stdout")
 	benchjson := flag.String("benchjson", "", "write machine-readable per-figure host times (JSON) to this file")
@@ -122,7 +128,8 @@ func main() {
 	o := bench.Opts{
 		PaperSize: *size, CalibSize: *calib, Iters: *iters, Workers: *workers,
 		NoJIT: *nojit, NoPasses: *nopasses, NoTiling: *notile, TileSize: *tilesize,
-		NoLanes: *nolanes, LaneWidth: *lanewidth, NoCoherence: *nocoherence,
+		NoLanes: *nolanes, LaneWidth: *lanewidth, NoMaskedLanes: *nomaskedlanes,
+		NoCoherence: *nocoherence,
 	}
 	devs := bench.Devices()
 	tileSize := *tilesize
@@ -147,8 +154,10 @@ func main() {
 		TileSize:   tileSize,
 		Lanes:      !*nolanes && !*nojit && shader.DefaultLanes(),
 		LaneWidth:  laneWidth,
-		QuadFast:   raster.QuadFast(),
-		Coherence:  !*nocoherence && gles.DefaultCoherence(),
+		MaskedLanes: !*nomaskedlanes && !*nolanes && !*nojit &&
+			shader.DefaultLanes() && shader.DefaultMaskedLanes(),
+		QuadFast:  raster.QuadFast(),
+		Coherence: !*nocoherence && gles.DefaultCoherence(),
 	}
 	recordHost := func(name string, d time.Duration) {
 		fmt.Fprintf(os.Stderr, "glesbench: figure %s: host %v\n", name, d.Round(time.Millisecond))
@@ -246,6 +255,28 @@ func main() {
 			report.TotalHostMS += r.HostMS
 		}
 		recordHost("coherence", time.Since(hostStart))
+	}
+	if *fig == "masked" {
+		// Divergence-masked lane execution comparison (branchy jacobi
+		// workloads with masking on versus the per-fragment fallback).
+		// Opt-in only: its output goes to stderr and -benchjson, never
+		// stdout, so the recorded reference output is untouched.
+		hostStart := time.Now()
+		results, err := bench.Masked(ctx, bench.MaskedOpts{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "glesbench: masked: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			name := r.Name()
+			fmt.Fprintf(os.Stderr, "glesbench: %s: %d iters, %d fallback draws, checksum %#x, host %.3fms\n",
+				name, r.Iters, r.FallbackDraws, r.Checksum, r.HostMS)
+			report.Figures = append(report.Figures, figureTime{
+				Figure: name, HostMS: r.HostMS, FallbackDraws: r.FallbackDraws,
+			})
+			report.TotalHostMS += r.HostMS
+		}
+		recordHost("masked", time.Since(hostStart))
 	}
 	if *fig == "service" {
 		// Service-layer reuse comparison (gles2gpgpud's residency pool and

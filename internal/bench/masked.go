@@ -1,0 +1,211 @@
+package bench
+
+// Divergence-masked lane execution benchmarks: host wall-clock time of
+// the branchy state-stepping workloads (fp32 jacobi, 8-bit jacobi) with
+// masked lanes on versus off. Off, a branchy draw falls back to
+// per-fragment execution; on, it shades whole lane batches with per-lane
+// live masks, eligibility proven up front (shader.MaskedFallbackAt and
+// the IR analysis agree — the fuzz target enforces that). Masking changes
+// host time only: every on/off pair must reproduce bit-identical final
+// state, identical iteration counts and identical virtual time, and the
+// engine's lane-fallback counter must confirm which path actually ran —
+// zero fallbacks with masking on, all-fallback with it off. That last
+// check is what keeps the comparison honest: a silently-ineligible kernel
+// would otherwise time the same engine twice.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"gles2gpgpu/internal/codec"
+	"gles2gpgpu/internal/core"
+	"gles2gpgpu/internal/device"
+	"gles2gpgpu/internal/timing"
+)
+
+// MaskedResult is one masked-lane benchmark measurement.
+type MaskedResult struct {
+	// Workload is the figure key, e.g. "jacobi" or "jacobi8".
+	Workload string
+	// Masked reports whether divergence-masked lane execution was enabled.
+	Masked bool
+	// Iters is the number of state steps executed (identical on/off).
+	Iters int
+	// HostMS is the host wall-clock time of the stepping loop.
+	HostMS float64
+	// FallbackDraws is the engine's lane-fallback counter: how many draws
+	// wanted lane-batched shading but ran per-fragment.
+	FallbackDraws int64
+	// Checksum is an FNV-1a hash of the final state — identical on/off.
+	Checksum uint64
+	// VirtualTime is the engine's virtual clock after the loop —
+	// identical on/off: masking never touches the modelled device.
+	VirtualTime timing.Time
+}
+
+// Name is the stable figure label, e.g. "masked/jacobi/on".
+func (r MaskedResult) Name() string {
+	state := "off"
+	if r.Masked {
+		state = "on"
+	}
+	return fmt.Sprintf("masked/%s/%s", r.Workload, state)
+}
+
+// MaskedOpts controls the masked-lane benchmarks.
+type MaskedOpts struct {
+	// Size is the grid edge length (default 128).
+	Size int
+	// Iters is the step count of each workload loop (default 200).
+	Iters int
+}
+
+func (o MaskedOpts) withDefaults() MaskedOpts {
+	if o.Size == 0 {
+		o.Size = 128
+	}
+	if o.Iters == 0 {
+		o.Iters = 200
+	}
+	return o
+}
+
+// maskedEngine builds a benchmark engine with masked lanes on or off. The
+// lane engine itself stays on in both: the comparison is masked batches
+// versus the per-fragment fallback, not lanes versus no lanes.
+func maskedEngine(size int, masked bool) (*core.Engine, error) {
+	return core.NewEngine(core.Config{
+		Device: device.Generic(),
+		Width:  size, Height: size,
+		Swap:          core.SwapNone,
+		Target:        core.TargetTexture,
+		UseVBO:        true,
+		NoMaskedLanes: !masked,
+	})
+}
+
+// maskedChecksum folds float64 state into the same FNV-1a stream the
+// coherence benchmarks use for raw bytes.
+func maskedChecksum(data []float64) uint64 {
+	const prime = 1099511628211
+	sum := uint64(14695981039346656037)
+	for _, v := range data {
+		bits := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			sum = (sum ^ (bits >> s & 0xFF)) * prime
+		}
+	}
+	return sum
+}
+
+// maskedWorkload steps one branchy workload on a prepared engine and
+// returns the step count, a checksum of the final state, and any error.
+type maskedWorkload struct {
+	name string
+	run  func(ctx context.Context, e *core.Engine, o MaskedOpts) (int, uint64, error)
+}
+
+func maskedWorkloads() []maskedWorkload {
+	return []maskedWorkload{
+		{"jacobi", func(ctx context.Context, e *core.Engine, o MaskedOpts) (int, uint64, error) {
+			r, err := core.NewJacobi(e, maskedPlate(o.Size))
+			if err != nil {
+				return 0, 0, err
+			}
+			defer r.Release()
+			for i := 0; i < o.Iters; i++ {
+				if err := r.RunOnce(ctx); err != nil {
+					return 0, 0, err
+				}
+			}
+			m, err := r.Result()
+			if err != nil {
+				return 0, 0, err
+			}
+			return o.Iters, maskedChecksum(m.Data), nil
+		}},
+		{"jacobi8", func(ctx context.Context, e *core.Engine, o MaskedOpts) (int, uint64, error) {
+			r, err := core.NewJacobi8(e, maskedPlate(o.Size))
+			if err != nil {
+				return 0, 0, err
+			}
+			defer r.Release()
+			for i := 0; i < o.Iters; i++ {
+				if err := r.RunOnce(ctx); err != nil {
+					return 0, 0, err
+				}
+			}
+			state, err := r.State()
+			if err != nil {
+				return 0, 0, err
+			}
+			return o.Iters, cohChecksum(state), nil
+		}},
+	}
+}
+
+// maskedPlate is the jacobi boundary condition: hot left edge.
+func maskedPlate(n int) *codec.Matrix {
+	return cohPlate(n)
+}
+
+// Masked measures every branchy workload with divergence-masked lane
+// execution on and off, enforcing the bit-identity contract and the
+// fallback-counter evidence that the two runs really took different
+// paths. ctx cancels between workloads.
+func Masked(ctx context.Context, o MaskedOpts) ([]MaskedResult, error) {
+	o = o.withDefaults()
+	var out []MaskedResult
+	for _, w := range maskedWorkloads() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var ref MaskedResult
+		for _, masked := range []bool{true, false} {
+			e, err := maskedEngine(o.Size, masked)
+			if err != nil {
+				return nil, fmt.Errorf("masked %s: %w", w.name, err)
+			}
+			start := time.Now()
+			iters, sum, err := w.run(ctx, e, o)
+			if err != nil {
+				return nil, fmt.Errorf("masked %s: %w", w.name, err)
+			}
+			host := time.Since(start)
+			e.Finish()
+			r := MaskedResult{
+				Workload:      w.name,
+				Masked:        masked,
+				Iters:         iters,
+				HostMS:        float64(host.Microseconds()) / 1000,
+				FallbackDraws: e.LaneFallbackDraws(),
+				Checksum:      sum,
+				VirtualTime:   e.Now(),
+			}
+			if masked {
+				if r.FallbackDraws != 0 {
+					return nil, fmt.Errorf("masked %s: %d draws fell back with masking on (kernel not mask-eligible?)", w.name, r.FallbackDraws)
+				}
+				ref = r
+			} else {
+				// The masking contract: only host time may differ.
+				if r.Checksum != ref.Checksum {
+					return nil, fmt.Errorf("masked %s: final state differs with masking on vs off (contract broken)", w.name)
+				}
+				if r.Iters != ref.Iters {
+					return nil, fmt.Errorf("masked %s: %d iters with masking off, %d on (contract broken)", w.name, r.Iters, ref.Iters)
+				}
+				if r.VirtualTime != ref.VirtualTime {
+					return nil, fmt.Errorf("masked %s: virtual time %v with masking off, %v on (contract broken)", w.name, r.VirtualTime, ref.VirtualTime)
+				}
+				if r.FallbackDraws == 0 {
+					return nil, fmt.Errorf("masked %s: no fallback draws with masking off — the A/B pair ran the same path", w.name)
+				}
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

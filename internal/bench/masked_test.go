@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+// TestMaskedContract runs the masked-lane A/B comparison at a small size:
+// Masked itself enforces bit-identity, iteration and virtual-time
+// equality and the fallback-counter evidence, so the test only needs to
+// check the result shape survives.
+func TestMaskedContract(t *testing.T) {
+	rs, err := Masked(context.Background(), MaskedOpts{Size: 32, Iters: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("got %d results, want 4 (jacobi, jacobi8 × on/off)", len(rs))
+	}
+	for _, r := range rs {
+		if r.Iters != 8 {
+			t.Errorf("%s: iters = %d, want 8", r.Name(), r.Iters)
+		}
+		if r.Masked && r.FallbackDraws != 0 {
+			t.Errorf("%s: %d fallbacks with masking on", r.Name(), r.FallbackDraws)
+		}
+		if !r.Masked && r.FallbackDraws == 0 {
+			t.Errorf("%s: no fallbacks with masking off", r.Name())
+		}
+	}
+}

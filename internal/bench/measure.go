@@ -94,6 +94,9 @@ type Opts struct {
 	// LaneWidth overrides the lane-batched engine's SoA batch width
 	// (0: shader.DefaultLaneWidth). Host time only, like NoJIT.
 	LaneWidth int
+	// NoMaskedLanes disables divergence-masked lane execution, so branchy
+	// programs (jacobi) shade per-fragment. Host time only, like NoJIT.
+	NoMaskedLanes bool
 	// NoCoherence disables the cross-iteration tile-coherence cache for
 	// the functional calibration. Host time only, like NoJIT: elided
 	// tiles replay their exact prior bytes and modelled cost.
@@ -233,6 +236,9 @@ func Measure(ctx context.Context, cfg core.Config, spec Spec, o Opts) (Result, e
 	}
 	if o.LaneWidth != 0 {
 		cfg.LaneWidth = o.LaneWidth
+	}
+	if o.NoMaskedLanes {
+		cfg.NoMaskedLanes = true
 	}
 	if o.NoCoherence {
 		cfg.NoCoherence = true

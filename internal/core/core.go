@@ -167,6 +167,15 @@ type Config struct {
 	// bit-identical at any width.
 	LaneWidth int
 
+	// NoMaskedLanes disables divergence-masked lane execution, so branchy
+	// or discarding fragment programs (jacobi) fall back to per-fragment
+	// shading instead of running through the SoA engine under an
+	// active-lane mask (the library equivalent of
+	// GLES2GPGPU_NO_MASKED_LANES=1). Like NoJIT it changes host wall-clock
+	// time only: framebuffer contents and every virtual-time figure are
+	// bit-identical either way.
+	NoMaskedLanes bool
+
 	// NoCoherence disables the cross-iteration tile-coherence cache,
 	// re-shading every tile on every draw (the library equivalent of
 	// GLES2GPGPU_NO_COHERENCE=1). Like NoJIT it changes host wall-clock
@@ -291,6 +300,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.LaneWidth != 0 {
 		e.gl.SetLaneWidth(cfg.LaneWidth)
 	}
+	if cfg.NoMaskedLanes {
+		e.gl.SetMaskedLanes(false)
+	}
 	if cfg.NoCoherence {
 		e.gl.SetCoherence(false)
 	}
@@ -331,6 +343,11 @@ func (e *Engine) Machine() *gpu.Machine { return e.gl.Machine() }
 // CoherenceStats reports how many tiles the cross-iteration coherence
 // cache elided versus shaded since the engine was created.
 func (e *Engine) CoherenceStats() (elided, shaded int64) { return e.gl.CoherenceStats() }
+
+// LaneFallbackDraws reports how many draws wanted lane-batched shading but
+// ran per-fragment because the program failed lane and mask eligibility —
+// the masked-lane adoption signal the daemon exports per device.
+func (e *Engine) LaneFallbackDraws() int64 { return e.gl.LaneFallbackDraws() }
 
 // Now returns the virtual CPU time.
 func (e *Engine) Now() timing.Time { return e.Machine().Now() }

@@ -127,6 +127,11 @@ func (c *Context) CoherenceStats() (elided, shaded int64) {
 	return c.cohElided, c.cohShaded
 }
 
+// CoherenceStaticSlots returns how many sampler slots (summed over
+// coherent draws) took their footprint from the static IR proof instead
+// of dynamic fetch tracking.
+func (c *Context) CoherenceStaticSlots() int64 { return c.cohStatic }
+
 // coherentEligible gates the coherent tile path. Blending is excluded
 // because a blended fragment reads the destination pixel, making the
 // output depend on target history the signature does not capture; sampling
@@ -454,6 +459,26 @@ func (c *Context) shadeTrianglesCoherent(p *Program, tgt renderTarget, setups []
 		return st, true
 	}
 
+	// Static footprints: slots whose fetch region the IR analysis proved
+	// shade without per-fetch tracking; the proven per-tile rectangle is
+	// snapshotted instead (see footprint.go).
+	foot := c.footprintFor(fp)
+	static := cohStaticSlots(foot, p, samplers)
+	hasStatic := false
+	for _, s := range static {
+		if s {
+			hasStatic = true
+		}
+	}
+	if hasStatic {
+		for _, s := range static {
+			if s {
+				c.cohStatic++
+			}
+		}
+	}
+	uniforms4 := p.fsUniforms4()
+
 	out, hasOut := fp.LookupOutput("gl_FragColor")
 	fcReg := p.fragCoordReg
 	cost := &c.prof.CostModel
@@ -484,7 +509,17 @@ func (c *Context) shadeTrianglesCoherent(p *Program, tgt renderTarget, setups []
 		tr := &cohTracker{foot: make([]cohRect, len(samplers))}
 		tfns := make([]shader.TexFunc, len(samplers))
 		for i, t := range samplers {
-			tfns[i] = trackedSampler(t, tr, i)
+			if static[i] {
+				// Proven slot: the plain specialised sampler (bit-identical
+				// values, no recording); the footprint comes from the proof.
+				tfns[i] = specializeSampler(t)
+			} else {
+				tfns[i] = trackedSampler(t, tr, i)
+			}
+		}
+		var staticRects []cohRect
+		if hasStatic {
+			staticRects = make([]cohRect, len(samplers))
 		}
 		sample := func(idx int, u, v float32) shader.Vec4 {
 			if idx < 0 || idx >= len(tfns) {
@@ -535,17 +570,19 @@ func (c *Context) shadeTrianglesCoherent(p *Program, tgt renderTarget, setups []
 
 			if ls != nil {
 				pf, pc, pt := ls.frags, ls.env.Cycles, ls.env.TexFetches
+				// Cover bits are set at scatter time via the write hook, not
+				// at gather: a masked batch can discard individual lanes, and
+				// a discarded fragment's pixel must stay uncovered exactly as
+				// in the per-fragment loop below.
+				ls.onWrite = func(px, py int32) {
+					bit := (int(py)-cy0)*cw + (int(px) - cx0)
+					ct.cover[bit>>6] |= 1 << uint(bit&63)
+				}
 				for _, tri := range tile.tris {
 					setups[tri].RasterizeRect(tile.x0, tile.y0, tile.x1, tile.y1, func(x, y int, fc shader.Vec4, varyings []shader.Vec4) {
 						px, py := vpX+x, vpY+y
 						if px < 0 || py < 0 || px >= tgt.w || py >= tgt.h {
 							return
-						}
-						if ls.hasOut {
-							// Lane programs are straight-line (no discard),
-							// so every gathered fragment is written at flush.
-							bit := (py-cy0)*cw + (px - cx0)
-							ct.cover[bit>>6] |= 1 << uint(bit&63)
 						}
 						ls.add(px, py, fc, varyings)
 					})
@@ -555,6 +592,7 @@ func (c *Context) shadeTrianglesCoherent(p *Program, tgt renderTarget, setups []
 				// are independent (liveness proofs), so bytes are unchanged;
 				// counters are per-fragment sums, indifferent to batching.
 				ls.flush()
+				ls.onWrite = nil
 				ct.fragments = ls.frags - pf
 				ct.cycles = ls.env.Cycles - pc
 				ct.texFetches = ls.env.TexFetches - pt
@@ -615,6 +653,25 @@ func (c *Context) shadeTrianglesCoherent(p *Program, tgt renderTarget, setups []
 			// CopyTexImage2D reuses backing arrays.
 			ct.foot = make([]cohRect, len(samplers))
 			copy(ct.foot, tr.foot)
+			if hasStatic {
+				if cohStaticRects(foot, static, p, uniforms4, setups, tile, samplers, staticRects) {
+					for si := range static {
+						if static[si] {
+							ct.foot[si] = staticRects[si]
+						}
+					}
+				} else {
+					// The tile's fetch region cannot be bounded statically
+					// (non-affine 1/w or a NaN bound): keep the shading
+					// result but leave the tile uncached, like a tile over
+					// the input budget.
+					ct.in = nil
+					ct.out = nil
+					ct.cover = nil
+					newTiles[wi] = ct
+					continue
+				}
+			}
 			ct.in = make([][]byte, len(samplers))
 			inBytes := 0
 			for si := range ct.foot {

@@ -235,3 +235,48 @@ func TestCoherencePingPongTextures(t *testing.T) {
 		t.Errorf("got %d elided tiles across the alternating draws, want 12", elided)
 	}
 }
+
+// TestCoherenceStaticFootprint proves the proof-gated static footprint
+// path actually engages for the stencil kernel (NEAREST + CLAMP_TO_EDGE,
+// affine coordinates): the static-slot counter must advance on the
+// coherent context, elision must stay exact, and pixels must stay
+// byte-identical to the coherence-off mirror. Without this assertion the
+// static feed could silently fall back to dynamic tracking and every
+// other coherence test would still pass vacuously.
+func TestCoherenceStaticFootprint(t *testing.T) {
+	const n = 64 // 2×2 tiles of DefaultTileSize (32)
+	coh := newCohTestCtx(t, n, true)
+	defer coh.gl.Destroy()
+	ref := newCohTestCtx(t, n, false)
+	defer ref.gl.Destroy()
+
+	p0, _, _, _ := coh.draw(t, n)
+	r0, _, _, _ := ref.draw(t, n)
+	if !bytes.Equal(p0, r0) {
+		t.Fatal("coherent and reference pixels differ on the first draw")
+	}
+	if d := coh.gl.CoherenceStaticSlots(); d != 1 {
+		t.Fatalf("static slots after first draw = %d, want 1 (stencil slot must be proven)", d)
+	}
+	if ref.gl.CoherenceStaticSlots() != 0 {
+		t.Fatal("coherence-off context must never take the static path")
+	}
+
+	// The statically-computed footprints drive the same elision decisions.
+	if _, _, elided, shaded := coh.draw(t, n); elided != 4 || shaded != 0 {
+		t.Fatalf("identical redraw: elided=%d shaded=%d, want 4/0", elided, shaded)
+	}
+
+	// A texel inside one tile's one-texel-ring footprint re-shades exactly
+	// that tile — the static rectangle is tight, not padded.
+	coh.poke(8, 8, []byte{9, 9, 9, 9})
+	ref.poke(8, 8, []byte{9, 9, 9, 9})
+	p1, _, elided, shaded := coh.draw(t, n)
+	r1, _, _, _ := ref.draw(t, n)
+	if !bytes.Equal(p1, r1) {
+		t.Fatal("pixels diverged after the poke")
+	}
+	if elided != 3 || shaded != 1 {
+		t.Fatalf("poke redraw: elided=%d shaded=%d, want 3/1", elided, shaded)
+	}
+}

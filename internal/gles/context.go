@@ -19,6 +19,7 @@ import (
 	"gles2gpgpu/internal/gpu"
 	"gles2gpgpu/internal/mem"
 	"gles2gpgpu/internal/shader"
+	"gles2gpgpu/internal/shader/analysis"
 )
 
 // Enum is a GLenum.
@@ -252,6 +253,20 @@ type Context struct {
 	lanes     bool
 	laneWidth int
 
+	// maskedLanes extends the lane engine to branchy programs: draws whose
+	// fragment program passes the mask-safety proof (forward branches only,
+	// per-lane discard/return — jacobi's boundary ternary) run through the
+	// SoA engine under an active-lane mask (see
+	// internal/shader/lanes_masked.go) instead of falling back to the
+	// per-fragment JIT. Bit-identical results and counters; host time only.
+	maskedLanes bool
+
+	// laneFallbackDraws counts draws that wanted lane execution (lane
+	// engine on and applicable) but fell back to per-fragment shading —
+	// the masked-lane adoption signal exported by the daemon as
+	// gles2gpgpud_lane_fallback_draws_total.
+	laneFallbackDraws int64
+
 	// coherence selects the cross-iteration tile-coherence engine (see
 	// coherence.go): eligible draws cache each tile's sampled-texel
 	// footprint and output bytes, and a later draw with the same signature
@@ -266,6 +281,11 @@ type Context struct {
 	cohBytes  int
 	cohElided int64
 	cohShaded int64
+	// cohStatic counts sampler slots (per coherent draw) whose footprint
+	// came from the static IR proof instead of dynamic fetch tracking.
+	cohStatic int64
+	// footCache memoises the per-program footprint analysis.
+	footCache map[*shader.Program]*analysis.Footprint
 
 	// strictLimits makes LinkProgram reject programs whose analysis-based
 	// resource counts (worst-path instructions/tex fetches,
@@ -333,6 +353,7 @@ func NewContext(ec *egl.Context) *Context {
 		tileSize:     DefaultTileSize,
 		lanes:        shader.DefaultLanes(),
 		laneWidth:    shader.DefaultLaneWidth,
+		maskedLanes:  shader.DefaultMaskedLanes(),
 		coherence:    DefaultCoherence(),
 		cohCache:     make(map[cohKey]*cohDraw),
 		strictLimits: defaultStrictLimits(),
@@ -435,11 +456,12 @@ func (c *Context) TileSize() int { return c.tileSize }
 // fragments through each instruction at once (see internal/shader/lanes.go),
 // amortising per-instruction dispatch. Framebuffer bytes, Cycles/TexFetches
 // and every virtual-time figure are bit-identical either way; only host
-// wall-clock time changes. Branchy or discarding programs (jacobi) fall
-// back to the per-fragment engine regardless of this setting, and the lane
-// engine is an extension of the compiled backend, so SetJIT(false)
-// disables it too. The default comes from shader.DefaultLanes (on, unless
-// GLES2GPGPU_NO_LANES is set).
+// wall-clock time changes. Branchy or discarding programs (jacobi) run
+// under the divergence-masked extension when SetMaskedLanes is on, and
+// fall back to the per-fragment engine otherwise; the lane engine is an
+// extension of the compiled backend, so SetJIT(false) disables it too. The
+// default comes from shader.DefaultLanes (on, unless GLES2GPGPU_NO_LANES
+// is set).
 func (c *Context) SetLanes(on bool) { c.lanes = on }
 
 // Lanes reports whether the lane-batched shader engine is selected.
@@ -461,6 +483,26 @@ func (c *Context) SetLaneWidth(n int) {
 
 // LaneWidth returns the configured SoA batch width.
 func (c *Context) LaneWidth() int { return c.laneWidth }
+
+// SetMaskedLanes selects divergence-masked lane execution for branchy
+// fragment programs the mask-safety proof admits (forward branches,
+// per-lane discard and early return — jacobi): they run through the SoA
+// lane engine under an active-lane mask (internal/shader/lanes_masked.go)
+// instead of falling back to the per-fragment JIT. Framebuffer bytes,
+// Cycles/TexFetches and every virtual-time figure are bit-identical either
+// way; only host wall-clock time changes. A no-op unless the lane engine
+// itself is on (SetLanes/SetJIT). The default comes from
+// shader.DefaultMaskedLanes (on, unless GLES2GPGPU_NO_MASKED_LANES is
+// set).
+func (c *Context) SetMaskedLanes(on bool) { c.maskedLanes = on }
+
+// MaskedLanes reports whether masked lane execution is selected.
+func (c *Context) MaskedLanes() bool { return c.maskedLanes }
+
+// LaneFallbackDraws returns the number of draws that wanted lane-batched
+// execution (engine on and applicable to the draw) but shaded per-fragment
+// because the program failed lane and mask eligibility.
+func (c *Context) LaneFallbackDraws() int64 { return c.laneFallbackDraws }
 
 // SetCoherence selects the cross-iteration tile-coherence engine for
 // eligible draws: tiles of a repeated draw whose sampled inputs are

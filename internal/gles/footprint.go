@@ -1,0 +1,157 @@
+package gles
+
+// Static sampler footprints for the coherence cache.
+//
+// The coherence path (coherence.go) normally discovers each tile's sampled
+// texel region by recording every fetch through a tracking sampler. When
+// the shader IR analysis proves a slot's coordinates are affine chains
+// over at most one input component (analysis.SolveFootprint), the region
+// is computable up front instead: bound the referenced input over the
+// tile (gl_FragCoord from the tile rectangle, varyings by corner
+// evaluation via raster.VaryingRectBounds, which widens one float32 ulp
+// per side to cover interpolation rounding) and push the bounds through
+// the proven chain (analysis.SlotRect, which replicates the sampler's
+// NEAREST + CLAMP_TO_EDGE index arithmetic; the chain steps are weakly
+// monotone so the rectangle is exact — no pad). Slots proven this way
+// shade through the plain specialised sampler — no per-fetch recording —
+// and the proven rectangle is snapshotted under the same bytes.Equal
+// elision contract.
+// The static rectangle is a superset of the texels actually fetched, so
+// the comparison only gets more conservative, never less: elision stays
+// bit-identical by construction.
+//
+// Slots the analysis cannot prove (dependent fetches, non-affine
+// coordinates, LINEAR/REPEAT sampling) keep the dynamic tracker; the two
+// kinds mix freely within one draw. A tile whose static bounds fail to
+// evaluate (non-affine 1/w, NaN varyings) is shaded but not cached — the
+// same degradation as a tile whose footprint exceeds the input budget.
+
+import (
+	"gles2gpgpu/internal/raster"
+	"gles2gpgpu/internal/shader"
+	"gles2gpgpu/internal/shader/analysis"
+)
+
+// footprintFor returns the memoised footprint analysis for fp. Called on
+// the draw goroutine only (workers receive the solved result).
+func (c *Context) footprintFor(fp *shader.Program) *analysis.Footprint {
+	if f, ok := c.footCache[fp]; ok {
+		return f
+	}
+	cfg := analysis.BuildCFG(fp)
+	f := analysis.SolveFootprint(cfg, analysis.SolveDefUse(cfg), analysis.SolveSCCP(cfg))
+	if c.footCache == nil {
+		c.footCache = make(map[*shader.Program]*analysis.Footprint)
+	}
+	c.footCache[fp] = f
+	return f
+}
+
+// cohStaticSlots decides, per sampler slot, whether this draw can use the
+// proven static footprint instead of dynamic tracking: the slot must be
+// proven, every referenced input must be boundable over a tile, and the
+// bound texture must use the NEAREST + CLAMP_TO_EDGE configuration whose
+// index arithmetic SlotRect replicates. Slots with no reachable fetches
+// (or an incomplete texture, which samples constant opaque black) are
+// static with an empty footprint.
+func cohStaticSlots(f *analysis.Footprint, p *Program, samplers []*Texture) []bool {
+	static := make([]bool, len(samplers))
+	for si := range samplers {
+		if si >= len(f.Slots) || !f.Slots[si].Provable {
+			continue
+		}
+		sf := &f.Slots[si]
+		t := samplers[si]
+		if len(sf.Coords) == 0 || !texComplete(t) {
+			static[si] = true // fetches nothing / constant opaque black
+			continue
+		}
+		if t.magFilter == LINEAR || t.wrapS == REPEAT || t.wrapT == REPEAT {
+			continue // SlotRect models only the fast path
+		}
+		ok := true
+		for ci := range sf.Coords {
+			pair := &sf.Coords[ci]
+			for _, tc := range [2]*analysis.TexCoord{&pair.U, &pair.V} {
+				if !tc.HasInput {
+					continue
+				}
+				if tc.InReg == p.fragCoordReg && tc.InComp == 3 {
+					ok = false // 1/w is not exposed to the static bound
+				}
+			}
+		}
+		static[si] = ok
+	}
+	return static
+}
+
+// cohStaticRects evaluates the proven footprints of every static slot for
+// one tile. ok=false when any static slot's bounds cannot be established
+// for this tile; the caller then skips caching the tile.
+func cohStaticRects(f *analysis.Footprint, static []bool, p *Program, uniforms [][4]float32, setups []raster.Triangle, tile *tileBin, samplers []*Texture, rects []cohRect) bool {
+	inBounds := func(reg, comp int) (float32, float32, bool) {
+		if reg == p.fragCoordReg {
+			switch comp {
+			case 0:
+				return float32(tile.x0) + 0.5, float32(tile.x1) + 0.5, true
+			case 1:
+				return float32(tile.y0) + 0.5, float32(tile.y1) + 0.5, true
+			case 2:
+				return 0.5, 0.5, true
+			}
+			return 0, 0, false
+		}
+		if reg >= 0 && reg < len(p.varyingMap) && p.varyingMap[reg] >= 0 {
+			first := true
+			var lo, hi float32
+			for _, ti := range tile.tris {
+				l, h, ok := setups[ti].VaryingRectBounds(reg, comp, tile.x0, tile.y0, tile.x1, tile.y1)
+				if !ok {
+					return 0, 0, false
+				}
+				if first || l < lo {
+					lo = l
+				}
+				if first || h > hi {
+					hi = h
+				}
+				first = false
+			}
+			if first {
+				return 0, 0, false
+			}
+			return lo, hi, true
+		}
+		// Unmapped inputs (varyings the vertex shader does not write,
+		// gl_PointCoord and gl_FrontFacing in the triangle path) are left
+		// at zero by draw setup.
+		return 0, 0, true
+	}
+	for si := range static {
+		if !static[si] {
+			continue
+		}
+		rects[si] = cohRect{x0: 1, y0: 1, x1: 0, y1: 0}
+		if si >= len(f.Slots) || len(f.Slots[si].Coords) == 0 || !texComplete(samplers[si]) {
+			continue // provably fetches no texels
+		}
+		t := samplers[si]
+		r, ok := f.SlotRect(si, uniforms, inBounds, t.W, t.H)
+		if !ok {
+			return false
+		}
+		rects[si] = cohRect{x0: r.X0, y0: r.Y0, x1: r.X1, y1: r.Y1}
+	}
+	return true
+}
+
+// fsUniforms4 exposes the fragment uniform registers as the plain slice
+// type the analysis evaluator takes. Built once per draw, not per tile.
+func (p *Program) fsUniforms4() [][4]float32 {
+	u := make([][4]float32, len(p.fsUniforms))
+	for i := range p.fsUniforms {
+		u[i] = [4]float32(p.fsUniforms[i])
+	}
+	return u
+}

@@ -23,12 +23,15 @@ package gles
 //
 // Eligibility is gated in laneCompiledFor: the lane engine is an extension
 // of the compiled backend (off when the JIT is off), needs width >= 2 to
-// amortise anything, requires the program to be straight-line (no KIL —
-// so no lane of a gathered batch can diverge; branchy programs like
-// jacobi lane-compile to nil and fall back to the per-fragment JIT), and
-// requires the WritesBeforeReads + OutputsAlwaysWritten proofs because
-// pooled LaneEnvs carry stale register lanes between draws exactly like
-// pooled Envs do between fragments.
+// amortise anything, and requires the WritesBeforeReads +
+// OutputsAlwaysWritten proofs because pooled LaneEnvs carry stale register
+// lanes between draws exactly like pooled Envs do between fragments.
+// Straight-line programs take the whole-batch engine; branchy or
+// discarding programs the mask-safety proof admits (forward branches,
+// per-lane discard/return — jacobi) take the divergence-masked engine
+// (lanes_masked.go) when the maskedLanes knob is on; everything else runs
+// per-fragment. Masked batches can discard individual lanes, so flush
+// consults LaneEnv.Discarded before scattering.
 
 import (
 	"gles2gpgpu/internal/shader"
@@ -58,13 +61,21 @@ type laneShader struct {
 
 	frags                 int64
 	startCycles, startTex int64
+
+	// onWrite, when set, observes every scattered (non-discarded) pixel
+	// write; the coherent engine uses it to set per-tile cover bits at
+	// scatter time so discarded lanes leave their pixels uncovered.
+	onWrite func(px, py int32)
 }
 
 // laneCompiledFor returns the lane-batched compiled form this draw's
-// fragment program executes on, or nil when the lane engine does not
-// apply (knob off, JIT off, width < 2, missing liveness proofs, or a
-// branchy/discarding/unsupported program). A nil return means callers
-// shade per-fragment exactly as before.
+// fragment program executes on — the straight-line whole-batch form when
+// the program allows it, else the divergence-masked form when the
+// maskedLanes knob is on and the mask-safety proof admits the program —
+// or nil when the lane engine does not apply (knob off, JIT off,
+// width < 2, missing liveness proofs, backward branches, or an
+// unsupported opcode). A nil return means callers shade per-fragment
+// exactly as before.
 func (c *Context) laneCompiledFor(fp *shader.Program) *shader.LaneCompiled {
 	if !c.lanes || !c.jit || c.laneWidth < 2 {
 		return nil
@@ -74,9 +85,21 @@ func (c *Context) laneCompiledFor(fp *shader.Program) *shader.LaneCompiled {
 	}
 	cost := &c.prof.CostModel
 	if c.passes {
-		return fp.LaneCompiledOpt(cost, c.laneWidth)
+		if lc := fp.LaneCompiledOpt(cost, c.laneWidth); lc != nil {
+			return lc
+		}
+		if c.maskedLanes {
+			return fp.MaskedLaneCompiledOpt(cost, c.laneWidth)
+		}
+		return nil
 	}
-	return fp.LaneCompiled(cost, c.laneWidth)
+	if lc := fp.LaneCompiled(cost, c.laneWidth); lc != nil {
+		return lc
+	}
+	if c.maskedLanes {
+		return fp.MaskedLaneCompiled(cost, c.laneWidth)
+	}
+	return nil
 }
 
 // fsLanePoolFor returns the LaneEnv pool for the current fragment program
@@ -150,10 +173,17 @@ func (ls *laneShader) flush() {
 	if !ls.hasOut {
 		return
 	}
+	masked := ls.lc.Masked()
 	for l := 0; l < n; l++ {
+		if masked && env.Discarded[l] {
+			continue // the lane executed a KIL: no pixel write
+		}
 		col := env.Output(l, ls.outReg)
 		off := (int(ls.py[l])*ls.tgtW + int(ls.px[l])) * 4
 		ls.c.writePixel(ls.pixels, off, col, ls.mask)
+		if ls.onWrite != nil {
+			ls.onWrite(ls.px[l], ls.py[l])
+		}
 	}
 }
 

@@ -9,18 +9,21 @@ import (
 )
 
 // Lane-batched execution parity: the full execution-strategy matrix
-// {interpreter, per-fragment JIT, lane-batched} × {serial, 4 workers} ×
-// {band, tiled} must produce byte-identical framebuffers and bit-identical
-// fragment/cycle/TexFetch counters. The lane engine additionally sweeps
-// non-default widths, including ones that do not divide the fragment count
-// (the partial-final-batch path).
+// {interpreter, per-fragment JIT, lane-batched, divergence-masked} ×
+// {serial, 4 workers} × {band, tiled} must produce byte-identical
+// framebuffers and bit-identical fragment/cycle/TexFetch counters. The
+// "lanes" rows pin masked execution OFF so they exercise the pure
+// straight-line engine with its per-fragment fallback; the "masked" rows
+// pin it ON so branchy programs run the proof-gated masked path. The lane
+// engines additionally sweep non-default widths, including ones that do
+// not divide the fragment count (the partial-final-batch path).
 
 // laneCfg is one cell of the execution-strategy matrix.
 type laneCfg struct {
-	engine  string // "interp", "jit" or "lanes"
+	engine  string // "interp", "jit", "lanes" or "masked"
 	workers int
 	tiling  bool
-	width   int // lane width; 0 means the default (lanes engine only)
+	width   int // lane width; 0 means the default (lane engines only)
 }
 
 func (c laneCfg) name() string {
@@ -50,6 +53,13 @@ func runScenarioLanes(t *testing.T, c laneCfg, w, h int, scenario func(gl *Conte
 		gl.SetLanes(false)
 	case "lanes":
 		gl.SetLanes(true)
+		gl.SetMaskedLanes(false)
+		if c.width != 0 {
+			gl.SetLaneWidth(c.width)
+		}
+	case "masked":
+		gl.SetLanes(true)
+		gl.SetMaskedLanes(true)
 		if c.width != 0 {
 			gl.SetLaneWidth(c.width)
 		}
@@ -77,7 +87,7 @@ func expectLaneParity(t *testing.T, w, h int, scenario func(gl *Context) uint32)
 	t.Helper()
 	ref := runScenarioLanes(t, laneCfg{engine: "interp", workers: 1}, w, h, scenario)
 	var cfgs []laneCfg
-	for _, engine := range []string{"interp", "jit", "lanes"} {
+	for _, engine := range []string{"interp", "jit", "lanes", "masked"} {
 		for _, workers := range []int{1, 4} {
 			for _, tiling := range []bool{false, true} {
 				if engine == "interp" && workers == 1 && !tiling {
@@ -92,7 +102,9 @@ func expectLaneParity(t *testing.T, w, h int, scenario func(gl *Context) uint32)
 	for _, width := range []int{2, 5, 16} {
 		cfgs = append(cfgs,
 			laneCfg{engine: "lanes", workers: 1, width: width},
-			laneCfg{engine: "lanes", workers: 4, tiling: true, width: width})
+			laneCfg{engine: "lanes", workers: 4, tiling: true, width: width},
+			laneCfg{engine: "masked", workers: 1, width: width},
+			laneCfg{engine: "masked", workers: 4, tiling: true, width: width})
 	}
 	for _, c := range cfgs {
 		got := runScenarioLanes(t, c, w, h, scenario)
@@ -161,9 +173,10 @@ void main() {
 	})
 }
 
-// TestLaneParityDiscard: discard makes the program lane-ineligible (a
-// batch could diverge), so the lanes cells must silently fall back to
-// per-fragment execution and still match everywhere.
+// TestLaneParityDiscard: discard makes the program ineligible for the
+// pure lane engine (a batch could diverge), so the lanes cells must
+// silently fall back to per-fragment execution; the masked cells shade it
+// with per-lane death instead. Both must match everywhere.
 func TestLaneParityDiscard(t *testing.T) {
 	const n = 64
 	expectLaneParity(t, n, n, func(gl *Context) uint32 {
@@ -181,7 +194,8 @@ void main() {
 }
 
 // TestLaneParityBranchyFallback: a data-dependent if/else (the jacobi
-// shape) compiles to real control flow, so lanes must fall back; pixels
+// shape) compiles to real control flow, so the pure lane cells fall back
+// per-fragment while the masked cells run it divergence-masked; pixels
 // and counters still match the interpreter bit-for-bit.
 func TestLaneParityBranchyFallback(t *testing.T) {
 	const n = 32
@@ -202,4 +216,52 @@ void main() {
 		drawQuad(t, gl, p)
 		return p
 	})
+}
+
+// TestLaneFallbackCounter pins the fallback accounting: with masked
+// execution off, a branchy draw wants lanes but cannot take them, so it
+// increments LaneFallbackDraws; with masked execution on, the same
+// forward-branching program runs masked and the counter stays put. A
+// straight-line draw never increments it in either mode.
+func TestLaneFallbackCounter(t *testing.T) {
+	const n = 32
+	branchyFS := `
+precision mediump float;
+varying vec2 v_tex;
+void main() {
+	float v = 0.0;
+	if (v_tex.x > 0.5) {
+		v = v_tex.y;
+	}
+	gl_FragColor = vec4(v, v_tex, 1.0);
+}`
+	straightFS := `
+precision mediump float;
+varying vec2 v_tex;
+void main() {
+	gl_FragColor = vec4(v_tex, 0.0, 1.0);
+}`
+	run := func(masked bool, fs string) int64 {
+		env := newEnv(t, device.Generic(), n, n, false)
+		defer env.gl.Destroy()
+		gl := env.gl
+		gl.SetLanes(true)
+		gl.SetMaskedLanes(masked)
+		p := buildProgram(t, gl, quadVS, fs)
+		gl.UseProgram(p)
+		drawQuad(t, gl, p)
+		if e := gl.GetError(); e != NO_ERROR {
+			t.Fatalf("draw error: %s", ErrName(e))
+		}
+		return gl.LaneFallbackDraws()
+	}
+	if got := run(false, branchyFS); got == 0 {
+		t.Errorf("branchy draw without masked lanes should count a fallback")
+	}
+	if got := run(true, branchyFS); got != 0 {
+		t.Errorf("masked lanes should absorb the branchy draw, got %d fallbacks", got)
+	}
+	if got := run(true, straightFS); got != 0 {
+		t.Errorf("straight-line draw should never count a fallback, got %d", got)
+	}
 }

@@ -121,6 +121,64 @@ func (t *Triangle) Bounds() (minX, minY, maxX, maxY int) {
 	return t.minX, t.minY, t.maxX, t.maxY
 }
 
+// VaryingRectBounds bounds varying component (vi, ci) over every fragment
+// the triangle can emit inside the inclusive pixel rect [x0,x1]×[y0,y1]:
+// every emitted float32 value lies in [lo, hi]. It only answers (ok=true)
+// when all three vertices share one 1/w bit pattern: interpolation is
+// then an affine function of screen position (the barycentric weights sum
+// to one identically, so the perspective divide cancels), and an affine
+// function over a rectangle attains its extremes at the corners. The four
+// corner pixel centres are evaluated with the exact expression
+// RasterizeRect uses, then the result is widened by one float32 ulp per
+// side: an interior pixel's float64 evaluation differs from the exact
+// affine value by far less than half a float32 ulp, so its rounded
+// float32 result cannot pass the widened corner extremes. ok=false when a
+// corner evaluates to NaN or an infinity.
+func (t *Triangle) VaryingRectBounds(vi, ci, x0, y0, x1, y1 int) (lo, hi float32, ok bool) {
+	if !t.valid || vi < 0 || vi >= t.numVar || ci < 0 || ci > 3 {
+		return 0, 0, false
+	}
+	if t.invW[0] != t.invW[1] || t.invW[0] != t.invW[2] {
+		return 0, 0, false
+	}
+	first := true
+	for _, y := range [2]int{y0, y1} {
+		py := float64(y) + 0.5
+		for _, x := range [2]int{x0, x1} {
+			px := float64(x) + 0.5
+			var e [3]float64
+			for i := 0; i < 3; i++ {
+				e[i] = t.a[i]*px + t.b[i]*py + t.c[i]
+			}
+			l0 := e[0] / t.area2
+			l1 := e[1] / t.area2
+			l2 := e[2] / t.area2
+			invW := l0*t.invW[0] + l1*t.invW[1] + l2*t.invW[2]
+			w := 1 / invW
+			v := l0*float64(t.varyings[0][vi][ci])*t.invW[0] +
+				l1*float64(t.varyings[1][vi][ci])*t.invW[1] +
+				l2*float64(t.varyings[2][vi][ci])*t.invW[2]
+			f := float32(v * w)
+			if math.IsNaN(float64(f)) || math.IsInf(float64(f), 0) {
+				return 0, 0, false
+			}
+			if first || f < lo {
+				lo = f
+			}
+			if first || f > hi {
+				hi = f
+			}
+			first = false
+		}
+	}
+	lo = math.Nextafter32(lo, float32(math.Inf(-1)))
+	hi = math.Nextafter32(hi, float32(math.Inf(1)))
+	if math.IsInf(float64(lo), 0) || math.IsInf(float64(hi), 0) {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
 // topLeft reports whether edge i is a top or left edge (such edges own
 // their boundary pixels under the GL fill rule).
 func (t *Triangle) topLeft(i int) bool {

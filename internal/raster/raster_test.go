@@ -229,12 +229,12 @@ func TestBands(t *testing.T) {
 		want      int // expected band count
 	}{
 		{0, 99, 4, 4},
-		{0, 0, 4, 1},    // single row: one band
-		{5, 7, 8, 3},    // more workers than rows: one band per row
-		{-3, 3, 2, 2},   // negative origin
-		{0, 9, 1, 1},    // single worker
-		{10, 5, 4, 0},   // empty range
-		{0, 10, 0, 0},   // no workers
+		{0, 0, 4, 1},  // single row: one band
+		{5, 7, 8, 3},  // more workers than rows: one band per row
+		{-3, 3, 2, 2}, // negative origin
+		{0, 9, 1, 1},  // single worker
+		{10, 5, 4, 0}, // empty range
+		{0, 10, 0, 0}, // no workers
 	}
 	for _, c := range cases {
 		bands := Bands(c.y0, c.y1, c.n)

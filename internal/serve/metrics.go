@@ -68,11 +68,12 @@ type Metrics struct {
 	// and at what tile edge length, whether they use lane-batched SoA
 	// shader execution and at what batch width, and whether the
 	// cross-iteration tile-coherence cache is enabled.
-	tiling    bool
-	tileSize  int
-	lanes     bool
-	laneWidth int
-	coherence bool
+	tiling      bool
+	tileSize    int
+	lanes       bool
+	laneWidth   int
+	maskedLanes bool
+	coherence   bool
 }
 
 // PoolGauge is a point-in-time snapshot of one device pool's reuse state,
@@ -85,6 +86,7 @@ type PoolGauge struct {
 	RunnerEvictions                                   int64
 	SubUploads                                        int64
 	TilesElided, TilesShaded                          int64
+	LaneFallbackDraws                                 int64
 }
 
 func newMetrics() *Metrics {
@@ -160,11 +162,12 @@ func (m *Metrics) batch(dev string, size int) {
 
 // setEngineConfig records the worker engines' fragment-shading setup for
 // the static config gauges. Must happen before Start.
-func (m *Metrics) setEngineConfig(tiling bool, tileSize int, lanes bool, laneWidth int, coherence bool) {
+func (m *Metrics) setEngineConfig(tiling bool, tileSize int, lanes bool, laneWidth int, maskedLanes, coherence bool) {
 	m.tiling = tiling
 	m.tileSize = tileSize
 	m.lanes = lanes
 	m.laneWidth = laneWidth
+	m.maskedLanes = maskedLanes
 	m.coherence = coherence
 }
 
@@ -268,6 +271,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	appendf("gles2gpgpud_engine_lanes_enabled %d\n", lanes)
 	appendf("# HELP gles2gpgpud_engine_lane_width SoA batch width of the lane-batched shader engine.\n# TYPE gles2gpgpud_engine_lane_width gauge\n")
 	appendf("gles2gpgpud_engine_lane_width %d\n", m.laneWidth)
+	appendf("# HELP gles2gpgpud_engine_masked_lanes_enabled Whether worker engines run branchy programs through divergence-masked lane execution (host-time knob; results are bit-identical either way).\n# TYPE gles2gpgpud_engine_masked_lanes_enabled gauge\n")
+	maskedLanes := 0
+	if m.maskedLanes {
+		maskedLanes = 1
+	}
+	appendf("gles2gpgpud_engine_masked_lanes_enabled %d\n", maskedLanes)
 	appendf("# HELP gles2gpgpud_engine_coherence_enabled Whether worker engines elide tiles with unchanged inputs across iterations (host-time knob; results are bit-identical either way).\n# TYPE gles2gpgpud_engine_coherence_enabled gauge\n")
 	coherence := 0
 	if m.coherence {
@@ -294,6 +303,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		appendf("gles2gpgpud_subimage_uploads_total{device=%q} %d\n", dev, g.SubUploads)
 		appendf("gles2gpgpud_tiles_elided_total{device=%q} %d\n", dev, g.TilesElided)
 		appendf("gles2gpgpud_tiles_shaded_total{device=%q} %d\n", dev, g.TilesShaded)
+		appendf("gles2gpgpud_lane_fallback_draws_total{device=%q} %d\n", dev, g.LaneFallbackDraws)
 	}
 
 	appendf("# HELP gles2gpgpud_job_latency_seconds Per-job execution latency; clock=virtual is simulated device time, clock=host is worker wall time.\n# TYPE gles2gpgpud_job_latency_seconds histogram\n")

@@ -59,6 +59,10 @@ type Config struct {
 	// LaneWidth overrides the lane-batched engine's SoA batch width for
 	// worker engines (0: shader.DefaultLaneWidth).
 	LaneWidth int
+	// NoMaskedLanes makes worker engines shade branchy programs (jacobi)
+	// per-fragment instead of divergence-masked lane execution. Host time
+	// only — results and virtual-time figures are bit-identical either way.
+	NoMaskedLanes bool
 	// NoCoherence disables worker engines' cross-iteration tile-coherence
 	// cache, re-shading every tile on every draw. Host time only — results
 	// and virtual-time figures are bit-identical either way.
@@ -145,8 +149,10 @@ func New(cfg Config) (*Scheduler, error) {
 	if laneWidth > shader.MaxLaneWidth {
 		laneWidth = shader.MaxLaneWidth
 	}
+	lanesOn := !cfg.NoLanes && shader.DefaultLanes() && shader.DefaultJIT()
 	s.metrics.setEngineConfig(!cfg.NoTiling && gles.DefaultTiling(), tileSize,
-		!cfg.NoLanes && shader.DefaultLanes() && shader.DefaultJIT(), laneWidth,
+		lanesOn, laneWidth,
+		lanesOn && !cfg.NoMaskedLanes && shader.DefaultMaskedLanes(),
 		!cfg.NoCoherence && gles.DefaultCoherence())
 	for _, name := range cfg.Devices {
 		if _, dup := s.pools[name]; dup {
@@ -423,6 +429,7 @@ func (p *devicePool) gauge() PoolGauge {
 			elided, shaded := e.CoherenceStats()
 			g.TilesElided += elided
 			g.TilesShaded += shaded
+			g.LaneFallbackDraws += e.LaneFallbackDraws()
 		}
 		g.RunnersLive += len(w.runners)
 		g.RunnerEvictions += int64(w.runnerEvictions)
@@ -482,6 +489,7 @@ func (w *worker) engineFor(n int) (*core.Engine, error) {
 		TileSize:        w.pool.sched.cfg.TileSize,
 		NoLanes:         w.pool.sched.cfg.NoLanes,
 		LaneWidth:       w.pool.sched.cfg.LaneWidth,
+		NoMaskedLanes:   w.pool.sched.cfg.NoMaskedLanes,
 		NoCoherence:     w.pool.sched.cfg.NoCoherence,
 	})
 	if err != nil {

@@ -38,6 +38,14 @@ func FuzzPassPipeline(f *testing.F) {
 		cfg := BuildCFG(p)
 		_ = CountResources(cfg)
 		_ = Lint(p, LimitProfiles())
+		// The CFG-derived mask-safety proof and the executor's own
+		// eligibility probe must agree on every program.
+		_, execReason := shader.MaskedFallbackAt(p)
+		_, cfgReason := MaskSafety(cfg)
+		if (execReason == "") != (cfgReason == "") {
+			t.Fatalf("MaskSafety and MaskedFallbackAt disagree: executor %q, analysis %q",
+				execReason, cfgReason)
+		}
 		o := Optimize(p)
 		if o == nil {
 			return

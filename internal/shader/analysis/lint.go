@@ -62,10 +62,18 @@ func Lint(p *shader.Program, profiles []LimitProfile) []Finding {
 		cfg := BuildCFG(p)
 		du := SolveDefUse(cfg)
 		sccp := SolveSCCP(cfg)
+		uni := SolveUniformity(cfg, sccp)
+		rng := SolveRanges(cfg, sccp)
+		foot := SolveFootprint(cfg, du, sccp)
 		fs = append(fs, lintMadFusion(p, du, sccp)...)
 		fs = append(fs, lintBuiltins(p, du, sccp)...)
 		fs = append(fs, lintUninitReads(p, sccp)...)
 		fs = append(fs, lintAlwaysDiscard(cfg, sccp)...)
+		fs = append(fs, lintUniformBranches(p, uni, sccp)...)
+		fs = append(fs, lintDivergentDiscards(p, uni, sccp)...)
+		fs = append(fs, lintDeadClamps(p, rng, sccp)...)
+		fs = append(fs, lintFootprints(p, foot)...)
+		fs = append(fs, lintMaskEligibility(p, cfg)...)
 		res := CountResources(cfg)
 		for _, lp := range profiles {
 			fs = append(fs, CheckLimits(p, res, lp)...)

@@ -246,3 +246,169 @@ func TestFindingString(t *testing.T) {
 		t.Errorf("String() without pos = %q", got)
 	}
 }
+
+func TestLintUniformBranch(t *testing.T) {
+	p := compileGLSL(t, `precision mediump float;
+uniform float u;
+void main() {
+	float r = 0.0;
+	if (u > 0.5) {
+		r = 1.0;
+	}
+	gl_FragColor = vec4(r);
+}
+`)
+	fs := findByCode(Lint(p, nil), "uniform-branch")
+	if len(fs) == 0 {
+		t.Fatalf("uniform-condition branch should be reported; findings: %v", Lint(p, nil))
+	}
+	if fs[0].Sev != SevInfo {
+		t.Errorf("severity = %v, want info", fs[0].Sev)
+	}
+}
+
+func TestLintUniformBranchNotFiredOnVarying(t *testing.T) {
+	p := compileGLSL(t, `precision mediump float;
+varying vec2 v_tex;
+void main() {
+	float r = 0.0;
+	if (v_tex.x > 0.5) {
+		r = 1.0;
+	}
+	gl_FragColor = vec4(r);
+}
+`)
+	if fs := findByCode(Lint(p, nil), "uniform-branch"); len(fs) != 0 {
+		t.Errorf("varying-condition branch must not report uniform-branch: %v", fs)
+	}
+}
+
+func TestLintDivergentDiscard(t *testing.T) {
+	p := compileGLSL(t, `precision mediump float;
+varying vec2 v_tex;
+void main() {
+	if (v_tex.x < 0.5) {
+		discard;
+	}
+	gl_FragColor = vec4(1.0);
+}
+`)
+	fs := findByCode(Lint(p, nil), "divergent-discard")
+	if len(fs) == 0 {
+		t.Fatalf("fragment-dependent discard should be reported; findings: %v", Lint(p, nil))
+	}
+}
+
+func TestLintUniformDiscardNotDivergent(t *testing.T) {
+	p := compileGLSL(t, `precision mediump float;
+uniform float u;
+void main() {
+	if (u < 0.5) {
+		discard;
+	}
+	gl_FragColor = vec4(1.0);
+}
+`)
+	if fs := findByCode(Lint(p, nil), "divergent-discard"); len(fs) != 0 {
+		t.Errorf("draw-uniform discard must not report divergent-discard: %v", fs)
+	}
+}
+
+func TestLintProvablyDeadClamp(t *testing.T) {
+	// The comparison result is always in [0,1], so clamping it to [0,1]
+	// is an identity the range analysis proves.
+	p := compileGLSL(t, `precision mediump float;
+varying vec2 v_tex;
+void main() {
+	float s = float(v_tex.x > 0.5);
+	float r = clamp(s, 0.0, 1.0);
+	gl_FragColor = vec4(r);
+}
+`)
+	fs := findByCode(Lint(p, nil), "provably-dead-clamp")
+	if len(fs) == 0 {
+		t.Fatalf("identity clamp should warn; findings: %v", Lint(p, nil))
+	}
+	if fs[0].Sev != SevWarning {
+		t.Errorf("severity = %v, want warning", fs[0].Sev)
+	}
+}
+
+func TestLintLiveClampSilent(t *testing.T) {
+	p := compileGLSL(t, `precision mediump float;
+varying vec2 v_tex;
+void main() {
+	gl_FragColor = vec4(clamp(v_tex.x, 0.25, 0.75));
+}
+`)
+	if fs := findByCode(Lint(p, nil), "provably-dead-clamp"); len(fs) != 0 {
+		t.Errorf("clamp over an unbounded input must not warn: %v", fs)
+	}
+}
+
+func TestLintUnboundedFootprint(t *testing.T) {
+	p := compileGLSL(t, `precision mediump float;
+uniform sampler2D text0;
+varying vec2 v_tex;
+void main() {
+	gl_FragColor = texture2D(text0, v_tex * v_tex);
+}
+`)
+	fs := findByCode(Lint(p, nil), "unbounded-footprint")
+	if len(fs) == 0 {
+		t.Fatalf("non-affine coordinate should be reported; findings: %v", Lint(p, nil))
+	}
+	if !strings.Contains(fs[0].Msg, "slot 0") {
+		t.Errorf("finding should name the slot: %q", fs[0].Msg)
+	}
+}
+
+func TestLintBoundedFootprintSilent(t *testing.T) {
+	p := compileGLSL(t, `precision mediump float;
+uniform sampler2D text0;
+varying vec2 v_tex;
+void main() {
+	gl_FragColor = texture2D(text0, v_tex);
+}
+`)
+	if fs := findByCode(Lint(p, nil), "unbounded-footprint"); len(fs) != 0 {
+		t.Errorf("affine coordinate must not report unbounded-footprint: %v", fs)
+	}
+}
+
+func TestLintMaskEligibility(t *testing.T) {
+	// Branchy forward-only program: mask-eligible, and no lane-eligible
+	// false positive from the straight-line rule.
+	p := compileGLSL(t, `precision mediump float;
+varying vec2 v_tex;
+void main() {
+	float r = 0.0;
+	if (v_tex.x > 0.5) {
+		r = 1.0;
+	}
+	gl_FragColor = vec4(r);
+}
+`)
+	fs := Lint(p, nil)
+	el := findByCode(fs, "mask-eligible")
+	if len(el) != 1 || el[0].Sev != SevInfo {
+		t.Fatalf("forward-branchy program should be mask-eligible (info); findings: %v", fs)
+	}
+	if fb := findByCode(fs, "mask-fallback"); len(fb) != 0 {
+		t.Errorf("eligible program must not also report mask-fallback: %v", fb)
+	}
+
+	// Straight-line program: neither masked finding, only lane-eligible.
+	p = compileGLSL(t, `precision mediump float;
+void main() {
+	gl_FragColor = vec4(1.0);
+}
+`)
+	fs = Lint(p, nil)
+	if len(findByCode(fs, "mask-eligible"))+len(findByCode(fs, "mask-fallback")) != 0 {
+		t.Errorf("straight-line program is covered by lane-eligible alone: %v", fs)
+	}
+	if len(findByCode(fs, "lane-eligible")) != 1 {
+		t.Errorf("straight-line program should be lane-eligible: %v", fs)
+	}
+}

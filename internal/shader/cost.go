@@ -98,10 +98,10 @@ type Limits struct {
 // DefaultLimits returns permissive limits for tests.
 func DefaultLimits() Limits {
 	return Limits{
-		MaxInstructions:    4096,
-		MaxTexInstructions: 256,
-		MaxTemps:           256,
-		MaxUniformVectors:  128,
+		MaxInstructions:      4096,
+		MaxTexInstructions:   256,
+		MaxTemps:             256,
+		MaxUniformVectors:    128,
 		MaxVaryingVectors:    8,
 		MaxAttributes:        8,
 		MaxDependentTexReads: 8,

@@ -92,6 +92,16 @@ type LaneEnv struct {
 	Cycles     int64
 	TexFetches int64
 
+	// Discarded flags the lanes that executed a KIL in the last masked
+	// batch (see lanes_masked.go); scatter paths skip them. Batches run by
+	// the straight-line engine never discard and leave all entries false.
+	Discarded []bool
+
+	// Masked-execution per-batch state (lanes_masked.go): per-lane resume
+	// pc and the scratch list of lanes active at the current step.
+	nextPC  []int32
+	maskAct []int32
+
 	prog *Program
 }
 
@@ -103,12 +113,15 @@ func NewLaneEnv(p *Program, width int) *LaneEnv {
 		width = MaxLaneWidth
 	}
 	e := &LaneEnv{
-		Width: width,
-		Uni:   make([]float32, maxi(p.NumUniform, 1)*4*width),
-		In:    make([]float32, maxi(p.NumInputs, 1)*4*width),
-		Out:   make([]float32, maxi(p.NumOutputs, 1)*4*width),
-		Tmp:   make([]float32, maxi(p.NumTemps, 1)*4*width),
-		prog:  p,
+		Width:     width,
+		Uni:       make([]float32, maxi(p.NumUniform, 1)*4*width),
+		In:        make([]float32, maxi(p.NumInputs, 1)*4*width),
+		Out:       make([]float32, maxi(p.NumOutputs, 1)*4*width),
+		Tmp:       make([]float32, maxi(p.NumTemps, 1)*4*width),
+		Discarded: make([]bool, width),
+		nextPC:    make([]int32, width),
+		maskAct:   make([]int32, 0, width),
+		prog:      p,
 	}
 	for i := range e.scratch {
 		e.scratch[i] = make([]float32, 4*width)
@@ -186,10 +199,22 @@ type LaneCompiled struct {
 	line          []laneOp
 	cyclesPerLane int64
 
+	// Masked (divergence-tolerant) form: when masked is set, line is empty
+	// and steps drives the per-pc active-lane schedule in lanes_masked.go.
+	// cyclesPerLane stays 0 because cost is charged per step per active
+	// lane, reproducing the interpreter's per-lane totals under divergence.
+	masked bool
+	steps  []maskedStep
+
 	// cst holds constant operands broadcast to SoA slabs at compile time
 	// (swizzle and negation folded), appended per source instance.
 	cst []float32
 }
+
+// Masked reports whether this compiled form runs under an active-lane mask
+// (lanes_masked.go). Masked batches can discard individual lanes; scatter
+// paths must consult LaneEnv.Discarded.
+func (lc *LaneCompiled) Masked() bool { return lc.masked }
 
 // Width returns the lane width the batch was compiled for.
 func (lc *LaneCompiled) Width() int { return lc.width }
@@ -204,6 +229,10 @@ func (lc *LaneCompiled) CyclesPerLane() int64 { return lc.cyclesPerLane }
 func (lc *LaneCompiled) Run(e *LaneEnv) {
 	n := e.N
 	if n <= 0 {
+		return
+	}
+	if lc.masked {
+		lc.runMasked(e)
 		return
 	}
 	for _, f := range lc.line {
@@ -501,6 +530,13 @@ func (lc *LaneCompiled) compileLaneDst(in *Inst) (blk laneBlock, fin laneOp) {
 		drop := make([]float32, 4*w)
 		return func(e *LaneEnv) []float32 { return drop }, nil
 	}
+	if lc.masked {
+		// Masked execution must never clobber inactive lanes (they resume
+		// at a different pc and will observe these registers), but the op
+		// inner loops run over the full width. Always stage into scratch 3
+		// and commit only the active lanes.
+		return lc.maskedDst(real, d.Mask)
+	}
 	ra, rb, rc := in.SrcLanes()
 	if !aliases(d, in.A, ra) && !aliases(d, in.B, rb) && !aliases(d, in.C, rc) {
 		return real, nil
@@ -540,6 +576,11 @@ func (lc *LaneCompiled) compileLaneInst(consts [][4]float32, in *Inst) laneOp {
 	wd, fin := lc.compileLaneDst(in)
 	switch in.Op {
 	case OpTEX:
+		if lc.masked {
+			// Fetch counts and sampler calls must be exact per lane, so the
+			// masked form has a dedicated body over active lanes only.
+			return lc.compileMaskedTex(consts, in)
+		}
 		ra := lc.compileLaneSrc(consts, in.A, 0)
 		sampler := int(in.SamplerIdx)
 		uo, vo := ra.offs[0], ra.offs[1]

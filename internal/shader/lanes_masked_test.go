@@ -1,0 +1,287 @@
+package shader
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Differential testing of the divergence-masked lane backend against the
+// reference interpreter: a batch of N lanes with forward branches, discard
+// and early return must produce, for every lane, bit-identical outputs,
+// the same Discarded flag, and summed Cycles/TexFetches equal to N serial
+// interpreter invocations — divergence and all.
+
+// runMaskedLaneDiff executes p serially (interpreter, one fresh Env per
+// lane) and as one masked lane batch, then compares per-lane outputs,
+// Discarded flags, and summed counters.
+func runMaskedLaneDiff(t *testing.T, p *Program, cost *CostModel, width, n int, uni []Vec4, inputs [][]Vec4) {
+	t.Helper()
+	lc := p.MaskedLaneCompiled(cost, width)
+	if lc == nil {
+		t.Fatalf("mask-eligible program did not compile (reason: %q):\n%s",
+			MaskedFallbackReason(p), p.Disassemble())
+	}
+	if !lc.Masked() {
+		t.Fatal("MaskedLaneCompiled returned a non-masked form")
+	}
+
+	le := NewLaneEnv(p, width)
+	le.Sample = diffSampler
+	le.SetUniforms(uni)
+	var wantOut [][]Vec4
+	var wantDiscard []bool
+	var wantCycles, wantTex int64
+	for lane := 0; lane < n; lane++ {
+		e := NewEnv(p)
+		e.Sample = diffSampler
+		copy(e.Uniforms, uni)
+		copy(e.Inputs, inputs[lane])
+		if err := Run(p, e, cost); err != nil {
+			t.Fatalf("interp lane %d: %v", lane, err)
+		}
+		wantOut = append(wantOut, append([]Vec4(nil), e.Outputs...))
+		wantDiscard = append(wantDiscard, e.Discarded)
+		wantCycles += e.Cycles
+		wantTex += e.TexFetches
+		for reg, v := range inputs[lane] {
+			le.SetInput(lane, reg, v)
+		}
+	}
+
+	le.N = n
+	lc.Run(le)
+	if le.Cycles != wantCycles {
+		t.Fatalf("Cycles divergence: serial %d, masked lanes %d (w=%d n=%d)\n%s",
+			wantCycles, le.Cycles, width, n, p.Disassemble())
+	}
+	if le.TexFetches != wantTex {
+		t.Fatalf("TexFetches divergence: serial %d, masked lanes %d (w=%d n=%d)\n%s",
+			wantTex, le.TexFetches, width, n, p.Disassemble())
+	}
+	for lane := 0; lane < n; lane++ {
+		if le.Discarded[lane] != wantDiscard[lane] {
+			t.Fatalf("lane %d Discarded divergence: serial %v, masked %v (w=%d n=%d)\n%s",
+				lane, wantDiscard[lane], le.Discarded[lane], width, n, p.Disassemble())
+		}
+		// Outputs are compared even for discarded lanes: the masked engine
+		// executes exactly the interpreter's prefix for that lane, so the
+		// partially-written output bank must match too.
+		for reg := range wantOut[lane] {
+			got := le.Output(lane, reg)
+			want := wantOut[lane][reg]
+			for c := 0; c < 4; c++ {
+				if want[c] != want[c] && got[c] != got[c] {
+					continue // both NaN: equivalent
+				}
+				if math.Float32bits(want[c]) != math.Float32bits(got[c]) {
+					t.Fatalf("lane %d output %d.%d divergence: serial %g (%#08x), masked %g (%#08x) (w=%d n=%d)\n%s",
+						lane, reg, c, want[c], math.Float32bits(want[c]),
+						got[c], math.Float32bits(got[c]), width, n, p.Disassemble())
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialMaskedLaneFuzz drives 400 quick-generated seeds through
+// randomized IR programs *with* control flow — forward BR/BRZ, KIL, early
+// RET, the exact shape class the straight-line engine refuses — at random
+// widths and live-lane counts. Every lane must match a serial interpreter
+// run bitwise, including the Discarded flag and per-lane-summed counters.
+func TestDifferentialMaskedLaneFuzz(t *testing.T) {
+	cost := DefaultCostModel()
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng, true) // forward branches, KIL, early RET
+		width := 2 + rng.Intn(MaxLaneWidth-1)
+		for probe := 0; probe < 2; probe++ {
+			n := 1 + rng.Intn(width)
+			uni, inputs := fuzzInputs(rng, p, n)
+			runMaskedLaneDiff(t, p, &cost, width, n, uni, inputs)
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 400,
+		Rand:     rand.New(rand.NewSource(20260808)),
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialMaskedStraightLine pins that the masked engine is also
+// correct on straight-line programs (all lanes stay active throughout):
+// engines prefer the unmasked form there, but the masked compile must not
+// depend on divergence actually occurring.
+func TestDifferentialMaskedStraightLine(t *testing.T) {
+	cost := DefaultCostModel()
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng, false)
+		width := 2 + rng.Intn(MaxLaneWidth-1)
+		n := 1 + rng.Intn(width)
+		uni, inputs := fuzzInputs(rng, p, n)
+		runMaskedLaneDiff(t, p, &cost, width, n, uni, inputs)
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 80,
+		Rand:     rand.New(rand.NewSource(8)),
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialMaskedKernelSuite runs every generated kernel through
+// the masked engine. The point of the whole exercise: jacobi — branchy,
+// lane-ineligible — must masked-compile and match the interpreter bitwise.
+func TestDifferentialMaskedKernelSuite(t *testing.T) {
+	cost := DefaultCostModel()
+	rng := rand.New(rand.NewSource(20260808))
+	for name, p := range kernelSuite(t) {
+		p := p
+		t.Run(name, func(t *testing.T) {
+			if reason := MaskedFallbackReason(p); reason != "" {
+				t.Fatalf("kernel unexpectedly mask-ineligible: %s", reason)
+			}
+			for _, width := range []int{2, 8, 16} {
+				for _, n := range []int{1, width/2 + 1, width} {
+					uni := make([]Vec4, maxi(p.NumUniform, 1))
+					for i := range uni {
+						uni[i] = Vec4{rng.Float32(), rng.Float32(), rng.Float32(), rng.Float32()}
+					}
+					var inputs [][]Vec4
+					for lane := 0; lane < n; lane++ {
+						in := make([]Vec4, maxi(p.NumInputs, 1))
+						for i := range in {
+							in[i] = Vec4{rng.Float32() * 16, rng.Float32() * 16, 0.5, 1}
+						}
+						inputs = append(inputs, in)
+					}
+					runMaskedLaneDiff(t, p, &cost, width, n, uni, inputs)
+				}
+			}
+		})
+	}
+}
+
+// TestMaskedDivergencePinned pins a hand-built divergence scenario where
+// different lanes take each path of a BRZ, one lane discards, and one lane
+// early-returns — the masked engine's whole feature matrix in one batch.
+func TestMaskedDivergencePinned(t *testing.T) {
+	cost := DefaultCostModel()
+	p := &Program{
+		NumTemps: 2, NumInputs: 2, NumOutputs: 1, NumUniform: 1,
+		Insts: []Inst{
+			// if (in0.x == 0) goto else-branch (pc 4)
+			{Op: OpBRZ, A: SrcReg(FileInput, 0), Target: 4},
+			{Op: OpKIL, A: SrcReg(FileInput, 1)},                                                         // then: maybe discard
+			{Op: OpMUL, Dst: DstReg(FileOutput, 0, 4), A: SrcReg(FileInput, 0), B: SrcReg(FileInput, 0)}, // then: out = in0²
+			{Op: OpBR, Target: 6}, // skip else
+			{Op: OpADD, Dst: DstReg(FileOutput, 0, 4), A: SrcReg(FileInput, 0), B: SrcReg(FileInput, 1)}, // else: out = in0+in1
+			{Op: OpTEX, Dst: DstReg(FileTemp, 0, 4), A: SrcReg(FileInput, 1)},                            // else-only fetch
+			{Op: OpBRZ, A: SrcReg(FileInput, 1), Target: 8},                                              // join: maybe early ret
+			{Op: OpRET},
+			{Op: OpMOV, Dst: Dst{File: FileOutput, Reg: 0, Mask: 0x8}, A: SrcReg(FileUniform, 0)},
+			{Op: OpRET},
+		},
+	}
+	inputs := [][]Vec4{
+		{{1, 0, 0, 0}, {0, 0, 0, 0}},  // then-path, no discard, early ret
+		{{0, 0, 0, 0}, {0, 0, 0, 0}},  // else-path (TEX), early ret
+		{{2, 0, 0, 0}, {1, 0, 0, 0}},  // then-path, discards at pc 1
+		{{0, 0, 0, 0}, {3, 0, 0, 0}},  // else-path, runs to the end
+		{{-1, 0, 0, 0}, {2, 0, 0, 0}}, // then-path, discards
+		{{5, 0, 0, 0}, {0, 5, 0, 0}},  // then-path, no discard (cond reads .x)
+	}
+	uni := []Vec4{{0.25, 0.5, 0.75, 1}}
+	for _, width := range []int{6, 8, 16} {
+		runMaskedLaneDiff(t, p, &cost, width, len(inputs), uni, inputs)
+	}
+}
+
+// TestMaskedIneligible pins the masked fallback clauses: backward branches
+// are out (unbounded divergence), while everything the straight-line
+// engine refuses for shape reasons — forward jumps, discard, early RET —
+// is mask-eligible.
+func TestMaskedIneligible(t *testing.T) {
+	cost := DefaultCostModel()
+	mov := Inst{Op: OpMOV, Dst: DstReg(FileOutput, 0, 4), A: SrcReg(FileInput, 0)}
+	cases := []struct {
+		name     string
+		insts    []Inst
+		eligible bool
+	}{
+		{"forward-br", []Inst{{Op: OpBR, Target: 2}, mov, {Op: OpRET}}, true},
+		{"forward-brz", []Inst{{Op: OpBRZ, A: SrcReg(FileInput, 0), Target: 2}, mov, mov, {Op: OpRET}}, true},
+		{"discard", []Inst{{Op: OpKIL, A: SrcReg(FileInput, 0)}, mov, {Op: OpRET}}, true},
+		{"early-ret", []Inst{{Op: OpRET}, mov}, true},
+		{"self-loop", []Inst{mov, {Op: OpBR, Target: 1}, {Op: OpRET}}, false},
+		{"backward-brz", []Inst{mov, {Op: OpBRZ, A: SrcReg(FileInput, 0), Target: 0}, {Op: OpRET}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := &Program{NumTemps: 1, NumInputs: 1, NumOutputs: 1, NumUniform: 1, Insts: tc.insts}
+			lc := p.MaskedLaneCompiled(&cost, 8)
+			reason := MaskedFallbackReason(p)
+			if tc.eligible {
+				if lc == nil {
+					t.Fatalf("expected mask-eligible, got fallback: %s", reason)
+				}
+				if reason != "" {
+					t.Fatalf("eligible program reported reason %q", reason)
+				}
+			} else {
+				if lc != nil {
+					t.Fatal("expected mask-ineligible")
+				}
+				if reason == "" {
+					t.Fatal("ineligible program must report a reason")
+				}
+			}
+		})
+	}
+}
+
+// TestMaskedRunAllocs asserts the masked hot path allocates nothing per
+// batch once compiled — the active-lane scan and staging reuse LaneEnv
+// scratch state.
+func TestMaskedRunAllocs(t *testing.T) {
+	cost := DefaultCostModel()
+	p := &Program{
+		NumTemps: 2, NumInputs: 1, NumOutputs: 1, NumUniform: 1,
+		Insts: []Inst{
+			{Op: OpBRZ, A: SrcReg(FileInput, 0), Target: 3},
+			{Op: OpTEX, Dst: DstReg(FileTemp, 0, 4), A: SrcReg(FileInput, 0)},
+			{Op: OpBR, Target: 4},
+			{Op: OpMOV, Dst: DstReg(FileTemp, 0, 4), A: SrcReg(FileUniform, 0)},
+			{Op: OpMUL, Dst: DstReg(FileOutput, 0, 4), A: SrcReg(FileTemp, 0), B: SrcReg(FileInput, 0)},
+			{Op: OpRET},
+		},
+	}
+	const width = 8
+	lc := p.MaskedLaneCompiled(&cost, width)
+	if lc == nil {
+		t.Fatal("program must masked-compile")
+	}
+	env := NewLaneEnv(p, width)
+	env.Samplers = []TexFunc{func(u, v float32) Vec4 { return Vec4{u, v, u + v, 1} }}
+	var sink Vec4
+	allocs := testing.AllocsPerRun(200, func() {
+		for l := 0; l < width; l++ {
+			v := float32(l & 1) // alternate branch paths within the batch
+			env.SetInput(l, 0, Vec4{v, 0.5, 0.75, 1})
+		}
+		env.N = width
+		lc.Run(env)
+		sink = env.Output(width-1, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("masked hot path allocated %.1f times per batch, want 0", allocs)
+	}
+	_ = sink
+}
