@@ -42,6 +42,7 @@ func main() {
 	lanewidth := flag.Int("lanewidth", 0, "SoA batch width of the lane-batched shader engine (0: default 8, max 16)")
 	nomaskedlanes := flag.Bool("nomaskedlanes", false, "shade branchy programs per-fragment instead of divergence-masked lane execution (host time only; results are bit-identical)")
 	nocoherence := flag.Bool("nocoherence", false, "re-shade every tile every draw instead of eliding tiles with unchanged inputs (host time only; results are bit-identical)")
+	nofuse := flag.Bool("nofuse", false, "run every pipeline stage as its own pass instead of proof-gated pass fusion (host time only; results are bit-identical)")
 	flag.Parse()
 
 	s, err := serve.New(serve.Config{
@@ -57,6 +58,7 @@ func main() {
 		LaneWidth:       *lanewidth,
 		NoMaskedLanes:   *nomaskedlanes,
 		NoCoherence:     *nocoherence,
+		NoFuse:          *nofuse,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gles2gpgpud: %v\n", err)

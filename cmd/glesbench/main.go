@@ -70,10 +70,19 @@ type figureTime struct {
 	// FallbackDraws is the lane-fallback counter of the masked figures
 	// (absent elsewhere).
 	FallbackDraws int64 `json:"fallback_draws,omitempty"`
+	// Stages, PassesFused, ReadbacksElided and VirtualUS describe the
+	// pipeline figures (absent elsewhere): passes per run, the planner's
+	// lifetime fusion counter, intermediates kept on-device instead of
+	// round-tripping through host floats, and the modelled device time in
+	// microseconds (identical fused vs unfused; larger in readback mode).
+	Stages          int     `json:"stages,omitempty"`
+	PassesFused     int64   `json:"passes_fused,omitempty"`
+	ReadbacksElided int64   `json:"readbacks_elided,omitempty"`
+	VirtualUS       float64 `json:"virtual_us,omitempty"`
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 3, vbo, 4a, 4b, 5a, 5b or all; also journey, ablation, service, coherence, or masked (service, coherence and masked are opt-in only, never part of all)")
+	fig := flag.String("fig", "all", "figure to reproduce: 3, vbo, 4a, 4b, 5a, 5b or all; also journey, ablation, service, coherence, masked, or pipeline (service, coherence, masked and pipeline are opt-in only, never part of all)")
 	size := flag.Int("size", 1024, "matrix dimension for timing runs (paper: 1024)")
 	calib := flag.Int("calib", 64, "matrix dimension for the functional validation run")
 	iters := flag.Int("iters", 100, "measured benchmark-body repetitions")
@@ -86,11 +95,19 @@ func main() {
 	lanewidth := flag.Int("lanewidth", 0, "SoA batch width of the lane-batched engine (0: default 8, max 16); results are bit-identical at any width")
 	nomaskedlanes := flag.Bool("nomaskedlanes", false, "shade branchy programs (jacobi) per-fragment instead of divergence-masked lane execution (A/B escape hatch; results are bit-identical, only host time changes)")
 	nocoherence := flag.Bool("nocoherence", false, "re-shade every tile every draw instead of eliding tiles with unchanged inputs (A/B escape hatch; results are bit-identical, only host time changes)")
+	nofuse := flag.Bool("nofuse", false, "disable proof-gated pass fusion in the pipeline planner (A/B escape hatch; results are bit-identical, only host time changes)")
 	micro := flag.Bool("micro", false, "also run the shader-execution and texture-sampling microbenchmarks; results go to stderr and -benchjson, never stdout")
 	benchjson := flag.String("benchjson", "", "write machine-readable per-figure host times (JSON) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *nofuse {
+		// Route the flag through the same switch the engine config and
+		// tests honour, so every pipeline compiled in this process plans
+		// without fusion.
+		os.Setenv("GLES2GPGPU_NO_FUSE", "1")
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -277,6 +294,30 @@ func main() {
 			report.TotalHostMS += r.HostMS
 		}
 		recordHost("masked", time.Since(hostStart))
+	}
+	if *fig == "pipeline" {
+		// Kernel-pipeline comparison (vision graphs executed fused,
+		// unfused-resident and with per-stage host readbacks). Opt-in
+		// only: its output goes to stderr and -benchjson, never stdout,
+		// so the recorded reference output is untouched.
+		hostStart := time.Now()
+		results, err := bench.Pipelines(ctx, bench.PipelineOpts{NoFuse: *nofuse})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "glesbench: pipeline: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			name := r.Name()
+			fmt.Fprintf(os.Stderr, "glesbench: %s: %d iters, %d stages, %d passes fused, %d readbacks elided, checksum %#x, virtual %.3fus, host %.3fms\n",
+				name, r.Iters, r.Stages, r.PassesFused, r.ReadbacksElided, r.Checksum, r.VirtualTime.Microseconds(), r.HostMS)
+			report.Figures = append(report.Figures, figureTime{
+				Figure: name, HostMS: r.HostMS, Stages: r.Stages,
+				PassesFused: r.PassesFused, ReadbacksElided: r.ReadbacksElided,
+				VirtualUS: r.VirtualTime.Microseconds(),
+			})
+			report.TotalHostMS += r.HostMS
+		}
+		recordHost("pipeline", time.Since(hostStart))
 	}
 	if *fig == "service" {
 		// Service-layer reuse comparison (gles2gpgpud's residency pool and

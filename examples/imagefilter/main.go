@@ -3,6 +3,14 @@
 // simulated mobile GPU, comparing the framebuffer and texture rendering
 // targets the paper evaluates in Fig. 4a.
 //
+// The filter chain routes through the kernel-pipeline API: the four blur
+// passes are one declarative graph whose intermediates stay resident
+// on-device. The hand-rolled sequential dispatch it replaced (each pass
+// reading back to host floats and re-uploading) is kept as the oracle —
+// the example asserts the pipeline output is byte-identical to it, the
+// lossless float↔RGBA8 round trip making exact equality the contract, not
+// an approximation.
+//
 //	go run ./examples/imagefilter
 package main
 
@@ -33,57 +41,122 @@ func synthImage() *gpgpu.Matrix {
 	return img
 }
 
-// runFilter applies `passes` box-blur passes with the given render target
-// and returns the blurred image and the virtual time taken.
-func runFilter(target gpgpu.RenderTarget, passes int) (*gpgpu.Matrix, gpgpu.Time, error) {
-	cfg := gpgpu.Config{
+func engineFor(target gpgpu.RenderTarget) (*gpgpu.Engine, error) {
+	return gpgpu.NewEngine(gpgpu.Config{
 		Device: gpgpu.PowerVRSGX545(),
 		Width:  n, Height: n,
 		Swap:   gpgpu.SwapNone,
 		Target: target,
 		UseVBO: true,
-	}
-	engine, err := gpgpu.NewEngine(cfg)
-	if err != nil {
-		return nil, 0, err
-	}
+	})
+}
+
+func blurWeights() [9]float32 {
 	var blur [9]float32
 	for i := range blur {
 		blur[i] = 1.0 / 9
 	}
-	img := synthImage()
-	out := img
+	return blur
+}
+
+// runFilter applies `passes` box-blur passes through the pipeline API: one
+// graph of chained conv3x3 stages, intermediates resident on-device.
+// Returns the blurred image, the virtual time taken, and the run stats.
+func runFilter(target gpgpu.RenderTarget, passes int) (*gpgpu.Matrix, gpgpu.Time, *gpgpu.PipelineRunStats, error) {
+	engine, err := engineFor(target)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	blur := blurWeights()
+	frag := gpgpu.Conv3x3Kernel(n, n, gpgpu.DefaultKernelOptions)
+	g := gpgpu.PipelineGraph{}
+	for p := 0; p < passes; p++ {
+		b := gpgpu.PipelineBinding{Sampler: "text0", External: "img"}
+		if p > 0 {
+			b = gpgpu.PipelineBinding{Sampler: "text0", Stage: fmt.Sprintf("blur%d", p)}
+		}
+		g.Stages = append(g.Stages, gpgpu.PipelineStage{
+			Name: fmt.Sprintf("blur%d", p+1), Frag: frag, W: n, H: n,
+			Inputs:   []gpgpu.PipelineBinding{b},
+			Uniforms: map[string][]float32{"k": blur[:]},
+		})
+	}
+	g.Outputs = []string{fmt.Sprintf("blur%d", passes)}
+	plan, err := gpgpu.CompilePipeline(engine, g)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	src := engine.NewTensor(n, n, gpgpu.UnitRange)
+	if err := src.Upload(synthImage(), false); err != nil {
+		return nil, 0, nil, err
+	}
+	stats, err := plan.Run(map[string]*gpgpu.Tensor{"img": src})
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	engine.Finish()
+	out, err := plan.Output(g.Outputs[0]).Read()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return out, engine.Now(), stats, nil
+}
+
+// runFilterSequential is the pre-pipeline workflow this example used to
+// hand-roll: one Conv3x3 runner per pass, every intermediate read back to
+// host floats and re-uploaded. Kept as the byte-identity oracle for the
+// pipeline route.
+func runFilterSequential(target gpgpu.RenderTarget, passes int) (*gpgpu.Matrix, error) {
+	engine, err := engineFor(target)
+	if err != nil {
+		return nil, err
+	}
+	blur := blurWeights()
+	out := synthImage()
 	for p := 0; p < passes; p++ {
 		f, err := gpgpu.NewConv3x3(engine, out, blur)
 		if err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 		if err := f.RunOnce(context.Background()); err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 		out, err = f.Result()
 		if err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 	}
 	engine.Finish()
-	return out, engine.Now(), nil
+	return out, nil
 }
 
 func main() {
 	const passes = 4
 	img := synthImage()
 
-	texOut, texTime, err := runFilter(gpgpu.TargetTexture, passes)
+	texOut, texTime, stats, err := runFilter(gpgpu.TargetTexture, passes)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fbOut, fbTime, err := runFilter(gpgpu.TargetFramebuffer, passes)
+	fbOut, fbTime, _, err := runFilter(gpgpu.TargetFramebuffer, passes)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Both paths compute the same pixels; timing differs with the target,
+	// The residency contract: the pipeline's resident intermediates must
+	// reproduce the old readback workflow bit for bit.
+	seqOut, err := runFilterSequential(gpgpu.TargetTexture, passes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range texOut.Data {
+		if texOut.Data[i] != seqOut.Data[i] {
+			log.Fatalf("pipeline diverges from sequential dispatch at %d: %v != %v",
+				i, texOut.Data[i], seqOut.Data[i])
+		}
+	}
+
+	// Both targets compute the same pixels; timing differs with the target,
 	// exactly the trade-off of the paper's Fig. 4a.
 	var maxDiff float64
 	for i := range texOut.Data {
@@ -98,6 +171,8 @@ func main() {
 	fmt.Printf("texture rendering:     %v\n", texTime)
 	fmt.Printf("framebuffer rendering: %v\n", fbTime)
 	fmt.Printf("targets agree within   %.2g\n", maxDiff)
+	fmt.Printf("pipeline matches sequential dispatch bit-for-bit (%d stages, %d readbacks elided)\n",
+		len(stats.Stages), stats.ReadbacksElided)
 	asciiArt(texOut)
 }
 

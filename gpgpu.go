@@ -34,6 +34,7 @@ import (
 	"gles2gpgpu/internal/device"
 	"gles2gpgpu/internal/gles"
 	"gles2gpgpu/internal/kernels"
+	"gles2gpgpu/internal/pipeline"
 	"gles2gpgpu/internal/timing"
 )
 
@@ -115,6 +116,32 @@ type (
 	Time = timing.Time
 )
 
+// Kernel-pipeline types: declarative DAGs of kernels with an engine-backed
+// planner (topological ordering, on-device resident intermediates,
+// proof-gated pass fusion). See internal/pipeline for the full contract.
+type (
+	// PipelineGraph is a declarative DAG of kernel stages.
+	PipelineGraph = pipeline.Graph
+	// PipelineStage is one kernel pass of a graph.
+	PipelineStage = pipeline.Stage
+	// PipelineBinding connects a stage's sampler to a producer stage or an
+	// external tensor.
+	PipelineBinding = pipeline.Binding
+	// PipelinePlan is a compiled, executable graph bound to an engine.
+	PipelinePlan = pipeline.Plan
+	// PipelineRunStats describes one run: fused or not, passes fused,
+	// readbacks elided, per-stage virtual times.
+	PipelineRunStats = pipeline.RunStats
+	// PipelineStageStat is one stage's share of a run's virtual time.
+	PipelineStageStat = pipeline.StageStat
+	// FusionDecision is the planner's verdict for one internal graph edge.
+	FusionDecision = pipeline.FusionDecision
+)
+
+// PipelineSrcInput is the external input name the prebuilt vision graphs
+// sample.
+const PipelineSrcInput = pipeline.SrcInput
+
 // Configuration constants.
 const (
 	SwapVsync         = core.SwapVsync
@@ -179,4 +206,20 @@ var (
 	// FP24KernelOptions is the paper's optimised kernel code: 24-bit
 	// encoding, mul24 arithmetic, 3-byte I/O.
 	FP24KernelOptions = kernels.FP24Options
+
+	// CompilePipeline validates a graph, plans it against an engine and
+	// installs composed programs for every provably fusable chain.
+	CompilePipeline = pipeline.Compile
+	// Conv3x3Kernel generates the 3×3 convolution fragment shader a
+	// PipelineStage can name (sampler "text0", uniform "k[9]").
+	Conv3x3Kernel = kernels.Conv3x3
+
+	// Prebuilt computer-vision pipeline graphs (see internal/pipeline):
+	// separable Gaussian + tone map, adaptive thresholding, histogram
+	// equalisation, Sobel → non-max suppression, and a Gaussian pyramid.
+	SepConvGraph           = pipeline.SepConvGraph
+	AdaptiveThresholdGraph = pipeline.AdaptiveThresholdGraph
+	HistEqGraph            = pipeline.HistEqGraph
+	SobelGraph             = pipeline.SobelGraph
+	PyramidGraph           = pipeline.PyramidGraph
 )

@@ -1,0 +1,343 @@
+package bench
+
+// Kernel-pipeline benchmarks: host wall-clock and modelled device time of
+// the vision pipelines (internal/pipeline) in three execution modes —
+// fused (the planner's proof-gated pass fusion), unfused (the same
+// resident-intermediate schedule with fusion disabled), and readback (the
+// pre-pipeline workflow: every stage's output read back to host floats and
+// re-uploaded for the next stage). Fusion changes host time only: every
+// fused/unfused pair must reproduce bit-identical output bytes and
+// identical virtual time — the fusion contract, enforced here on every run
+// like the coherence benchmarks enforce theirs. The readback mode shares
+// the bytes (the float↔RGBA8 round trip is lossless) but pays modelled
+// readback and upload traffic, so its larger virtual time is the measured
+// residency win.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gles2gpgpu/internal/codec"
+	"gles2gpgpu/internal/core"
+	"gles2gpgpu/internal/device"
+	"gles2gpgpu/internal/kernels"
+	"gles2gpgpu/internal/pipeline"
+	"gles2gpgpu/internal/timing"
+)
+
+// PipelineResult is one pipeline benchmark measurement.
+type PipelineResult struct {
+	// Workload is the pipeline key, e.g. "sepconv".
+	Workload string
+	// Mode is "fused", "unfused" or "readback".
+	Mode string
+	// Iters is the number of end-to-end pipeline runs.
+	Iters int
+	// HostMS is the host wall-clock time of the run loop.
+	HostMS float64
+	// Stages is the number of passes per run.
+	Stages int
+	// PassesFused is the planner's lifetime fused-pass counter (0 outside
+	// fused mode).
+	PassesFused int64
+	// ReadbacksElided counts intermediate results that stayed on-device
+	// instead of round-tripping through host floats (0 in readback mode).
+	ReadbacksElided int64
+	// Checksum is an FNV-1a hash of the declared outputs' raw bytes after
+	// the last run — identical across all three modes.
+	Checksum uint64
+	// VirtualTime is the modelled device clock after the loop — identical
+	// fused vs unfused, larger in readback mode.
+	VirtualTime timing.Time
+}
+
+// Name is the stable figure label, e.g. "pipeline/sepconv/fused".
+func (r PipelineResult) Name() string {
+	return fmt.Sprintf("pipeline/%s/%s", r.Workload, r.Mode)
+}
+
+// PipelineOpts controls the pipeline benchmarks.
+type PipelineOpts struct {
+	// Size is the image edge length (default 64; must be a power of two
+	// for the pyramid workload).
+	Size int
+	// Iters is the number of end-to-end runs per mode (default 50).
+	Iters int
+	// NoFuse skips the fused mode (the unfused/readback comparison still
+	// runs), mirroring the engine's GLES2GPGPU_NO_FUSE escape hatch.
+	NoFuse bool
+}
+
+func (o PipelineOpts) withDefaults() PipelineOpts {
+	if o.Size == 0 {
+		o.Size = 64
+	}
+	if o.Iters == 0 {
+		o.Iters = 50
+	}
+	return o
+}
+
+// pipeWorkload names one vision graph.
+type pipeWorkload struct {
+	name  string
+	graph pipeline.Graph
+}
+
+func pipeWorkloads(o PipelineOpts) ([]pipeWorkload, error) {
+	n := o.Size
+	ko := kernels.DefaultOptions
+	pyr, err := pipeline.PyramidGraph(n, 3, ko)
+	if err != nil {
+		return nil, err
+	}
+	return []pipeWorkload{
+		{"sepconv", pipeline.SepConvGraph(n, n, ko)},
+		{"adaptive", pipeline.AdaptiveThresholdGraph(n, n, 2, ko)},
+		{"histeq", pipeline.HistEqGraph(n, n, 8, ko)},
+		{"sobel", pipeline.SobelGraph(n, n, ko)},
+		{"pyramid", pyr},
+	}, nil
+}
+
+// pipeSource builds the deterministic benchmark input image.
+func pipeSource(n int) *codec.Matrix {
+	m := codec.NewMatrix(n, n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			// Smooth gradients with a few sharp steps, so the threshold and
+			// edge pipelines have structure to find.
+			v := 0.5 + 0.4*float64(x-y)/float64(n)
+			if (x/8+y/8)%3 == 0 {
+				v *= 0.55
+			}
+			m.Set(y, x, v)
+		}
+	}
+	return m
+}
+
+func pipeEngine(size int, noFuse bool) (*core.Engine, error) {
+	return core.NewEngine(core.Config{
+		Device: device.Generic(),
+		Width:  size, Height: size,
+		Swap:   core.SwapNone,
+		Target: core.TargetTexture,
+		UseVBO: true,
+		NoFuse: noFuse,
+	})
+}
+
+// runPlanned measures the pipeline API (fused or unfused) on one workload.
+func runPlanned(ctx context.Context, w pipeWorkload, o PipelineOpts, noFuse bool) (PipelineResult, error) {
+	e, err := pipeEngine(o.Size, noFuse)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	src := e.NewTensor(o.Size, o.Size, codec.Unit)
+	if err := src.Upload(pipeSource(o.Size), false); err != nil {
+		return PipelineResult{}, err
+	}
+	p, err := pipeline.Compile(e, w.graph)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	defer p.Release()
+	ext := map[string]*core.Tensor{pipeline.SrcInput: src}
+	start := time.Now()
+	for i := 0; i < o.Iters; i++ {
+		if err := ctx.Err(); err != nil {
+			return PipelineResult{}, err
+		}
+		if _, err := p.Run(ext); err != nil {
+			return PipelineResult{}, err
+		}
+	}
+	host := time.Since(start)
+	e.Finish()
+	vt := e.Now()
+	sum := uint64(14695981039346656037)
+	for _, out := range w.graph.Outputs {
+		raw, err := p.Output(out).ReadRaw()
+		if err != nil {
+			return PipelineResult{}, err
+		}
+		sum = fnvFold(sum, raw)
+	}
+	_, _, passesFused, elided := p.Totals()
+	mode := "fused"
+	if noFuse {
+		mode = "unfused"
+	}
+	return PipelineResult{
+		Workload: w.name, Mode: mode, Iters: o.Iters,
+		HostMS:      float64(host.Microseconds()) / 1000,
+		Stages:      len(w.graph.Stages),
+		PassesFused: passesFused, ReadbacksElided: elided,
+		Checksum: sum, VirtualTime: vt,
+	}, nil
+}
+
+// runReadback measures the pre-pipeline workflow: each stage is its own
+// dispatch, and every internal edge round-trips through host floats
+// (Tensor.Read then Upload) before the consumer samples it.
+func runReadback(ctx context.Context, w pipeWorkload, o PipelineOpts) (PipelineResult, error) {
+	e, err := pipeEngine(o.Size, true)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	src := e.NewTensor(o.Size, o.Size, codec.Unit)
+	if err := src.Upload(pipeSource(o.Size), false); err != nil {
+		return PipelineResult{}, err
+	}
+	// Per-stage kernels, output tensors, and one scratch tensor per
+	// internal edge to hold the re-uploaded host copy. The graph constructors
+	// list stages in dependency order.
+	type stageRun struct {
+		spec    *pipeline.Stage
+		kernel  *core.Kernel
+		out     *core.Tensor
+		scratch []*core.Tensor // nil for external bindings
+	}
+	runs := make([]stageRun, len(w.graph.Stages))
+	outs := map[string]*core.Tensor{}
+	for i := range w.graph.Stages {
+		spec := &w.graph.Stages[i]
+		k, err := e.CachedKernel(spec.Frag)
+		if err != nil {
+			return PipelineResult{}, fmt.Errorf("%s/%s: %w", w.name, spec.Name, err)
+		}
+		sr := stageRun{spec: spec, kernel: k,
+			out:     e.NewTensor(spec.H, spec.W, codec.Unit),
+			scratch: make([]*core.Tensor, len(spec.Inputs))}
+		for bi, b := range spec.Inputs {
+			if b.Stage != "" {
+				prod := outs[b.Stage]
+				if prod == nil {
+					return PipelineResult{}, fmt.Errorf("%s/%s: stages out of dependency order", w.name, spec.Name)
+				}
+				sr.scratch[bi] = e.NewTensor(prod.Rows, prod.Cols, codec.Unit)
+			}
+		}
+		outs[spec.Name] = sr.out
+		runs[i] = sr
+	}
+	start := time.Now()
+	for i := 0; i < o.Iters; i++ {
+		if err := ctx.Err(); err != nil {
+			return PipelineResult{}, err
+		}
+		for _, sr := range runs {
+			for name, vals := range sr.spec.Uniforms {
+				if len(vals) == 1 {
+					sr.kernel.SetFloat(name, vals[0])
+				} else {
+					sr.kernel.SetFloats(name, vals)
+				}
+			}
+			for bi, b := range sr.spec.Inputs {
+				t := src
+				if b.Stage != "" {
+					// The measured cost of losing residency: decode the
+					// producer to host floats, re-encode, re-upload.
+					m, err := outs[b.Stage].Read()
+					if err != nil {
+						return PipelineResult{}, err
+					}
+					if err := sr.scratch[bi].Upload(m, true); err != nil {
+						return PipelineResult{}, err
+					}
+					t = sr.scratch[bi]
+				}
+				sr.kernel.BindInput(b.Sampler, bi, t)
+			}
+			if err := sr.kernel.Dispatch(sr.out); err != nil {
+				return PipelineResult{}, fmt.Errorf("%s/%s: %w", w.name, sr.spec.Name, err)
+			}
+		}
+		if err := e.EndIteration(); err != nil {
+			return PipelineResult{}, err
+		}
+	}
+	host := time.Since(start)
+	e.Finish()
+	vt := e.Now()
+	sum := uint64(14695981039346656037)
+	for _, out := range w.graph.Outputs {
+		raw, err := outs[out].ReadRaw()
+		if err != nil {
+			return PipelineResult{}, err
+		}
+		sum = fnvFold(sum, raw)
+	}
+	return PipelineResult{
+		Workload: w.name, Mode: "readback", Iters: o.Iters,
+		HostMS:   float64(host.Microseconds()) / 1000,
+		Stages:   len(w.graph.Stages),
+		Checksum: sum, VirtualTime: vt,
+	}, nil
+}
+
+// fnvFold folds raw bytes into a running FNV-1a hash.
+func fnvFold(sum uint64, data []byte) uint64 {
+	const prime = 1099511628211
+	for _, b := range data {
+		sum = (sum ^ uint64(b)) * prime
+	}
+	return sum
+}
+
+// Pipelines measures every vision pipeline in fused, unfused and readback
+// mode, enforcing the fusion bit-identity contract between the first two
+// and the byte-equality (but not time-equality) of the third. ctx cancels
+// between iterations.
+func Pipelines(ctx context.Context, o PipelineOpts) ([]PipelineResult, error) {
+	o = o.withDefaults()
+	ws, err := pipeWorkloads(o)
+	if err != nil {
+		return nil, err
+	}
+	var out []PipelineResult
+	for _, w := range ws {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		unfused, err := runPlanned(ctx, w, o, true)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline %s/unfused: %w", w.name, err)
+		}
+		if !o.NoFuse && pipeline.DefaultFuse() {
+			fused, err := runPlanned(ctx, w, o, false)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline %s/fused: %w", w.name, err)
+			}
+			// The fusion contract: fusing passes may only change host
+			// time, never bytes or modelled time.
+			if fused.Checksum != unfused.Checksum {
+				return nil, fmt.Errorf("pipeline %s: fused checksum %#x != unfused %#x (contract broken)",
+					w.name, fused.Checksum, unfused.Checksum)
+			}
+			if fused.VirtualTime != unfused.VirtualTime {
+				return nil, fmt.Errorf("pipeline %s: fused virtual time %v != unfused %v (contract broken)",
+					w.name, fused.VirtualTime, unfused.VirtualTime)
+			}
+			out = append(out, fused)
+		}
+		out = append(out, unfused)
+		readback, err := runReadback(ctx, w, o)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline %s/readback: %w", w.name, err)
+		}
+		if readback.Checksum != unfused.Checksum {
+			return nil, fmt.Errorf("pipeline %s: readback checksum %#x != resident %#x",
+				w.name, readback.Checksum, unfused.Checksum)
+		}
+		// The virtual-time gap between readback and resident modes is the
+		// measured residency win; it is a result, not a contract — on
+		// pipelines whose stages shrink (pyramid) the readback traffic can
+		// be cheaper than the per-draw costs it replaces.
+		out = append(out, readback)
+	}
+	return out, nil
+}

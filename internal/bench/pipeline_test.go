@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"gles2gpgpu/internal/pipeline"
+)
+
+// TestPipelines runs the pipeline benchmark at test scale and checks the
+// invariants the bench itself does not already enforce as errors: fused
+// mode actually fuses passes on the fusable pipelines, and every mode of
+// every workload reports resident-intermediate counters consistently.
+func TestPipelines(t *testing.T) {
+	// The default 64² size is the smallest at which readback traffic
+	// dominates the per-draw costs, so the residency-win check holds.
+	results, err := Pipelines(context.Background(), PipelineOpts{Size: 64, Iters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]PipelineResult{}
+	for _, r := range results {
+		byName[r.Name()] = r
+		if r.Iters != 4 || r.Stages == 0 || r.HostMS < 0 {
+			t.Errorf("%s: malformed result %+v", r.Name(), r)
+		}
+	}
+	if !pipeline.DefaultFuse() {
+		t.Skip("GLES2GPGPU_NO_FUSE set: fused-mode assertions skipped")
+	}
+	// Three iterations take the fused path (the first primes draw stats).
+	for name, wantPasses := range map[string]int64{
+		"pipeline/sepconv/fused":  3,
+		"pipeline/adaptive/fused": 3,
+		"pipeline/histeq/fused":   3,
+		"pipeline/sobel/fused":    0,
+		"pipeline/pyramid/fused":  0,
+	} {
+		r, ok := byName[name]
+		if !ok {
+			t.Errorf("missing result %s", name)
+			continue
+		}
+		if r.PassesFused != wantPasses {
+			t.Errorf("%s: passes_fused = %d, want %d", name, r.PassesFused, wantPasses)
+		}
+	}
+	for _, r := range results {
+		if r.Mode == "readback" && r.ReadbacksElided != 0 {
+			t.Errorf("%s: readback mode reports %d elided readbacks", r.Name(), r.ReadbacksElided)
+		}
+		if r.Mode != "readback" && r.Stages > 1 && r.ReadbacksElided == 0 {
+			t.Errorf("%s: no readbacks elided on a multi-stage pipeline", r.Name())
+		}
+	}
+	// The residency win: on the full-size pipelines the readback baseline
+	// must cost more modelled time than the resident schedule. (Pyramid is
+	// exempt — its stages shrink, so its readback traffic is cheap.)
+	for _, wl := range []string{"sepconv", "adaptive", "histeq", "sobel"} {
+		rb, res := byName["pipeline/"+wl+"/readback"], byName["pipeline/"+wl+"/unfused"]
+		if rb.VirtualTime <= res.VirtualTime {
+			t.Errorf("pipeline %s: readback virtual time %v not above resident %v",
+				wl, rb.VirtualTime, res.VirtualTime)
+		}
+	}
+}

@@ -183,6 +183,13 @@ func ReconstrGLSL(d Depth) string {
 
 // EncodeGLSL returns the encode_out helper that splits a value in [0,1)
 // into channel bytes for gl_FragColor.
+//
+// The saturation bound needs care at Depth32: the ideal 1 - 2⁻³² is not a
+// float32 and rounds back to 1.0, which would make encode_out(1.0) wrap —
+// floor(256.0) saturates the red byte but zeroes the rest, decoding to
+// 255/256. Clamping to the largest float32 below 1.0 (1 - 2⁻²⁴) keeps every
+// sub-1.0 encoding bit-identical while saturated inputs land within 2⁻²⁴ of
+// full scale. Depth24's bound is exactly representable, so it is unaffected.
 func EncodeGLSL(d Depth) string {
 	if d == Depth24 {
 		return `vec4 encode_out(float v) {
@@ -197,7 +204,7 @@ func EncodeGLSL(d Depth) string {
 `
 	}
 	return `vec4 encode_out(float v) {
-	v = clamp(v, 0.0, 1.0 - 1.0/4294967296.0);
+	v = clamp(v, 0.0, 0.99999994);
 	float r = floor(v * 256.0);
 	v = v * 256.0 - r;
 	float g = floor(v * 256.0);

@@ -205,6 +205,17 @@ type Config struct {
 	// Results are bit-identical with the pool on or off; only allocation
 	// work (and therefore virtual time) changes. See TensorPool.
 	TensorPoolBytes int
+
+	// NoFuse disables proof-gated pass fusion in the pipeline planner
+	// (internal/pipeline): adjacent elementwise stages run as separate
+	// passes through intermediate textures instead of one composed
+	// program (the library equivalent of GLES2GPGPU_NO_FUSE=1). Fusion is
+	// bit-identical by construction — output bytes, Cycles/TexFetches and
+	// every virtual-time figure match the unfused plan — so like NoJIT
+	// this changes host work only. The default comes from pipeline's
+	// DefaultFuse (on, unless GLES2GPGPU_NO_FUSE is set); engines built
+	// by knob-matrix harnesses set it explicitly.
+	NoFuse bool
 }
 
 func boolPtr(b bool) *bool { return &b }
@@ -355,6 +366,12 @@ func (e *Engine) Now() timing.Time { return e.Machine().Now() }
 // SetTimingOnly switches the underlying GL into timing-replay mode (see
 // gles.Context.SetTimingOnly).
 func (e *Engine) SetTimingOnly(on bool) { e.gl.SetTimingOnly(on) }
+
+// SetFunctionalOnly switches the underlying GL into functional-only mode
+// (see gles.Context.SetFunctionalOnly): calls execute their functional
+// effects but advance no virtual time. The pipeline planner brackets the
+// functional half of a fused run with this.
+func (e *Engine) SetFunctionalOnly(on bool) { e.gl.SetFunctionalOnly(on) }
 
 // Finish drains all outstanding GPU work.
 func (e *Engine) Finish() { e.gl.Finish() }

@@ -79,6 +79,22 @@ func (e *Engine) CachedKernel(fragSource string) (*Kernel, error) {
 // diagnostics).
 func (k *Kernel) Program() uint32 { return k.prog }
 
+// KernelFromProgram wraps an already-installed linked program — the
+// pipeline planner's composed programs (gles.ComposePrograms) — in a
+// Kernel, so fused passes dispatch through the same Dispatch/BindInput
+// machinery as compiled ones.
+func (e *Engine) KernelFromProgram(prog uint32) (*Kernel, error) {
+	k := &Kernel{e: e, prog: prog, locs: make(map[string]int)}
+	k.posLoc = e.gl.GetAttribLocation(prog, "a_pos")
+	if k.posLoc < 0 {
+		return nil, fmt.Errorf("core: program %d has no a_pos attribute", prog)
+	}
+	if err := e.glErr("kernel from program"); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
 func (k *Kernel) loc(name string) int {
 	if l, ok := k.locs[name]; ok {
 		return l

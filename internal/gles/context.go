@@ -208,6 +208,12 @@ type Context struct {
 	timingOnly bool
 	statCache  map[statKey]drawStats
 
+	// functionalOnly is the complement of timingOnly: functional execution
+	// (shader VM, rasterisation, pixel stores) proceeds normally, but no
+	// virtual time elapses and no work reaches the timing model (see
+	// SetFunctionalOnly).
+	functionalOnly bool
+
 	// scratch VM environments, reused across draws.
 	vsEnv, fsEnv *shader.Env
 	envProg      *Program
@@ -406,6 +412,18 @@ func (c *Context) SetTimingOnly(on bool) { c.timingOnly = on }
 // TimingOnly reports the replay-mode state.
 func (c *Context) TimingOnly() bool { return c.timingOnly }
 
+// SetFunctionalOnly toggles functional-only mode, the complement of
+// SetTimingOnly: API calls execute their functional effects (compilation,
+// uploads, shading, pixel stores) but advance no virtual time and submit no
+// work to the timing model. The pipeline planner uses this to execute a
+// fused pass graph for its bytes after separately replaying the unfused
+// call sequence for its timing, keeping fused runs bit-identical to
+// unfused ones in both outputs and virtual-time figures.
+func (c *Context) SetFunctionalOnly(on bool) { c.functionalOnly = on }
+
+// FunctionalOnly reports the functional-only-mode state.
+func (c *Context) FunctionalOnly() bool { return c.functionalOnly }
+
 // SetJIT selects the shader execution backend: true runs draws on the
 // closure-compiled engine, false on the reference interpreter. Framebuffer
 // bytes, Cycles/TexFetches and every virtual-time figure are bit-identical
@@ -569,7 +587,12 @@ func ErrName(e Enum) string {
 	return fmt.Sprintf("0x%04X", uint32(e))
 }
 
-func (c *Context) apiCost() { c.m.CPU.Advance(c.prof.APICallCost) }
+func (c *Context) apiCost() {
+	if c.functionalOnly {
+		return
+	}
+	c.m.CPU.Advance(c.prof.APICallCost)
+}
 
 func (c *Context) genName() uint32 {
 	c.nextName++

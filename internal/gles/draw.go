@@ -95,8 +95,10 @@ func (c *Context) DrawArrays(mode Enum, first, count int) {
 		}
 		if b := c.buffers[a.buffer]; b != nil {
 			extraCPU += c.prof.VBOHintCost[usageHint(b.usage)]
-			if r := c.m.ReadyAt(b.res); r > verticesReady {
-				verticesReady = r
+			if !c.functionalOnly {
+				if r := c.m.ReadyAt(b.res); r > verticesReady {
+					verticesReady = r
+				}
 			}
 		}
 	}
@@ -126,6 +128,9 @@ func (c *Context) DrawArrays(mode Enum, first, count int) {
 		return // error already recorded
 	}
 	c.statCache[key] = st
+	if c.functionalOnly {
+		return // functional effects only: nothing reaches the timing model
+	}
 	c.submitJob(p, tgt, st, reads, verticesReady, count, extraCPU)
 }
 
@@ -474,13 +479,9 @@ func (c *Context) writePixel(pixels []byte, off int, col shader.Vec4, mask [4]bo
 }
 
 // encodeChannel converts a shader output in [0,1] to a stored byte with
-// round-to-nearest, the conversion the [13] GPGPU encoding relies on.
+// round-to-nearest, the conversion the [13] GPGPU encoding relies on. It
+// delegates to the shader package's canonical definition so the OpQUANT
+// instruction emitted by pass fusion applies the bit-identical conversion.
 func encodeChannel(v float32) byte {
-	if v <= 0 {
-		return 0
-	}
-	if v >= 1 {
-		return 255
-	}
-	return byte(v*255 + 0.5)
+	return shader.EncodeChannelByte(v)
 }

@@ -144,6 +144,9 @@ func (c *Context) Clear(mask Enum) {
 			buf[i], buf[i+1], buf[i+2], buf[i+3] = px[0], px[1], px[2], px[3]
 		}
 	}
+	if c.functionalOnly {
+		return
+	}
 	c.m.Clear(tgt.res)
 }
 
@@ -162,7 +165,9 @@ func (c *Context) DiscardFramebufferEXT(target Enum, attachments []Enum) {
 	}
 	for _, a := range attachments {
 		if a == COLOR_ATTACHMENT0 || a == 0x1800 /* COLOR_EXT */ {
-			c.m.Clear(tgt.res)
+			if !c.functionalOnly {
+				c.m.Clear(tgt.res)
+			}
 		}
 	}
 }
@@ -194,6 +199,9 @@ func (c *Context) ReadPixels(x, y, w, h int, format, xtype Enum, dst []byte) {
 			src := ((y+row)*tgt.w + x) * 4
 			copy(dst[row*w*4:(row+1)*w*4], tgt.pixels[src:src+w*4])
 		}
+	}
+	if c.functionalOnly {
+		return
 	}
 	c.m.Readback(tgt.res, size)
 }

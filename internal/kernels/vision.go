@@ -1,0 +1,262 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+
+	"gles2gpgpu/internal/codec"
+)
+
+// Computer-vision kernel suite for the pipeline-graph workloads: separable
+// Gaussian convolution, box means, adaptive thresholding, Sobel edge
+// detection with non-maximum suppression, and piecewise-linear histogram
+// equalisation. All kernels operate on scalar fields in [0,1) stored with
+// the engine's codec (one value per texel), are branch-free (step/mix/
+// clamp arithmetic, never if/else), and follow the text0/text1 + v_tex
+// conventions of the rest of the package, so the shader analysis framework
+// can prove the pointwise ones elementwise for pass fusion.
+
+// GaussBlurX generates the horizontal pass of a separable 3-tap Gaussian
+// (weights 1/4, 1/2, 1/4) over a w-wide grid; clamp-to-edge sampling comes
+// from the texture wrap mode.
+func GaussBlurX(w int, o Options) string {
+	return sepBlur(glslFloat(1.0/float64(w)), "0.0", o)
+}
+
+// GaussBlurY generates the vertical pass of the separable 3-tap Gaussian
+// over an h-tall grid.
+func GaussBlurY(h int, o Options) string {
+	return sepBlur("0.0", glslFloat(1.0/float64(h)), o)
+}
+
+func sepBlur(dx, dy string, o Options) string {
+	o = o.normalized()
+	return o.header() +
+		codec.ReconstrGLSL(o.Depth) +
+		codec.EncodeGLSL(o.Depth) + fmt.Sprintf(`
+uniform sampler2D text0;
+varying vec2 v_tex;
+void main() {
+	vec2 d = vec2(%s, %s);
+	float a = reconstr_in(texture2D(text0, v_tex - d));
+	float b = reconstr_in(texture2D(text0, v_tex));
+	float c = reconstr_in(texture2D(text0, v_tex + d));
+	gl_FragColor = encode_out(0.25 * a + 0.5 * b + 0.25 * c);
+}
+`, dx, dy)
+}
+
+// BoxMeanX generates the horizontal pass of a separable (2r+1)-tap box
+// mean over a w-wide grid — the neighbourhood-mean half of adaptive
+// thresholding.
+func BoxMeanX(w, radius int, o Options) string {
+	return boxMean(radius, func(k int) (string, string) {
+		return glslFloat(float64(k) / float64(w)), "0.0"
+	}, o)
+}
+
+// BoxMeanY generates the vertical pass of the separable box mean over an
+// h-tall grid.
+func BoxMeanY(h, radius int, o Options) string {
+	return boxMean(radius, func(k int) (string, string) {
+		return "0.0", glslFloat(float64(k) / float64(h))
+	}, o)
+}
+
+func boxMean(radius int, off func(int) (string, string), o Options) string {
+	o = o.normalized()
+	var taps strings.Builder
+	for k := -radius; k <= radius; k++ {
+		dx, dy := off(k)
+		fmt.Fprintf(&taps, "\tacc += reconstr_in(texture2D(text0, v_tex + vec2(%s, %s)));\n", dx, dy)
+	}
+	return o.header() +
+		codec.ReconstrGLSL(o.Depth) +
+		codec.EncodeGLSL(o.Depth) + `
+uniform sampler2D text0;
+varying vec2 v_tex;
+void main() {
+	float acc = 0.0;
+` + taps.String() + `	gl_FragColor = encode_out(acc * ` + glslFloat(1.0/float64(2*radius+1)) + `);
+}
+`
+}
+
+// ScaleBias generates the pointwise affine map out = clamp(v*scale + bias)
+// — contrast stretching. Elementwise: fusable with its neighbours.
+func ScaleBias(o Options) string {
+	o = o.normalized()
+	return o.header() +
+		codec.ReconstrGLSL(o.Depth) +
+		codec.EncodeGLSL(o.Depth) + `
+uniform sampler2D text0;
+uniform float scale;
+uniform float bias;
+varying vec2 v_tex;
+void main() {
+	float v = reconstr_in(texture2D(text0, v_tex));
+	gl_FragColor = encode_out(clamp(v * scale + bias, 0.0, 1.0));
+}
+`
+}
+
+// GammaMap generates the pointwise power map out = v^gamma. Elementwise.
+func GammaMap(o Options) string {
+	o = o.normalized()
+	return o.header() +
+		codec.ReconstrGLSL(o.Depth) +
+		codec.EncodeGLSL(o.Depth) + `
+uniform sampler2D text0;
+uniform float gamma;
+varying vec2 v_tex;
+void main() {
+	float v = reconstr_in(texture2D(text0, v_tex));
+	gl_FragColor = encode_out(pow(max(v, 0.0), gamma));
+}
+`
+}
+
+// DiffShift generates the pointwise signed difference of two fields mapped
+// into the unit range: out = clamp(a - b + 0.5). Elementwise with two
+// inputs — adaptive thresholding compares a pixel against its local mean.
+func DiffShift(o Options) string {
+	o = o.normalized()
+	return o.header() +
+		codec.ReconstrGLSL(o.Depth) +
+		codec.EncodeGLSL(o.Depth) + `
+uniform sampler2D text0;
+uniform sampler2D text1;
+varying vec2 v_tex;
+void main() {
+	float a = reconstr_in(texture2D(text0, v_tex));
+	float b = reconstr_in(texture2D(text1, v_tex));
+	gl_FragColor = encode_out(clamp(a - b + 0.5, 0.0, 1.0));
+}
+`
+}
+
+// Binarize generates the pointwise threshold out = step(thresh, v): 1 at
+// or above the threshold, else 0. Elementwise.
+func Binarize(o Options) string {
+	o = o.normalized()
+	return o.header() +
+		codec.ReconstrGLSL(o.Depth) +
+		codec.EncodeGLSL(o.Depth) + `
+uniform sampler2D text0;
+uniform float thresh;
+varying vec2 v_tex;
+void main() {
+	float v = reconstr_in(texture2D(text0, v_tex));
+	gl_FragColor = encode_out(step(thresh, v));
+}
+`
+}
+
+// SobelX generates the horizontal Sobel gradient over a w×h grid. The
+// signed gradient (range [-4,4] on unit inputs) is stored biased:
+// out = 0.5 + gx/8.
+func SobelX(w, h int, o Options) string {
+	return sobel(w, h, [9]float64{-1, 0, 1, -2, 0, 2, -1, 0, 1}, o)
+}
+
+// SobelY generates the vertical Sobel gradient, stored biased like SobelX.
+func SobelY(w, h int, o Options) string {
+	return sobel(w, h, [9]float64{-1, -2, -1, 0, 0, 0, 1, 2, 1}, o)
+}
+
+func sobel(w, h int, k [9]float64, o Options) string {
+	o = o.normalized()
+	var taps strings.Builder
+	ki := 0
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if k[ki] != 0 {
+				fmt.Fprintf(&taps,
+					"\tacc += %s * reconstr_in(texture2D(text0, v_tex + vec2(%s, %s)));\n",
+					glslFloat(k[ki]), glslFloat(float64(dx)/float64(w)), glslFloat(float64(dy)/float64(h)))
+			}
+			ki++
+		}
+	}
+	return o.header() +
+		codec.ReconstrGLSL(o.Depth) +
+		codec.EncodeGLSL(o.Depth) + `
+uniform sampler2D text0;
+varying vec2 v_tex;
+void main() {
+	float acc = 0.0;
+` + taps.String() + `	gl_FragColor = encode_out(clamp(0.5 + acc * 0.125, 0.0, 1.0));
+}
+`
+}
+
+// GradMag generates the pointwise gradient magnitude from the two biased
+// Sobel fields: out = sqrt(gx² + gy²)/(4√2) with gx = (v-0.5)*8.
+// Elementwise with two inputs.
+func GradMag(o Options) string {
+	o = o.normalized()
+	return o.header() +
+		codec.ReconstrGLSL(o.Depth) +
+		codec.EncodeGLSL(o.Depth) + `
+uniform sampler2D text0; // biased gx
+uniform sampler2D text1; // biased gy
+varying vec2 v_tex;
+void main() {
+	float gx = (reconstr_in(texture2D(text0, v_tex)) - 0.5) * 8.0;
+	float gy = (reconstr_in(texture2D(text1, v_tex)) - 0.5) * 8.0;
+	gl_FragColor = encode_out(clamp(sqrt(gx*gx + gy*gy) * ` + glslFloat(1.0/(4.0*1.4142135623730951)) + `, 0.0, 1.0));
+}
+`
+}
+
+// NonMaxSuppress generates direction-free non-maximum suppression on a
+// magnitude field: a pixel survives when it is at least as large as both
+// horizontal neighbours or both vertical neighbours (branch-free via
+// step/max).
+func NonMaxSuppress(w, h int, o Options) string {
+	o = o.normalized()
+	dx := glslFloat(1.0 / float64(w))
+	dy := glslFloat(1.0 / float64(h))
+	return o.header() +
+		codec.ReconstrGLSL(o.Depth) +
+		codec.EncodeGLSL(o.Depth) + fmt.Sprintf(`
+uniform sampler2D text0;
+varying vec2 v_tex;
+void main() {
+	float m = reconstr_in(texture2D(text0, v_tex));
+	float l = reconstr_in(texture2D(text0, v_tex - vec2(%[1]s, 0.0)));
+	float r = reconstr_in(texture2D(text0, v_tex + vec2(%[1]s, 0.0)));
+	float u = reconstr_in(texture2D(text0, v_tex - vec2(0.0, %[2]s)));
+	float d = reconstr_in(texture2D(text0, v_tex + vec2(0.0, %[2]s)));
+	float keep = max(step(max(l, r), m), step(max(u, d), m));
+	gl_FragColor = encode_out(m * keep);
+}
+`, dx, dy)
+}
+
+// SplineMap generates a pointwise piecewise-linear map with `knots` evenly
+// spaced hinge points: out = clamp(p0 + Σ_k s[k]·max(v - k/knots, 0)).
+// With the hinge slopes derived from an image's cumulative histogram this
+// is histogram equalisation; it stays pure MAX/MAD arithmetic, so the
+// analysis framework proves it elementwise and it fuses with neighbours.
+func SplineMap(knots int, o Options) string {
+	o = o.normalized()
+	var terms strings.Builder
+	for k := 0; k < knots; k++ {
+		fmt.Fprintf(&terms, "\tacc += s[%d] * max(v - %s, 0.0);\n",
+			k, glslFloat(float64(k)/float64(knots)))
+	}
+	return o.header() +
+		codec.ReconstrGLSL(o.Depth) +
+		codec.EncodeGLSL(o.Depth) + fmt.Sprintf(`
+uniform sampler2D text0;
+uniform float p0;
+uniform float s[%d];
+varying vec2 v_tex;
+void main() {
+	float v = reconstr_in(texture2D(text0, v_tex));
+	float acc = p0;
+%s	gl_FragColor = encode_out(clamp(acc, 0.0, 1.0));
+}
+`, knots, terms.String())
+}

@@ -1,0 +1,81 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"gles2gpgpu/internal/kernels"
+	"gles2gpgpu/internal/shader/analysis"
+)
+
+// TestLintMatchesPlanner cross-checks the glslint fusion findings against
+// the planner's real per-edge decisions: a fused edge must join two
+// fusion-eligible kernels, and an edge the planner blocked on an
+// elementwise proof must involve a kernel glslint reports fusion-blocked
+// with the same reason token. The two views share the Elementwise probe,
+// so a mismatch means the lint and the planner drifted apart.
+func TestLintMatchesPlanner(t *testing.T) {
+	const n = 16
+	o := kernels.DefaultOptions
+	e := newEngine(t, baseConfig(n))
+
+	graphs := map[string]Graph{
+		"sepconv":  SepConvGraph(n, n, o),
+		"adaptive": AdaptiveThresholdGraph(n, n, 2, o),
+		"histeq":   HistEqGraph(n, n, 8, o),
+		"sobel":    SobelGraph(n, n, o),
+	}
+	for name, g := range graphs {
+		p, err := Compile(e, g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lintCode := func(stage string) (code, msg string) {
+			t.Helper()
+			for _, st := range p.stages {
+				if st.spec.Name != stage {
+					continue
+				}
+				for _, f := range analysis.Lint(st.fs, nil) {
+					if f.Code == "fusion-eligible" || f.Code == "fusion-blocked" {
+						return f.Code, f.Msg
+					}
+				}
+				t.Fatalf("%s/%s: lint emitted no fusion finding", name, stage)
+			}
+			t.Fatalf("%s: no stage %q", name, stage)
+			return "", ""
+		}
+		for _, d := range p.Decisions() {
+			if d.Fused {
+				for _, stage := range []string{d.Producer, d.Consumer} {
+					if code, msg := lintCode(stage); code != "fusion-eligible" {
+						t.Errorf("%s: edge %s→%s fused but %s lints %s: %s",
+							name, d.Producer, d.Consumer, stage, code, msg)
+					}
+				}
+				continue
+			}
+			// The planner's elementwise gates must agree with the lint,
+			// including the reason token inside the parentheses.
+			for stage, prefix := range map[string]string{
+				d.Producer: "producer-not-elementwise(",
+				d.Consumer: "consumer-not-elementwise(",
+			} {
+				if !strings.HasPrefix(d.Reason, prefix) {
+					continue
+				}
+				why := strings.TrimSuffix(strings.TrimPrefix(d.Reason, prefix), ")")
+				code, msg := lintCode(stage)
+				if code != "fusion-blocked" {
+					t.Errorf("%s: edge %s→%s blocked on %s but %s lints %s",
+						name, d.Producer, d.Consumer, d.Reason, stage, code)
+				} else if !strings.Contains(msg, "fusion-blocked("+why) {
+					t.Errorf("%s: planner blocked %s with %q but lint says %q",
+						name, stage, why, msg)
+				}
+			}
+		}
+		p.Release()
+	}
+}

@@ -1,0 +1,218 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"gles2gpgpu/internal/core"
+	"gles2gpgpu/internal/shader"
+	"gles2gpgpu/internal/timing"
+)
+
+// StageStat is one stage's share of a run's virtual time.
+type StageStat struct {
+	Name        string
+	VirtualTime timing.Time
+}
+
+// RunStats describes one Run of a plan.
+type RunStats struct {
+	// Fused reports whether this run executed the collapsed graph (timing
+	// replay + fused functional passes) rather than the literal script.
+	Fused bool
+	// PassesFused counts stage dispatches this run avoided by fusion
+	// (Σ per fused chain of len-1); 0 on unfused runs.
+	PassesFused int
+	// ReadbacksElided counts internal edges whose intermediate stayed
+	// resident on-device instead of round-tripping through a host
+	// readback+upload, as the per-kernel-dispatch baseline would.
+	ReadbacksElided int
+	// Stages holds per-stage virtual-time deltas in execution order.
+	Stages []StageStat
+	// VirtualTime is the whole run including the end-of-iteration sync.
+	VirtualTime timing.Time
+}
+
+// Run executes the graph once. externals supplies a tensor per external
+// input name referenced by the graph's bindings.
+//
+// The first run of any plan executes the literal unfused script (this also
+// primes the context's per-draw stat cache and allocates intermediate
+// storage). Once every stage has cached draw stats, runs with fused chains
+// switch to the two-phase schedule: phase T replays the exact unfused call
+// sequence in timing-only mode, so the virtual-time account is identical
+// byte-for-byte with the unfused plan; phase F executes the collapsed graph
+// in functional-only mode (clock stopped), producing the output bytes with
+// fewer host passes.
+func (p *Plan) Run(externals map[string]*core.Tensor) (*RunStats, error) {
+	if err := p.checkExternals(externals); err != nil {
+		return nil, err
+	}
+	e := p.e
+	fused := p.fuse &&
+		p.FusedPairs() > 0 &&
+		p.nonReplayable == "" &&
+		!e.GL().TimingOnly() && !e.GL().FunctionalOnly() &&
+		p.statsPrimed()
+
+	stats := &RunStats{
+		Fused:           fused,
+		ReadbacksElided: p.internalEdges,
+		Stages:          make([]StageStat, len(p.order)),
+	}
+	start := e.Now()
+	if fused {
+		// Phase T: the timing model sees the original unfused sequence.
+		e.SetTimingOnly(true)
+		err := p.script(externals, stats.Stages)
+		e.SetTimingOnly(false)
+		if err != nil {
+			return nil, err
+		}
+		// Phase F: functional execution of the collapsed graph; no clock,
+		// no present — phase T already accounted for the whole iteration.
+		e.SetFunctionalOnly(true)
+		err = p.runCollapsed(externals)
+		e.SetFunctionalOnly(false)
+		if err != nil {
+			return nil, err
+		}
+		stats.PassesFused = p.FusedPairs()
+		p.fusedRuns++
+		p.passesFused += int64(stats.PassesFused)
+	} else {
+		if err := p.script(externals, stats.Stages); err != nil {
+			return nil, err
+		}
+	}
+	stats.VirtualTime = e.Now() - start
+	p.runs++
+	p.readbacksElided += int64(stats.ReadbacksElided)
+	return stats, nil
+}
+
+// Totals returns the plan's lifetime counters: total runs, fused runs, and
+// the accumulated passes-fused / readbacks-elided counts.
+func (p *Plan) Totals() (runs, fusedRuns, passesFused, readbacksElided int64) {
+	return p.runs, p.fusedRuns, p.passesFused, p.readbacksElided
+}
+
+func (p *Plan) checkExternals(ext map[string]*core.Tensor) error {
+	for _, si := range p.order {
+		st := p.stages[si]
+		for bi, rb := range st.inputs {
+			if rb.external == "" {
+				continue
+			}
+			t := ext[rb.external]
+			if t == nil {
+				return fmt.Errorf("pipeline: run: stage %q needs external input %q", st.spec.Name, rb.external)
+			}
+			b := st.spec.Inputs[bi]
+			if b.WantW != 0 && t.Cols != b.WantW {
+				return fmt.Errorf("pipeline: run: external %q is %d wide, stage %q expects %d",
+					rb.external, t.Cols, st.spec.Name, b.WantW)
+			}
+			if b.WantH != 0 && t.Rows != b.WantH {
+				return fmt.Errorf("pipeline: run: external %q is %d tall, stage %q expects %d",
+					rb.external, t.Rows, st.spec.Name, b.WantH)
+			}
+		}
+	}
+	return nil
+}
+
+// statsPrimed reports whether the context holds cached draw stats for every
+// stage at its output size — the precondition for an exact timing replay.
+func (p *Plan) statsPrimed() bool {
+	gl := p.e.GL()
+	for _, st := range p.stages {
+		if _, _, _, ok := gl.DrawStatsFor(st.kernel.Program(), st.spec.W, st.spec.H); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// script runs the literal per-stage schedule: uniforms, bindings, dispatch
+// for each stage in topological order, then the end-of-iteration sync.
+// With stats non-nil, per-stage virtual-time deltas are recorded.
+func (p *Plan) script(ext map[string]*core.Tensor, stats []StageStat) error {
+	e := p.e
+	for oi, si := range p.order {
+		st := p.stages[si]
+		t0 := e.Now()
+		p.applyUniforms(st.kernel, -1, st)
+		for unit, rb := range st.inputs {
+			st.kernel.BindInput(rb.sampler, unit, p.resolve(rb, ext))
+		}
+		if err := st.kernel.Dispatch(st.out); err != nil {
+			return fmt.Errorf("pipeline: stage %q: %w", st.spec.Name, err)
+		}
+		if stats != nil {
+			stats[oi] = StageStat{Name: st.spec.Name, VirtualTime: e.Now() - t0}
+		}
+	}
+	return e.EndIteration()
+}
+
+// runCollapsed executes the collapsed graph: singleton groups dispatch
+// their original kernel, fused groups dispatch the composed program once
+// into the chain tail's tensor. Non-tail intermediates of fused chains are
+// not materialised. No end-of-iteration sync: phase T performed it.
+func (p *Plan) runCollapsed(ext map[string]*core.Tensor) error {
+	for _, g := range p.groups {
+		if !g.fused() {
+			st := g.stages[0]
+			p.applyUniforms(st.kernel, -1, st)
+			for unit, rb := range st.inputs {
+				st.kernel.BindInput(rb.sampler, unit, p.resolve(rb, ext))
+			}
+			if err := st.kernel.Dispatch(st.out); err != nil {
+				return fmt.Errorf("pipeline: stage %q: %w", st.spec.Name, err)
+			}
+			continue
+		}
+		for ci, m := range g.stages {
+			p.applyUniforms(g.kernel, ci, m)
+		}
+		for unit, in := range g.inputs {
+			var t *core.Tensor
+			if in.stage >= 0 {
+				t = p.stages[in.stage].out
+			} else {
+				t = ext[in.external]
+			}
+			g.kernel.BindInput(in.name, unit, t)
+		}
+		tail := g.stages[len(g.stages)-1]
+		if err := g.kernel.Dispatch(tail.out); err != nil {
+			return fmt.Errorf("pipeline: fused chain at %q: %w", tail.spec.Name, err)
+		}
+	}
+	return nil
+}
+
+// applyUniforms sets a stage's float uniforms on k. chainIdx < 0 uses the
+// stage's own uniform names; otherwise the composed program's per-stage
+// prefixed names (shader.FusedUniformName).
+func (p *Plan) applyUniforms(k *core.Kernel, chainIdx int, st *planStage) {
+	for _, name := range st.uniforms {
+		vals := st.spec.Uniforms[name]
+		target := name
+		if chainIdx >= 0 {
+			target = shader.FusedUniformName(chainIdx, name)
+		}
+		if len(vals) == 1 {
+			k.SetFloat(target, vals[0])
+		} else {
+			k.SetFloats(target, vals)
+		}
+	}
+}
+
+func (p *Plan) resolve(rb resolvedBinding, ext map[string]*core.Tensor) *core.Tensor {
+	if rb.stage >= 0 {
+		return p.stages[rb.stage].out
+	}
+	return ext[rb.external]
+}

@@ -1,0 +1,144 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"gles2gpgpu/internal/kernels"
+)
+
+// Prebuilt computer-vision pipeline graphs over the internal/kernels
+// vision suite. Each takes the external input "src" (a w×h unit-range
+// tensor) and exercises a different planner behaviour:
+//
+//   - SepConvGraph: separable Gaussian then pointwise tone mapping — the
+//     planner fuses the stretch→gamma tail.
+//   - AdaptiveThresholdGraph: box-mean neighbourhood compare — fuses
+//     diff→binarize.
+//   - HistEqGraph: contrast stretch + piecewise-linear equalisation —
+//     fully fused into one pass.
+//   - SobelGraph: gradient pipeline where every edge is blocked (multi-
+//     consumer smoothing, offset sampling, non-elementwise consumers).
+//   - PyramidGraph: multi-resolution reduction blocked by size mismatch.
+
+// SrcInput is the external input name the prebuilt graphs sample.
+const SrcInput = "src"
+
+// SepConvGraph chains the separable 3-tap Gaussian with a contrast
+// stretch and gamma tone map: blurx → blury → stretch → gamma.
+func SepConvGraph(w, h int, o kernels.Options) Graph {
+	return Graph{
+		Stages: []Stage{
+			{Name: "blurx", Frag: kernels.GaussBlurX(w, o), W: w, H: h,
+				Inputs: []Binding{{Sampler: "text0", External: SrcInput}}},
+			{Name: "blury", Frag: kernels.GaussBlurY(h, o), W: w, H: h,
+				Inputs: []Binding{{Sampler: "text0", Stage: "blurx", WantW: w, WantH: h}}},
+			{Name: "stretch", Frag: kernels.ScaleBias(o), W: w, H: h,
+				Inputs:   []Binding{{Sampler: "text0", Stage: "blury"}},
+				Uniforms: map[string][]float32{"scale": {1.2}, "bias": {-0.05}}},
+			{Name: "gamma", Frag: kernels.GammaMap(o), W: w, H: h,
+				Inputs:   []Binding{{Sampler: "text0", Stage: "stretch"}},
+				Uniforms: map[string][]float32{"gamma": {0.8}}},
+		},
+		Outputs: []string{"gamma"},
+	}
+}
+
+// AdaptiveThresholdGraph binarises each pixel against its local box mean:
+// boxx → boxy → diff(src, mean) → binarize.
+func AdaptiveThresholdGraph(w, h, radius int, o kernels.Options) Graph {
+	return Graph{
+		Stages: []Stage{
+			{Name: "boxx", Frag: kernels.BoxMeanX(w, radius, o), W: w, H: h,
+				Inputs: []Binding{{Sampler: "text0", External: SrcInput}}},
+			{Name: "boxy", Frag: kernels.BoxMeanY(h, radius, o), W: w, H: h,
+				Inputs: []Binding{{Sampler: "text0", Stage: "boxx"}}},
+			{Name: "diff", Frag: kernels.DiffShift(o), W: w, H: h,
+				Inputs: []Binding{
+					{Sampler: "text0", External: SrcInput},
+					{Sampler: "text1", Stage: "boxy", WantW: w, WantH: h},
+				}},
+			{Name: "binarize", Frag: kernels.Binarize(o), W: w, H: h,
+				Inputs:   []Binding{{Sampler: "text0", Stage: "diff"}},
+				Uniforms: map[string][]float32{"thresh": {0.5}}},
+		},
+		Outputs: []string{"binarize"},
+	}
+}
+
+// HistEqGraph stretches contrast then applies the piecewise-linear
+// histogram-equalisation map: stretch → equalize. Both stages are
+// elementwise, so the whole graph fuses into a single pass. The spline
+// coefficients default to the identity map; callers fit them per image
+// with ref.HistEqSpline and Plan.SetFloats.
+func HistEqGraph(w, h, knots int, o kernels.Options) Graph {
+	s := make([]float32, knots)
+	s[0] = 1 // identity: out = 0 + 1·max(v-0, 0)
+	return Graph{
+		Stages: []Stage{
+			{Name: "stretch", Frag: kernels.ScaleBias(o), W: w, H: h,
+				Inputs:   []Binding{{Sampler: "text0", External: SrcInput}},
+				Uniforms: map[string][]float32{"scale": {1}, "bias": {0}}},
+			{Name: "equalize", Frag: kernels.SplineMap(knots, o), W: w, H: h,
+				Inputs:   []Binding{{Sampler: "text0", Stage: "stretch"}},
+				Uniforms: map[string][]float32{"p0": {0}, "s": s}},
+		},
+		Outputs: []string{"equalize"},
+	}
+}
+
+// SobelGraph computes suppressed edge magnitudes:
+// smooth → {sobelx, sobely} → magnitude → nonmax. No edge fuses — the
+// planner reports multi-consumer, offset-sampling and non-elementwise
+// blocks — making it the control workload for the A/B benches.
+func SobelGraph(w, h int, o kernels.Options) Graph {
+	return Graph{
+		Stages: []Stage{
+			{Name: "smooth", Frag: kernels.GaussBlurX(w, o), W: w, H: h,
+				Inputs: []Binding{{Sampler: "text0", External: SrcInput}}},
+			{Name: "sobelx", Frag: kernels.SobelX(w, h, o), W: w, H: h,
+				Inputs: []Binding{{Sampler: "text0", Stage: "smooth"}}},
+			{Name: "sobely", Frag: kernels.SobelY(w, h, o), W: w, H: h,
+				Inputs: []Binding{{Sampler: "text0", Stage: "smooth"}}},
+			{Name: "magnitude", Frag: kernels.GradMag(o), W: w, H: h,
+				Inputs: []Binding{
+					{Sampler: "text0", Stage: "sobelx"},
+					{Sampler: "text1", Stage: "sobely"},
+				}},
+			{Name: "nonmax", Frag: kernels.NonMaxSuppress(w, h, o), W: w, H: h,
+				Inputs: []Binding{{Sampler: "text0", Stage: "magnitude"}}},
+		},
+		Outputs: []string{"nonmax"},
+	}
+}
+
+// PyramidGraph builds a Gaussian pyramid: each level smooths with the
+// 2×2 block mean while halving the resolution. Every level is an output;
+// no edge fuses (size mismatch). w must be a power of two and levels must
+// leave at least one texel.
+func PyramidGraph(w, levels int, o kernels.Options) (Graph, error) {
+	g := Graph{}
+	prev := ""
+	size := w
+	for l := 1; l <= levels; l++ {
+		frag, err := kernels.Reduce2x2(size, o)
+		if err != nil {
+			return Graph{}, fmt.Errorf("pipeline: pyramid level %d: %w", l, err)
+		}
+		size /= 2
+		if size < 1 {
+			return Graph{}, fmt.Errorf("pipeline: pyramid level %d would be empty", l)
+		}
+		name := fmt.Sprintf("level%d", l)
+		b := Binding{Sampler: "text0", External: SrcInput}
+		if prev != "" {
+			b = Binding{Sampler: "text0", Stage: prev}
+		}
+		g.Stages = append(g.Stages, Stage{
+			Name: name, Frag: frag, W: size, H: size,
+			Inputs: []Binding{b},
+		})
+		g.Outputs = append(g.Outputs, name)
+		prev = name
+	}
+	return g, nil
+}

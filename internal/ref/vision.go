@@ -1,0 +1,250 @@
+package ref
+
+import "math"
+
+// Reference implementations of the computer-vision kernel suite
+// (internal/kernels/vision.go). All operate on row-major w×h scalar
+// fields in [0,1], mirroring the GPU kernels' arithmetic (including the
+// bias/scale conventions for signed gradients) in float64.
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// GaussBlurX applies the horizontal 3-tap Gaussian (1/4, 1/2, 1/4) with
+// clamp-to-edge boundaries.
+func GaussBlurX(w, h int, src, dst []float64) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			a := src[y*w+clampIdx(x-1, w)]
+			b := src[y*w+x]
+			c := src[y*w+clampIdx(x+1, w)]
+			dst[y*w+x] = 0.25*a + 0.5*b + 0.25*c
+		}
+	}
+}
+
+// GaussBlurY applies the vertical 3-tap Gaussian with clamp-to-edge
+// boundaries.
+func GaussBlurY(w, h int, src, dst []float64) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			a := src[clampIdx(y-1, h)*w+x]
+			b := src[y*w+x]
+			c := src[clampIdx(y+1, h)*w+x]
+			dst[y*w+x] = 0.25*a + 0.5*b + 0.25*c
+		}
+	}
+}
+
+// BoxMeanX applies the horizontal (2r+1)-tap box mean with clamp-to-edge
+// boundaries.
+func BoxMeanX(w, h, r int, src, dst []float64) {
+	inv := 1.0 / float64(2*r+1)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var acc float64
+			for k := -r; k <= r; k++ {
+				acc += src[y*w+clampIdx(x+k, w)]
+			}
+			dst[y*w+x] = acc * inv
+		}
+	}
+}
+
+// BoxMeanY applies the vertical (2r+1)-tap box mean with clamp-to-edge
+// boundaries.
+func BoxMeanY(w, h, r int, src, dst []float64) {
+	inv := 1.0 / float64(2*r+1)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var acc float64
+			for k := -r; k <= r; k++ {
+				acc += src[clampIdx(y+k, h)*w+x]
+			}
+			dst[y*w+x] = acc * inv
+		}
+	}
+}
+
+// ScaleBias applies out = clamp(v*scale + bias, 0, 1).
+func ScaleBias(scale, bias float64, src, dst []float64) {
+	for i, v := range src {
+		dst[i] = clamp01(v*scale + bias)
+	}
+}
+
+// GammaMap applies out = max(v,0)^gamma.
+func GammaMap(gamma float64, src, dst []float64) {
+	for i, v := range src {
+		dst[i] = math.Pow(math.Max(v, 0), gamma)
+	}
+}
+
+// DiffShift applies out = clamp(a - b + 0.5, 0, 1).
+func DiffShift(a, b, dst []float64) {
+	for i := range dst {
+		dst[i] = clamp01(a[i] - b[i] + 0.5)
+	}
+}
+
+// Binarize applies out = 1 when v >= thresh, else 0.
+func Binarize(thresh float64, src, dst []float64) {
+	for i, v := range src {
+		if v >= thresh {
+			dst[i] = 1
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+var sobelXK = [9]float64{-1, 0, 1, -2, 0, 2, -1, 0, 1}
+var sobelYK = [9]float64{-1, -2, -1, 0, 0, 0, 1, 2, 1}
+
+func sobelPass(w, h int, k [9]float64, src, dst []float64) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var acc float64
+			ki := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if k[ki] != 0 {
+						acc += k[ki] * src[clampIdx(y+dy, h)*w+clampIdx(x+dx, w)]
+					}
+					ki++
+				}
+			}
+			dst[y*w+x] = clamp01(0.5 + acc*0.125)
+		}
+	}
+}
+
+// SobelX computes the horizontal Sobel gradient, stored biased as
+// 0.5 + gx/8 like the GPU kernel.
+func SobelX(w, h int, src, dst []float64) { sobelPass(w, h, sobelXK, src, dst) }
+
+// SobelY computes the vertical Sobel gradient, stored biased.
+func SobelY(w, h int, src, dst []float64) { sobelPass(w, h, sobelYK, src, dst) }
+
+// GradMag computes the normalised gradient magnitude from two biased
+// Sobel fields: sqrt(gx² + gy²)/(4√2) with gx = (v-0.5)*8.
+func GradMag(gx, gy, dst []float64) {
+	const norm = 1.0 / (4.0 * math.Sqrt2)
+	for i := range dst {
+		x := (gx[i] - 0.5) * 8
+		y := (gy[i] - 0.5) * 8
+		dst[i] = clamp01(math.Sqrt(x*x+y*y) * norm)
+	}
+}
+
+// NonMaxSuppress keeps a magnitude pixel when it is at least as large as
+// both horizontal neighbours or both vertical neighbours, else zeroes it.
+func NonMaxSuppress(w, h int, m, dst []float64) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := m[y*w+x]
+			l := m[y*w+clampIdx(x-1, w)]
+			r := m[y*w+clampIdx(x+1, w)]
+			u := m[clampIdx(y-1, h)*w+x]
+			d := m[clampIdx(y+1, h)*w+x]
+			if v >= math.Max(l, r) || v >= math.Max(u, d) {
+				dst[y*w+x] = v
+			} else {
+				dst[y*w+x] = 0
+			}
+		}
+	}
+}
+
+// Reduce2x2Mean averages disjoint 2×2 blocks of a w×w field into a
+// (w/2)×(w/2) field — one pyramid level.
+func Reduce2x2Mean(w int, src, dst []float64) {
+	half := w / 2
+	for y := 0; y < half; y++ {
+		for x := 0; x < half; x++ {
+			s := src[(2*y)*w+2*x] + src[(2*y)*w+2*x+1] +
+				src[(2*y+1)*w+2*x] + src[(2*y+1)*w+2*x+1]
+			dst[y*half+x] = s * 0.25
+		}
+	}
+}
+
+// SplineMap applies the piecewise-linear hinge map
+// out = clamp(p0 + Σ_k s[k]·max(v - k/K, 0), 0, 1) with K = len(s),
+// accumulating in the same order as the GPU kernel.
+func SplineMap(p0 float64, s []float64, src, dst []float64) {
+	k := float64(len(s))
+	for i, v := range src {
+		acc := p0
+		for j := range s {
+			acc += s[j] * math.Max(v-float64(j)/k, 0)
+		}
+		dst[i] = clamp01(acc)
+	}
+}
+
+// HistEqSpline fits the hinge-map coefficients for histogram equalisation:
+// the empirical CDF of src is sampled at knots+1 evenly spaced points and
+// interpolated piecewise-linearly. Feeding the result to SplineMap (or the
+// SplineMap kernel) remaps src so its histogram is approximately flat.
+func HistEqSpline(src []float64, knots int) (p0 float64, s []float64) {
+	cdf := make([]float64, knots+1)
+	n := float64(len(src))
+	for _, v := range src {
+		// Count v against every knot at or above it.
+		k := int(math.Ceil(v * float64(knots)))
+		if k < 0 {
+			k = 0
+		}
+		if k > knots {
+			k = knots
+		}
+		for ; k <= knots; k++ {
+			cdf[k]++
+		}
+	}
+	for k := range cdf {
+		cdf[k] /= n
+	}
+	p0 = cdf[0]
+	s = make([]float64, knots)
+	prev := 0.0
+	for k := 0; k < knots; k++ {
+		slope := (cdf[k+1] - cdf[k]) * float64(knots)
+		s[k] = slope - prev
+		prev = slope
+	}
+	return p0, s
+}
+
+// ContrastStretch returns the scale/bias mapping [min,max] of src onto
+// [0,1] (identity for a constant field).
+func ContrastStretch(src []float64) (scale, bias float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range src {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi-lo < 1e-9 {
+		return 1, 0
+	}
+	scale = 1 / (hi - lo)
+	return scale, -lo * scale
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

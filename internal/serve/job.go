@@ -22,13 +22,24 @@ const MaxJobSize = 1024
 
 // Params describes one compute job. Inputs are either carried inline (A/B,
 // flat row-major) or generated deterministically from Seed, so a client can
-// reproduce any job's inputs — and its exact result — offline.
+// reproduce any job's inputs — and its exact result — offline. A job is
+// either a single kernel (Kernel) or a whole vision pipeline (Pipeline),
+// never both.
 type Params struct {
 	// Device is the target platform: "vc4", "sgx" or "generic"
 	// (device.ByName vocabulary). Defaults to "vc4".
 	Device string `json:"device,omitempty"`
-	// Kernel is the workload: "sum", "sgemm" or "saxpy".
+	// Kernel is the workload: "sum", "sgemm" or "saxpy". Empty when
+	// Pipeline is set.
 	Kernel string `json:"kernel"`
+	// Pipeline names a prebuilt vision pipeline graph to run instead of a
+	// single kernel: "sepconv", "adaptive", "histeq", "sobel" or "pyramid"
+	// (the internal/pipeline vision suite). The source image is A (or the
+	// Seed-derived matrix); B is not used. The worker compiles the graph
+	// once per (pipeline, n) key and keeps the plan warm, so repeated jobs
+	// re-upload the source and rerun the planned — and, after the first
+	// run primes the timing cache, fused — schedule.
+	Pipeline string `json:"pipeline,omitempty"`
 	// N is the matrix dimension (N×N inputs and output).
 	N int `json:"n"`
 	// Block is the sgemm block size; defaults to 16. Must divide N, and
@@ -46,16 +57,36 @@ type Params struct {
 	B []float64 `json:"b,omitempty"`
 }
 
+// StageResult is one pipeline stage's share of a job's virtual time, in
+// execution order.
+type StageResult struct {
+	Name        string      `json:"name"`
+	VirtualTime timing.Time `json:"virtual_time_ps"`
+}
+
 // Result is one completed job.
 type Result struct {
 	// Out is the output matrix, flat row-major length N*N. Go's JSON
 	// encoding round-trips float64 exactly, so equality against a local
-	// core run is bit-exact even through the HTTP daemon.
+	// core run is bit-exact even through the HTTP daemon. For pipeline
+	// jobs it is the graph's final declared output, whose dimension N may
+	// be smaller than the job's (the pyramid's last level).
 	Out []float64 `json:"out"`
 	N   int       `json:"n"`
-	// Device and Kernel echo the placement.
-	Device string `json:"device"`
-	Kernel string `json:"kernel"`
+	// Device, Kernel and Pipeline echo the placement.
+	Device   string `json:"device"`
+	Kernel   string `json:"kernel"`
+	Pipeline string `json:"pipeline,omitempty"`
+	// Stages breaks a pipeline job's virtual time down per stage; nil for
+	// kernel jobs.
+	Stages []StageResult `json:"stages,omitempty"`
+	// PassesFused counts stage dispatches this run avoided through the
+	// planner's proof-gated fusion (0 on kernel jobs, on unfused runs and
+	// on a warm plan's first, stat-priming run). ReadbacksElided counts
+	// internal graph edges whose intermediate stayed resident on-device
+	// instead of round-tripping through host floats.
+	PassesFused     int `json:"passes_fused,omitempty"`
+	ReadbacksElided int `json:"readbacks_elided,omitempty"`
 	// VirtualTime is the simulated device time the job consumed
 	// (picoseconds, timing.Time); HostNanos is wall-clock execution time on
 	// the worker, excluding queueing.
@@ -68,19 +99,30 @@ type Result struct {
 }
 
 // kernelKey identifies the compiled-runner compatibility class: jobs with
-// equal keys can share one warm runner (and therefore one batch).
+// equal keys can share one warm runner (and therefore one batch). For
+// pipeline jobs the class is the (graph, size) pair — one compiled plan.
 type kernelKey struct {
-	kernel string
-	n      int
-	block  int
-	alpha  float64
+	kernel   string
+	pipeline string
+	n        int
+	block    int
+	alpha    float64
 }
 
 func (k kernelKey) String() string {
+	if k.pipeline != "" {
+		return fmt.Sprintf("pipeline:%s/n=%d", k.pipeline, k.n)
+	}
 	if k.kernel == "sgemm" {
 		return fmt.Sprintf("sgemm/n=%d/b=%d", k.n, k.block)
 	}
 	return fmt.Sprintf("%s/n=%d", k.kernel, k.n)
+}
+
+// pipelineNames is the vision-pipeline vocabulary the service admits,
+// matching the prebuilt graphs in internal/pipeline.
+var pipelineNames = map[string]bool{
+	"sepconv": true, "adaptive": true, "histeq": true, "sobel": true, "pyramid": true,
 }
 
 // normalize validates p, applies defaults and returns its batching key.
@@ -103,6 +145,21 @@ func (p *Params) normalize() (kernelKey, error) {
 				return kernelKey{}, fmt.Errorf("serve: inline input value %g outside [0,1)", v)
 			}
 		}
+	}
+	if p.Pipeline != "" {
+		if p.Kernel != "" {
+			return kernelKey{}, fmt.Errorf("serve: job names both kernel %q and pipeline %q", p.Kernel, p.Pipeline)
+		}
+		if !pipelineNames[p.Pipeline] {
+			return kernelKey{}, fmt.Errorf("serve: unknown pipeline %q (want sepconv, adaptive, histeq, sobel or pyramid)", p.Pipeline)
+		}
+		if p.B != nil {
+			return kernelKey{}, fmt.Errorf("serve: pipeline jobs take one input (a or seed), got b")
+		}
+		if p.Pipeline == "pyramid" && (p.N < 8 || p.N&(p.N-1) != 0) {
+			return kernelKey{}, fmt.Errorf("serve: pyramid needs a power-of-two n >= 8, got %d", p.N)
+		}
+		return kernelKey{pipeline: p.Pipeline, n: p.N}, nil
 	}
 	key := kernelKey{kernel: p.Kernel, n: p.N}
 	switch p.Kernel {
@@ -136,6 +193,13 @@ func (p *Params) Inputs() (a, b *codec.Matrix) {
 	a = inputMatrix(p.N, p.A, p.Seed)
 	b = inputMatrix(p.N, p.B, p.Seed+1)
 	return a, b
+}
+
+// Source materialises a pipeline job's source image: the inline A when
+// present, otherwise the deterministic Seed-derived matrix (the same
+// derivation a kernel job's first input uses).
+func (p *Params) Source() *codec.Matrix {
+	return inputMatrix(p.N, p.A, p.Seed)
 }
 
 func inputMatrix(n int, inline []float64, seed int64) *codec.Matrix {

@@ -55,6 +55,14 @@ type Metrics struct {
 	batchJobs map[string]int64         // by device: jobs that ran in batches
 	latency   map[[3]string]*histogram // by device, kernel, clock
 
+	// Pipeline-job counters, by device: stage dispatches executed, stage
+	// dispatches avoided through proof-gated fusion, and intermediate
+	// results kept resident on-device instead of round-tripping through a
+	// host readback.
+	pipeStages      map[string]int64
+	pipePassesFused map[string]int64
+	pipeElided      map[string]int64
+
 	// Probes are registered by New before any worker starts and never
 	// mutated after, so they are read without the mutex. They take worker
 	// and pool locks, which workers hold while updating the counters
@@ -66,14 +74,16 @@ type Metrics struct {
 	// Engine configuration, set once by New before any worker starts:
 	// whether worker engines shade with the tile-binned fragment engine
 	// and at what tile edge length, whether they use lane-batched SoA
-	// shader execution and at what batch width, and whether the
-	// cross-iteration tile-coherence cache is enabled.
+	// shader execution and at what batch width, whether the
+	// cross-iteration tile-coherence cache is enabled, and whether the
+	// pipeline planner's proof-gated pass fusion is enabled.
 	tiling      bool
 	tileSize    int
 	lanes       bool
 	laneWidth   int
 	maskedLanes bool
 	coherence   bool
+	fusion      bool
 }
 
 // PoolGauge is a point-in-time snapshot of one device pool's reuse state,
@@ -100,8 +110,13 @@ func newMetrics() *Metrics {
 		coalesced: map[string]int64{},
 		batchJobs: map[string]int64{},
 		latency:   map[[3]string]*histogram{},
-		queue:     map[string]func() int{},
-		gauges:    map[string]func() PoolGauge{},
+
+		pipeStages:      map[string]int64{},
+		pipePassesFused: map[string]int64{},
+		pipeElided:      map[string]int64{},
+
+		queue:  map[string]func() int{},
+		gauges: map[string]func() PoolGauge{},
 	}
 }
 
@@ -162,13 +177,23 @@ func (m *Metrics) batch(dev string, size int) {
 
 // setEngineConfig records the worker engines' fragment-shading setup for
 // the static config gauges. Must happen before Start.
-func (m *Metrics) setEngineConfig(tiling bool, tileSize int, lanes bool, laneWidth int, maskedLanes, coherence bool) {
+func (m *Metrics) setEngineConfig(tiling bool, tileSize int, lanes bool, laneWidth int, maskedLanes, coherence, fusion bool) {
 	m.tiling = tiling
 	m.tileSize = tileSize
 	m.lanes = lanes
 	m.laneWidth = laneWidth
 	m.maskedLanes = maskedLanes
 	m.coherence = coherence
+	m.fusion = fusion
+}
+
+// pipelineRun accumulates one pipeline job's per-stage and fusion counters.
+func (m *Metrics) pipelineRun(dev string, stages, passesFused, elided int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pipeStages[dev] += int64(stages)
+	m.pipePassesFused[dev] += int64(passesFused)
+	m.pipeElided[dev] += int64(elided)
 }
 
 // registerDevice installs a pool's probes. Must happen before Start.
@@ -283,6 +308,24 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		coherence = 1
 	}
 	appendf("gles2gpgpud_engine_coherence_enabled %d\n", coherence)
+	appendf("# HELP gles2gpgpud_engine_fusion_enabled Whether the pipeline planner fuses proof-eligible adjacent passes on worker engines (host-time knob; results are bit-identical either way).\n# TYPE gles2gpgpud_engine_fusion_enabled gauge\n")
+	fusion := 0
+	if m.fusion {
+		fusion = 1
+	}
+	appendf("gles2gpgpud_engine_fusion_enabled %d\n", fusion)
+	appendf("# HELP gles2gpgpud_pipeline_stages_total Pipeline stage dispatches executed.\n# TYPE gles2gpgpud_pipeline_stages_total counter\n")
+	for _, dev := range sortedKeys(m.pipeStages) {
+		appendf("gles2gpgpud_pipeline_stages_total{device=%q} %d\n", dev, m.pipeStages[dev])
+	}
+	appendf("# HELP gles2gpgpud_pipeline_passes_fused_total Pipeline stage dispatches avoided through proof-gated pass fusion.\n# TYPE gles2gpgpud_pipeline_passes_fused_total counter\n")
+	for _, dev := range sortedKeys(m.pipePassesFused) {
+		appendf("gles2gpgpud_pipeline_passes_fused_total{device=%q} %d\n", dev, m.pipePassesFused[dev])
+	}
+	appendf("# HELP gles2gpgpud_pipeline_intermediate_readbacks_elided_total Pipeline intermediates kept resident on-device instead of round-tripping through a host readback.\n# TYPE gles2gpgpud_pipeline_intermediate_readbacks_elided_total counter\n")
+	for _, dev := range sortedKeys(m.pipeElided) {
+		appendf("gles2gpgpud_pipeline_intermediate_readbacks_elided_total{device=%q} %d\n", dev, m.pipeElided[dev])
+	}
 
 	for _, dev := range sortedKeys(gauges) {
 		g := gauges[dev]

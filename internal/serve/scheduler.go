@@ -11,6 +11,8 @@ import (
 	"gles2gpgpu/internal/core"
 	"gles2gpgpu/internal/device"
 	"gles2gpgpu/internal/gles"
+	"gles2gpgpu/internal/kernels"
+	"gles2gpgpu/internal/pipeline"
 	"gles2gpgpu/internal/shader"
 )
 
@@ -67,6 +69,11 @@ type Config struct {
 	// cache, re-shading every tile on every draw. Host time only — results
 	// and virtual-time figures are bit-identical either way.
 	NoCoherence bool
+	// NoFuse disables proof-gated pass fusion in the pipeline planner for
+	// worker engines: pipeline jobs run every stage as its own pass. Host
+	// time only — results and virtual-time figures are bit-identical
+	// either way (the fusion contract).
+	NoFuse bool
 }
 
 func (c Config) withDefaults() Config {
@@ -153,7 +160,8 @@ func New(cfg Config) (*Scheduler, error) {
 	s.metrics.setEngineConfig(!cfg.NoTiling && gles.DefaultTiling(), tileSize,
 		lanesOn, laneWidth,
 		lanesOn && !cfg.NoMaskedLanes && shader.DefaultMaskedLanes(),
-		!cfg.NoCoherence && gles.DefaultCoherence())
+		!cfg.NoCoherence && gles.DefaultCoherence(),
+		!cfg.NoFuse && pipeline.DefaultFuse())
 	for _, name := range cfg.Devices {
 		if _, dup := s.pools[name]; dup {
 			return nil, fmt.Errorf("serve: duplicate device %q", name)
@@ -451,12 +459,53 @@ type worker struct {
 	runnerEvictions int
 }
 
-// warmRunner is a built kernel runner kept across jobs: re-running it only
-// re-uploads inputs (sub-image path) and dispatches.
+// warmRunner is a built kernel runner or compiled pipeline plan kept
+// across jobs: re-running it only re-uploads inputs (sub-image path) and
+// dispatches. Exactly one of run (kernel jobs) or plan (pipeline jobs) is
+// set.
 type warmRunner struct {
 	run core.Runner
 	e   *core.Engine
 	set func(a, b *codec.Matrix) error
+
+	// Pipeline state: the compiled plan, its resident source tensor, and
+	// the graph's final declared output. Keeping the plan warm is what
+	// makes repeated jobs fuse — the first run primes the per-draw timing
+	// cache, every later run of the key takes the fused schedule.
+	plan    *pipeline.Plan
+	src     *core.Tensor
+	outName string
+}
+
+// release returns the runner's GPU state to the engine's residency pool.
+func (wr *warmRunner) release() {
+	if wr.plan != nil {
+		wr.plan.Release()
+		wr.src.Release()
+		return
+	}
+	if rel, ok := wr.run.(core.Releaser); ok {
+		rel.Release()
+	}
+}
+
+// visionGraph builds the prebuilt n×n vision graph a pipeline job names
+// (the Params vocabulary validated by normalize).
+func visionGraph(name string, n int) (pipeline.Graph, error) {
+	o := kernels.DefaultOptions
+	switch name {
+	case "sepconv":
+		return pipeline.SepConvGraph(n, n, o), nil
+	case "adaptive":
+		return pipeline.AdaptiveThresholdGraph(n, n, 2, o), nil
+	case "histeq":
+		return pipeline.HistEqGraph(n, n, 8, o), nil
+	case "sobel":
+		return pipeline.SobelGraph(n, n, o), nil
+	case "pyramid":
+		return pipeline.PyramidGraph(n, 3, o)
+	}
+	return pipeline.Graph{}, fmt.Errorf("serve: unknown pipeline %q", name)
 }
 
 func (w *worker) run() {
@@ -491,6 +540,7 @@ func (w *worker) engineFor(n int) (*core.Engine, error) {
 		LaneWidth:       w.pool.sched.cfg.LaneWidth,
 		NoMaskedLanes:   w.pool.sched.cfg.NoMaskedLanes,
 		NoCoherence:     w.pool.sched.cfg.NoCoherence,
+		NoFuse:          w.pool.sched.cfg.NoFuse,
 	})
 	if err != nil {
 		return nil, err
@@ -512,6 +562,21 @@ func (w *worker) runnerFor(j *Job) (*warmRunner, error) {
 	e, err := w.engineFor(j.params.N)
 	if err != nil {
 		return nil, err
+	}
+	if j.params.Pipeline != "" {
+		g, err := visionGraph(j.params.Pipeline, j.params.N)
+		if err != nil {
+			return nil, err
+		}
+		src := e.NewTensor(j.params.N, j.params.N, codec.Unit)
+		plan, err := pipeline.Compile(e, g)
+		if err != nil {
+			src.Release()
+			return nil, err
+		}
+		wr := &warmRunner{e: e, plan: plan, src: src, outName: g.Outputs[len(g.Outputs)-1]}
+		w.install(j.key, wr)
+		return wr, nil
 	}
 	a, b := j.params.Inputs()
 	wr := &warmRunner{e: e}
@@ -539,15 +604,21 @@ func (w *worker) runnerFor(j *Job) (*warmRunner, error) {
 	default:
 		return nil, fmt.Errorf("serve: unknown kernel %q", j.params.Kernel)
 	}
+	w.install(j.key, wr)
+	return wr, nil
+}
+
+// install caches a freshly built runner under its key, evicting LRU
+// entries over the cap.
+func (w *worker) install(k kernelKey, wr *warmRunner) {
 	if w.runners == nil {
 		w.runners = map[kernelKey]*warmRunner{}
 	}
-	w.runners[j.key] = wr
-	w.lru = append(w.lru, j.key)
+	w.runners[k] = wr
+	w.lru = append(w.lru, k)
 	for len(w.runners) > w.pool.sched.cfg.MaxRunners {
 		w.evictOldest()
 	}
-	return wr, nil
 }
 
 func (w *worker) touch(k kernelKey) {
@@ -564,9 +635,7 @@ func (w *worker) evictOldest() {
 	w.lru = w.lru[1:]
 	if wr, ok := w.runners[k]; ok {
 		delete(w.runners, k)
-		if rel, ok := wr.run.(core.Releaser); ok {
-			rel.Release()
-		}
+		wr.release()
 		w.runnerEvictions++
 	}
 }
@@ -586,9 +655,16 @@ func (w *worker) drop(k kernelKey) {
 			break
 		}
 	}
-	if rel, ok := wr.run.(core.Releaser); ok {
-		rel.Release()
+	wr.release()
+}
+
+// jobLabel is the workload label job metrics carry: the kernel name, or
+// "pipeline:<graph>" for pipeline jobs.
+func jobLabel(p *Params) string {
+	if p.Pipeline != "" {
+		return "pipeline:" + p.Pipeline
 	}
+	return p.Kernel
 }
 
 // runBatch executes the coalesced jobs sequentially on the warm runner.
@@ -599,53 +675,94 @@ func (w *worker) runBatch(batch []*Job) {
 	wr, err := w.runnerFor(batch[0])
 	if err != nil {
 		for _, j := range batch {
-			m.fail(w.pool.name, j.params.Kernel)
+			m.fail(w.pool.name, jobLabel(&j.params))
 			j.finish(nil, err)
 		}
 		return
 	}
 	for i, j := range batch {
+		label := jobLabel(&j.params)
 		if err := j.ctx.Err(); err != nil {
 			m.cancel(w.pool.name)
 			j.finish(nil, err)
 			continue
 		}
-		a, b := j.params.Inputs()
 		hostStart := time.Now()
 		vStart := wr.e.Now()
-		runErr := wr.set(a, b)
-		if runErr == nil {
-			runErr = wr.run.RunOnce(j.ctx)
+		var res *Result
+		var runErr error
+		if wr.plan != nil {
+			res, runErr = w.runPipelineJob(wr, j)
+		} else {
+			res, runErr = w.runKernelJob(wr, j)
 		}
 		if runErr != nil {
 			if j.ctx.Err() != nil {
 				m.cancel(w.pool.name)
 			} else {
-				m.fail(w.pool.name, j.params.Kernel)
+				m.fail(w.pool.name, label)
 			}
 			w.drop(j.key)
 			j.finish(nil, runErr)
 			continue
 		}
-		wr.e.Finish()
-		out, readErr := wr.run.Result()
-		if readErr != nil {
-			m.fail(w.pool.name, j.params.Kernel)
-			w.drop(j.key)
-			j.finish(nil, readErr)
-			continue
-		}
-		res := &Result{
-			Out:         out.Data,
-			N:           j.params.N,
-			Device:      w.pool.name,
-			Kernel:      j.params.Kernel,
-			VirtualTime: wr.e.Now() - vStart,
-			HostNanos:   time.Since(hostStart).Nanoseconds(),
-			BatchSize:   len(batch),
-			BatchIndex:  i,
-		}
-		m.complete(w.pool.name, j.params.Kernel, res.VirtualTime, time.Duration(res.HostNanos))
+		res.Device = w.pool.name
+		res.VirtualTime = wr.e.Now() - vStart
+		res.HostNanos = time.Since(hostStart).Nanoseconds()
+		res.BatchSize = len(batch)
+		res.BatchIndex = i
+		m.complete(w.pool.name, label, res.VirtualTime, time.Duration(res.HostNanos))
 		j.finish(res, nil)
 	}
+}
+
+// runKernelJob rebinds the warm runner's inputs and executes one kernel
+// job. Caller holds w.mu and fills the Result's placement/timing fields.
+func (w *worker) runKernelJob(wr *warmRunner, j *Job) (*Result, error) {
+	a, b := j.params.Inputs()
+	if err := wr.set(a, b); err != nil {
+		return nil, err
+	}
+	if err := wr.run.RunOnce(j.ctx); err != nil {
+		return nil, err
+	}
+	wr.e.Finish()
+	out, err := wr.run.Result()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Out: out.Data, N: j.params.N, Kernel: j.params.Kernel}, nil
+}
+
+// runPipelineJob re-uploads the job's source image into the warm plan's
+// resident tensor, runs the whole graph, and reads back the final declared
+// output. Per-stage virtual times and the plan's fusion/residency counters
+// flow into both the Result and the device's pipeline metrics. Caller
+// holds w.mu and fills the Result's placement/timing fields.
+func (w *worker) runPipelineJob(wr *warmRunner, j *Job) (*Result, error) {
+	if err := wr.src.Upload(j.params.Source(), true); err != nil {
+		return nil, err
+	}
+	stats, err := wr.plan.Run(map[string]*core.Tensor{pipeline.SrcInput: wr.src})
+	if err != nil {
+		return nil, err
+	}
+	wr.e.Finish()
+	out, err := wr.plan.Output(wr.outName).Read()
+	if err != nil {
+		return nil, err
+	}
+	stages := make([]StageResult, len(stats.Stages))
+	for si, st := range stats.Stages {
+		stages[si] = StageResult{Name: st.Name, VirtualTime: st.VirtualTime}
+	}
+	w.pool.sched.metrics.pipelineRun(w.pool.name, len(stats.Stages), stats.PassesFused, stats.ReadbacksElided)
+	return &Result{
+		Out:             out.Data,
+		N:               out.Rows,
+		Pipeline:        j.params.Pipeline,
+		Stages:          stages,
+		PassesFused:     stats.PassesFused,
+		ReadbacksElided: stats.ReadbacksElided,
+	}, nil
 }

@@ -1,0 +1,85 @@
+package analysis
+
+// Fusion eligibility: the proof that lets the pipeline planner
+// (internal/pipeline) replace "render stage A to a texture, sample it from
+// stage B" with one composed program (shader.ComposeFragments) while
+// staying bit-identical. A stage may take part in fusion only when it is
+// *elementwise*: straight-line, discard-free, writing its full output on
+// every invocation, and sampling every texture exclusively at its own texel
+// — proven by SolveFootprint identity chains over the fullscreen-quad
+// varying. Under the engine's NEAREST+CLAMP samplers and equal input/output
+// sizes, such a stage's pixel (x,y) depends only on input texels (x,y), so
+// the intermediate texture can be collapsed into a register plus an OpQUANT
+// round trip.
+
+import (
+	"fmt"
+
+	"gles2gpgpu/internal/shader"
+)
+
+// Elementwise reports whether p (a fragment program) is provably
+// elementwise with respect to the named fullscreen-quad varying (the core
+// engine's "v_tex"): every texture fetch on every slot reads exactly
+// (varying.x, varying.y), with no offsets, scales, or dependent chains.
+// When ineligible, reason is a short stable token — suitable for the
+// glslint fusion-blocked(reason) finding — optionally followed by detail.
+func Elementwise(p *shader.Program, varying string) (ok bool, reason string) {
+	if p.UsesDiscard {
+		return false, "discard"
+	}
+	if p.NumOutputs != 1 {
+		return false, "multi-output"
+	}
+	if p.NumInputs != len(p.Inputs) {
+		return false, "wide-input"
+	}
+	for pc := range p.Insts {
+		switch p.Insts[pc].Op {
+		case shader.OpBR:
+			// Forward unconditional branches are the joins left by
+			// function inlining: deterministic, so still elementwise.
+			if int(p.Insts[pc].Target) <= pc {
+				return false, fmt.Sprintf("control-flow(pc %d)", pc)
+			}
+		case shader.OpBRZ:
+			return false, fmt.Sprintf("control-flow(pc %d)", pc)
+		case shader.OpRET:
+			if pc != len(p.Insts)-1 {
+				return false, fmt.Sprintf("early-return(pc %d)", pc)
+			}
+		}
+	}
+	if !p.WritesBeforeReads || !p.OutputsAlwaysWritten {
+		return false, "liveness"
+	}
+	if len(p.Samplers) == 0 {
+		return true, ""
+	}
+	vt, found := p.LookupInput(varying)
+	if !found {
+		return false, "no-quad-varying"
+	}
+	cfg := BuildCFG(p)
+	du := SolveDefUse(cfg)
+	sccp := SolveSCCP(cfg)
+	foot := SolveFootprint(cfg, du, sccp)
+	for si := range foot.Slots {
+		slot := &foot.Slots[si]
+		if !slot.Provable {
+			return false, fmt.Sprintf("unprovable-footprint(slot %d, pc %d: %s)", si, slot.Pc, slot.Reason)
+		}
+		for _, pair := range slot.Coords {
+			if !identityCoord(pair.U, vt.Reg, 0) || !identityCoord(pair.V, vt.Reg, 1) {
+				return false, fmt.Sprintf("offset-sampling(slot %d, pc %d)", si, pair.Pc)
+			}
+		}
+	}
+	return true, ""
+}
+
+// identityCoord reports whether a proven coordinate is exactly the given
+// input register component: a chain with a varying base and zero steps.
+func identityCoord(c TexCoord, reg, comp int) bool {
+	return c.Known && c.HasInput && c.InReg == reg && c.InComp == comp && len(c.Steps) == 0
+}

@@ -79,6 +79,7 @@ func Lint(p *shader.Program, profiles []LimitProfile) []Finding {
 			fs = append(fs, CheckLimits(p, res, lp)...)
 		}
 		fs = append(fs, lintLaneEligibility(p, cfg)...)
+		fs = append(fs, lintFusionEligibility(p)...)
 	}
 	sort.SliceStable(fs, func(i, j int) bool {
 		if fs[i].Sev != fs[j].Sev {
@@ -283,6 +284,37 @@ func lintLaneEligibility(p *shader.Program, cfg *CFG) []Finding {
 		f.Pos = p.Insts[pc].SrcPos
 	}
 	return []Finding{f}
+}
+
+// lintFusionEligibility reports whether the pipeline planner could fuse
+// the kernel with an adjacent elementwise pass (an info note, mirroring
+// lane eligibility): fusion-eligible kernels are straight-line, discard-
+// free, and sample every texture exactly at the fullscreen-quad varying,
+// so a producing or consuming pass can collapse into the same program.
+// The probe is the planner's own (Elementwise over "v_tex"), so the lint
+// verdict and the planner's per-edge decisions cannot drift apart — a
+// lint test cross-checks them against real pipeline plans. Vertex
+// programs and fragment programs with no samplers are skipped: fusion
+// only concerns texture-to-texture chains.
+func lintFusionEligibility(p *shader.Program) []Finding {
+	if len(p.Samplers) == 0 {
+		return nil
+	}
+	ok, why := Elementwise(p, "v_tex")
+	if ok {
+		return []Finding{{
+			Code: "fusion-eligible",
+			Sev:  SevInfo,
+			Msg: "elementwise kernel (identity texel footprint on every sampler): " +
+				"the pipeline planner can fuse it with an adjacent elementwise pass",
+		}}
+	}
+	return []Finding{{
+		Code: "fusion-blocked",
+		Sev:  SevInfo,
+		Msg: fmt.Sprintf("fusion-blocked(%s): the pipeline planner keeps this kernel "+
+			"as its own pass", why),
+	}}
 }
 
 // lintUninitReads flags reads of temp or output register components not

@@ -1,0 +1,257 @@
+package shader
+
+// Pass fusion at the IR level: ComposeFragments splices a chain of fragment
+// programs into one program whose intermediate colours stay in registers.
+// Where stage i+1 sampled stage i's render target, the composed program
+// applies OpQUANT — the exact RGBA8 store/sample round trip (quant.go) — to
+// stage i's colour value, so the fused program is bit-identical to running
+// the stages separately through textures. The eligibility proof (both
+// stages elementwise with identity texel footprints) lives in
+// internal/shader/analysis; this file only performs the splice and reports
+// structural errors.
+
+import (
+	"fmt"
+
+	"gles2gpgpu/internal/glsl"
+)
+
+// FuseStage describes one stage of a fused chain. SlotSource[i] names, for
+// fragment sampler slot i of Prog, the index of an earlier stage in the
+// chain whose colour output feeds the slot, or -1 when the slot remains an
+// external texture input of the composed program.
+type FuseStage struct {
+	Prog       *Program
+	SlotSource []int
+}
+
+// FusedSampler maps one kept (external) sampler slot of a composed program
+// back to its originating stage and slot. Name is the sampler's uniform
+// name in the composed program.
+type FusedSampler struct {
+	Stage int
+	Slot  int
+	Name  string
+}
+
+// FusedUniformName returns the name a stage's uniform has in a composed
+// program. Stages are spliced with disjoint uniform register ranges, and
+// each uniform is re-exported under a stage-qualified name so callers can
+// set every stage's parameters on the one composed program.
+func FusedUniformName(stage int, name string) string {
+	return fmt.Sprintf("s%d_%s", stage, name)
+}
+
+// ComposeFragments splices a chain of straight-line fragment programs into
+// a single fragment program. Each stage's temp, constant and uniform
+// registers are relocated to disjoint ranges; varying inputs are merged by
+// name; non-final stages write their colour to a fresh temp; TEX
+// instructions on internally-fed slots become OpQUANT of the feeding
+// stage's colour temp. The returned sampler list describes the surviving
+// external slots in order.
+//
+// The caller is responsible for eligibility (analysis.Elementwise):
+// ComposeFragments checks only structural invariants and returns an error —
+// never a wrong program — when they do not hold.
+func ComposeFragments(stages []FuseStage) (*Program, []FusedSampler, error) {
+	if len(stages) < 2 {
+		return nil, nil, fmt.Errorf("fuse: need at least 2 stages, have %d", len(stages))
+	}
+	for i, st := range stages {
+		p := st.Prog
+		if p == nil {
+			return nil, nil, fmt.Errorf("fuse: stage %d has no program", i)
+		}
+		if p.Stage != glsl.StageFragment {
+			return nil, nil, fmt.Errorf("fuse: stage %d is not a fragment program", i)
+		}
+		if len(st.SlotSource) != len(p.Samplers) {
+			return nil, nil, fmt.Errorf("fuse: stage %d: %d slot sources for %d samplers",
+				i, len(st.SlotSource), len(p.Samplers))
+		}
+		for s, src := range st.SlotSource {
+			if src >= i || src < -1 {
+				return nil, nil, fmt.Errorf("fuse: stage %d slot %d: bad source stage %d", i, s, src)
+			}
+		}
+		if p.NumOutputs != 1 {
+			return nil, nil, fmt.Errorf("fuse: stage %d has %d outputs, want 1", i, p.NumOutputs)
+		}
+		if p.NumInputs != len(p.Inputs) {
+			return nil, nil, fmt.Errorf("fuse: stage %d has multi-register inputs", i)
+		}
+		if p.UsesDiscard {
+			return nil, nil, fmt.Errorf("fuse: stage %d uses discard", i)
+		}
+		for pc := range p.Insts {
+			in := p.Insts[pc]
+			if in.Op == OpRET && pc != len(p.Insts)-1 {
+				return nil, nil, fmt.Errorf("fuse: stage %d has early return at pc %d", i, pc)
+			}
+			// Forward unconditional branches (function-inlining joins) are
+			// deterministic and splice with a target relocation. Anything
+			// conditional or backward would need a real liveness argument,
+			// so refuse rather than risk it.
+			if in.Op == OpBRZ {
+				return nil, nil, fmt.Errorf("fuse: stage %d has conditional control flow at pc %d", i, pc)
+			}
+			if in.Op == OpBR && (int(in.Target) <= pc || int(in.Target) > len(p.Insts)-1) {
+				return nil, nil, fmt.Errorf("fuse: stage %d has non-forward branch at pc %d", i, pc)
+			}
+		}
+	}
+
+	out := &Program{Stage: glsl.StageFragment}
+
+	// Register bases per stage.
+	tempBase := make([]int, len(stages))
+	uniBase := make([]int, len(stages))
+	constBase := make([]int, len(stages))
+	temps, unis := 0, 0
+	for i, st := range stages {
+		tempBase[i] = temps
+		uniBase[i] = unis
+		temps += st.Prog.NumTemps
+		unis += st.Prog.NumUniform
+	}
+	// One colour temp per non-final stage, allocated above all stage temps.
+	colorTemp := make([]int, len(stages))
+	for i := range stages[:len(stages)-1] {
+		colorTemp[i] = temps
+		temps++
+	}
+	out.NumTemps = temps
+	out.NumUniform = unis
+	out.NumOutputs = stages[len(stages)-1].Prog.NumOutputs
+
+	// Merge varying inputs by name.
+	inputReg := map[string]int{}
+	inputMap := make([]map[uint16]uint16, len(stages))
+	for i, st := range stages {
+		inputMap[i] = map[uint16]uint16{}
+		for _, v := range st.Prog.Inputs {
+			reg, ok := inputReg[v.Name]
+			if !ok {
+				reg = len(out.Inputs)
+				inputReg[v.Name] = reg
+				nv := v
+				nv.Reg = reg
+				out.Inputs = append(out.Inputs, nv)
+			}
+			inputMap[i][uint16(v.Reg)] = uint16(reg)
+		}
+	}
+	out.NumInputs = len(out.Inputs)
+
+	// External sampler slots keep their stage-qualified uniform names.
+	var samplers []FusedSampler
+	slotMap := make([]map[int]int, len(stages)) // stage slot -> merged slot
+	for i, st := range stages {
+		slotMap[i] = map[int]int{}
+		for s, src := range st.SlotSource {
+			if src >= 0 {
+				continue
+			}
+			name := FusedUniformName(i, st.Prog.Samplers[s])
+			slotMap[i][s] = len(samplers)
+			samplers = append(samplers, FusedSampler{Stage: i, Slot: s, Name: name})
+			out.Samplers = append(out.Samplers, name)
+		}
+	}
+
+	// Re-exported uniforms: stage-qualified names, relocated registers.
+	// Sampler uniforms whose slot became internal are dropped (no
+	// instruction references them; their register range stays reserved).
+	for i, st := range stages {
+		for _, u := range st.Prog.Uniforms {
+			nu := u
+			nu.Name = FusedUniformName(i, u.Name)
+			nu.Reg = u.Reg + uniBase[i]
+			if u.SamplerIdx >= 0 {
+				merged, kept := slotMap[i][u.SamplerIdx]
+				if !kept {
+					continue
+				}
+				nu.SamplerIdx = merged
+			}
+			out.Uniforms = append(out.Uniforms, nu)
+		}
+	}
+
+	relocSrc := func(i int, s Src) Src {
+		switch s.File {
+		case FileTemp:
+			s.Reg += uint16(tempBase[i])
+		case FileUniform:
+			s.Reg += uint16(uniBase[i])
+		case FileConst:
+			s.Reg += uint16(constBase[i])
+		case FileInput:
+			s.Reg = inputMap[i][s.Reg]
+		case FileOutput:
+			if i != len(stages)-1 {
+				s.File, s.Reg = FileTemp, uint16(colorTemp[i])
+			}
+		}
+		return s
+	}
+
+	for i, st := range stages {
+		p := st.Prog
+		constBase[i] = len(out.Consts)
+		out.Consts = append(out.Consts, p.Consts...)
+		instBase := len(out.Insts)
+		for pc := range p.Insts {
+			in := p.Insts[pc]
+			if in.Op == OpRET && i != len(stages)-1 {
+				continue // only the final stage ends the program
+			}
+			if in.Op == OpBR {
+				// Forward-only (validated above). A branch to the dropped
+				// final RET of a non-final stage lands on the next stage's
+				// first instruction — the correct fall-through.
+				in.Target += int32(instBase)
+			}
+			if in.Op == OpTEX {
+				if src := st.SlotSource[in.SamplerIdx]; src >= 0 {
+					// The sampled texture is the feeding stage's colour,
+					// stored as RGBA8: replace fetch with the round trip.
+					in = Inst{
+						Op:     OpQUANT,
+						Dst:    in.Dst,
+						A:      SrcReg(FileTemp, colorTemp[src]),
+						SrcPos: in.SrcPos,
+					}
+				} else {
+					in.SamplerIdx = uint8(slotMap[i][int(in.SamplerIdx)])
+					in.A = relocSrc(i, in.A)
+				}
+			} else {
+				in.A = relocSrc(i, in.A)
+				in.B = relocSrc(i, in.B)
+				in.C = relocSrc(i, in.C)
+			}
+			if in.WriteMask() != 0 || in.Op == OpTEX || in.Op == OpQUANT {
+				switch in.Dst.File {
+				case FileTemp:
+					in.Dst.Reg += uint16(tempBase[i])
+				case FileOutput:
+					if i != len(stages)-1 {
+						in.Dst.File, in.Dst.Reg = FileTemp, uint16(colorTemp[i])
+					}
+				}
+			}
+			out.Insts = append(out.Insts, in)
+		}
+		out.Source += fmt.Sprintf("// --- fused stage %d ---\n%s\n", i, p.Source)
+	}
+
+	for i := range out.Insts {
+		if out.Insts[i].Op == OpTEX {
+			out.TexInstructions++
+		}
+	}
+	out.Outputs = append([]VarInfo(nil), stages[len(stages)-1].Prog.Outputs...)
+	out.WritesBeforeReads, out.OutputsAlwaysWritten = analyzeLiveness(out)
+	return out, samplers, nil
+}

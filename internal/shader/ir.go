@@ -74,12 +74,13 @@ const (
 	OpSGE
 	OpSEQ
 	OpSNE
-	OpSEL // dst = a != 0 ? b : c (componentwise)
-	OpTEX // dst = sample(sampler[SamplerIdx], a.xy)
-	OpKIL // discard fragment if a.x != 0
-	OpBR  // unconditional branch to Target
-	OpBRZ // branch to Target if a.x == 0
-	OpRET // end shader / end of inlined body
+	OpSEL   // dst = a != 0 ? b : c (componentwise)
+	OpQUANT // dst = decode(encode(a)): RGBA8 texel round trip, componentwise
+	OpTEX   // dst = sample(sampler[SamplerIdx], a.xy)
+	OpKIL   // discard fragment if a.x != 0
+	OpBR    // unconditional branch to Target
+	OpBRZ   // branch to Target if a.x == 0
+	OpRET   // end shader / end of inlined body
 	opMax
 )
 
@@ -94,7 +95,7 @@ var opNames = [opMax]string{
 	OpSIN: "sin", OpCOS: "cos", OpTAN: "tan",
 	OpASIN: "asin", OpACOS: "acos", OpATAN: "atan", OpATAN2: "atan2",
 	OpSLT: "slt", OpSLE: "sle", OpSGT: "sgt", OpSGE: "sge",
-	OpSEQ: "seq", OpSNE: "sne", OpSEL: "sel",
+	OpSEQ: "seq", OpSNE: "sne", OpSEL: "sel", OpQUANT: "quant",
 	OpTEX: "tex", OpKIL: "kil", OpBR: "br", OpBRZ: "brz", OpRET: "ret",
 }
 
@@ -256,7 +257,8 @@ func (in Inst) String() string {
 	case OpTEX:
 		return fmt.Sprintf("tex %s, %s, s%d", in.Dst, in.A, in.SamplerIdx)
 	case OpMOV, OpABS, OpSGN, OpFLR, OpCEIL, OpFRC, OpRCP, OpRSQ, OpSQRT,
-		OpEX2, OpLG2, OpEXP, OpLOG, OpSIN, OpCOS, OpTAN, OpASIN, OpACOS, OpATAN:
+		OpEX2, OpLG2, OpEXP, OpLOG, OpSIN, OpCOS, OpTAN, OpASIN, OpACOS, OpATAN,
+		OpQUANT:
 		return fmt.Sprintf("%s %s, %s", in.Op, in.Dst, in.A)
 	case OpMAD, OpCLAMP, OpSEL:
 		return fmt.Sprintf("%s %s, %s, %s, %s", in.Op, in.Dst, in.A, in.B, in.C)

@@ -559,6 +559,16 @@ func compileInst(consts [][4]float32, in *Inst, note *OpNote) func(*Env) {
 			a := ra(e)
 			wr(e, Vec4{1 / a[0], 1 / a[1], 1 / a[2], 1 / a[3]})
 		}
+	case OpQUANT:
+		note.Lane = "f32"
+		ra := compileSrc(consts, in.A, &note.A)
+		return func(e *Env) {
+			a := ra(e)
+			wr(e, Vec4{
+				QuantizeChannel(a[0]), QuantizeChannel(a[1]),
+				QuantizeChannel(a[2]), QuantizeChannel(a[3]),
+			})
+		}
 	case OpSGN:
 		note.Lane = "f32"
 		ra := compileSrc(consts, in.A, &note.A)

@@ -366,7 +366,7 @@ func laneOpSupported(op Op) bool {
 		OpABS, OpSGN, OpFLR, OpCEIL, OpFRC,
 		OpRCP, OpRSQ, OpSQRT, OpEX2, OpLG2, OpPOW, OpEXP, OpLOG,
 		OpSIN, OpCOS, OpTAN, OpASIN, OpACOS, OpATAN, OpATAN2,
-		OpSLT, OpSLE, OpSGT, OpSGE, OpSEQ, OpSNE, OpSEL, OpTEX:
+		OpSLT, OpSLE, OpSGT, OpSGE, OpSEQ, OpSNE, OpSEL, OpQUANT, OpTEX:
 		return true
 	}
 	return false
@@ -771,6 +771,19 @@ func (lc *LaneCompiled) compileLaneInst(consts [][4]float32, in *Inst) laneOp {
 				x := ab[t.a : t.a+w]
 				for l := range d {
 					d[l] = 1 / x[l]
+				}
+			}
+		}, fin)
+	case OpQUANT:
+		ra := lc.compileLaneSrc(consts, in.A, 0)
+		comps := activeComps(w, in.Dst.Mask, &ra, nil, nil)
+		return withFin(func(e *LaneEnv) {
+			ab, db := ra.blk(e), wd(e)
+			for _, t := range comps {
+				d := db[t.d : t.d+w : t.d+w]
+				x := ab[t.a : t.a+w]
+				for l := range d {
+					d[l] = QuantizeChannel(x[l])
 				}
 			}
 		}, fin)

@@ -170,6 +170,12 @@ func runInsts(insts []Inst, consts [][4]float32, dead []bool, env *Env, cost *Co
 			env.write(in.Dst, texel)
 		case OpMOV:
 			env.write(in.Dst, env.read(in.A))
+		case OpQUANT:
+			a := env.read(in.A)
+			env.write(in.Dst, Vec4{
+				QuantizeChannel(a[0]), QuantizeChannel(a[1]),
+				QuantizeChannel(a[2]), QuantizeChannel(a[3]),
+			})
 		case OpDP2, OpDP3, OpDP4:
 			a, b := env.read(in.A), env.read(in.B)
 			n := 2 + int(in.Op) - int(OpDP2)
