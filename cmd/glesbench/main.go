@@ -30,6 +30,8 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -82,7 +84,7 @@ type figureTime struct {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 3, vbo, 4a, 4b, 5a, 5b or all; also journey, ablation, service, coherence, masked, or pipeline (service, coherence, masked and pipeline are opt-in only, never part of all)")
+	fig := flag.String("fig", "all", "figure to reproduce: 3, vbo, 4a, 4b, 5a, 5b or all; also journey, ablation, service, coherence, masked, pipeline, or servebench (service, coherence, masked, pipeline and servebench are opt-in only, never part of all)")
 	size := flag.Int("size", 1024, "matrix dimension for timing runs (paper: 1024)")
 	calib := flag.Int("calib", 64, "matrix dimension for the functional validation run")
 	iters := flag.Int("iters", 100, "measured benchmark-body repetitions")
@@ -96,6 +98,10 @@ func main() {
 	nomaskedlanes := flag.Bool("nomaskedlanes", false, "shade branchy programs (jacobi) per-fragment instead of divergence-masked lane execution (A/B escape hatch; results are bit-identical, only host time changes)")
 	nocoherence := flag.Bool("nocoherence", false, "re-shade every tile every draw instead of eliding tiles with unchanged inputs (A/B escape hatch; results are bit-identical, only host time changes)")
 	nofuse := flag.Bool("nofuse", false, "disable proof-gated pass fusion in the pipeline planner (A/B escape hatch; results are bit-identical, only host time changes)")
+	sbReplicas := flag.String("sb-replicas", "", "servebench: comma-separated fleet sizes to sweep (default 1,2,4)")
+	sbRates := flag.String("sb-rates", "", "servebench: comma-separated Poisson arrival rates, jobs/sec (default 100,200)")
+	sbJobs := flag.Int("sb-jobs", 0, "servebench: arrivals per sweep cell (0: default 192)")
+	daemonbin := flag.String("daemonbin", "", "servebench: run replicas as subprocesses of this gles2gpgpud binary instead of in-process")
 	micro := flag.Bool("micro", false, "also run the shader-execution and texture-sampling microbenchmarks; results go to stderr and -benchjson, never stdout")
 	benchjson := flag.String("benchjson", "", "write machine-readable per-figure host times (JSON) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -331,6 +337,64 @@ func main() {
 		}
 		bench.WriteServiceTable(os.Stdout, results)
 		recordHost("service", time.Since(hostStart))
+	}
+	if *fig == "servebench" {
+		// Fleet serving sweep: open-loop Poisson arrivals against N
+		// gles2gpgpud replicas behind the shard router, affinity vs
+		// round-robin vs the single-node direct baseline. Opt-in only;
+		// its table goes to stderr and the servebench/2 document replaces
+		// the bench/1 schema in -benchjson, so stdout and the recorded
+		// reference output are untouched.
+		hostStart := time.Now()
+		sbo := bench.ServeBenchOpts{
+			Jobs:      *sbJobs,
+			DaemonBin: *daemonbin,
+		}
+		parseInts := func(s string) []int {
+			var out []int
+			for _, f := range strings.Split(s, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "glesbench: servebench: bad count %q\n", f)
+					os.Exit(1)
+				}
+				out = append(out, v)
+			}
+			return out
+		}
+		if *sbReplicas != "" {
+			sbo.Replicas = parseInts(*sbReplicas)
+		}
+		if *sbRates != "" {
+			for _, f := range strings.Split(*sbRates, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "glesbench: servebench: bad rate %q\n", f)
+					os.Exit(1)
+				}
+				sbo.Rates = append(sbo.Rates, v)
+			}
+		}
+		sbReport, err := bench.ServeBench(ctx, sbo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "glesbench: servebench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.WriteServeBenchTable(os.Stderr, sbReport)
+		fmt.Fprintf(os.Stderr, "glesbench: figure servebench: host %v\n",
+			time.Since(hostStart).Round(time.Millisecond))
+		if *benchjson != "" {
+			data, err := json.MarshalIndent(sbReport, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "glesbench: benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*benchjson, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "glesbench: benchjson: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 	if *micro {
 		// Microbenchmark output bypasses stdout entirely: the figure tables

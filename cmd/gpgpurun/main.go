@@ -12,6 +12,13 @@
 //
 //	gpgpurun -serve http://127.0.0.1:7433 -kernel sgemm -device sgx -size 64
 //	gpgpurun -serve http://127.0.0.1:7433 -load -jobs 128 -concurrency 8 -benchjson load.json
+//
+// -openloop replaces the closed-loop generator with Poisson arrivals at
+// a fixed rate (latency measured from each job's scheduled arrival, so
+// overload shows up as tail latency instead of silently slowing the
+// generator); it works against a daemon or a -router front-end alike:
+//
+//	gpgpurun -serve http://127.0.0.1:7433 -openloop -rate 200 -jobs 512 -keys 8
 package main
 
 import (
@@ -49,17 +56,23 @@ func main() {
 	jobs := flag.Int("jobs", 64, "load mode: total jobs to submit")
 	concurrency := flag.Int("concurrency", 8, "load mode: in-flight request cap")
 	loadDevices := flag.String("load-devices", "vc4,sgx", "load mode: comma-separated devices to cycle jobs across")
+	openloop := flag.Bool("openloop", false, "open-loop load mode: Poisson arrivals at -rate against the -serve endpoint")
+	rate := flag.Float64("rate", 100, "open-loop mode: arrival rate, jobs/sec")
+	keys := flag.Int("keys", 8, "open-loop mode: distinct kernel-key classes in the stream")
 	benchJSON := flag.String("benchjson", "", "load mode: write the load report JSON to this file")
 	flag.Parse()
 
-	if *load && *serveURL == "" {
-		fatal("-load requires -serve URL")
+	if (*load || *openloop) && *serveURL == "" {
+		fatal("-load/-openloop require -serve URL")
 	}
 	if *serveURL != "" {
 		client := &serve.Client{Base: strings.TrimRight(*serveURL, "/")}
-		if *load {
+		switch {
+		case *openloop:
+			runOpenLoop(client, *rate, *jobs, *keys, *size, *seed, *benchJSON)
+		case *load:
 			runLoad(client, *jobs, *concurrency, *loadDevices, *size, *seed, *benchJSON)
-		} else {
+		default:
 			runRemote(client, *kernel, *dev, *size, *block, *seed)
 		}
 		return
@@ -275,6 +288,39 @@ func runLoad(client *serve.Client, jobs, concurrency int, devices string, n int,
 				fatal("%v", werr)
 			}
 			fmt.Printf("load report written to %s\n", benchJSON)
+		}
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+}
+
+// runOpenLoop drives the endpoint with Poisson arrivals and prints (and
+// optionally writes) the goodput/tail-latency report.
+func runOpenLoop(client *serve.Client, rate float64, jobs, keys, n int, seed int64, benchJSON string) {
+	rep, err := client.RunOpenLoop(context.Background(), serve.OpenLoopOpts{
+		RatePerSec: rate,
+		Jobs:       jobs,
+		Keys:       keys,
+		N:          n,
+		Seed:       seed,
+	})
+	if rep != nil {
+		fmt.Printf("openloop: %d arrivals at %g/s (%d completed, %d shed, %d failed)\n",
+			rep.Jobs, rep.RatePerSec, rep.Completed, rep.Shed, rep.Failed)
+		fmt.Printf("host: %.1f ms, goodput %.1f jobs/s; latency p50=%.2fms p99=%.2fms p999=%.2fms max=%.2fms\n",
+			rep.DurationMS, rep.GoodputS, rep.P50MS, rep.P99MS, rep.P999MS, rep.MaxMS)
+		fmt.Printf("virtual device time consumed: %.3f ms\n", rep.VirtualMS)
+		if benchJSON != "" {
+			data, merr := json.MarshalIndent(rep, "", "  ")
+			if merr != nil {
+				fatal("%v", merr)
+			}
+			data = append(data, '\n')
+			if werr := os.WriteFile(benchJSON, data, 0o644); werr != nil {
+				fatal("%v", werr)
+			}
+			fmt.Printf("open-loop report written to %s\n", benchJSON)
 		}
 	}
 	if err != nil {

@@ -1,0 +1,348 @@
+package bench
+
+// Fleet-scale serving benchmark: an open-loop Poisson job stream pushed
+// through N gles2gpgpud replicas behind the shard router, swept over
+// replica count × arrival rate × routing policy. The point of the
+// sweep is the warmth argument: consistent-hash affinity keeps each
+// replica's warm-runner cache covering only its shard of the key space,
+// while round-robin dilutes every cache with every key — the difference
+// shows up as warm-hit rate and as tail latency at the knee.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"strings"
+	"time"
+
+	"gles2gpgpu/internal/serve"
+	"gles2gpgpu/internal/shard"
+)
+
+// Routing policies swept by ServeBench. "direct" is the no-router
+// baseline: the client talks straight to a single daemon, so it is only
+// meaningful (and only run) at one replica.
+const (
+	PolicyDirect     = "direct"
+	PolicyAffinity   = shard.PolicyAffinity
+	PolicyRoundRobin = shard.PolicyRoundRobin
+)
+
+// ServeBenchOpts sizes the fleet sweep.
+type ServeBenchOpts struct {
+	// Replicas are the fleet sizes to sweep (default 1, 2, 4).
+	Replicas []int
+	// Rates are the Poisson arrival rates, jobs/sec (default 100, 200).
+	Rates []float64
+	// Jobs is the arrivals per cell (default 192).
+	Jobs int
+	// N is the matrix dimension (default 32).
+	N int
+	// Keys is the number of distinct kernel-key classes (default 8 — at
+	// MaxRunners warm slots per replica, one replica cannot hold them
+	// all, which is what sharding is for).
+	Keys int
+	// Policies to sweep (default direct, affinity, roundrobin).
+	Policies []string
+	// DaemonBin, when set, runs each replica as a real gles2gpgpud
+	// subprocess started from this binary instead of in-process.
+	DaemonBin string
+	// Seed drives the arrival schedule and job inputs.
+	Seed int64
+}
+
+func (o ServeBenchOpts) withDefaults() ServeBenchOpts {
+	if len(o.Replicas) == 0 {
+		o.Replicas = []int{1, 2, 4}
+	}
+	if len(o.Rates) == 0 {
+		o.Rates = []float64{100, 200}
+	}
+	if o.Jobs <= 0 {
+		o.Jobs = 192
+	}
+	if o.N <= 0 {
+		o.N = 32
+	}
+	if o.Keys <= 0 {
+		o.Keys = 8
+	}
+	if len(o.Policies) == 0 {
+		o.Policies = []string{PolicyDirect, PolicyAffinity, PolicyRoundRobin}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// ReplicaCell reports one replica's share of a sweep cell.
+type ReplicaCell struct {
+	Replica      string `json:"replica"`
+	Routed       int64  `json:"routed"`
+	RunnerHits   int64  `json:"runner_hits"`
+	RunnerMisses int64  `json:"runner_misses"`
+}
+
+// ServeBenchCell is one point of the sweep: a policy at a fleet size
+// and an arrival rate.
+type ServeBenchCell struct {
+	Policy     string  `json:"policy"`
+	Replicas   int     `json:"replicas"`
+	RatePerSec float64 `json:"rate_per_sec"`
+
+	serve.OpenLoopReport
+
+	// WarmHitRate aggregates runner hits/(hits+misses) across the
+	// fleet — the quantity affinity routing exists to maximise.
+	WarmHitRate float64       `json:"warm_hit_rate"`
+	PerReplica  []ReplicaCell `json:"per_replica"`
+	Retries     int64         `json:"retries"`
+	Ejections   int64         `json:"ejections"`
+}
+
+// ServeBenchReport is the gles2gpgpu.servebench/2 document.
+type ServeBenchReport struct {
+	Schema string  `json:"schema"`
+	Jobs   int     `json:"jobs"`
+	N      int     `json:"n"`
+	Keys   int     `json:"keys"`
+	Seed   int64   `json:"seed"`
+	Mode   string  `json:"mode"` // inprocess or subprocess
+	Cells  []ServeBenchCell `json:"cells"`
+}
+
+// benchReplica is one backend of a sweep cell, in-process or
+// subprocess.
+type benchReplica struct {
+	url  string
+	stop func()
+}
+
+func startInprocessReplica() (*benchReplica, error) {
+	s, err := serve.New(serve.Config{Devices: []string{"vc4"}, QueueDepth: 512})
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Stop()
+		return nil, err
+	}
+	s.Start()
+	srv := &http.Server{Handler: serve.Handler(s)}
+	go srv.Serve(l)
+	return &benchReplica{
+		url: "http://" + l.Addr().String(),
+		stop: func() {
+			srv.Close()
+			s.Stop()
+		},
+	}, nil
+}
+
+// startSubprocessReplica launches a real gles2gpgpud on an ephemeral
+// port and parses the bound address off its stdout banner.
+func startSubprocessReplica(ctx context.Context, bin string) (*benchReplica, error) {
+	cmd := exec.CommandContext(ctx, bin, "-addr", "127.0.0.1:0", "-devices", "vc4", "-queue", "512")
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 256)
+		var line strings.Builder
+		for {
+			n, err := out.Read(buf)
+			line.Write(buf[:n])
+			s := line.String()
+			if i := strings.Index(s, "listening on "); i >= 0 {
+				rest := s[i+len("listening on "):]
+				if j := strings.IndexByte(rest, ' '); j >= 0 {
+					addrc <- rest[:j]
+					break
+				}
+			}
+			if err != nil {
+				addrc <- ""
+				break
+			}
+		}
+		// Keep draining so the child never blocks on a full pipe.
+		for {
+			if _, err := out.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrc:
+	case <-time.After(10 * time.Second):
+	}
+	if addr == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("bench: daemon %s did not report an address", bin)
+	}
+	return &benchReplica{
+		url: "http://" + addr,
+		stop: func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		},
+	}, nil
+}
+
+// runCell measures one (policy, replicas, rate) point.
+func runCell(ctx context.Context, o ServeBenchOpts, policy string, nReplicas int, rate float64) (ServeBenchCell, error) {
+	cell := ServeBenchCell{Policy: policy, Replicas: nReplicas, RatePerSec: rate}
+
+	var reps []*benchReplica
+	defer func() {
+		for _, r := range reps {
+			r.stop()
+		}
+	}()
+	for i := 0; i < nReplicas; i++ {
+		var r *benchReplica
+		var err error
+		if o.DaemonBin != "" {
+			r, err = startSubprocessReplica(ctx, o.DaemonBin)
+		} else {
+			r, err = startInprocessReplica()
+		}
+		if err != nil {
+			return cell, err
+		}
+		reps = append(reps, r)
+	}
+
+	var base string
+	var rt *shard.Router
+	if policy == PolicyDirect {
+		base = reps[0].url
+	} else {
+		urls := make([]string, len(reps))
+		for i, r := range reps {
+			urls[i] = r.url
+		}
+		var err error
+		rt, err = shard.NewRouter(shard.Config{
+			Replicas:    urls,
+			Policy:      policy,
+			MaxInFlight: 128,
+		})
+		if err != nil {
+			return cell, err
+		}
+		defer rt.Close()
+		rt.Start()
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return cell, err
+		}
+		srv := &http.Server{Handler: shard.Handler(rt)}
+		go srv.Serve(l)
+		defer srv.Close()
+		base = "http://" + l.Addr().String()
+	}
+
+	client := &serve.Client{Base: base}
+	rep, err := client.RunOpenLoop(ctx, serve.OpenLoopOpts{
+		RatePerSec: rate,
+		Jobs:       o.Jobs,
+		N:          o.N,
+		Keys:       o.Keys,
+		Seed:       o.Seed,
+	})
+	if rep != nil {
+		cell.OpenLoopReport = *rep
+	}
+	if err != nil {
+		return cell, fmt.Errorf("bench: servebench %s r=%d rate=%g: %w", policy, nReplicas, rate, err)
+	}
+
+	// Warmth accounting straight off each replica's own counters.
+	routed := map[string]int64{}
+	if rt != nil {
+		routed = rt.RoutedTotals()
+		cell.Retries = rt.Retries()
+		cell.Ejections = rt.Ejections()
+	} else {
+		routed[reps[0].url] = int64(cell.Completed)
+	}
+	var hits, misses int64
+	for _, r := range reps {
+		st, err := (&serve.Client{Base: r.url}).Stats(ctx)
+		if err != nil {
+			return cell, err
+		}
+		rc := ReplicaCell{Replica: r.url, Routed: routed[r.url]}
+		for _, d := range st.Devices {
+			rc.RunnerHits += d.RunnerHits
+			rc.RunnerMisses += d.RunnerMisses
+		}
+		hits += rc.RunnerHits
+		misses += rc.RunnerMisses
+		cell.PerReplica = append(cell.PerReplica, rc)
+	}
+	if hits+misses > 0 {
+		cell.WarmHitRate = float64(hits) / float64(hits+misses)
+	}
+	return cell, nil
+}
+
+// ServeBench sweeps policy × fleet size × arrival rate and returns the
+// servebench/2 report.
+func ServeBench(ctx context.Context, o ServeBenchOpts) (*ServeBenchReport, error) {
+	o = o.withDefaults()
+	mode := "inprocess"
+	if o.DaemonBin != "" {
+		mode = "subprocess"
+	}
+	report := &ServeBenchReport{
+		Schema: "gles2gpgpu.servebench/2",
+		Jobs:   o.Jobs, N: o.N, Keys: o.Keys, Seed: o.Seed,
+		Mode: mode,
+	}
+	for _, policy := range o.Policies {
+		for _, n := range o.Replicas {
+			if policy == PolicyDirect && n != 1 {
+				continue // direct is the single-node baseline only
+			}
+			for _, rate := range o.Rates {
+				if err := ctx.Err(); err != nil {
+					return report, err
+				}
+				cell, err := runCell(ctx, o, policy, n, rate)
+				if err != nil {
+					return report, err
+				}
+				report.Cells = append(report.Cells, cell)
+			}
+		}
+	}
+	return report, nil
+}
+
+// WriteServeBenchTable renders the sweep as a fixed-width report block
+// (stderr-targeted; the stdout reference output never includes it).
+func WriteServeBenchTable(w io.Writer, r *ServeBenchReport) {
+	fmt.Fprintf(w, "fleet serving sweep (%d open-loop jobs/cell, %d key classes, %s replicas)\n",
+		r.Jobs, r.Keys, r.Mode)
+	fmt.Fprintf(w, "%-10s %4s %8s %9s %8s %8s %8s %9s %8s\n",
+		"policy", "reps", "rate/s", "goodput/s", "p50ms", "p99ms", "p999ms", "warm-hit", "shed")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%-10s %4d %8.0f %9.1f %8.2f %8.2f %8.2f %8.0f%% %8d\n",
+			c.Policy, c.Replicas, c.RatePerSec, c.GoodputS,
+			c.P50MS, c.P99MS, c.P999MS, c.WarmHitRate*100, c.Shed)
+	}
+}

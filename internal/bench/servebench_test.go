@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestServeBenchSmoke runs a miniature fleet sweep and checks the
+// report's shape plus the benchmark's core claim: at two replicas,
+// affinity routing's fleet warm-hit rate beats round-robin's, because
+// each shard's warm-runner cache only has to hold its own keys. The
+// schedule is fully deterministic (fixed seed, fixed ring), so this is
+// a property of the code, not of the machine's speed.
+func TestServeBenchSmoke(t *testing.T) {
+	rep, err := ServeBench(context.Background(), ServeBenchOpts{
+		Replicas: []int{1, 2},
+		Rates:    []float64{400},
+		Jobs:     96,
+		N:        16,
+		Keys:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "gles2gpgpu.servebench/2" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	// direct runs only at 1 replica: 1 (direct) + 2 (affinity) + 2 (rr).
+	if len(rep.Cells) != 5 {
+		t.Fatalf("got %d cells, want 5", len(rep.Cells))
+	}
+	find := func(policy string, replicas int) ServeBenchCell {
+		for _, c := range rep.Cells {
+			if c.Policy == policy && c.Replicas == replicas {
+				return c
+			}
+		}
+		t.Fatalf("no cell for %s/%d", policy, replicas)
+		return ServeBenchCell{}
+	}
+	for _, c := range rep.Cells {
+		if c.Completed+c.Shed+c.Failed != c.OpenLoopReport.Jobs {
+			t.Errorf("%s/%d: arrivals unaccounted", c.Policy, c.Replicas)
+		}
+		if c.Failed != 0 {
+			t.Errorf("%s/%d: %d failed jobs", c.Policy, c.Replicas, c.Failed)
+		}
+		if c.Completed == 0 {
+			t.Errorf("%s/%d: nothing completed", c.Policy, c.Replicas)
+		}
+		if len(c.PerReplica) != c.Replicas {
+			t.Errorf("%s/%d: %d per-replica rows", c.Policy, c.Replicas, len(c.PerReplica))
+		}
+	}
+	aff := find(PolicyAffinity, 2)
+	rr := find(PolicyRoundRobin, 2)
+	if aff.WarmHitRate <= rr.WarmHitRate {
+		t.Errorf("affinity warm-hit %.2f <= round-robin %.2f at 2 replicas; sharding should keep runners hot",
+			aff.WarmHitRate, rr.WarmHitRate)
+	}
+	// Affinity must never split one key class across replicas: per
+	// replica, misses are bounded by the key classes it owns (each class
+	// compiles at most once per replica... plus LRU evictions, so just
+	// check total fleet misses stay below round-robin's).
+	var affMiss, rrMiss int64
+	for _, r := range aff.PerReplica {
+		affMiss += r.RunnerMisses
+	}
+	for _, r := range rr.PerReplica {
+		rrMiss += r.RunnerMisses
+	}
+	if affMiss >= rrMiss {
+		t.Errorf("affinity fleet misses %d >= round-robin %d; cache dilution should cost round-robin rebuilds", affMiss, rrMiss)
+	}
+
+	var sb strings.Builder
+	WriteServeBenchTable(&sb, rep)
+	if !strings.Contains(sb.String(), "affinity") || !strings.Contains(sb.String(), "warm-hit") {
+		t.Errorf("table rendering missing columns:\n%s", sb.String())
+	}
+}

@@ -102,6 +102,27 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	return string(data), nil
 }
 
+// Stats fetches the daemon's per-device warmth counters.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: stats: %s", resp.Status)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
 // LoadOpts shapes a load-generator run.
 type LoadOpts struct {
 	// Jobs is the total number of jobs to push (default 64).

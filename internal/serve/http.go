@@ -14,6 +14,7 @@ import (
 //
 //	POST /v1/jobs     submit a job (Params JSON), respond with Result JSON
 //	GET  /v1/devices  served devices with live queue depths
+//	GET  /v1/stats    per-device warmth counters (Stats JSON)
 //	GET  /metrics     Prometheus text exposition
 //	GET  /healthz     liveness
 func Handler(s *Scheduler) http.Handler {
@@ -55,6 +56,9 @@ func Handler(s *Scheduler) http.Handler {
 			out = append(out, devInfo{Name: d, QueueDepth: s.QueueDepth(d)})
 		}
 		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics().Stats())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

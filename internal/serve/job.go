@@ -116,7 +116,29 @@ func (k kernelKey) String() string {
 	if k.kernel == "sgemm" {
 		return fmt.Sprintf("sgemm/n=%d/b=%d", k.n, k.block)
 	}
+	if k.kernel == "saxpy" {
+		// Alpha is part of the compatibility class (it is baked into the
+		// warm runner), so it must be part of the affinity key: two alphas
+		// are two runners, and the ring should be free to place them on
+		// different shards.
+		return fmt.Sprintf("saxpy/n=%d/a=%g", k.n, k.alpha)
+	}
 	return fmt.Sprintf("%s/n=%d", k.kernel, k.n)
+}
+
+// Key validates the job (value copy — the caller's Params are not
+// mutated) and returns its affinity key: the same string that names the
+// warm-runner compatibility class inside the scheduler ("sum/n=64",
+// "sgemm/n=256/b=16", "pipeline:sepconv/n=128", ...). The shard router
+// consistent-hashes this key so every job of one class lands on the same
+// replica, keeping that replica's compiled programs, warm runners and
+// resident tensors hot for the class.
+func (p Params) Key() (string, error) {
+	k, err := p.normalize()
+	if err != nil {
+		return "", err
+	}
+	return k.String(), nil
 }
 
 // pipelineNames is the vision-pipeline vocabulary the service admits,

@@ -94,6 +94,7 @@ type PoolGauge struct {
 	ProgHits, ProgMisses                              int64
 	RunnersLive                                       int
 	RunnerEvictions                                   int64
+	RunnerHits, RunnerMisses                          int64
 	SubUploads                                        int64
 	TilesElided, TilesShaded                          int64
 	LaneFallbackDraws                                 int64
@@ -223,6 +224,84 @@ func (m *Metrics) PoolHitRate(dev string) float64 {
 	return float64(g.PoolHits) / float64(g.PoolHits+g.PoolMisses)
 }
 
+// DeviceStats is one device pool's warmth and traffic snapshot, the JSON
+// twin of the Prometheus gauges. The shard router's load sweep reads the
+// runner and tensor-pool hit/miss pairs before and after a run to prove
+// affinity routing keeps replicas warmer than round-robin.
+type DeviceStats struct {
+	QueueDepth      int   `json:"queue_depth"`
+	JobsSubmitted   int64 `json:"jobs_submitted"`
+	JobsCompleted   int64 `json:"jobs_completed"`
+	JobsFailed      int64 `json:"jobs_failed"`
+	Batches         int64 `json:"batches"`
+	RunnerHits      int64 `json:"runner_hits"`
+	RunnerMisses    int64 `json:"runner_misses"`
+	RunnersLive     int   `json:"runners_live"`
+	RunnerEvictions int64 `json:"runner_evictions"`
+	PoolHits        int64 `json:"pool_hits"`
+	PoolMisses      int64 `json:"pool_misses"`
+	PoolEvictions   int64 `json:"pool_evictions"`
+	PoolLiveBytes   int   `json:"pool_live_bytes"`
+	ProgHits        int64 `json:"prog_hits"`
+	ProgMisses      int64 `json:"prog_misses"`
+	TilesElided     int64 `json:"tiles_elided"`
+	TilesShaded     int64 `json:"tiles_shaded"`
+}
+
+// Stats is the /v1/stats document: per-device warmth counters.
+type Stats struct {
+	Devices map[string]DeviceStats `json:"devices"`
+}
+
+// Stats snapshots every device pool's counters. Like WritePrometheus it
+// evaluates the live probes (which take worker locks) before taking the
+// metrics mutex, keeping the lock order acyclic.
+func (m *Metrics) Stats() Stats {
+	depths := map[string]int{}
+	for _, dev := range sortedKeys(m.queue) {
+		depths[dev] = m.queue[dev]()
+	}
+	gauges := map[string]PoolGauge{}
+	for _, dev := range sortedKeys(m.gauges) {
+		gauges[dev] = m.gauges[dev]()
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{Devices: map[string]DeviceStats{}}
+	for dev, g := range gauges {
+		ds := DeviceStats{
+			QueueDepth:      depths[dev],
+			JobsSubmitted:   m.submitted[dev],
+			Batches:         m.batches[dev],
+			RunnerHits:      g.RunnerHits,
+			RunnerMisses:    g.RunnerMisses,
+			RunnersLive:     g.RunnersLive,
+			RunnerEvictions: g.RunnerEvictions,
+			PoolHits:        g.PoolHits,
+			PoolMisses:      g.PoolMisses,
+			PoolEvictions:   g.PoolEvictions,
+			PoolLiveBytes:   g.PoolLiveBytes,
+			ProgHits:        g.ProgHits,
+			ProgMisses:      g.ProgMisses,
+			TilesElided:     g.TilesElided,
+			TilesShaded:     g.TilesShaded,
+		}
+		for k, v := range m.completed {
+			if k[0] == dev {
+				ds.JobsCompleted += v
+			}
+		}
+		for k, v := range m.failed {
+			if k[0] == dev {
+				ds.JobsFailed += v
+			}
+		}
+		st.Devices[dev] = ds
+	}
+	return st
+}
+
 // WritePrometheus renders the counters in the Prometheus text exposition
 // format (version 0.0.4).
 func (m *Metrics) WritePrometheus(w io.Writer) error {
@@ -343,6 +422,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		appendf("gles2gpgpud_program_cache_misses_total{device=%q} %d\n", dev, g.ProgMisses)
 		appendf("gles2gpgpud_runners_live{device=%q} %d\n", dev, g.RunnersLive)
 		appendf("gles2gpgpud_runner_evictions_total{device=%q} %d\n", dev, g.RunnerEvictions)
+		appendf("gles2gpgpud_runner_hits_total{device=%q} %d\n", dev, g.RunnerHits)
+		appendf("gles2gpgpud_runner_misses_total{device=%q} %d\n", dev, g.RunnerMisses)
 		appendf("gles2gpgpud_subimage_uploads_total{device=%q} %d\n", dev, g.SubUploads)
 		appendf("gles2gpgpud_tiles_elided_total{device=%q} %d\n", dev, g.TilesElided)
 		appendf("gles2gpgpud_tiles_shaded_total{device=%q} %d\n", dev, g.TilesShaded)

@@ -1,0 +1,197 @@
+package serve
+
+// Open-loop load generation. The closed-loop generator in client.go
+// caps in-flight requests, so when the service slows down the offered
+// load politely slows with it — queueing collapse is invisible. The
+// open-loop generator schedules arrivals on a Poisson process at a
+// fixed rate regardless of how the service is doing, and measures each
+// job's latency from its *scheduled arrival time*: time a late launch
+// spends waiting for the generator itself counts against the service,
+// exactly as a queue-blind client would experience it.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// OpenLoopOpts shapes an open-loop run.
+type OpenLoopOpts struct {
+	// RatePerSec is the Poisson arrival rate (default 50).
+	RatePerSec float64
+	// Jobs is the total number of arrivals (default 256).
+	Jobs int
+	// N is the matrix dimension (default 32).
+	N int
+	// Device receives every job (default vc4).
+	Device string
+	// Keys is the number of distinct kernel-key classes the stream
+	// cycles through (default 8): saxpy jobs with Keys distinct alphas,
+	// so each class needs its own warm runner and affinity routing has
+	// something to keep hot.
+	Keys int
+	// Seed drives both the arrival process and the per-job input seeds;
+	// the same seed reproduces the same schedule exactly.
+	Seed int64
+	// Timeout bounds one job's round trip (default 30s).
+	Timeout time.Duration
+}
+
+func (o OpenLoopOpts) withDefaults() OpenLoopOpts {
+	if o.RatePerSec <= 0 {
+		o.RatePerSec = 50
+	}
+	if o.Jobs <= 0 {
+		o.Jobs = 256
+	}
+	if o.N <= 0 {
+		o.N = 32
+	}
+	if o.Device == "" {
+		o.Device = "vc4"
+	}
+	if o.Keys <= 0 {
+		o.Keys = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	return o
+}
+
+// OpenLoopReport summarises an open-loop run. Latency percentiles are
+// measured from each job's scheduled arrival, so generator-side delay
+// under overload is charged to the service (open-loop semantics).
+type OpenLoopReport struct {
+	RatePerSec float64 `json:"rate_per_sec"`
+	Jobs       int     `json:"jobs"`
+	Completed  int     `json:"completed"`
+	// Shed counts jobs that ended in a 429 (router admission or daemon
+	// queue-full). Open-loop clients do not retry: a shed arrival is
+	// lost goodput, which is the honest way to report overload.
+	Shed   int `json:"shed"`
+	Failed int `json:"failed"`
+	// DurationMS spans the first scheduled arrival to the last
+	// completion.
+	DurationMS float64 `json:"duration_ms"`
+	// GoodputS is completed jobs per second of wall clock.
+	GoodputS float64 `json:"goodput_per_sec"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	P999MS   float64 `json:"p999_ms"`
+	MaxMS    float64 `json:"max_ms"`
+	// VirtualMS sums the simulated device time of completed jobs.
+	VirtualMS float64 `json:"virtual_ms_total"`
+}
+
+// openLoopParams returns arrival i's job: one of Keys saxpy classes,
+// with a per-arrival input seed. The class sequence is scattered
+// pseudorandomly (deterministic in i and seed) rather than cycled —
+// a cyclic sequence can phase-lock with a round-robin rotation and
+// accidentally shard itself, which would flatter exactly the policy
+// this generator exists to expose.
+func openLoopParams(o OpenLoopOpts, i int) Params {
+	h := uint64(i)*0x9e3779b97f4a7c15 + uint64(o.Seed)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	k := int(h % uint64(o.Keys))
+	return Params{
+		Device: o.Device,
+		Kernel: "saxpy",
+		N:      o.N,
+		Alpha:  float64(k+1) / float64(o.Keys+1),
+		Seed:   o.Seed + int64(i%7),
+	}
+}
+
+// RunOpenLoop drives the endpoint (a daemon or a router — same
+// protocol) with a Poisson job stream at the configured rate and
+// reports goodput and tail latency.
+func (c *Client) RunOpenLoop(ctx context.Context, o OpenLoopOpts) (*OpenLoopReport, error) {
+	o = o.withDefaults()
+	rep := &OpenLoopReport{RatePerSec: o.RatePerSec, Jobs: o.Jobs}
+
+	// The whole schedule is drawn up front: exponential inter-arrival
+	// gaps with mean 1/rate, cumulated into absolute offsets.
+	rng := rand.New(rand.NewSource(o.Seed))
+	arrivals := make([]time.Duration, o.Jobs)
+	var at float64 // seconds
+	for i := range arrivals {
+		at += rng.ExpFloat64() / o.RatePerSec
+		arrivals[i] = time.Duration(at * float64(time.Second))
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		firstErr  error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < o.Jobs; i++ {
+		// Open loop: wait for the scheduled arrival, never for capacity.
+		if d := time.Until(start.Add(arrivals[i])); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				wg.Wait()
+				return rep, ctx.Err()
+			}
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			jctx, cancel := context.WithTimeout(ctx, o.Timeout)
+			defer cancel()
+			res, err := c.Do(jctx, openLoopParams(o, i))
+			lat := time.Since(start.Add(arrivals[i]))
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				rep.Completed++
+				rep.VirtualMS += res.VirtualTime.Seconds() * 1e3
+				latencies = append(latencies, float64(lat.Microseconds())/1e3)
+			case errors.As(err, new(*RetryAfterError)):
+				rep.Shed++
+			default:
+				rep.Failed++
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	rep.DurationMS = float64(time.Since(start).Microseconds()) / 1e3
+	if rep.DurationMS > 0 {
+		rep.GoodputS = float64(rep.Completed) / (rep.DurationMS / 1e3)
+	}
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(math.Ceil(p*float64(len(latencies)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return latencies[i]
+	}
+	rep.P50MS, rep.P99MS, rep.P999MS = pct(0.50), pct(0.99), pct(0.999)
+	if n := len(latencies); n > 0 {
+		rep.MaxMS = latencies[n-1]
+	}
+	if firstErr != nil {
+		return rep, firstErr
+	}
+	return rep, nil
+}

@@ -1,0 +1,64 @@
+package serve_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"gles2gpgpu/internal/serve"
+)
+
+// TestOpenLoopAgainstDaemon drives a real scheduler with a short open-
+// loop burst and checks the report accounting: every arrival terminal,
+// percentiles ordered, virtual time accumulated.
+func TestOpenLoopAgainstDaemon(t *testing.T) {
+	s, err := serve.New(serve.Config{Devices: []string{"vc4"}, QueueDepth: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	s.Start()
+	srv := httptest.NewServer(serve.Handler(s))
+	defer srv.Close()
+	client := &serve.Client{Base: srv.URL}
+
+	rep, err := client.RunOpenLoop(context.Background(), serve.OpenLoopOpts{
+		RatePerSec: 500,
+		Jobs:       64,
+		N:          16,
+		Keys:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed+rep.Shed+rep.Failed != rep.Jobs {
+		t.Errorf("arrivals unaccounted: completed %d + shed %d + failed %d != %d",
+			rep.Completed, rep.Shed, rep.Failed, rep.Jobs)
+	}
+	if rep.Failed != 0 {
+		t.Errorf("failed = %d, want 0 (shed is the only acceptable loss)", rep.Failed)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no job completed")
+	}
+	if rep.GoodputS <= 0 || rep.DurationMS <= 0 {
+		t.Errorf("goodput %g over %gms, want both > 0", rep.GoodputS, rep.DurationMS)
+	}
+	if rep.P50MS > rep.P99MS || rep.P99MS > rep.P999MS || rep.P999MS > rep.MaxMS {
+		t.Errorf("percentiles out of order: p50=%g p99=%g p999=%g max=%g",
+			rep.P50MS, rep.P99MS, rep.P999MS, rep.MaxMS)
+	}
+	if rep.VirtualMS <= 0 {
+		t.Errorf("virtual time = %g, want > 0", rep.VirtualMS)
+	}
+	// The warmth counters must show the stream's key classes were
+	// compiled once and then reused.
+	st, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := st.Devices["vc4"]
+	if d.RunnerMisses == 0 || d.RunnerHits == 0 {
+		t.Errorf("runner hits/misses = %d/%d, want both > 0 for a 4-key stream", d.RunnerHits, d.RunnerMisses)
+	}
+}

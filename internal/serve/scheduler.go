@@ -441,6 +441,8 @@ func (p *devicePool) gauge() PoolGauge {
 		}
 		g.RunnersLive += len(w.runners)
 		g.RunnerEvictions += int64(w.runnerEvictions)
+		g.RunnerHits += w.runnerHits
+		g.RunnerMisses += w.runnerMisses
 		w.mu.Unlock()
 	}
 	return g
@@ -457,6 +459,13 @@ type worker struct {
 	runners         map[kernelKey]*warmRunner
 	lru             []kernelKey
 	runnerEvictions int
+	// runnerHits counts batches served by an already-warm runner;
+	// runnerMisses counts builds. The ratio is the service's warmth signal:
+	// the shard router's affinity argument is precisely that hashing job
+	// keys to replicas keeps this hit rate high where round-robin dilutes
+	// every replica's LRU with every key.
+	runnerHits   int64
+	runnerMisses int64
 }
 
 // warmRunner is a built kernel runner or compiled pipeline plan kept
@@ -556,9 +565,11 @@ func (w *worker) engineFor(n int) (*core.Engine, error) {
 // from the job's inputs on miss and applying LRU eviction.
 func (w *worker) runnerFor(j *Job) (*warmRunner, error) {
 	if wr, ok := w.runners[j.key]; ok {
+		w.runnerHits++
 		w.touch(j.key)
 		return wr, nil
 	}
+	w.runnerMisses++
 	e, err := w.engineFor(j.params.N)
 	if err != nil {
 		return nil, err

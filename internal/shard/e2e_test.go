@@ -1,0 +1,387 @@
+package shard_test
+
+// End-to-end tests of the sharded fleet: N real gles2gpgpud replicas
+// (each a full serve.Scheduler behind its own HTTP listener), a router
+// in front, and bit-identical comparison of every routed result against
+// direct single-engine execution — including while one replica is
+// killed and restarted mid-stream. The router must be invisible in the
+// numbers; only latency and placement may change.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"gles2gpgpu/internal/core"
+	"gles2gpgpu/internal/device"
+	"gles2gpgpu/internal/serve"
+	"gles2gpgpu/internal/shard"
+)
+
+const e2eN = 32
+
+// replica is one in-process gles2gpgpud: a scheduler plus an HTTP
+// server on a stable address, killable and restartable on that address
+// so chaos tests can model a daemon crash + supervisor restart.
+type replica struct {
+	t    *testing.T
+	addr string
+
+	mu  sync.Mutex
+	s   *serve.Scheduler
+	srv *http.Server
+}
+
+func startReplica(t *testing.T) *replica {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &replica{t: t, addr: l.Addr().String()}
+	r.serveOn(l)
+	t.Cleanup(r.kill)
+	return r
+}
+
+func (r *replica) serveOn(l net.Listener) {
+	s, err := serve.New(serve.Config{Devices: []string{"vc4"}, QueueDepth: 256})
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	s.Start()
+	srv := &http.Server{Handler: serve.Handler(s)}
+	go srv.Serve(l)
+	r.mu.Lock()
+	r.s, r.srv = s, srv
+	r.mu.Unlock()
+}
+
+func (r *replica) url() string { return "http://" + r.addr }
+
+// kill closes the listener and all live connections (in-flight forwards
+// see a transport error) and stops the scheduler. Idempotent.
+func (r *replica) kill() {
+	r.mu.Lock()
+	s, srv := r.s, r.srv
+	r.s, r.srv = nil, nil
+	r.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+	if s != nil {
+		s.Stop()
+	}
+}
+
+// restart rebinds the replica's original address with a fresh scheduler
+// — a cold daemon, as after a crash: empty caches, same identity.
+func (r *replica) restart() {
+	r.t.Helper()
+	var l net.Listener
+	var err error
+	for i := 0; i < 100; i++ { // the old socket can linger briefly
+		l, err = net.Listen("tcp", r.addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		r.t.Fatalf("rebind %s: %v", r.addr, err)
+	}
+	r.serveOn(l)
+}
+
+// directRun executes one job on a fresh engine with no service or
+// routing machinery and returns the result matrix — the ground truth
+// every routed result must match bit-for-bit.
+func directRun(t *testing.T, p serve.Params) []float64 {
+	t.Helper()
+	prof, err := device.ByName(p.Device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(core.Config{
+		Device: prof,
+		Width:  p.N, Height: p.N,
+		Swap:   core.SwapNone,
+		Target: core.TargetTexture,
+		UseVBO: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := p.Inputs()
+	var r core.Runner
+	switch p.Kernel {
+	case "sum":
+		r, err = core.NewSum(e, a, b)
+	case "sgemm":
+		r, err = core.NewSgemm(e, a, b, p.Block)
+	case "saxpy":
+		r, err = core.NewSaxpy(e, float32(p.Alpha), a, b)
+	default:
+		t.Fatalf("directRun: kernel %q", p.Kernel)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RunOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	e.Finish()
+	out, err := r.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Data
+}
+
+func e2eSpecs(n int) []serve.Params {
+	specs := make([]serve.Params, n)
+	for i := range specs {
+		p := serve.Params{Device: "vc4", Kernel: "sum", N: e2eN, Seed: int64(i%4) + 1}
+		switch i % 4 {
+		case 2:
+			p.Kernel = "saxpy"
+			// 8 distinct alpha classes -> 10 distinct affinity keys per
+			// stream, enough that a 3-replica ring with ephemeral-port
+			// names spreads traffic with near-certainty.
+			p.Alpha = float64((i/4)%8+1) / 16
+		case 3:
+			p.Kernel = "sgemm"
+			p.Block = 16
+		}
+		specs[i] = p
+	}
+	return specs
+}
+
+func checkBitIdentical(t *testing.T, i int, p serve.Params, got []float64, truth map[string][]float64, truthMu *sync.Mutex) error {
+	key, err := p.Key()
+	if err != nil {
+		return err
+	}
+	// Kernel outputs depend only on the key class + seed; fold seed in.
+	tk := fmt.Sprintf("%s/seed=%d", key, p.Seed)
+	truthMu.Lock()
+	want, ok := truth[tk]
+	truthMu.Unlock()
+	if !ok {
+		return fmt.Errorf("job %d: no ground truth for %s", i, tk)
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("job %d (%s): got %d values, want %d", i, tk, len(got), len(want))
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			return fmt.Errorf("job %d (%s): out[%d] = %v, direct = %v (must be bit-identical)",
+				i, tk, k, got[k], want[k])
+		}
+	}
+	return nil
+}
+
+func groundTruth(t *testing.T, specs []serve.Params) map[string][]float64 {
+	truth := map[string][]float64{}
+	for _, p := range specs {
+		key, err := p.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk := fmt.Sprintf("%s/seed=%d", key, p.Seed)
+		if _, ok := truth[tk]; !ok {
+			truth[tk] = directRun(t, p)
+		}
+	}
+	return truth
+}
+
+// TestRoutedEndToEndBitIdentity routes a mixed workload through three
+// real replicas and requires every result to match direct engine
+// execution bit-for-bit, with the key space actually spread across the
+// fleet.
+func TestRoutedEndToEndBitIdentity(t *testing.T) {
+	var reps []*replica
+	var urls []string
+	for i := 0; i < 3; i++ {
+		r := startReplica(t)
+		reps = append(reps, r)
+		urls = append(urls, r.url())
+	}
+	// The window is widened past the burst size: admission behaviour has
+	// its own test, this one is about numbers.
+	rt, err := shard.NewRouter(shard.Config{Replicas: urls, MaxInFlight: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(shard.Handler(rt))
+	defer front.Close()
+	// The router speaks the daemon protocol, so the plain daemon client
+	// works against it unchanged.
+	client := &serve.Client{Base: front.URL}
+
+	specs := e2eSpecs(48)
+	truth := groundTruth(t, specs)
+	var truthMu sync.Mutex
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(specs))
+	for i, p := range specs {
+		wg.Add(1)
+		go func(i int, p serve.Params) {
+			defer wg.Done()
+			res, err := client.Do(context.Background(), p)
+			if err != nil {
+				errs <- fmt.Errorf("job %d: %w", i, err)
+				return
+			}
+			if err := checkBitIdentical(t, i, p, res.Out, truth, &truthMu); err != nil {
+				errs <- err
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The workload's key classes must have spread over the fleet: with 6
+	// distinct keys on 3 replicas, at least two replicas see traffic.
+	routed := rt.RoutedTotals()
+	busy := 0
+	var total int64
+	for _, n := range routed {
+		if n > 0 {
+			busy++
+		}
+		total += n
+	}
+	if busy < 2 {
+		t.Errorf("only %d replicas saw traffic (routed=%v), want >= 2", busy, routed)
+	}
+	if total != int64(len(specs)) {
+		t.Errorf("routed %d terminal responses, want %d", total, len(specs))
+	}
+	if rt.Retries() != 0 {
+		t.Errorf("healthy fleet needed %d retries, want 0", rt.Retries())
+	}
+}
+
+// TestRoutedChaosKillRestart streams jobs through the fleet while one
+// replica is killed mid-run and later restarted. Every job that returns
+// OK must still be bit-identical to direct execution (retries are safe
+// because jobs are deterministic), the retry budget bounds per-job
+// attempts, and the fleet heals: the restarted replica is readmitted
+// and serves again.
+func TestRoutedChaosKillRestart(t *testing.T) {
+	var reps []*replica
+	var urls []string
+	for i := 0; i < 3; i++ {
+		r := startReplica(t)
+		reps = append(reps, r)
+		urls = append(urls, r.url())
+	}
+	rt, err := shard.NewRouter(shard.Config{
+		Replicas:       urls,
+		MaxInFlight:    64,
+		RetryBudget:    3,
+		RetryBackoff:   5 * time.Millisecond,
+		FailThreshold:  2,
+		HealthInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rt.Start()
+	front := httptest.NewServer(shard.Handler(rt))
+	defer front.Close()
+	client := &serve.Client{Base: front.URL}
+
+	const jobs = 96
+	specs := e2eSpecs(jobs)
+	truth := groundTruth(t, specs)
+	var truthMu sync.Mutex
+
+	// Kill replica 1 once a third of the stream is in, restart it at two
+	// thirds; the stream never pauses.
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs)
+	okCount := int64(0)
+	var okMu sync.Mutex
+	for i, p := range specs {
+		if i == jobs/3 {
+			reps[1].kill()
+		}
+		if i == 2*jobs/3 {
+			reps[1].restart()
+		}
+		wg.Add(1)
+		go func(i int, p serve.Params) {
+			defer wg.Done()
+			res, err := client.Do(context.Background(), p)
+			if err != nil {
+				// A failed job is acceptable chaos fallout only as an
+				// explicit error — never as wrong data. Shed/exhausted
+				// jobs are counted, corrupted ones fail the test.
+				return
+			}
+			if err := checkBitIdentical(t, i, p, res.Out, truth, &truthMu); err != nil {
+				errs <- err
+				return
+			}
+			okMu.Lock()
+			okCount++
+			okMu.Unlock()
+		}(i, p)
+		time.Sleep(2 * time.Millisecond) // open-ish pacing so the kill lands mid-stream
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if okCount < jobs*3/4 {
+		t.Errorf("only %d/%d jobs succeeded; re-routing around the dead replica should save most", okCount, jobs)
+	}
+	if rt.Ejections() < 1 {
+		t.Errorf("ejections = %d, want >= 1 (replica was killed mid-run)", rt.Ejections())
+	}
+	// Retry budget: total retries can never exceed jobs × budget.
+	if max := int64(jobs * 3); rt.Retries() > max {
+		t.Errorf("retries = %d, exceeds the fleet-wide budget bound %d", rt.Retries(), max)
+	}
+
+	// The fleet heals: the restarted replica is readmitted...
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && rt.HealthyCount() < 3 {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if rt.HealthyCount() != 3 {
+		t.Fatalf("healthy count = %d after restart, want 3", rt.HealthyCount())
+	}
+	if rt.Readmissions() < 1 {
+		t.Errorf("readmissions = %d, want >= 1", rt.Readmissions())
+	}
+	// ...and post-heal traffic is still bit-identical, including keys
+	// owned by the restarted (cold) replica.
+	for i, p := range e2eSpecs(12) {
+		res, err := client.Do(context.Background(), p)
+		if err != nil {
+			t.Fatalf("post-heal job %d: %v", i, err)
+		}
+		if err := checkBitIdentical(t, i, p, res.Out, truth, &truthMu); err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// routerMetrics aggregates the router's counters. Probes into router
+// state (healthy count, in-flight, per-replica p99 scrapes) happen at
+// render time, outside this mutex.
+type routerMetrics struct {
+	mu sync.Mutex
+
+	routedTotal  map[string]int64 // by replica
+	status       map[int]int64    // terminal backend status classes observed
+	retries      map[string]int64 // by reason
+	rejected     map[string]int64 // by reason
+	failedJobs   int64            // retry budget exhausted
+	ejections    int64
+	readmissions int64
+}
+
+func newRouterMetrics() *routerMetrics {
+	return &routerMetrics{
+		routedTotal: map[string]int64{},
+		status:      map[int]int64{},
+		retries:     map[string]int64{},
+		rejected:    map[string]int64{},
+	}
+}
+
+func (m *routerMetrics) routed(replica string, status int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.routedTotal[replica]++
+	m.status[status]++
+}
+
+func reasonOf(err error) string {
+	switch {
+	case errors.Is(err, ErrBusy):
+		return "window_full"
+	case errors.Is(err, ErrNoReplicas):
+		return "no_healthy_replica"
+	default:
+		return "transport"
+	}
+}
+
+func (m *routerMetrics) retry(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.retries[reasonOf(err)]++
+}
+
+func (m *routerMetrics) rejectLocked(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejected[reasonOf(err)]++
+}
+
+func (m *routerMetrics) exhausted(error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failedJobs++
+}
+
+// Ejections returns the lifetime ejection count (tests and the chaos
+// bench assert on it).
+func (rt *Router) Ejections() int64 {
+	rt.metrics.mu.Lock()
+	defer rt.metrics.mu.Unlock()
+	return rt.metrics.ejections
+}
+
+// Readmissions returns the lifetime readmission count.
+func (rt *Router) Readmissions() int64 {
+	rt.metrics.mu.Lock()
+	defer rt.metrics.mu.Unlock()
+	return rt.metrics.readmissions
+}
+
+// Retries returns the lifetime retry count summed over reasons.
+func (rt *Router) Retries() int64 {
+	rt.metrics.mu.Lock()
+	defer rt.metrics.mu.Unlock()
+	var n int64
+	for _, v := range rt.metrics.retries {
+		n += v
+	}
+	return n
+}
+
+// RoutedTotals returns jobs routed per replica.
+func (rt *Router) RoutedTotals() map[string]int64 {
+	rt.metrics.mu.Lock()
+	defer rt.metrics.mu.Unlock()
+	out := make(map[string]int64, len(rt.metrics.routedTotal))
+	for k, v := range rt.metrics.routedTotal {
+		out[k] = v
+	}
+	return out
+}
+
+// WritePrometheus renders the router's metrics in the Prometheus text
+// exposition format (version 0.0.4), including per-replica p99 host
+// latency gauges scraped live from each healthy backend's /metrics.
+func (rt *Router) WritePrometheus(w io.Writer) error {
+	// Probe router state and scrape backends before taking the counter
+	// mutex (scrapes do network I/O).
+	states := rt.Replicas()
+	p99 := map[string]float64{}
+	for _, st := range states {
+		if !st.Healthy {
+			continue
+		}
+		if v, ok := rt.scrapeReplicaP99(st.Replica); ok {
+			p99[st.Replica] = v
+		}
+	}
+
+	m := rt.metrics
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b []byte
+	appendf := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+
+	healthy := 0
+	for _, st := range states {
+		if st.Healthy && !st.Draining {
+			healthy++
+		}
+	}
+	appendf("# HELP gles2gpgpu_router_replicas_healthy Replicas currently in ring rotation.\n# TYPE gles2gpgpu_router_replicas_healthy gauge\n")
+	appendf("gles2gpgpu_router_replicas_healthy %d\n", healthy)
+
+	appendf("# HELP gles2gpgpu_router_jobs_routed_total Jobs forwarded to a replica that returned a terminal response.\n# TYPE gles2gpgpu_router_jobs_routed_total counter\n")
+	for _, k := range sortedKeys(m.routedTotal) {
+		appendf("gles2gpgpu_router_jobs_routed_total{replica=%q} %d\n", k, m.routedTotal[k])
+	}
+	appendf("# HELP gles2gpgpu_router_retries_total Forward attempts retried on another replica.\n# TYPE gles2gpgpu_router_retries_total counter\n")
+	for _, k := range sortedKeys(m.retries) {
+		appendf("gles2gpgpu_router_retries_total{reason=%q} %d\n", k, m.retries[k])
+	}
+	appendf("# HELP gles2gpgpu_router_rejected_total Jobs shed at the router (admission or no healthy replica).\n# TYPE gles2gpgpu_router_rejected_total counter\n")
+	for _, k := range sortedKeys(m.rejected) {
+		appendf("gles2gpgpu_router_rejected_total{reason=%q} %d\n", k, m.rejected[k])
+	}
+	appendf("# HELP gles2gpgpu_router_jobs_failed_total Jobs that exhausted their retry budget.\n# TYPE gles2gpgpu_router_jobs_failed_total counter\n")
+	appendf("gles2gpgpu_router_jobs_failed_total %d\n", m.failedJobs)
+	appendf("# HELP gles2gpgpu_router_ejections_total Replicas ejected from the ring after consecutive failures.\n# TYPE gles2gpgpu_router_ejections_total counter\n")
+	appendf("gles2gpgpu_router_ejections_total %d\n", m.ejections)
+	appendf("# HELP gles2gpgpu_router_readmissions_total Ejected replicas readmitted after a healthy probe.\n# TYPE gles2gpgpu_router_readmissions_total counter\n")
+	appendf("gles2gpgpu_router_readmissions_total %d\n", m.readmissions)
+
+	appendf("# HELP gles2gpgpu_router_replica_inflight Jobs currently forwarded to a replica.\n# TYPE gles2gpgpu_router_replica_inflight gauge\n")
+	for _, st := range states {
+		appendf("gles2gpgpu_router_replica_inflight{replica=%q} %d\n", st.Replica, st.InFlight)
+	}
+	appendf("# HELP gles2gpgpu_router_replica_healthy Whether a replica is in ring rotation.\n# TYPE gles2gpgpu_router_replica_healthy gauge\n")
+	for _, st := range states {
+		up := 0
+		if st.Healthy && !st.Draining {
+			up = 1
+		}
+		appendf("gles2gpgpu_router_replica_healthy{replica=%q} %d\n", st.Replica, up)
+	}
+	appendf("# HELP gles2gpgpu_router_replica_p99_seconds Backend p99 host job latency, scraped from the replica's own /metrics histogram.\n# TYPE gles2gpgpu_router_replica_p99_seconds gauge\n")
+	reps := make([]string, 0, len(p99))
+	for k := range p99 {
+		reps = append(reps, k)
+	}
+	sort.Strings(reps)
+	for _, k := range reps {
+		appendf("gles2gpgpu_router_replica_p99_seconds{replica=%q} %g\n", k, p99[k])
+	}
+
+	_, err := w.Write(b)
+	return err
+}
+
+// scrapeReplicaP99 fetches one backend's /metrics and estimates the p99
+// of its host-clock job latency histogram.
+func (rt *Router) scrapeReplicaP99(name string) (float64, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, name+"/metrics", nil)
+	if err != nil {
+		return 0, false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return 0, false
+	}
+	return histogramQuantile(string(data), "gles2gpgpud_job_latency_seconds_bucket", `clock="host"`, 0.99)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

